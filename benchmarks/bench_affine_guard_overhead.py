@@ -1,0 +1,55 @@
+"""E6 — §4: the runtime cost of dynamic affine guards vs static arrows.
+
+Affi's whole reason for having two arrows (⊸ and ⊸•) is that the dynamic
+guard (a reference cell plus a wrapper closure per call) is not free.  This
+harness measures chains of applications through each arrow and reports both
+wall-clock time and LCVM step counts.
+"""
+
+import pytest
+
+from repro.interop_affine import make_system
+from repro.lcvm import machine as lcvm_machine
+
+CHAIN = 25
+
+
+def _chain(lam_keyword: str, depth: int) -> str:
+    """Build ``(f (f ... (f 1)))`` where f is an identity of the given arrow."""
+    identity = f"({lam_keyword} (a int) a)"
+    source = "1"
+    for _ in range(depth):
+        source = f"({identity} {source})"
+    return source
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_system()
+
+
+@pytest.mark.parametrize("arrow,keyword", [("static", "slam"), ("dynamic", "dlam")])
+def test_application_chain(benchmark, system, arrow, keyword):
+    unit = system.compile_source("Affi", _chain(keyword, CHAIN))
+
+    result = benchmark(lambda: lcvm_machine.run(unit.target_code, fuel=1_000_000))
+    assert result.value is not None
+    benchmark.extra_info["lcvm_steps"] = result.steps
+    benchmark.extra_info["chain_length"] = CHAIN
+
+
+def test_guard_overhead_ratio(benchmark, system):
+    """Shape claim: dynamic applications cost strictly more steps than static ones."""
+
+    def measure():
+        static_unit = system.compile_source("Affi", _chain("slam", CHAIN))
+        dynamic_unit = system.compile_source("Affi", _chain("dlam", CHAIN))
+        static_steps = lcvm_machine.run(static_unit.target_code, fuel=1_000_000).steps
+        dynamic_steps = lcvm_machine.run(dynamic_unit.target_code, fuel=1_000_000).steps
+        return static_steps, dynamic_steps
+
+    static_steps, dynamic_steps = benchmark(measure)
+    assert dynamic_steps > static_steps
+    benchmark.extra_info["static_steps"] = static_steps
+    benchmark.extra_info["dynamic_steps"] = dynamic_steps
+    benchmark.extra_info["overhead_per_call"] = (dynamic_steps - static_steps) / CHAIN

@@ -1,0 +1,53 @@
+"""E13 — end-to-end boundary-crossing cost in all three case studies.
+
+Measures the full pipeline cost (parse + typecheck + compile + run) of a
+program that stays within one language against the same computation that
+crosses the language boundary repeatedly, for each of the §3, §4, and §5
+systems.
+"""
+
+import pytest
+
+from repro.interop_affine import make_system as make_affine_system
+from repro.interop_l3 import make_system as make_l3_system
+from repro.interop_refs import make_system as make_refs_system
+
+CROSSINGS = 10
+
+
+def _nested_refll_boundary(depth: int) -> str:
+    """RefLL int expression that bounces through RefHL ``depth`` times."""
+    source = "1"
+    for _ in range(depth):
+        source = f"(+ 1 (boundary int (if (boundary bool {source}) false true)))"
+    return source
+
+
+def _nested_ml_affi_boundary(depth: int) -> str:
+    source = "1"
+    for _ in range(depth):
+        source = f"(+ 1 (boundary int (boundary int {source})))"
+    return source
+
+
+@pytest.mark.parametrize(
+    "label,factory,language,source",
+    [
+        ("refs/pure", make_refs_system, "RefLL", "(+ 1 (+ 1 (+ 1 1)))"),
+        ("refs/crossing", make_refs_system, "RefLL", _nested_refll_boundary(CROSSINGS)),
+        ("affine/pure", make_affine_system, "MiniML", "(+ 1 (+ 1 (+ 1 1)))"),
+        ("affine/crossing", make_affine_system, "MiniML", _nested_ml_affi_boundary(CROSSINGS)),
+        ("l3/pure", make_l3_system, "MiniML", "(! (ref 5))"),
+        ("l3/crossing", make_l3_system, "MiniML", "(! (boundary (ref int) (new true)))"),
+    ],
+)
+def test_boundary_crossing_pipeline(benchmark, label, factory, language, source):
+    system = factory()
+
+    def pipeline():
+        return system.run_source(language, source)
+
+    result = benchmark(pipeline)
+    assert result.ok, f"{label}: {result}"
+    benchmark.extra_info["label"] = label
+    benchmark.extra_info["steps"] = result.steps

@@ -1,0 +1,61 @@
+"""E2 / E12 — the bounded logical-relation checkers themselves.
+
+The realizability models are executable artifacts; this harness measures the
+cost of deciding the convertibility-soundness statements (Lemma 3.1 and its
+§4/§5 analogues) and of the per-case-study type-safety sweeps, as a function
+of the step budget.
+"""
+
+import pytest
+
+from repro.interop_affine import check_convertibility_soundness as check_affine_convertibility
+from repro.interop_affine import make_system as make_affine_system
+from repro.interop_l3 import check_type_safety as check_l3_type_safety
+from repro.interop_l3 import make_system as make_l3_system
+from repro.interop_refs import RefsModel
+from repro.interop_refs import check_convertibility_soundness as check_refs_convertibility
+from repro.interop_refs import check_fundamental_property, make_system as make_refs_system
+
+
+@pytest.fixture(scope="module")
+def refs_system():
+    return make_refs_system()
+
+
+@pytest.fixture(scope="module")
+def affine_system():
+    return make_affine_system()
+
+
+@pytest.fixture(scope="module")
+def l3_system():
+    return make_l3_system()
+
+
+@pytest.mark.parametrize("step_budget", [32, 64, 128])
+def test_refs_convertibility_soundness(benchmark, refs_system, step_budget):
+    model = RefsModel()
+    report = benchmark(
+        lambda: check_refs_convertibility(system=refs_system, model=model, step_budget=step_budget)
+    )
+    assert report.ok
+    benchmark.extra_info["membership_checks"] = report.checked
+    benchmark.extra_info["step_budget"] = step_budget
+
+
+def test_refs_fundamental_property(benchmark, refs_system):
+    report = benchmark(lambda: check_fundamental_property(system=refs_system))
+    assert report.ok
+    benchmark.extra_info["membership_checks"] = report.checked
+
+
+def test_affine_convertibility_soundness(benchmark, affine_system):
+    report = benchmark(lambda: check_affine_convertibility(system=affine_system))
+    assert report.ok
+    benchmark.extra_info["membership_checks"] = report.checked
+
+
+def test_l3_type_safety_sweep(benchmark, l3_system):
+    report = benchmark(lambda: check_l3_type_safety(system=l3_system))
+    assert report.ok
+    benchmark.extra_info["membership_checks"] = report.checked

@@ -1,0 +1,38 @@
+"""E15 — front-end throughput: parse + typecheck + compile for every language.
+
+Not a claim from the paper, but the baseline cost of the substrate every other
+experiment runs on; regressions here distort every other measurement.
+"""
+
+import pytest
+
+from repro.interop_affine import make_system as make_affine_system
+from repro.interop_l3 import make_system as make_l3_system
+from repro.interop_refs import make_system as make_refs_system
+
+SOURCES = {
+    ("refs", "RefHL"): "(match (inl (sum bool unit) true) (x (if x false true)) (y false))",
+    ("refs", "RefLL"): "((lam (f (-> int int)) (f (idx (array 1 2 3) 1))) (lam (y int) (+ y y)))",
+    ("affine", "Affi"): "(let-tensor (a b) (tensor 1 true) (if b (tensor a 1) (tensor 2 a)))",
+    ("affine", "MiniML"): "((lam (p (prod int int)) (+ (fst p) (snd p))) (pair 20 22))",
+    ("l3", "MiniML"): "((tyapp (tylam a (lam (x a) x)) int) 5)",
+    ("l3", "L3"): "(free (new (tensor true false)))",
+}
+
+_FACTORIES = {"refs": make_refs_system, "affine": make_affine_system, "l3": make_l3_system}
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {name: factory() for name, factory in _FACTORIES.items()}
+
+
+@pytest.mark.parametrize("system_name,language", list(SOURCES))
+def test_frontend_pipeline(benchmark, systems, system_name, language):
+    system = systems[system_name]
+    source = SOURCES[(system_name, language)]
+
+    unit = benchmark(lambda: system.compile_source(language, source))
+    assert unit.target_code is not None
+    benchmark.extra_info["language"] = language
+    benchmark.extra_info["system"] = system_name

@@ -1,0 +1,51 @@
+"""E4 — §3 Discussion: direct sharing vs copy-and-convert vs read/write proxies.
+
+The paper argues qualitatively that proxies impose a per-access cost, copying
+imposes a one-time cost (and loses aliasing), and direct sharing is free but
+requires identical value interpretations.  This harness measures all three on
+the StackLang machine: wall-clock time via pytest-benchmark plus the exact
+machine step counts in ``extra_info``.
+"""
+
+import pytest
+
+from repro.interop_refs.strategies import build_read_workloads, build_write_workloads
+
+ACCESS_COUNT = 200
+
+
+@pytest.mark.parametrize("strategy", ["direct", "copy", "proxy"])
+def test_reads_through_shared_reference(benchmark, strategy):
+    workload = build_read_workloads(ACCESS_COUNT)[strategy]
+    result = benchmark(workload.run)
+    assert result.value is not None
+    benchmark.extra_info["machine_steps"] = workload.steps()
+    benchmark.extra_info["accesses"] = ACCESS_COUNT
+
+
+@pytest.mark.parametrize("strategy", ["direct", "copy", "proxy"])
+def test_writes_through_shared_reference(benchmark, strategy):
+    workload = build_write_workloads(ACCESS_COUNT)[strategy]
+    result = benchmark(workload.run)
+    assert result.status.value in ("value", "empty")
+    benchmark.extra_info["machine_steps"] = workload.steps()
+    benchmark.extra_info["accesses"] = ACCESS_COUNT
+
+
+def test_proxy_per_access_overhead_grows_with_accesses(benchmark):
+    """The shape claim: proxy overhead is linear in accesses, copy's is constant."""
+
+    def measure():
+        small = build_read_workloads(20)
+        large = build_read_workloads(200)
+        return {
+            "proxy_overhead_small": small["proxy"].steps() - small["direct"].steps(),
+            "proxy_overhead_large": large["proxy"].steps() - large["direct"].steps(),
+            "copy_overhead_small": small["copy"].steps() - small["direct"].steps(),
+            "copy_overhead_large": large["copy"].steps() - large["direct"].steps(),
+        }
+
+    overheads = benchmark(measure)
+    assert overheads["proxy_overhead_large"] > overheads["proxy_overhead_small"] * 5
+    assert overheads["copy_overhead_large"] == overheads["copy_overhead_small"]
+    benchmark.extra_info.update(overheads)

@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in environments without the ``wheel`` package (where
+PEP 660 editable installs are unavailable), via ``python setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Executable reproduction of 'Semantic Soundness for Language Interoperability' (PLDI 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

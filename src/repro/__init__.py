@@ -1,0 +1,25 @@
+"""repro — executable reproduction of *Semantic Soundness for Language
+Interoperability* (Patterson, Mushtak, Wagner, Ahmed; PLDI 2022).
+
+The package is organized around the paper's three case studies, each of which
+is a complete multi-language system built from:
+
+* two source languages (parser, typechecker, compiler),
+* a shared untyped target (small-step machine),
+* a convertibility relation with target-level glue code, and
+* a realizability model with bounded soundness checkers.
+
+Quick start::
+
+    from repro.interop_refs import make_system
+
+    system = make_system()
+    result = system.run_source("RefLL", "(+ 1 (boundary int (if true false true)))")
+    assert result.value.number == 2
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

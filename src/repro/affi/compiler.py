@@ -1,0 +1,184 @@
+"""The Affi → LCVM compiler (Fig. 8).
+
+The compiler is *mode-directed*: the same source constructs compile
+differently depending on whether the affinity involved is enforced
+dynamically or statically.
+
+* Dynamic affine variables (bound by ``λa◦``) are bound to a *guard thunk*
+  at every call site: ``(e₁ : τ₁ ⊸ τ₂) e₂ ⇝ e₁⁺ (let x = e₂⁺ in thunk(x))``,
+  and a use of ``a◦`` forces the thunk (``a◦ ⇝ a◦ ()``), which raises
+  ``fail Conv`` the second time (the ``thunk`` macro at the top of Fig. 8).
+* Static affine variables (bound by ``λa•`` or tensor destructuring) compile
+  to plain variables with **no** runtime overhead — their at-most-once use is
+  guaranteed by the type system, and witnessed in the model by phantom flags.
+
+Static binders are marked with :data:`STATIC_SUFFIX` in the generated code so
+that the phantom-flag augmented semantics (``repro.interop_affine.phantom``)
+can recognize them; the standard semantics ignores the marker entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.affi import syntax as ast
+from repro.affi.typechecker import UNRESTRICTED, Annotations, check_with_usage
+from repro.affi.types import Mode
+from repro.core.errors import CompileError, ErrorCode
+from repro.lcvm import syntax as target
+
+BoundaryHook = Callable[[ast.Boundary], target.Expr]
+
+#: Suffix appended to static affine binders in compiled code (model marker).
+STATIC_SUFFIX = "@s"
+
+#: Reserved names used by the thunk macro (cannot clash with source variables,
+#: which the parser restricts to identifier-like symbols without '%').
+_FLAG_NAME = "rfr%thunk"
+_IGNORE_NAME = "ignore%thunk"
+
+
+def static_name(name: str) -> str:
+    """The compiled name of a static affine binder."""
+    return name + STATIC_SUFFIX
+
+
+def is_static_name(name: str) -> bool:
+    """Recognize compiled static affine binders (used by the phantom semantics)."""
+    return name.endswith(STATIC_SUFFIX)
+
+
+def thunk_guard(body: target.Expr) -> target.Expr:
+    """``thunk(e) ≜ let rfr = ref 1 in λ_. {if !rfr {fail Conv} {rfr := 0; e}}``.
+
+    The guard permits exactly one force; the second raises ``fail Conv``.
+    """
+    return target.Let(
+        _FLAG_NAME,
+        target.NewRef(target.Int(1)),
+        target.Lam(
+            _IGNORE_NAME,
+            target.If(
+                target.Deref(target.Var(_FLAG_NAME)),
+                target.Fail(ErrorCode.CONV),
+                target.Let("_", target.Assign(target.Var(_FLAG_NAME), target.Int(0)), body),
+            ),
+        ),
+    )
+
+
+def compile_expr(
+    term: ast.Expr,
+    annotations: Optional[Annotations] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+) -> target.Expr:
+    """Compile an Affi term to LCVM.
+
+    ``annotations`` carries the typechecker's variable/application resolutions
+    (Fig. 8 needs them to choose between the dynamic and static translations).
+    When omitted, the term is typechecked first — which only works for closed
+    terms without boundaries.
+    """
+    if annotations is None:
+        annotations = Annotations()
+        check_with_usage(term, annotations=annotations)
+    return _compile(term, annotations, boundary_hook)
+
+
+def _compile(term: ast.Expr, annotations: Annotations, hook: Optional[BoundaryHook]) -> target.Expr:
+    if isinstance(term, ast.UnitLit):
+        return target.Unit()
+
+    if isinstance(term, ast.BoolLit):
+        return target.Int(0 if term.value else 1)
+
+    if isinstance(term, ast.IntLit):
+        return target.Int(term.value)
+
+    if isinstance(term, ast.Var):
+        resolution = annotations.resolve_variable(term)
+        if resolution is Mode.DYNAMIC:
+            # a◦ ⇝ a◦ () — force the guard thunk.
+            return target.App(target.Var(term.name), target.Unit())
+        if resolution is Mode.STATIC:
+            return target.Var(static_name(term.name))
+        if resolution == UNRESTRICTED or resolution is None:
+            return target.Var(term.name)
+        raise CompileError(f"unknown variable resolution {resolution!r} for {term.name}")
+
+    if isinstance(term, ast.Lam):
+        if term.mode is Mode.DYNAMIC:
+            return target.Lam(term.parameter, _compile(term.body, annotations, hook))
+        return target.Lam(static_name(term.parameter), _compile(term.body, annotations, hook))
+
+    if isinstance(term, ast.App):
+        mode = annotations.application_mode(term)
+        function = _compile(term.function, annotations, hook)
+        argument = _compile(term.argument, annotations, hook)
+        if mode is Mode.DYNAMIC or mode is None:
+            # (e₁ : τ₁ ⊸ τ₂) e₂ ⇝ e₁⁺ (let x = e₂⁺ in thunk(x))
+            return target.App(
+                function,
+                target.Let("arg%dyn", argument, thunk_guard(target.Var("arg%dyn"))),
+            )
+        return target.App(function, argument)
+
+    if isinstance(term, ast.Bang):
+        return _compile(term.body, annotations, hook)
+
+    if isinstance(term, ast.LetBang):
+        return target.Let(
+            term.name,
+            _compile(term.bound, annotations, hook),
+            _compile(term.body, annotations, hook),
+        )
+
+    if isinstance(term, ast.WithPair):
+        # Additive pairs are lazy: each component is delayed so that only the
+        # projected side ever runs (and consumes its resources).
+        return target.Pair(
+            target.Lam(_IGNORE_NAME, _compile(term.left, annotations, hook)),
+            target.Lam(_IGNORE_NAME, _compile(term.right, annotations, hook)),
+        )
+
+    if isinstance(term, ast.Proj1):
+        return target.App(target.Fst(_compile(term.body, annotations, hook)), target.Unit())
+
+    if isinstance(term, ast.Proj2):
+        return target.App(target.Snd(_compile(term.body, annotations, hook)), target.Unit())
+
+    if isinstance(term, ast.TensorPair):
+        return target.Pair(_compile(term.left, annotations, hook), _compile(term.right, annotations, hook))
+
+    if isinstance(term, ast.LetTensor):
+        bound = _compile(term.bound, annotations, hook)
+        body = _compile(term.body, annotations, hook)
+        return target.Let(
+            "tensor%fresh",
+            bound,
+            target.Let(
+                static_name(term.left_name),
+                target.Fst(target.Var("tensor%fresh")),
+                target.Let(
+                    static_name(term.right_name),
+                    target.Snd(target.Var("tensor%fresh")),
+                    body,
+                ),
+            ),
+        )
+
+    if isinstance(term, ast.If):
+        return target.If(
+            _compile(term.condition, annotations, hook),
+            _compile(term.then_branch, annotations, hook),
+            _compile(term.else_branch, annotations, hook),
+        )
+
+    if isinstance(term, ast.Boundary):
+        if hook is None:
+            raise CompileError(
+                "Affi boundary term encountered but no interoperability system is configured"
+            )
+        return hook(term)
+
+    raise CompileError(f"unrecognized Affi term {term!r}")

@@ -1,0 +1,184 @@
+"""Abstract syntax of Affi (Fig. 6).
+
+``e ::= () | true | false | n | x | a◦/• | λa◦/•:τ. e | e e | ⦇e⦈^τ
+      | !v | let !x = e in e' | ⟨e, e'⟩ | e.1 | e.2 | (e, e)
+      | let (a•, a'•) = e in e'``
+
+Variable occurrences are a single :class:`Var` form; whether an occurrence is
+unrestricted, dynamic-affine, or static-affine is resolved by the typechecker
+(which records the resolution for the compiler).  ``if`` on booleans is
+included as a convenience so boolean-typed programs can branch; it behaves
+like the additive product, letting both branches share resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.affi.types import Mode, Type
+
+
+@dataclass(frozen=True)
+class UnitLit:
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lam:
+    """``λa◦:τ. e`` or ``λa•:τ. e`` depending on ``mode``."""
+
+    mode: Mode
+    parameter: str
+    parameter_type: Type
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(λ{self.parameter}{self.mode}:{self.parameter_type}. {self.body})"
+
+
+@dataclass(frozen=True)
+class App:
+    function: "Expr"
+    argument: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.function} {self.argument})"
+
+
+@dataclass(frozen=True)
+class Bang:
+    """``!v`` — promote a resource-free value to an unrestricted one."""
+
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"!{self.body}"
+
+
+@dataclass(frozen=True)
+class LetBang:
+    """``let !x = e in e'`` — consume a ``!τ`` and bind an unrestricted variable."""
+
+    name: str
+    bound: "Expr"
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(let !{self.name} = {self.bound} in {self.body})"
+
+
+@dataclass(frozen=True)
+class WithPair:
+    """``⟨e, e'⟩`` — additive pair; only one side will ever be used."""
+
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"⟨{self.left}, {self.right}⟩"
+
+
+@dataclass(frozen=True)
+class Proj1:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.body}.1)"
+
+
+@dataclass(frozen=True)
+class Proj2:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.body}.2)"
+
+
+@dataclass(frozen=True)
+class TensorPair:
+    """``(e, e')`` — multiplicative pair; the components split the resources."""
+
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class LetTensor:
+    """``let (a•, a'•) = e in e'`` — destructure a tensor into two static bindings."""
+
+    left_name: str
+    right_name: str
+    bound: "Expr"
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(let ({self.left_name}•, {self.right_name}•) = {self.bound} in {self.body})"
+
+
+@dataclass(frozen=True)
+class If:
+    condition: "Expr"
+    then_branch: "Expr"
+    else_branch: "Expr"
+
+    def __str__(self) -> str:
+        return f"(if {self.condition} {self.then_branch} {self.else_branch})"
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """``⦇e⦈^τ`` — embed a MiniML term at Affi type ``annotation``."""
+
+    annotation: Type
+    foreign_term: Any
+
+    def __str__(self) -> str:
+        return f"⦇{self.foreign_term}⦈^{self.annotation}"
+
+
+Expr = Union[
+    UnitLit,
+    BoolLit,
+    IntLit,
+    Var,
+    Lam,
+    App,
+    Bang,
+    LetBang,
+    WithPair,
+    Proj1,
+    Proj2,
+    TensorPair,
+    LetTensor,
+    If,
+    Boundary,
+]

@@ -1,0 +1,219 @@
+"""Static semantics of Affi (Fig. 7).
+
+The judgment is ``Δ; Γ; Γ̄; Ω ⊢ e : τ`` where ``Γ`` holds Affi's unrestricted
+variables (bound by ``let !x``), ``Γ̄`` the foreign (MiniML) variables, and
+``Ω`` the affine variables together with their binding mode (◦ dynamic /
+• static).  The declarative environment-splitting premises (``Ω = Ω₁ ⊎ Ω₂``)
+are implemented algorithmically: the checker returns the set of affine
+variables a subterm actually uses and rejects any term that uses one twice.
+
+The mode-sensitive rules reproduced from the paper:
+
+* a dynamic λ (``⊸``) may not close over *static* affine variables
+  (``no•(Ω)``): if it were passed to MiniML and duplicated, those resources
+  would be unprotected;
+* a static λ (``⊸•``) may close over anything;
+* promotion ``!v`` requires the value to use no affine resources at all;
+* the boundary embedding a MiniML term may consume affine resources only
+  through nested boundaries, and the checker reports them so the enclosing
+  term's splitting accounts for them.
+
+Besides the type, the checker records a *resolution* for every variable
+occurrence and every application (dynamic vs static arrow) keyed by node
+identity — the compiler needs both (Fig. 8 compiles them differently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.affi import syntax as ast
+from repro.affi import types as ty
+from repro.affi.types import Mode
+from repro.core.errors import ConvertibilityError, LinearityError, ScopeError, TypeCheckError
+
+UnrestrictedEnv = Dict[str, ty.Type]
+AffineEnv = Dict[str, Tuple[ty.Type, Mode]]
+ForeignEnv = Dict[str, object]
+CheckResult = Tuple[ty.Type, FrozenSet[str]]
+BoundaryHook = Callable[[ast.Boundary, UnrestrictedEnv, AffineEnv, ForeignEnv], CheckResult]
+
+#: Resolution recorded for variable occurrences.
+UNRESTRICTED = "unrestricted"
+
+
+@dataclass
+class Annotations:
+    """Typing information the compiler needs, keyed by AST node identity."""
+
+    variable_resolutions: Dict[int, object] = field(default_factory=dict)
+    application_modes: Dict[int, Mode] = field(default_factory=dict)
+
+    def resolve_variable(self, node: ast.Var):
+        return self.variable_resolutions.get(id(node))
+
+    def application_mode(self, node: ast.App) -> Optional[Mode]:
+        return self.application_modes.get(id(node))
+
+
+def typecheck(
+    term: ast.Expr,
+    unrestricted: Optional[UnrestrictedEnv] = None,
+    affine: Optional[AffineEnv] = None,
+    foreign_env: Optional[ForeignEnv] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+    annotations: Optional[Annotations] = None,
+) -> ty.Type:
+    """Infer the type of ``term`` (raising on affine-usage violations)."""
+    inferred, _usage = check_with_usage(term, unrestricted, affine, foreign_env, boundary_hook, annotations)
+    return inferred
+
+
+def check_with_usage(
+    term: ast.Expr,
+    unrestricted: Optional[UnrestrictedEnv] = None,
+    affine: Optional[AffineEnv] = None,
+    foreign_env: Optional[ForeignEnv] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+    annotations: Optional[Annotations] = None,
+) -> CheckResult:
+    """Like :func:`typecheck` but also report the affine variables consumed."""
+    context = _Context(dict(foreign_env or {}), boundary_hook, annotations or Annotations())
+    return _check(term, dict(unrestricted or {}), dict(affine or {}), context)
+
+
+class _Context:
+    def __init__(self, foreign_env: ForeignEnv, hook: Optional[BoundaryHook], annotations: Annotations):
+        self.foreign_env = foreign_env
+        self.hook = hook
+        self.annotations = annotations
+
+
+def _split(left: FrozenSet[str], right: FrozenSet[str]) -> FrozenSet[str]:
+    overlap = left & right
+    if overlap:
+        raise LinearityError(f"affine variables used more than once: {sorted(overlap)}")
+    return left | right
+
+
+def _static_usage(usage: FrozenSet[str], affine: AffineEnv) -> FrozenSet[str]:
+    return frozenset(name for name in usage if name in affine and affine[name][1] is Mode.STATIC)
+
+
+def _check(term: ast.Expr, unrestricted: UnrestrictedEnv, affine: AffineEnv, context: _Context) -> CheckResult:
+    if isinstance(term, ast.UnitLit):
+        return ty.UNIT, frozenset()
+
+    if isinstance(term, ast.BoolLit):
+        return ty.BOOL, frozenset()
+
+    if isinstance(term, ast.IntLit):
+        return ty.INT, frozenset()
+
+    if isinstance(term, ast.Var):
+        if term.name in affine:
+            affine_type, mode = affine[term.name]
+            context.annotations.variable_resolutions[id(term)] = mode
+            return affine_type, frozenset({term.name})
+        if term.name in unrestricted:
+            context.annotations.variable_resolutions[id(term)] = UNRESTRICTED
+            return unrestricted[term.name], frozenset()
+        raise ScopeError(f"unbound Affi variable {term.name!r}")
+
+    if isinstance(term, ast.Lam):
+        body_affine = dict(affine)
+        body_affine[term.parameter] = (term.parameter_type, term.mode)
+        body_type, usage = _check(term.body, unrestricted, body_affine, context)
+        usage_without_parameter = usage - {term.parameter}
+        if term.mode is Mode.DYNAMIC:
+            captured_static = _static_usage(usage_without_parameter, affine)
+            if captured_static:
+                raise LinearityError(
+                    "a dynamic (⊸) function may not close over static affine variables: "
+                    f"{sorted(captured_static)}"
+                )
+            return ty.DynLolliType(term.parameter_type, body_type), usage_without_parameter
+        return ty.StatLolliType(term.parameter_type, body_type), usage_without_parameter
+
+    if isinstance(term, ast.App):
+        function_type, function_usage = _check(term.function, unrestricted, affine, context)
+        argument_type, argument_usage = _check(term.argument, unrestricted, affine, context)
+        if isinstance(function_type, ty.DynLolliType):
+            context.annotations.application_modes[id(term)] = Mode.DYNAMIC
+        elif isinstance(function_type, ty.StatLolliType):
+            context.annotations.application_modes[id(term)] = Mode.STATIC
+        else:
+            raise TypeCheckError(f"application of a non-function of type {function_type}")
+        if argument_type != function_type.argument:
+            raise TypeCheckError(f"argument has type {argument_type}, expected {function_type.argument}")
+        return function_type.result, _split(function_usage, argument_usage)
+
+    if isinstance(term, ast.Bang):
+        body_type, usage = _check(term.body, unrestricted, affine, context)
+        if usage:
+            raise LinearityError(
+                f"!v may not capture affine resources, but uses {sorted(usage)}"
+            )
+        return ty.BangType(body_type), frozenset()
+
+    if isinstance(term, ast.LetBang):
+        bound_type, bound_usage = _check(term.bound, unrestricted, affine, context)
+        if not isinstance(bound_type, ty.BangType):
+            raise TypeCheckError(f"let ! expects a !τ, got {bound_type}")
+        body_unrestricted = dict(unrestricted)
+        body_unrestricted[term.name] = bound_type.body
+        body_type, body_usage = _check(term.body, body_unrestricted, affine, context)
+        return body_type, _split(bound_usage, body_usage)
+
+    if isinstance(term, ast.WithPair):
+        left_type, left_usage = _check(term.left, unrestricted, affine, context)
+        right_type, right_usage = _check(term.right, unrestricted, affine, context)
+        # Additive pair: the components share resources (only one is used).
+        return ty.WithType(left_type, right_type), left_usage | right_usage
+
+    if isinstance(term, ast.Proj1):
+        body_type, usage = _check(term.body, unrestricted, affine, context)
+        if not isinstance(body_type, ty.WithType):
+            raise TypeCheckError(f".1 expects an additive pair, got {body_type}")
+        return body_type.left, usage
+
+    if isinstance(term, ast.Proj2):
+        body_type, usage = _check(term.body, unrestricted, affine, context)
+        if not isinstance(body_type, ty.WithType):
+            raise TypeCheckError(f".2 expects an additive pair, got {body_type}")
+        return body_type.right, usage
+
+    if isinstance(term, ast.TensorPair):
+        left_type, left_usage = _check(term.left, unrestricted, affine, context)
+        right_type, right_usage = _check(term.right, unrestricted, affine, context)
+        return ty.TensorType(left_type, right_type), _split(left_usage, right_usage)
+
+    if isinstance(term, ast.LetTensor):
+        bound_type, bound_usage = _check(term.bound, unrestricted, affine, context)
+        if not isinstance(bound_type, ty.TensorType):
+            raise TypeCheckError(f"let (a, b) expects a tensor, got {bound_type}")
+        body_affine = dict(affine)
+        body_affine[term.left_name] = (bound_type.left, Mode.STATIC)
+        body_affine[term.right_name] = (bound_type.right, Mode.STATIC)
+        body_type, body_usage = _check(term.body, unrestricted, body_affine, context)
+        return body_type, _split(bound_usage, body_usage - {term.left_name, term.right_name})
+
+    if isinstance(term, ast.If):
+        condition_type, condition_usage = _check(term.condition, unrestricted, affine, context)
+        if not isinstance(condition_type, ty.BoolType):
+            raise TypeCheckError(f"if condition must be bool, got {condition_type}")
+        then_type, then_usage = _check(term.then_branch, unrestricted, affine, context)
+        else_type, else_usage = _check(term.else_branch, unrestricted, affine, context)
+        if then_type != else_type:
+            raise TypeCheckError(f"if branches disagree: {then_type} vs {else_type}")
+        return then_type, _split(condition_usage, then_usage | else_usage)
+
+    if isinstance(term, ast.Boundary):
+        if context.hook is None:
+            raise ConvertibilityError(
+                "Affi boundary term encountered but no interoperability system is configured"
+            )
+        return context.hook(term, unrestricted, affine, context.foreign_env)
+
+    raise TypeCheckError(f"unrecognized Affi term {term!r}")

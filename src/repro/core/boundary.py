@@ -1,0 +1,82 @@
+"""Generic support for Matthews–Findler-style boundary terms (§2.1).
+
+Each source language in this repository embeds terms of the *other* language
+via a boundary form written ``(boundary τ e)`` in the surface syntax: the
+embedded term ``e`` is typechecked by the foreign language's typechecker, the
+pair of types is looked up in the convertibility relation, and at compile time
+the foreign compiler output is wrapped with the conversion glue code.
+
+The boundary AST node lives in each language's syntax module (so that the
+language's own visitors see it), but they all carry the same payload, which
+this module defines, together with helpers used by the typecheckers and
+compilers to process boundaries uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.convertibility import Conversion, ConvertibilityRelation
+from repro.core.errors import ConvertibilityError
+
+
+@dataclass
+class BoundaryPayload:
+    """The information every boundary term carries.
+
+    * ``foreign_term`` — the embedded term, an AST of the other language.
+    * ``annotation`` — the *host* type ascribed to the boundary (``τ_A`` in
+      ``⦇e⦈^{τ_A}``); the foreign type is inferred by the foreign typechecker.
+    """
+
+    foreign_term: Any
+    annotation: Any
+
+
+def check_boundary(
+    relation: ConvertibilityRelation,
+    host_language: str,
+    host_type: Any,
+    foreign_type: Any,
+) -> Conversion:
+    """Validate a boundary's types against the convertibility relation.
+
+    Returns the conversion oriented so that ``apply_a_to_b`` converts *from
+    the foreign type to the host type* (the direction a boundary needs when
+    compiling: the embedded foreign term produces a foreign-type value that
+    must be converted for the host context).
+    """
+    if host_language == relation.language_a:
+        conversion = relation.query(host_type, foreign_type)
+        if conversion is not None:
+            return conversion.flipped()
+        raise ConvertibilityError(
+            f"boundary requires {relation.language_a} type {host_type} ~ "
+            f"{relation.language_b} type {foreign_type}, which is not derivable"
+        )
+    if host_language == relation.language_b:
+        conversion = relation.query(foreign_type, host_type)
+        if conversion is not None:
+            return conversion
+        raise ConvertibilityError(
+            f"boundary requires {relation.language_a} type {foreign_type} ~ "
+            f"{relation.language_b} type {host_type}, which is not derivable"
+        )
+    raise ConvertibilityError(
+        f"language {host_language!r} is not part of the relation "
+        f"({relation.language_a}, {relation.language_b})"
+    )
+
+
+def compile_boundary(
+    conversion: Conversion,
+    compiled_foreign_term: Any,
+) -> Any:
+    """Apply the conversion glue to the compiled foreign term.
+
+    ``check_boundary`` orients the conversion so the foreign→host direction is
+    ``apply_a_to_b``; compilation of ``⦇e⦈^{τ}`` is then
+    ``C[τ_foreign ↦ τ_host](e⁺)`` exactly as in Fig. 3 / Fig. 13.
+    """
+    return conversion.apply_a_to_b(compiled_foreign_term)

@@ -1,0 +1,93 @@
+"""The multi-language driver: gluing two frontends, a target, and a relation.
+
+An :class:`InteropSystem` packages everything §2 lists as the inputs and
+outputs of the framework for one pair of languages:
+
+* the two :class:`~repro.core.language.LanguageFrontend` records,
+* the shared :class:`~repro.core.language.TargetBackend`,
+* the :class:`~repro.core.convertibility.ConvertibilityRelation`, and
+* (optionally) the realizability model / soundness checkers.
+
+Each case-study package constructs one of these (``make_system()``), and the
+examples and benchmarks drive them uniformly: parse a mixed program in either
+language, typecheck it (boundaries recursively invoke the other language's
+typechecker), compile it (boundaries insert glue code), and run it on the
+target machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.convertibility import ConvertibilityRelation
+from repro.core.errors import ReproError
+from repro.core.language import CompiledUnit, LanguageFrontend, TargetBackend
+from repro.core.realizability import CheckReport
+
+
+@dataclass
+class RunResult:
+    """The observable outcome of running a compiled multi-language program."""
+
+    value: Any = None
+    failure: Optional[Any] = None
+    steps: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"value {self.value} (in {self.steps} steps)"
+        return f"failure {self.failure} (after {self.steps} steps)"
+
+
+@dataclass
+class InteropSystem:
+    """A complete interoperability system for one pair of source languages."""
+
+    name: str
+    language_a: LanguageFrontend
+    language_b: LanguageFrontend
+    target: TargetBackend
+    convertibility: ConvertibilityRelation
+    soundness_checks: Dict[str, Callable[..., CheckReport]] = field(default_factory=dict)
+
+    # -- front-end dispatch ---------------------------------------------------
+
+    def frontend(self, language_name: str) -> LanguageFrontend:
+        if language_name == self.language_a.name:
+            return self.language_a
+        if language_name == self.language_b.name:
+            return self.language_b
+        raise ReproError(
+            f"system {self.name!r} has languages {self.language_a.name!r} and "
+            f"{self.language_b.name!r}, not {language_name!r}"
+        )
+
+    def compile_source(self, language_name: str, source: str, **typecheck_kwargs: Any) -> CompiledUnit:
+        """Parse, typecheck, and compile ``source`` written in ``language_name``."""
+        return self.frontend(language_name).pipeline(source, **typecheck_kwargs)
+
+    def run_source(self, language_name: str, source: str, fuel: int = 100_000, **typecheck_kwargs: Any) -> RunResult:
+        """Compile and execute a program; return its observable outcome."""
+        unit = self.compile_source(language_name, source, **typecheck_kwargs)
+        return self.run_compiled(unit.target_code, fuel=fuel)
+
+    def run_compiled(self, target_code: Any, fuel: int = 100_000) -> RunResult:
+        return self.target.run(target_code, fuel=fuel)
+
+    # -- soundness ------------------------------------------------------------
+
+    def register_check(self, name: str, check: Callable[..., CheckReport]) -> None:
+        self.soundness_checks[name] = check
+
+    def run_soundness_checks(self, **kwargs: Any) -> Dict[str, CheckReport]:
+        """Run every registered bounded soundness check and collect reports."""
+        return {name: check(**kwargs) for name, check in self.soundness_checks.items()}
+
+    def soundness_summary(self, **kwargs: Any) -> str:
+        reports = self.run_soundness_checks(**kwargs)
+        return "\n".join(report.summary() for report in reports.values())

@@ -1,0 +1,62 @@
+"""Protocols describing the inputs to the framework (§2).
+
+The framework takes as inputs two source languages, a target language, and a
+compiler from each source into the target.  These protocols are intentionally
+small; each case study package provides concrete implementations (parsers,
+typecheckers, compilers, machines) and wraps them in :class:`LanguageFrontend`
+records so that generic tooling — the multi-language driver, the benchmark
+harness, the example scripts — can operate uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+ParseFn = Callable[[str], Any]
+TypecheckFn = Callable[..., Any]
+CompileFn = Callable[..., Any]
+RunFn = Callable[..., Any]
+
+
+@dataclass
+class LanguageFrontend:
+    """A named source language with a parser, typechecker, and compiler.
+
+    ``parse_expr`` and ``parse_type`` read surface syntax (s-expressions).
+    ``typecheck`` infers the type of a closed term (case studies that support
+    open boundary terms accept environment keyword arguments).
+    ``compile`` translates a (well-typed) term to the target language.
+    """
+
+    name: str
+    parse_expr: ParseFn
+    parse_type: ParseFn
+    typecheck: TypecheckFn
+    compile: CompileFn
+
+    def pipeline(self, source: str, **typecheck_kwargs: Any) -> "CompiledUnit":
+        """Parse, typecheck, and compile ``source`` in one call."""
+        term = self.parse_expr(source)
+        inferred = self.typecheck(term, **typecheck_kwargs)
+        compiled = self.compile(term)
+        return CompiledUnit(language=self.name, term=term, type=inferred, target_code=compiled)
+
+
+@dataclass
+class TargetBackend:
+    """A target language: how to run compiled code."""
+
+    name: str
+    run: RunFn
+    pretty: Optional[Callable[[Any], str]] = None
+
+
+@dataclass
+class CompiledUnit:
+    """The result of pushing one source term through a frontend."""
+
+    language: str
+    term: Any
+    type: Any
+    target_code: Any

@@ -1,0 +1,281 @@
+"""The realizability model for Affi and MiniML (Fig. 10), made executable.
+
+As in the §3 model, source types of *both* languages are interpreted as sets
+of target (LCVM) terms, and the expression relation is decided by bounded
+evaluation.  Two ingredients are specific to this case study:
+
+* programs are run under the **phantom-flag augmented semantics**
+  (:mod:`repro.interop_affine.phantom`): a program that duplicates a static
+  affine resource gets stuck there and is therefore excluded from the
+  relation, even though nothing in the standard semantics would notice;
+* ``fail Conv`` is permitted (dynamic affine guards legitimately fail when
+  MiniML code tries to use an affine resource twice), while ``fail Type`` and
+  ``fail Ptr`` and stuckness are not.
+
+The value interpretations follow Fig. 10 in shape; the function cases sample
+arguments and check the bodies in the expression relation, bounded by a
+configurable depth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.affi import types as affi_ty
+from repro.affi.compiler import is_static_name, thunk_guard
+from repro.core.errors import ErrorCode, ModelError
+from repro.core.worlds import TypeTag, World
+from repro.interop_affine.phantom import phantom_run
+from repro.lcvm import syntax as t
+from repro.lcvm.heap import CellKind, Heap
+from repro.lcvm.machine import Status
+from repro.miniml import types as ml_ty
+
+LANGUAGE_A = "Affi"
+LANGUAGE_B = "MiniML"
+
+ALLOWED_FAILURES = frozenset({ErrorCode.CONV})
+
+
+def affi_tag(source_type: affi_ty.Type) -> TypeTag:
+    return TypeTag(LANGUAGE_A, source_type)
+
+
+def ml_tag(source_type: ml_ty.Type) -> TypeTag:
+    return TypeTag(LANGUAGE_B, source_type)
+
+
+@dataclass
+class AffineModel:
+    """Executable approximation of the Fig. 10 logical relation."""
+
+    function_check_depth: int = 1
+    max_function_samples: int = 3
+
+    # ------------------------------------------------------------------
+    # Value relation
+    # ------------------------------------------------------------------
+
+    def value_in_type(self, language: str, source_type, world: World, value: t.Expr, depth: Optional[int] = None) -> bool:
+        if depth is None:
+            depth = self.function_check_depth
+        if language == LANGUAGE_A:
+            return self._affi_value(source_type, world, value, depth)
+        if language == LANGUAGE_B:
+            return self._ml_value(source_type, world, value, depth)
+        raise ModelError(f"unknown language {language!r}")
+
+    # -- Affi ------------------------------------------------------------------
+
+    def _affi_value(self, source_type: affi_ty.Type, world: World, value: t.Expr, depth: int) -> bool:
+        if isinstance(source_type, affi_ty.UnitType):
+            return isinstance(value, t.Unit)
+        if isinstance(source_type, affi_ty.BoolType):
+            return isinstance(value, t.Int) and value.value in (0, 1)
+        if isinstance(source_type, affi_ty.IntType):
+            return isinstance(value, t.Int)
+        if isinstance(source_type, affi_ty.BangType):
+            return self._affi_value(source_type.body, world, value, depth)
+        if isinstance(source_type, affi_ty.TensorType):
+            return (
+                isinstance(value, t.Pair)
+                and self._affi_value(source_type.left, world, value.first, depth)
+                and self._affi_value(source_type.right, world, value.second, depth)
+            )
+        if isinstance(source_type, affi_ty.WithType):
+            # ⟨e, e'⟩ compiles to a pair of delayed components.
+            if not (isinstance(value, t.Pair) and isinstance(value.first, t.Lam) and isinstance(value.second, t.Lam)):
+                return False
+            if depth <= 0:
+                return True
+            left_ok = self.expression_in_type(
+                LANGUAGE_A, source_type.left, world, t.App(value.first, t.Unit()), depth=depth - 1
+            )
+            right_ok = self.expression_in_type(
+                LANGUAGE_A, source_type.right, world, t.App(value.second, t.Unit()), depth=depth - 1
+            )
+            return left_ok and right_ok
+        if isinstance(source_type, affi_ty.DynLolliType):
+            # The argument arrives as a guard thunk; sample arguments and wrap them.
+            if not isinstance(value, t.Lam):
+                return False
+            if depth <= 0:
+                return True
+            for sample in self.sample_values(LANGUAGE_A, source_type.argument, world)[: self.max_function_samples]:
+                body = t.App(value, thunk_guard(sample))
+                if not self.expression_in_type(LANGUAGE_A, source_type.result, world, body, depth=depth - 1):
+                    return False
+            return True
+        if isinstance(source_type, affi_ty.StatLolliType):
+            if not isinstance(value, t.Lam):
+                return False
+            if depth <= 0:
+                return True
+            for sample in self.sample_values(LANGUAGE_A, source_type.argument, world)[: self.max_function_samples]:
+                body = t.App(value, sample)
+                if not self.expression_in_type(LANGUAGE_A, source_type.result, world, body, depth=depth - 1):
+                    return False
+            return True
+        raise ModelError(f"no Affi value interpretation for {source_type}")
+
+    # -- MiniML ------------------------------------------------------------------
+
+    def _ml_value(self, source_type: ml_ty.Type, world: World, value: t.Expr, depth: int) -> bool:
+        if isinstance(source_type, ml_ty.UnitType):
+            return isinstance(value, t.Unit)
+        if isinstance(source_type, ml_ty.IntType):
+            return isinstance(value, t.Int)
+        if isinstance(source_type, ml_ty.ProdType):
+            return (
+                isinstance(value, t.Pair)
+                and self._ml_value(source_type.left, world, value.first, depth)
+                and self._ml_value(source_type.right, world, value.second, depth)
+            )
+        if isinstance(source_type, ml_ty.SumType):
+            if isinstance(value, t.Inl):
+                return self._ml_value(source_type.left, world, value.body, depth)
+            if isinstance(value, t.Inr):
+                return self._ml_value(source_type.right, world, value.body, depth)
+            return False
+        if isinstance(source_type, ml_ty.FunType):
+            if not isinstance(value, t.Lam):
+                return False
+            if depth <= 0:
+                return True
+            for sample in self.sample_values(LANGUAGE_B, source_type.argument, world)[: self.max_function_samples]:
+                body = t.App(value, sample)
+                if not self.expression_in_type(LANGUAGE_B, source_type.result, world, body, depth=depth - 1):
+                    return False
+            return True
+        if isinstance(source_type, ml_ty.RefType):
+            if not isinstance(value, t.Loc):
+                return False
+            stored = world.type_of(value.address)
+            return stored is not None and stored == ml_tag(source_type.referent)
+        if isinstance(source_type, (ml_ty.ForallType, ml_ty.TypeVar, ml_ty.ForeignType)):
+            # Polymorphism is exercised in the §5 model; here we accept the
+            # compiled shape (a delayed body) without instantiating.
+            return isinstance(value, t.Lam) or True
+        raise ModelError(f"no MiniML value interpretation for {source_type}")
+
+    # ------------------------------------------------------------------
+    # Expression relation (runs the augmented semantics)
+    # ------------------------------------------------------------------
+
+    def expression_in_type(
+        self,
+        language: str,
+        source_type,
+        world: World,
+        candidate: t.Expr,
+        depth: Optional[int] = None,
+        heap: Optional[Heap] = None,
+    ) -> bool:
+        if depth is None:
+            depth = self.function_check_depth
+        run_heap = heap.copy() if heap is not None else self.canonical_heap(world)
+        result = phantom_run(candidate, heap=run_heap, fuel=max(world.step_budget, 1))
+        if result.status is Status.OUT_OF_FUEL:
+            return True
+        if result.status is Status.STUCK:
+            return False
+        if result.status is Status.FAIL:
+            return result.failure_code in ALLOWED_FAILURES
+        value = result.value
+        future_world = self._witness_world(world, result.steps, result.config.heap, language, source_type, value)
+        return self.value_in_type(language, source_type, future_world, value, depth)
+
+    def _witness_world(self, world: World, steps: int, heap: Heap, language: str, source_type, value: t.Expr) -> World:
+        witness = world.with_budget(max(world.step_budget - steps, 0))
+        if language == LANGUAGE_B and isinstance(source_type, ml_ty.RefType) and isinstance(value, t.Loc):
+            if witness.type_of(value.address) is None and value.address in heap.cells:
+                witness = witness.extend_heap_typing(value.address, ml_tag(source_type.referent))
+        return witness
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def canonical_heap(self, world: World) -> Heap:
+        from repro.lcvm.heap import HeapCell
+
+        heap = Heap()
+        for address, tag in world.heap_typing.items():
+            heap.cells[address] = HeapCell(self.canonical_value(tag), CellKind.GC)
+        return heap
+
+    def canonical_value(self, tag: TypeTag) -> t.Expr:
+        language, source_type = tag.language, tag.type
+        samples = self.sample_values(language, source_type, World.initial(1))
+        if not samples:
+            raise ModelError(f"no canonical value for {tag}")
+        return samples[0]
+
+    def sample_values(self, language: str, source_type, world: World, depth: int = 2) -> List[t.Expr]:
+        if depth <= 0:
+            return []
+        if language == LANGUAGE_A:
+            return self._affi_samples(source_type, world, depth)
+        if language == LANGUAGE_B:
+            return self._ml_samples(source_type, world, depth)
+        raise ModelError(f"unknown language {language!r}")
+
+    def _affi_samples(self, source_type: affi_ty.Type, world: World, depth: int) -> List[t.Expr]:
+        if isinstance(source_type, affi_ty.UnitType):
+            return [t.Unit()]
+        if isinstance(source_type, affi_ty.BoolType):
+            return [t.Int(0), t.Int(1)]
+        if isinstance(source_type, affi_ty.IntType):
+            return [t.Int(0), t.Int(3), t.Int(-2)]
+        if isinstance(source_type, affi_ty.BangType):
+            return self._affi_samples(source_type.body, world, depth - 1)
+        if isinstance(source_type, affi_ty.TensorType):
+            left = self._affi_samples(source_type.left, world, depth - 1)[:2]
+            right = self._affi_samples(source_type.right, world, depth - 1)[:2]
+            return [t.Pair(a, b) for a, b in itertools.product(left, right)]
+        if isinstance(source_type, affi_ty.WithType):
+            left = self._affi_samples(source_type.left, world, depth - 1)[:1]
+            right = self._affi_samples(source_type.right, world, depth - 1)[:1]
+            if not left or not right:
+                return []
+            return [t.Pair(t.Lam("_", left[0]), t.Lam("_", right[0]))]
+        if isinstance(source_type, (affi_ty.DynLolliType, affi_ty.StatLolliType)):
+            results = self._affi_samples(source_type.result, world, depth - 1)[:1]
+            if not results:
+                return []
+            return [t.Lam("sample%arg", results[0])]
+        raise ModelError(f"no Affi samples for {source_type}")
+
+    def _ml_samples(self, source_type: ml_ty.Type, world: World, depth: int) -> List[t.Expr]:
+        if isinstance(source_type, ml_ty.UnitType):
+            return [t.Unit()]
+        if isinstance(source_type, ml_ty.IntType):
+            return [t.Int(0), t.Int(7), t.Int(-1)]
+        if isinstance(source_type, ml_ty.ProdType):
+            left = self._ml_samples(source_type.left, world, depth - 1)[:2]
+            right = self._ml_samples(source_type.right, world, depth - 1)[:2]
+            return [t.Pair(a, b) for a, b in itertools.product(left, right)]
+        if isinstance(source_type, ml_ty.SumType):
+            left = self._ml_samples(source_type.left, world, depth - 1)[:1]
+            right = self._ml_samples(source_type.right, world, depth - 1)[:1]
+            return [t.Inl(item) for item in left] + [t.Inr(item) for item in right]
+        if isinstance(source_type, ml_ty.FunType):
+            results = self._ml_samples(source_type.result, world, depth - 1)[:1]
+            if not results:
+                return []
+            return [t.Lam("sample%arg", results[0])]
+        if isinstance(source_type, ml_ty.RefType):
+            matching = [
+                t.Loc(address)
+                for address, tag in world.heap_typing.items()
+                if tag == ml_tag(source_type.referent)
+            ]
+            return matching[:2]
+        if isinstance(source_type, (ml_ty.ForallType, ml_ty.TypeVar, ml_ty.ForeignType)):
+            return [t.Lam("_", t.Unit())]
+        raise ModelError(f"no MiniML samples for {source_type}")
+
+    def default_world(self, step_budget: int = 128, heap_typing: Optional[Dict[int, TypeTag]] = None) -> World:
+        return World.initial(step_budget, heap_typing or {})

@@ -1,0 +1,196 @@
+"""The phantom-flag augmented operational semantics of §4 (Fig. 10).
+
+The paper's trick for *static* affine variables: instead of a runtime guard,
+the model runs programs under an **augmented semantics** whose configurations
+⟨Φ, H, e⟩ carry a set of phantom flags.  Whenever a static affine binder is
+instantiated, a fresh flag is minted and the bound value is wrapped in
+``protect(v, f)``; reducing a ``protect`` consumes its flag, and a protect
+whose flag is absent is *stuck*.  Programs that respect the affine discipline
+never get stuck, so they erase to ordinary programs with the same behaviour —
+while programs that would duplicate a static resource are excluded from the
+logical relation by construction.
+
+Static binders are recognized syntactically via the marker the Affi compiler
+puts on their names (:func:`repro.affi.compiler.is_static_name`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.affi.compiler import is_static_name
+from repro.core.errors import ErrorCode, StuckError
+from repro.lcvm.heap import Heap
+from repro.lcvm.machine import Status, _Failure, _reduce
+from repro.lcvm.syntax import (
+    App,
+    Expr,
+    Fail,
+    Lam,
+    Let,
+    Protect,
+    is_value,
+    mentioned_locations,
+    substitute,
+)
+
+
+@dataclass
+class PhantomConfig:
+    """An augmented configuration ⟨Φ, H, e⟩."""
+
+    flags: FrozenSet[str]
+    heap: Heap
+    expr: Expr
+    failure: Optional[ErrorCode] = None
+    _flag_counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def fresh_flag(self) -> str:
+        return f"phantom#{next(self._flag_counter)}"
+
+    def finished(self) -> bool:
+        return self.failure is not None or _phantom_is_value(self.expr)
+
+
+@dataclass
+class PhantomResult:
+    status: Status
+    config: PhantomConfig
+    steps: int
+
+    @property
+    def value(self) -> Optional[Expr]:
+        if self.status is Status.VALUE:
+            return self.config.expr
+        return None
+
+    @property
+    def failure_code(self) -> Optional[ErrorCode]:
+        return self.config.failure
+
+    @property
+    def remaining_flags(self) -> FrozenSet[str]:
+        return self.config.flags
+
+
+def _phantom_is_value(expr: Expr) -> bool:
+    return is_value(expr)
+
+
+def erase(expr: Expr) -> Expr:
+    """Erase ``protect`` wrappers, recovering a standard LCVM program."""
+    if isinstance(expr, Protect):
+        return erase(expr.body)
+    from dataclasses import fields, replace
+
+    if not hasattr(expr, "__dataclass_fields__"):
+        return expr
+    updates = {}
+    for data_field in fields(expr):
+        child = getattr(expr, data_field.name)
+        if hasattr(child, "__dataclass_fields__") and not isinstance(child, (str, int)):
+            erased = erase(child)
+            if erased is not child:
+                updates[data_field.name] = erased
+    return replace(expr, **updates) if updates else expr
+
+
+class _PhantomStuck(Exception):
+    """A ``protect`` was forced without its phantom flag — affinity violated."""
+
+
+def phantom_step(config: PhantomConfig) -> PhantomConfig:
+    """One step of the augmented semantics (``⇝`` in the paper)."""
+    if config.finished():
+        raise StuckError(f"configuration is terminal: {config.expr}")
+    roots = mentioned_locations(config.expr)
+    try:
+        flags, expr = _phantom_reduce(config, config.expr, roots)
+    except _Failure as failure:
+        return PhantomConfig(config.flags, config.heap, Fail(failure.code), failure.code, config._flag_counter)
+    except _PhantomStuck:
+        raise StuckError("protect(·) forced without its phantom flag (static affine variable reused)")
+    return PhantomConfig(flags, config.heap, expr, None, config._flag_counter)
+
+
+#: Evaluation order of subexpressions per node type (mirrors the base machine).
+_CHILD_ORDER = {
+    "Pair": ("first", "second"),
+    "Inl": ("body",),
+    "Inr": ("body",),
+    "Fst": ("body",),
+    "Snd": ("body",),
+    "If": ("condition",),
+    "Match": ("scrutinee",),
+    "Let": ("bound",),
+    "App": ("function", "argument"),
+    "BinOp": ("left", "right"),
+    "NewRef": ("initial",),
+    "Alloc": ("initial",),
+    "Deref": ("reference",),
+    "Assign": ("reference", "value"),
+    "Free": ("reference",),
+    "GcMov": ("reference",),
+    "Protect": ("body",),
+}
+
+
+def _phantom_reduce(config: PhantomConfig, expr: Expr, roots):
+    """Reduce the leftmost-innermost redex under the augmented semantics."""
+    # 1. Descend into the first unevaluated child (standard evaluation order).
+    order = _CHILD_ORDER.get(type(expr).__name__, ())
+    for attribute in order:
+        child = getattr(expr, attribute)
+        if not _phantom_is_value(child):
+            flags, reduced = _phantom_reduce(config, child, roots)
+            from dataclasses import replace
+
+            return flags, replace(expr, **{attribute: reduced})
+
+    # 2. Augmented rules fire at the redex.
+    if isinstance(expr, Protect):
+        if expr.flag in config.flags:
+            return config.flags - {expr.flag}, expr.body
+        raise _PhantomStuck()
+
+    if isinstance(expr, Let) and is_static_name(expr.name) and _phantom_is_value(expr.bound):
+        flag = config.fresh_flag()
+        protected = Protect(expr.bound, flag)
+        return config.flags | {flag}, substitute(expr.body, expr.name, protected)
+
+    if (
+        isinstance(expr, App)
+        and isinstance(expr.function, Lam)
+        and is_static_name(expr.function.parameter)
+        and _phantom_is_value(expr.argument)
+    ):
+        flag = config.fresh_flag()
+        protected = Protect(expr.argument, flag)
+        return config.flags | {flag}, substitute(expr.function.body, expr.function.parameter, protected)
+
+    # 3. Otherwise the standard reduction applies unchanged.
+    return config.flags, _reduce(config.heap, expr, roots)
+
+
+def phantom_run(
+    expr: Expr,
+    heap: Optional[Heap] = None,
+    flags: FrozenSet[str] = frozenset(),
+    fuel: int = 100_000,
+) -> PhantomResult:
+    """Run ``expr`` under the augmented semantics for at most ``fuel`` steps."""
+    config = PhantomConfig(flags, heap if heap is not None else Heap(), expr)
+    steps = 0
+    while steps < fuel:
+        if config.failure is not None:
+            return PhantomResult(Status.FAIL, config, steps)
+        if _phantom_is_value(config.expr):
+            return PhantomResult(Status.VALUE, config, steps)
+        try:
+            config = phantom_step(config)
+        except StuckError:
+            return PhantomResult(Status.STUCK, config, steps)
+        steps += 1
+    return PhantomResult(Status.OUT_OF_FUEL, config, steps)

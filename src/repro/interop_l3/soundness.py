@@ -1,0 +1,281 @@
+"""Bounded soundness and behaviour checkers for the §5 system (MiniML & L3).
+
+The §5 model (Fig. 14) refines worlds with owned manual-heap fragments and
+pinned locations; its headline consequences are behavioural, and those are
+what these checkers decide on concrete programs:
+
+* :func:`check_convertibility_soundness` — the conversions of §5 map
+  well-behaved terms of one type to well-behaved terms of the other (checked
+  by evaluation and shape-checking of the results, over the sample corpus);
+  unlike §3/§4, *no* dynamic failure at all is permitted — the §5 relation
+  rules out ``fail`` entirely.
+* :func:`check_type_safety` — compiled well-typed multi-language programs
+  never fail (with any code) and never get stuck.
+* :func:`check_ownership_transfer` — the memory-management claims: L3→MiniML
+  reference conversion transfers the very same cell to the GC (no copy);
+  MiniML→L3 copies into a fresh manual cell; manual cells survive ``callgc``;
+  unreachable GC cells are reclaimed.
+* :func:`check_foreign_type_discipline` — foreign types ⟨τ⟩ are restricted to
+  the Duplicable subset, so linear capabilities can never be smuggled into
+  polymorphic MiniML code and duplicated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.errors import ConvertibilityError
+from repro.core.interop import InteropSystem
+from repro.core.realizability import CheckReport, Counterexample
+from repro.interop_l3.conversions import LANGUAGE_A, LANGUAGE_B, make_convertibility
+from repro.l3 import types as l3_ty
+from repro.lcvm import CellKind, machine as lcvm_machine
+from repro.lcvm import syntax as t
+from repro.lcvm.machine import Status
+from repro.miniml import types as ml_ty
+
+#: Well-typed L3 programs (several crossing the boundary).
+DEFAULT_L3_CORPUS: Sequence[str] = (
+    "(free (new true))",
+    "(if (free (new true)) true false)",
+    "(let-unit (drop true) false)",
+    "(let! (x (bang true)) (if x false true))",
+    "((lam (x bool) x) true)",
+    "(unpack (z pkg) (new true) (let-tensor (c p) pkg (let! (pp p) "
+    "(let-tensor (c2 old) (swap c pp false) (let-unit (drop old) "
+    "(free (pack z (tensor c2 (bang pp)) (refpkg bool))))))))",
+    "(if (boundary bool (tylam a (lam (x a) (lam (y a) x)))) true false)",
+    "(free (boundary (refpkg bool) (ref 1)))",
+)
+
+#: Well-typed MiniML programs (several crossing the boundary).
+DEFAULT_ML_CORPUS: Sequence[str] = (
+    "(+ 1 2)",
+    "(! (boundary (ref int) (new true)))",
+    "(let (r (boundary (ref int) (new false))) (let (i (set! r 7)) (! r)))",
+    "((tyapp (tylam a (lam (x a) x)) (foreign bool)) (boundary (foreign bool) true))",
+    "(((tyapp (tylam a (lam (x a) (lam (y a) y))) (foreign bool)) "
+    "(boundary (foreign bool) true)) (boundary (foreign bool) false))",
+    "(((tyapp (boundary (forall a (-> a (-> a a))) false) int) 10) 20)",
+    "((boundary (-> int int) (bang (lam (b (! bool)) (let! (x b) x)))) 5)",
+)
+
+
+def check_type_safety(
+    system: Optional[InteropSystem] = None,
+    ml_corpus: Sequence[str] = DEFAULT_ML_CORPUS,
+    l3_corpus: Sequence[str] = DEFAULT_L3_CORPUS,
+    fuel: int = 50_000,
+    **_ignored,
+) -> CheckReport:
+    """Well-typed §5 programs run to values: no failures of any kind, no stuckness."""
+    from repro.interop_l3.system import make_system
+
+    system = system or make_system()
+    report = CheckReport(name="Type safety (MiniML/L3 corpus, §5: no dynamic failures at all)")
+    for language, corpus in ((LANGUAGE_A, ml_corpus), (LANGUAGE_B, l3_corpus)):
+        for source in corpus:
+            unit = system.compile_source(language, source)
+            result = lcvm_machine.run(unit.target_code, fuel=fuel)
+            if result.status is Status.VALUE:
+                report.record_success()
+            else:
+                report.record_failure(
+                    Counterexample(
+                        description=f"well-typed {language} program did not run to a value "
+                        f"(status={result.status.value}, code={result.failure_code})",
+                        target_term=source,
+                    )
+                )
+    return report
+
+
+def check_convertibility_soundness(
+    system: Optional[InteropSystem] = None,
+    fuel: int = 50_000,
+    **_ignored,
+) -> CheckReport:
+    """Behavioural check of the §5 conversions on representative programs."""
+    from repro.interop_l3.system import make_system
+
+    system = system or make_system()
+    report = CheckReport(name="Convertibility soundness (MiniML~L3, behavioural)")
+
+    expectations = [
+        # (language, program, expected value)
+        (LANGUAGE_A, "(! (boundary (ref int) (new true)))", t.Int(0)),
+        (LANGUAGE_A, "(boundary int true)", t.Int(0)),  # via the int ~ bool extension
+        (LANGUAGE_A, "(boundary (prod int int) true)", None),  # not derivable
+        (LANGUAGE_B, "(free (boundary (refpkg bool) (ref 0)))", t.Int(0)),
+        (LANGUAGE_B, "(if (boundary bool (tylam a (lam (x a) (lam (y a) x)))) true false)", t.Int(0)),
+        (LANGUAGE_A, "(((tyapp (boundary (forall a (-> a (-> a a))) false) int) 10) 20)", t.Int(20)),
+        (LANGUAGE_A, "((boundary (-> int int) (bang (lam (b (! bool)) (let! (x b) x)))) 5)", t.Int(1)),
+        (LANGUAGE_B, "(let! (f (boundary (! (-o (! bool) bool)) (lam (x int) x))) (f (bang true)))", t.Int(0)),
+    ]
+    for language, source, expected in expectations:
+        if expected is None:
+            # This pair must be rejected statically.
+            try:
+                system.compile_source(language, source)
+            except ConvertibilityError:
+                report.record_success()
+            else:
+                report.record_failure(
+                    Counterexample(description="expected the boundary to be rejected", target_term=source)
+                )
+            continue
+        result = system.run_source(language, source, fuel=fuel)
+        if result.ok and result.value == expected:
+            report.record_success()
+        else:
+            report.record_failure(
+                Counterexample(
+                    description=f"expected {expected}, got {result}",
+                    target_term=source,
+                )
+            )
+
+    # int ~ bool normalizes integers into {0, 1} on the way into L3.
+    relation = system.convertibility
+    conversion = relation.query(ml_ty.INT, l3_ty.BOOL)
+    if conversion is not None:
+        normalized = lcvm_machine.run(conversion.apply_a_to_b(t.Int(17)))
+        if normalized.value == t.Int(1):
+            report.record_success()
+        else:
+            report.record_failure(
+                Counterexample(description=f"int→bool should collapse 17 to 1, got {normalized.value}")
+            )
+    else:
+        report.record_failure(Counterexample(description="int ~ bool should be derivable"))
+    return report
+
+
+def check_ownership_transfer(
+    system: Optional[InteropSystem] = None,
+    fuel: int = 50_000,
+    **_ignored,
+) -> CheckReport:
+    """The §5 memory-management claims, checked on the final heaps."""
+    from repro.interop_l3.system import make_system
+
+    system = system or make_system()
+    report = CheckReport(name="§5 ownership transfer (gcmov, copies, GC behaviour)")
+
+    # (a) L3 → MiniML: the cell allocated by L3's `new` is handed to the GC
+    #     without copying — exactly one cell exists and it is GC-managed.
+    unit = system.compile_source(LANGUAGE_A, "(boundary (ref int) (new true))")
+    result = lcvm_machine.run(unit.target_code, fuel=fuel)
+    cells = result.heap.cells
+    if (
+        result.status is Status.VALUE
+        and isinstance(result.value, t.Loc)
+        and len(cells) == 1
+        and cells[result.value.address].kind is CellKind.GC
+    ):
+        report.record_success()
+    else:
+        report.record_failure(
+            Counterexample(
+                description=f"L3→MiniML reference transfer should move (not copy) the cell; heap={cells}",
+            )
+        )
+
+    # (b) MiniML → L3: the conversion copies into a fresh manual cell; the
+    #     original GC cell remains.
+    unit = system.compile_source(LANGUAGE_B, "(free (boundary (refpkg bool) (ref 0)))")
+    result = lcvm_machine.run(unit.target_code, fuel=fuel)
+    kinds = sorted(cell.kind.value for cell in result.heap.cells.values())
+    if result.status is Status.VALUE and result.value == t.Int(0) and kinds == ["gc"]:
+        # The manual copy was freed by `free`; only the original GC cell remains.
+        report.record_success()
+    else:
+        report.record_failure(
+            Counterexample(
+                description=f"MiniML→L3 conversion should copy then free the copy; kinds={kinds}, result={result}"
+            )
+        )
+
+    # (c) Manual cells survive callgc; unreachable GC cells are reclaimed.
+    program = t.Let(
+        "manual",
+        t.Alloc(t.Int(1)),
+        t.Let(
+            "garbage",
+            t.NewRef(t.Int(2)),
+            t.Let("_", t.Int(0), t.Let("_", t.CallGc(), t.Deref(t.Var("manual")))),
+        ),
+    )
+    result = lcvm_machine.run(program, fuel=fuel)
+    kinds = [cell.kind for cell in result.heap.cells.values()]
+    # "garbage" is still mentioned by the program text until its Let body is
+    # entered; after callgc the only cell that must remain is the manual one.
+    if result.status is Status.VALUE and result.value == t.Int(1) and CellKind.MANUAL in kinds:
+        report.record_success()
+    else:
+        report.record_failure(
+            Counterexample(description=f"manual cell should survive callgc; got {result}")
+        )
+
+    # (d) Freeing a GC-managed cell is a Ptr error (the Fig. 12 rule).
+    bad_free = t.Free(t.NewRef(t.Int(1)))
+    result = lcvm_machine.run(bad_free, fuel=fuel)
+    from repro.core.errors import ErrorCode
+
+    if result.status is Status.FAIL and result.failure_code is ErrorCode.PTR:
+        report.record_success()
+    else:
+        report.record_failure(
+            Counterexample(description=f"free of a GC cell should fail Ptr, got {result}")
+        )
+    return report
+
+
+def check_foreign_type_discipline(
+    system: Optional[InteropSystem] = None,
+    **_ignored,
+) -> CheckReport:
+    """⟨τ⟩ ∼ τ is restricted to Duplicable types (no capability smuggling)."""
+    from repro.interop_l3.system import make_system
+
+    system = system or make_system()
+    relation = system.convertibility
+    report = CheckReport(name="§5 foreign types are restricted to Duplicable")
+
+    allowed = [l3_ty.BOOL, l3_ty.UNIT, l3_ty.PtrType("z"), l3_ty.BangType(l3_ty.BOOL)]
+    for candidate in allowed:
+        if relation.convertible(ml_ty.ForeignType(candidate), candidate):
+            report.record_success()
+        else:
+            report.record_failure(
+                Counterexample(description=f"⟨{candidate}⟩ ~ {candidate} should be derivable")
+            )
+
+    rejected = [
+        l3_ty.CapType("z", l3_ty.BOOL),
+        l3_ty.TensorType(l3_ty.CapType("z", l3_ty.BOOL), l3_ty.BangType(l3_ty.PtrType("z"))),
+        l3_ty.LolliType(l3_ty.BOOL, l3_ty.BOOL),
+    ]
+    for candidate in rejected:
+        if not relation.convertible(ml_ty.ForeignType(candidate), candidate):
+            report.record_success()
+        else:
+            report.record_failure(
+                Counterexample(
+                    description=f"⟨{candidate}⟩ ~ {candidate} must NOT be derivable (not Duplicable)"
+                )
+            )
+
+    # And the polymorphic-use example from §5 works end to end.
+    result = system.run_source(
+        LANGUAGE_A,
+        "(((tyapp (tylam a (lam (x a) (lam (y a) y))) (foreign bool)) "
+        "(boundary (foreign bool) true)) (boundary (foreign bool) false))",
+    )
+    if result.ok and result.value == t.Int(1):
+        report.record_success()
+    else:
+        report.record_failure(
+            Counterexample(description=f"the §5 polymorphic example should yield false (1), got {result}")
+        )
+    return report

@@ -1,0 +1,492 @@
+"""The realizability model for RefHL and RefLL (Fig. 5), made executable.
+
+The paper's model is a step-indexed unary logical relation whose inhabitants
+are StackLang terms, indexed by the types of *both* source languages.  This
+module implements the same definitions as decision procedures bounded by the
+step index:
+
+* ``value_in_type(language, τ, W, v)`` — membership in ``V[[τ]]``;
+* ``expression_in_type(language, τ, W, P)`` — membership in ``E[[τ]]``,
+  decided by running the machine for at most ``W.k`` steps from heaps that
+  satisfy ``W`` and checking the final configuration;
+* ``same_interpretation(tag₁, tag₂)`` — semantic equality of two value
+  interpretations, the question the paper highlights (``V[[bool]] =
+  V[[int]]?``), decided by normalizing interpretations to descriptors.
+
+Function types quantify over future worlds and all arguments; the executable
+check samples a finite set of arguments (``sample_values``) and future worlds,
+to a configurable depth.  The quantification over heaps satisfying ``W`` in
+``E[[τ]]`` is likewise sampled from canonical heaps.  These are the standard
+finitary approximations for testing a logical relation; the property-based
+test suite widens the sampling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ModelError
+from repro.core.worlds import TypeTag, World
+from repro.refhl import types as hl
+from repro.refll import types as ll
+from repro.stacklang.machine import FailStack, MachineResult, Status, initial_config, run_config
+from repro.stacklang.syntax import (
+    Alloc,
+    Arr,
+    Lam,
+    Loc,
+    Num,
+    Program,
+    Push,
+    Thunk,
+    Value,
+    Var,
+    program,
+)
+from repro.core.errors import ErrorCode
+
+LANGUAGE_A = "RefHL"
+LANGUAGE_B = "RefLL"
+
+#: Error codes that the expression relation tolerates (Fig. 5): conversion
+#: errors and index errors are well-defined failures, type errors are not.
+ALLOWED_FAILURES = frozenset({ErrorCode.CONV, ErrorCode.IDX})
+
+
+def hl_tag(source_type: hl.Type) -> TypeTag:
+    return TypeTag(LANGUAGE_A, source_type)
+
+
+def ll_tag(source_type: ll.Type) -> TypeTag:
+    return TypeTag(LANGUAGE_B, source_type)
+
+
+@dataclass
+class RefsModel:
+    """Executable approximation of the Fig. 5 logical relation."""
+
+    #: How many nested function-argument instantiations to explore.
+    function_check_depth: int = 1
+    #: Alternative stacks used when checking the expression relation (the
+    #: definition quantifies over all non-Fail stacks; we sample).
+    sample_stacks: Sequence[Tuple[Value, ...]] = ((), (Num(7),))
+    #: Cap on how many sample arguments to try per function type.
+    max_function_samples: int = 4
+
+    # ------------------------------------------------------------------
+    # Interpretation descriptors and semantic equality of interpretations
+    # ------------------------------------------------------------------
+
+    def descriptor(self, tag: TypeTag) -> Tuple:
+        """Normalize a type to a descriptor of its value interpretation.
+
+        Two types whose descriptors are equal have the same set of target
+        inhabitants; this is how the model answers questions such as
+        ``V[[bool]] = V[[int]]`` (yes: both are all target numbers) and
+        ``V[[unit]] = V[[int]]`` (no: unit is only 0).
+        """
+        source_type = tag.type
+        if tag.language == LANGUAGE_A:
+            if isinstance(source_type, hl.UnitType):
+                return ("zero",)
+            if isinstance(source_type, hl.BoolType):
+                return ("num",)
+            if isinstance(source_type, hl.SumType):
+                return (
+                    "tagged",
+                    self.descriptor(hl_tag(source_type.left)),
+                    self.descriptor(hl_tag(source_type.right)),
+                )
+            if isinstance(source_type, hl.ProdType):
+                return (
+                    "tuple",
+                    self.descriptor(hl_tag(source_type.left)),
+                    self.descriptor(hl_tag(source_type.right)),
+                )
+            if isinstance(source_type, hl.FunType):
+                return (
+                    "fun",
+                    self.descriptor(hl_tag(source_type.argument)),
+                    self.descriptor(hl_tag(source_type.result)),
+                )
+            if isinstance(source_type, hl.RefType):
+                return ("ref", self.descriptor(hl_tag(source_type.referent)))
+        if tag.language == LANGUAGE_B:
+            if isinstance(source_type, ll.IntType):
+                return ("num",)
+            if isinstance(source_type, ll.ArrayType):
+                return ("array", self.descriptor(ll_tag(source_type.element)))
+            if isinstance(source_type, ll.FunType):
+                return (
+                    "fun",
+                    self.descriptor(ll_tag(source_type.argument)),
+                    self.descriptor(ll_tag(source_type.result)),
+                )
+            if isinstance(source_type, ll.RefType):
+                return ("ref", self.descriptor(ll_tag(source_type.referent)))
+        raise ModelError(f"no interpretation for {tag}")
+
+    def same_interpretation(self, first: TypeTag, second: TypeTag) -> bool:
+        """Decide ``V[[first]] = V[[second]]`` via descriptor normalization."""
+        return self.descriptor(first) == self.descriptor(second)
+
+    # ------------------------------------------------------------------
+    # The value relation V[[τ]]
+    # ------------------------------------------------------------------
+
+    def value_in_tag(self, tag: TypeTag, world: World, value: Value, depth: Optional[int] = None) -> bool:
+        return self.value_in_type(tag.language, tag.type, world, value, depth)
+
+    def value_in_type(
+        self,
+        language: str,
+        source_type,
+        world: World,
+        value: Value,
+        depth: Optional[int] = None,
+    ) -> bool:
+        """Decide ``(W, v) ∈ V[[τ]]`` (Fig. 5), bounded by ``depth`` for functions."""
+        if depth is None:
+            depth = self.function_check_depth
+        if language == LANGUAGE_A:
+            return self._hl_value(source_type, world, value, depth)
+        if language == LANGUAGE_B:
+            return self._ll_value(source_type, world, value, depth)
+        raise ModelError(f"unknown language {language!r}")
+
+    def _hl_value(self, source_type: hl.Type, world: World, value: Value, depth: int) -> bool:
+        if isinstance(source_type, hl.UnitType):
+            return isinstance(value, Num) and value.number == 0
+        if isinstance(source_type, hl.BoolType):
+            return isinstance(value, Num)
+        if isinstance(source_type, hl.SumType):
+            if not (isinstance(value, Arr) and len(value.items) == 2 and isinstance(value.items[0], Num)):
+                return False
+            tag_value, payload = value.items
+            if tag_value.number == 0:
+                return self._hl_value(source_type.left, world, payload, depth)
+            if tag_value.number == 1:
+                return self._hl_value(source_type.right, world, payload, depth)
+            return False
+        if isinstance(source_type, hl.ProdType):
+            return (
+                isinstance(value, Arr)
+                and len(value.items) == 2
+                and self._hl_value(source_type.left, world, value.items[0], depth)
+                and self._hl_value(source_type.right, world, value.items[1], depth)
+            )
+        if isinstance(source_type, hl.FunType):
+            return self._function_value(
+                world,
+                value,
+                depth,
+                argument=(LANGUAGE_A, source_type.argument),
+                result=(LANGUAGE_A, source_type.result),
+            )
+        if isinstance(source_type, hl.RefType):
+            return self._reference_value(world, value, hl_tag(source_type.referent))
+        raise ModelError(f"no RefHL value interpretation for {source_type}")
+
+    def _ll_value(self, source_type: ll.Type, world: World, value: Value, depth: int) -> bool:
+        if isinstance(source_type, ll.IntType):
+            return isinstance(value, Num)
+        if isinstance(source_type, ll.ArrayType):
+            if not isinstance(value, Arr):
+                return False
+            return all(self._ll_value(source_type.element, world, item, depth) for item in value.items)
+        if isinstance(source_type, ll.FunType):
+            return self._function_value(
+                world,
+                value,
+                depth,
+                argument=(LANGUAGE_B, source_type.argument),
+                result=(LANGUAGE_B, source_type.result),
+            )
+        if isinstance(source_type, ll.RefType):
+            return self._reference_value(world, value, ll_tag(source_type.referent))
+        raise ModelError(f"no RefLL value interpretation for {source_type}")
+
+    def _reference_value(self, world: World, value: Value, referent_tag: TypeTag) -> bool:
+        """``V[[ref τ]]``: a location whose heap-typing entry *is* ``V[[τ]]``."""
+        if not isinstance(value, Loc):
+            return False
+        stored_tag = world.type_of(value.address)
+        if stored_tag is None:
+            return False
+        return self.same_interpretation(stored_tag, referent_tag)
+
+    def _function_value(
+        self,
+        world: World,
+        value: Value,
+        depth: int,
+        argument: Tuple[str, object],
+        result: Tuple[str, object],
+    ) -> bool:
+        """``V[[τ₁ → τ₂]]``: a thunk of a single-binder lam whose body maps
+        sampled arguments (at sampled future worlds) into ``E[[τ₂]]``."""
+        if not (isinstance(value, Thunk) and len(value.program) >= 1 and isinstance(value.program[0], Lam)):
+            return False
+        head = value.program[0]
+        if len(head.binders) != 1:
+            return False
+        if depth <= 0 or world.step_budget == 0:
+            return True
+        argument_language, argument_type = argument
+        result_language, result_type = result
+        future_worlds = [world]
+        if world.step_budget > 0:
+            future_worlds.append(world.later())
+        samples = self.sample_values(argument_language, argument_type, world)[: self.max_function_samples]
+        from repro.stacklang.syntax import substitute_program
+
+        for future_world, sample in itertools.product(future_worlds, samples):
+            body = substitute_program(head.body, head.binders[0], sample)
+            remaining = value.program[1:]
+            candidate = program(body, remaining)
+            if not self.expression_in_type(result_language, result_type, future_world, candidate, depth=depth - 1):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The expression relation E[[τ]]
+    # ------------------------------------------------------------------
+
+    def expression_in_type(
+        self,
+        language: str,
+        source_type,
+        world: World,
+        candidate: Program,
+        depth: Optional[int] = None,
+        heaps: Optional[Iterable[Dict[int, Value]]] = None,
+    ) -> bool:
+        """Decide ``(W, P) ∈ E[[τ]]`` (Fig. 5) by bounded evaluation."""
+        if depth is None:
+            depth = self.function_check_depth
+        if heaps is None:
+            heaps = [self.canonical_heap(world)]
+        expected_tag = TypeTag(language, source_type)
+        for heap in heaps:
+            for stack in self.sample_stacks:
+                if not self._expression_once(expected_tag, world, candidate, dict(heap), list(stack), depth):
+                    return False
+        return True
+
+    def _expression_once(
+        self,
+        expected_tag: TypeTag,
+        world: World,
+        candidate: Program,
+        heap: Dict[int, Value],
+        stack: List[Value],
+        depth: int,
+    ) -> bool:
+        result = run_config(initial_config(candidate, heap, stack), fuel=max(world.step_budget, 1))
+        if result.status is Status.OUT_OF_FUEL:
+            # The definition only constrains runs that terminate within the
+            # step budget; longer runs are vacuously fine.
+            return True
+        if result.status is Status.STUCK:
+            return False
+        if result.status is Status.FAIL:
+            return result.failure_code in ALLOWED_FAILURES
+        if result.status is Status.EMPTY:
+            return False
+        # Terminated with a value: the stack below the result must be intact.
+        final_stack = result.config.stack
+        if not isinstance(final_stack, list) or len(final_stack) != len(stack) + 1:
+            return False
+        if final_stack[:-1] != stack:
+            return False
+        value = final_stack[-1]
+        future_world = self._witness_world(world, result, expected_tag, value)
+        if future_world is None:
+            return False
+        if not self._heap_satisfies(result.config.heap, future_world, depth):
+            return False
+        return self.value_in_tag(expected_tag, future_world, value, depth)
+
+    def _witness_world(
+        self,
+        world: World,
+        result: MachineResult,
+        expected_tag: TypeTag,
+        value: Value,
+    ) -> Optional[World]:
+        """Construct the existential witness ``W' ⊒ W`` for the expression relation.
+
+        The witness keeps every existing heap-typing entry (so ``W' ⊒ W``
+        holds by construction), spends the steps actually taken, and assigns
+        type tags to any *new* locations reachable from the result value,
+        guided by the expected type.
+        """
+        remaining = max(world.step_budget - result.steps, 0)
+        witness = world.with_budget(remaining)
+        try:
+            witness = self._assign_new_locations(witness, result.config.heap, expected_tag, value)
+        except ModelError:
+            return None
+        return witness
+
+    def _assign_new_locations(self, world: World, heap: Dict[int, Value], tag: TypeTag, value: Value) -> World:
+        language, source_type = tag.language, tag.type
+        if language == LANGUAGE_A:
+            if isinstance(source_type, hl.RefType) and isinstance(value, Loc):
+                return self._assign_reference(world, heap, value, hl_tag(source_type.referent))
+            if isinstance(source_type, hl.SumType) and isinstance(value, Arr) and len(value.items) == 2:
+                branch = source_type.left if value.items[0] == Num(0) else source_type.right
+                return self._assign_new_locations(world, heap, hl_tag(branch), value.items[1])
+            if isinstance(source_type, hl.ProdType) and isinstance(value, Arr) and len(value.items) == 2:
+                world = self._assign_new_locations(world, heap, hl_tag(source_type.left), value.items[0])
+                return self._assign_new_locations(world, heap, hl_tag(source_type.right), value.items[1])
+        if language == LANGUAGE_B:
+            if isinstance(source_type, ll.RefType) and isinstance(value, Loc):
+                return self._assign_reference(world, heap, value, ll_tag(source_type.referent))
+            if isinstance(source_type, ll.ArrayType) and isinstance(value, Arr):
+                for item in value.items:
+                    world = self._assign_new_locations(world, heap, ll_tag(source_type.element), item)
+                return world
+        return world
+
+    def _assign_reference(self, world: World, heap: Dict[int, Value], location: Loc, referent_tag: TypeTag) -> World:
+        existing = world.type_of(location.address)
+        if existing is not None:
+            return world
+        if location.address not in heap:
+            raise ModelError(f"result mentions dangling location {location.address}")
+        world = world.extend_heap_typing(location.address, referent_tag)
+        return self._assign_new_locations(world, heap, referent_tag, heap[location.address])
+
+    def _heap_satisfies(self, heap: Dict[int, Value], world: World, depth: int) -> bool:
+        """Check ``H : W`` — every typed location stores a value in its type."""
+        if world.step_budget == 0:
+            return all(location in heap for location in world.locations())
+        later_world = world.later()
+        for location, tag in world.heap_typing.items():
+            if location not in heap:
+                return False
+            if not self.value_in_tag(tag, later_world, heap[location], max(depth - 1, 0)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Sampling: canonical values, heaps, and worlds
+    # ------------------------------------------------------------------
+
+    def canonical_value(self, tag: TypeTag) -> Value:
+        """A closed, heap-independent inhabitant of ``V[[tag]]``."""
+        language, source_type = tag.language, tag.type
+        if language == LANGUAGE_A:
+            if isinstance(source_type, hl.UnitType):
+                return Num(0)
+            if isinstance(source_type, hl.BoolType):
+                return Num(0)
+            if isinstance(source_type, hl.SumType):
+                return Arr((Num(0), self.canonical_value(hl_tag(source_type.left))))
+            if isinstance(source_type, hl.ProdType):
+                return Arr(
+                    (
+                        self.canonical_value(hl_tag(source_type.left)),
+                        self.canonical_value(hl_tag(source_type.right)),
+                    )
+                )
+            if isinstance(source_type, hl.FunType):
+                return self._canonical_function(hl_tag(source_type.result))
+            if isinstance(source_type, hl.RefType):
+                raise ModelError("reference types have no heap-independent canonical value")
+        if language == LANGUAGE_B:
+            if isinstance(source_type, ll.IntType):
+                return Num(1)
+            if isinstance(source_type, ll.ArrayType):
+                return Arr((self.canonical_value(ll_tag(source_type.element)),))
+            if isinstance(source_type, ll.FunType):
+                return self._canonical_function(ll_tag(source_type.result))
+            if isinstance(source_type, ll.RefType):
+                raise ModelError("reference types have no heap-independent canonical value")
+        raise ModelError(f"no canonical value for {tag}")
+
+    def _canonical_function(self, result_tag: TypeTag) -> Thunk:
+        """A constant function returning a canonical result (allocating if needed)."""
+        result_type = result_tag.type
+        is_reference = isinstance(result_type, (hl.RefType, ll.RefType))
+        if is_reference:
+            referent_tag = (
+                hl_tag(result_type.referent) if result_tag.language == LANGUAGE_A else ll_tag(result_type.referent)
+            )
+            body: Program = (Push(self.canonical_value(referent_tag)), Alloc())
+        else:
+            body = (Push(self.canonical_value(result_tag)),)
+        return Thunk((Lam(("canonical_x",), body),))
+
+    def canonical_heap(self, world: World) -> Dict[int, Value]:
+        """Build a concrete heap satisfying ``W`` from canonical values."""
+        heap: Dict[int, Value] = {}
+        for location, tag in world.heap_typing.items():
+            referent_type = tag.type
+            if isinstance(referent_type, (hl.RefType, ll.RefType)):
+                raise ModelError(
+                    "canonical heaps for worlds with reference-of-reference typings "
+                    "are not supported by the bounded checker"
+                )
+            heap[location] = self.canonical_value(tag)
+        return heap
+
+    def default_world(self, step_budget: int = 64, heap_typing: Optional[Dict[int, TypeTag]] = None) -> World:
+        """The initial world used by the bounded checkers."""
+        return World.initial(step_budget, heap_typing or {})
+
+    def sample_values(self, language: str, source_type, world: World, depth: int = 2) -> List[Value]:
+        """A finite set of inhabitants of ``V[[τ]]`` at ``world`` (may be empty)."""
+        if depth <= 0:
+            return []
+        if language == LANGUAGE_A:
+            return self._hl_samples(source_type, world, depth)
+        if language == LANGUAGE_B:
+            return self._ll_samples(source_type, world, depth)
+        raise ModelError(f"unknown language {language!r}")
+
+    def _hl_samples(self, source_type: hl.Type, world: World, depth: int) -> List[Value]:
+        if isinstance(source_type, hl.UnitType):
+            return [Num(0)]
+        if isinstance(source_type, hl.BoolType):
+            return [Num(0), Num(1), Num(5)]
+        if isinstance(source_type, hl.SumType):
+            left = self._hl_samples(source_type.left, world, depth - 1)[:2]
+            right = self._hl_samples(source_type.right, world, depth - 1)[:2]
+            return [Arr((Num(0), item)) for item in left] + [Arr((Num(1), item)) for item in right]
+        if isinstance(source_type, hl.ProdType):
+            left = self._hl_samples(source_type.left, world, depth - 1)[:2]
+            right = self._hl_samples(source_type.right, world, depth - 1)[:2]
+            return [Arr((a, b)) for a, b in itertools.product(left, right)]
+        if isinstance(source_type, hl.FunType):
+            return [self._canonical_function(hl_tag(source_type.result))]
+        if isinstance(source_type, hl.RefType):
+            return self._reference_samples(world, hl_tag(source_type.referent))
+        raise ModelError(f"no RefHL samples for {source_type}")
+
+    def _ll_samples(self, source_type: ll.Type, world: World, depth: int) -> List[Value]:
+        if isinstance(source_type, ll.IntType):
+            return [Num(0), Num(1), Num(-3), Num(42)]
+        if isinstance(source_type, ll.ArrayType):
+            element_samples = self._ll_samples(source_type.element, world, depth - 1)[:2]
+            samples: List[Value] = [Arr(())]
+            samples.extend(Arr((item,)) for item in element_samples)
+            if len(element_samples) >= 2:
+                samples.append(Arr((element_samples[0], element_samples[1])))
+            return samples
+        if isinstance(source_type, ll.FunType):
+            return [self._canonical_function(ll_tag(source_type.result))]
+        if isinstance(source_type, ll.RefType):
+            return self._reference_samples(world, ll_tag(source_type.referent))
+        raise ModelError(f"no RefLL samples for {source_type}")
+
+    def _reference_samples(self, world: World, referent_tag: TypeTag) -> List[Value]:
+        matching = [
+            Loc(location)
+            for location, tag in world.heap_typing.items()
+            if self.same_interpretation(tag, referent_tag)
+        ]
+        return matching[:2]

@@ -1,0 +1,145 @@
+"""The L3 → LCVM compiler (Fig. 13).
+
+Capabilities are erased to ``()``; pointers become target locations; ``new``
+allocates *manually managed* memory (letting the GC intercede first via
+``callgc``); ``free`` reads the cell, frees it, and returns the contents;
+``swap`` performs the strong update through the pointer.  Location
+abstractions compile like type abstractions (unit-accepting λs), and packs /
+unpacks erase to their bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import CompileError
+from repro.l3 import syntax as ast
+from repro.lcvm import syntax as target
+
+BoundaryHook = Callable[[ast.Boundary], target.Expr]
+
+
+def compile_expr(term: ast.Expr, boundary_hook: Optional[BoundaryHook] = None) -> target.Expr:
+    """Compile an L3 term to LCVM (``e⁺``)."""
+    recur = lambda sub: compile_expr(sub, boundary_hook)  # noqa: E731 - local shorthand
+
+    if isinstance(term, ast.UnitLit):
+        return target.Unit()
+
+    if isinstance(term, ast.BoolLit):
+        return target.Int(0 if term.value else 1)
+
+    if isinstance(term, ast.Var):
+        return target.Var(term.name)
+
+    if isinstance(term, ast.Lam):
+        return target.Lam(term.parameter, recur(term.body))
+
+    if isinstance(term, ast.App):
+        return target.App(recur(term.function), recur(term.argument))
+
+    if isinstance(term, ast.TensorPair):
+        return target.Pair(recur(term.left), recur(term.right))
+
+    if isinstance(term, ast.LetUnit):
+        return target.Let("_", recur(term.bound), recur(term.body))
+
+    if isinstance(term, ast.LetTensor):
+        return target.Let(
+            "tensor%l3",
+            recur(term.bound),
+            target.Let(
+                term.left_name,
+                target.Fst(target.Var("tensor%l3")),
+                target.Let(term.right_name, target.Snd(target.Var("tensor%l3")), recur(term.body)),
+            ),
+        )
+
+    if isinstance(term, ast.If):
+        return target.If(recur(term.condition), recur(term.then_branch), recur(term.else_branch))
+
+    if isinstance(term, ast.Bang):
+        return recur(term.body)
+
+    if isinstance(term, ast.LetBang):
+        return target.Let(term.name, recur(term.bound), recur(term.body))
+
+    if isinstance(term, ast.Dupl):
+        return target.Let("dupl%x", recur(term.body), target.Pair(target.Var("dupl%x"), target.Var("dupl%x")))
+
+    if isinstance(term, ast.Drop):
+        return target.Let("_", recur(term.body), target.Unit())
+
+    if isinstance(term, ast.New):
+        # new e ⇝ let _ = callgc in let xl = alloc e⁺ in ((), xl)
+        return target.Let(
+            "new%init",
+            recur(term.initial),
+            target.Let(
+                "_",
+                target.CallGc(),
+                target.Let(
+                    "new%loc",
+                    target.Alloc(target.Var("new%init")),
+                    target.Pair(target.Unit(), target.Var("new%loc")),
+                ),
+            ),
+        )
+
+    if isinstance(term, ast.FreePkg):
+        # free e ⇝ let x = e⁺ in let xr = !(snd x) in let _ = free (snd x) in xr
+        return target.Let(
+            "free%pkg",
+            recur(term.package),
+            target.Let(
+                "free%contents",
+                target.Deref(target.Snd(target.Var("free%pkg"))),
+                target.Let(
+                    "_",
+                    target.Free(target.Snd(target.Var("free%pkg"))),
+                    target.Var("free%contents"),
+                ),
+            ),
+        )
+
+    if isinstance(term, ast.Swap):
+        # swap e_c e_p e_v ⇝ let xp = e_p⁺ in let _ = e_c⁺ in let xv = !xp
+        #                    in let _ = (xp := e_v⁺) in ((), xv)
+        return target.Let(
+            "swap%ptr",
+            recur(term.pointer),
+            target.Let(
+                "_",
+                recur(term.capability),
+                target.Let(
+                    "swap%old",
+                    target.Deref(target.Var("swap%ptr")),
+                    target.Let(
+                        "_",
+                        target.Assign(target.Var("swap%ptr"), recur(term.value)),
+                        target.Pair(target.Unit(), target.Var("swap%old")),
+                    ),
+                ),
+            ),
+        )
+
+    if isinstance(term, ast.LocLam):
+        return target.Lam("_", recur(term.body))
+
+    if isinstance(term, ast.LocApp):
+        return target.App(recur(term.body), target.Unit())
+
+    if isinstance(term, ast.Pack):
+        return recur(term.body)
+
+    if isinstance(term, ast.Unpack):
+        return target.Let(term.value_name, recur(term.bound), recur(term.body))
+
+    if isinstance(term, ast.Boundary):
+        if boundary_hook is None:
+            raise CompileError(
+                "L3 boundary term encountered but no interoperability system is configured"
+            )
+        return boundary_hook(term)
+
+    raise CompileError(f"unrecognized L3 term {term!r}")

@@ -1,0 +1,243 @@
+"""Abstract syntax of L3, augmented with boundary forms (Fig. 11).
+
+``e ::= v | x | (e, e) | e e | let () = e in e | if e e e
+      | let (x, x) = e in e | let !x = e in e | dupl e | drop e
+      | new e | free e | swap e e e | e [ζ] | ⌜ζ, e⌝
+      | let ⌜ζ, x⌝ = e in e | ⦇e⦈^τ``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.l3.types import ExistsLocType, Type
+
+
+@dataclass(frozen=True)
+class UnitLit:
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lam:
+    parameter: str
+    parameter_type: Type
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(λ{self.parameter}:{self.parameter_type}. {self.body})"
+
+
+@dataclass(frozen=True)
+class App:
+    function: "Expr"
+    argument: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.function} {self.argument})"
+
+
+@dataclass(frozen=True)
+class TensorPair:
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class LetUnit:
+    bound: "Expr"
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(let () = {self.bound} in {self.body})"
+
+
+@dataclass(frozen=True)
+class LetTensor:
+    left_name: str
+    right_name: str
+    bound: "Expr"
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(let ({self.left_name}, {self.right_name}) = {self.bound} in {self.body})"
+
+
+@dataclass(frozen=True)
+class If:
+    condition: "Expr"
+    then_branch: "Expr"
+    else_branch: "Expr"
+
+    def __str__(self) -> str:
+        return f"(if {self.condition} {self.then_branch} {self.else_branch})"
+
+
+@dataclass(frozen=True)
+class Bang:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"!{self.body}"
+
+
+@dataclass(frozen=True)
+class LetBang:
+    name: str
+    bound: "Expr"
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(let !{self.name} = {self.bound} in {self.body})"
+
+
+@dataclass(frozen=True)
+class Dupl:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(dupl {self.body})"
+
+
+@dataclass(frozen=True)
+class Drop:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(drop {self.body})"
+
+
+@dataclass(frozen=True)
+class New:
+    """``new e`` — allocate manual memory, returning ``REF τ``."""
+
+    initial: "Expr"
+
+    def __str__(self) -> str:
+        return f"(new {self.initial})"
+
+
+@dataclass(frozen=True)
+class FreePkg:
+    """``free e`` — consume a ``REF τ`` package, free the cell, return the contents."""
+
+    package: "Expr"
+
+    def __str__(self) -> str:
+        return f"(free {self.package})"
+
+
+@dataclass(frozen=True)
+class Swap:
+    """``swap e_cap e_ptr e_val`` — strong update; returns ``cap ζ τ₂ ⊗ τ₁``."""
+
+    capability: "Expr"
+    pointer: "Expr"
+    value: "Expr"
+
+    def __str__(self) -> str:
+        return f"(swap {self.capability} {self.pointer} {self.value})"
+
+
+@dataclass(frozen=True)
+class LocLam:
+    """``Λζ. e`` — abstraction over a location variable."""
+
+    binder: str
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(Λ{self.binder}. {self.body})"
+
+
+@dataclass(frozen=True)
+class LocApp:
+    """``e [ζ]`` — instantiate a location abstraction."""
+
+    body: "Expr"
+    location: str
+
+    def __str__(self) -> str:
+        return f"({self.body} [{self.location}])"
+
+
+@dataclass(frozen=True)
+class Pack:
+    """``⌜ζ, e⌝`` — package a witness location with a value (annotated)."""
+
+    witness: str
+    body: "Expr"
+    annotation: ExistsLocType
+
+    def __str__(self) -> str:
+        return f"⌜{self.witness}, {self.body}⌝"
+
+
+@dataclass(frozen=True)
+class Unpack:
+    """``let ⌜ζ, x⌝ = e in e'`` — open an existential package."""
+
+    location_name: str
+    value_name: str
+    bound: "Expr"
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(let ⌜{self.location_name}, {self.value_name}⌝ = {self.bound} in {self.body})"
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """``⦇e⦈^τ`` — embed a MiniML term at L3 type ``annotation``."""
+
+    annotation: Type
+    foreign_term: Any
+
+    def __str__(self) -> str:
+        return f"⦇{self.foreign_term}⦈^{self.annotation}"
+
+
+Expr = Union[
+    UnitLit,
+    BoolLit,
+    Var,
+    Lam,
+    App,
+    TensorPair,
+    LetUnit,
+    LetTensor,
+    If,
+    Bang,
+    LetBang,
+    Dupl,
+    Drop,
+    New,
+    FreePkg,
+    Swap,
+    LocLam,
+    LocApp,
+    Pack,
+    Unpack,
+    Boundary,
+]

@@ -1,0 +1,263 @@
+"""Static semantics of L3 (following Fig. 11 and the original L3 paper).
+
+The checker enforces the *linear-capability discipline* algorithmically: every
+variable not introduced by ``let !x`` is a linear resource; the checker
+computes the set of linear variables each subterm consumes and rejects any
+term that consumes one twice.  (Full L3 also rejects terms that *fail* to
+consume a resource — a memory-leak check.  We enforce the at-most-once half,
+which is the part that ensures safety of strong updates and manual memory;
+the leak check is reported separately by :func:`unused_linear_variables`.)
+
+Location variables ``ζ`` live in their own environment ``Δ``; ``cap ζ τ`` and
+``ptr ζ`` may only mention location variables in scope.  Unpacking an
+existential introduces a fresh location variable, and the usual escape check
+applies (the unpacked ``ζ`` may not appear in the result type).
+
+Boundary terms delegate to the hook supplied by ``repro.interop_l3``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.core.errors import ConvertibilityError, LinearityError, ScopeError, TypeCheckError
+from repro.l3 import syntax as ast
+from repro.l3 import types as ty
+
+LinearEnv = Dict[str, ty.Type]
+UnrestrictedEnv = Dict[str, ty.Type]
+ForeignEnv = Dict[str, object]
+CheckResult = Tuple[ty.Type, FrozenSet[str]]
+BoundaryHook = Callable[[ast.Boundary, LinearEnv, UnrestrictedEnv, FrozenSet[str], ForeignEnv], CheckResult]
+
+
+def typecheck(
+    term: ast.Expr,
+    linear: Optional[LinearEnv] = None,
+    unrestricted: Optional[UnrestrictedEnv] = None,
+    locations: Optional[FrozenSet[str]] = None,
+    foreign_env: Optional[ForeignEnv] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+) -> ty.Type:
+    """Infer the type of ``term`` (raising on linearity violations)."""
+    inferred, _usage = check_with_usage(term, linear, unrestricted, locations, foreign_env, boundary_hook)
+    return inferred
+
+
+def check_with_usage(
+    term: ast.Expr,
+    linear: Optional[LinearEnv] = None,
+    unrestricted: Optional[UnrestrictedEnv] = None,
+    locations: Optional[FrozenSet[str]] = None,
+    foreign_env: Optional[ForeignEnv] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+) -> CheckResult:
+    context = _Context(frozenset(locations or ()), dict(foreign_env or {}), boundary_hook)
+    return _check(term, dict(linear or {}), dict(unrestricted or {}), context)
+
+
+class _Context:
+    def __init__(self, locations: FrozenSet[str], foreign_env: ForeignEnv, hook: Optional[BoundaryHook]):
+        self.locations = locations
+        self.foreign_env = foreign_env
+        self.hook = hook
+
+    def with_location(self, name: str) -> "_Context":
+        return _Context(self.locations | {name}, self.foreign_env, self.hook)
+
+
+def _split(left: FrozenSet[str], right: FrozenSet[str]) -> FrozenSet[str]:
+    overlap = left & right
+    if overlap:
+        raise LinearityError(f"linear resources used more than once: {sorted(overlap)}")
+    return left | right
+
+
+def _well_formed(in_type: ty.Type, context: _Context) -> None:
+    unbound = ty.free_locations(in_type) - context.locations
+    if unbound:
+        raise TypeCheckError(f"type {in_type} mentions unbound location variables {sorted(unbound)}")
+
+
+def unused_linear_variables(term: ast.Expr, linear: LinearEnv, **kwargs) -> FrozenSet[str]:
+    """Report linear variables that are in scope but never consumed (leaks)."""
+    _type, usage = check_with_usage(term, linear=linear, **kwargs)
+    return frozenset(linear) - usage
+
+
+def _check(term: ast.Expr, linear: LinearEnv, unrestricted: UnrestrictedEnv, context: _Context) -> CheckResult:
+    if isinstance(term, ast.UnitLit):
+        return ty.UNIT, frozenset()
+
+    if isinstance(term, ast.BoolLit):
+        return ty.BOOL, frozenset()
+
+    if isinstance(term, ast.Var):
+        if term.name in linear:
+            return linear[term.name], frozenset({term.name})
+        if term.name in unrestricted:
+            return unrestricted[term.name], frozenset()
+        raise ScopeError(f"unbound L3 variable {term.name!r}")
+
+    if isinstance(term, ast.Lam):
+        _well_formed(term.parameter_type, context)
+        body_linear = dict(linear)
+        body_linear[term.parameter] = term.parameter_type
+        body_type, usage = _check(term.body, body_linear, unrestricted, context)
+        return ty.LolliType(term.parameter_type, body_type), usage - {term.parameter}
+
+    if isinstance(term, ast.App):
+        function_type, function_usage = _check(term.function, linear, unrestricted, context)
+        if not isinstance(function_type, ty.LolliType):
+            raise TypeCheckError(f"application of a non-function of type {function_type}")
+        argument_type, argument_usage = _check(term.argument, linear, unrestricted, context)
+        if argument_type != function_type.argument:
+            raise TypeCheckError(f"argument has type {argument_type}, expected {function_type.argument}")
+        return function_type.result, _split(function_usage, argument_usage)
+
+    if isinstance(term, ast.TensorPair):
+        left_type, left_usage = _check(term.left, linear, unrestricted, context)
+        right_type, right_usage = _check(term.right, linear, unrestricted, context)
+        return ty.TensorType(left_type, right_type), _split(left_usage, right_usage)
+
+    if isinstance(term, ast.LetUnit):
+        bound_type, bound_usage = _check(term.bound, linear, unrestricted, context)
+        if not isinstance(bound_type, ty.UnitType):
+            raise TypeCheckError(f"let () expects unit, got {bound_type}")
+        body_type, body_usage = _check(term.body, linear, unrestricted, context)
+        return body_type, _split(bound_usage, body_usage)
+
+    if isinstance(term, ast.LetTensor):
+        bound_type, bound_usage = _check(term.bound, linear, unrestricted, context)
+        if not isinstance(bound_type, ty.TensorType):
+            raise TypeCheckError(f"let (x, y) expects a tensor, got {bound_type}")
+        body_linear = dict(linear)
+        body_linear[term.left_name] = bound_type.left
+        body_linear[term.right_name] = bound_type.right
+        body_type, body_usage = _check(term.body, body_linear, unrestricted, context)
+        return body_type, _split(bound_usage, body_usage - {term.left_name, term.right_name})
+
+    if isinstance(term, ast.If):
+        condition_type, condition_usage = _check(term.condition, linear, unrestricted, context)
+        if not isinstance(condition_type, ty.BoolType):
+            raise TypeCheckError(f"if condition must be bool, got {condition_type}")
+        then_type, then_usage = _check(term.then_branch, linear, unrestricted, context)
+        else_type, else_usage = _check(term.else_branch, linear, unrestricted, context)
+        if then_type != else_type:
+            raise TypeCheckError(f"if branches disagree: {then_type} vs {else_type}")
+        return then_type, _split(condition_usage, then_usage | else_usage)
+
+    if isinstance(term, ast.Bang):
+        body_type, usage = _check(term.body, linear, unrestricted, context)
+        if usage:
+            raise LinearityError(f"!v may not capture linear resources, but uses {sorted(usage)}")
+        return ty.BangType(body_type), frozenset()
+
+    if isinstance(term, ast.LetBang):
+        bound_type, bound_usage = _check(term.bound, linear, unrestricted, context)
+        if not isinstance(bound_type, ty.BangType):
+            raise TypeCheckError(f"let ! expects a !τ, got {bound_type}")
+        body_unrestricted = dict(unrestricted)
+        body_unrestricted[term.name] = bound_type.body
+        body_type, body_usage = _check(term.body, linear, body_unrestricted, context)
+        return body_type, _split(bound_usage, body_usage)
+
+    if isinstance(term, ast.Dupl):
+        body_type, usage = _check(term.body, linear, unrestricted, context)
+        if not ty.is_duplicable(body_type):
+            raise LinearityError(f"dupl requires a Duplicable type, got {body_type}")
+        return ty.TensorType(body_type, body_type), usage
+
+    if isinstance(term, ast.Drop):
+        body_type, usage = _check(term.body, linear, unrestricted, context)
+        if not ty.is_duplicable(body_type):
+            raise LinearityError(f"drop requires a Duplicable type, got {body_type}")
+        return ty.UNIT, usage
+
+    if isinstance(term, ast.New):
+        stored_type, usage = _check(term.initial, linear, unrestricted, context)
+        return ty.reference_package(stored_type), usage
+
+    if isinstance(term, ast.FreePkg):
+        package_type, usage = _check(term.package, linear, unrestricted, context)
+        stored = _reference_package_payload(package_type)
+        if stored is None:
+            raise TypeCheckError(f"free expects a REF package (∃ζ. cap ζ τ ⊗ !ptr ζ), got {package_type}")
+        return stored, usage
+
+    if isinstance(term, ast.Swap):
+        capability_type, capability_usage = _check(term.capability, linear, unrestricted, context)
+        if not isinstance(capability_type, ty.CapType):
+            raise TypeCheckError(f"swap expects a capability, got {capability_type}")
+        pointer_type, pointer_usage = _check(term.pointer, linear, unrestricted, context)
+        expected_pointer = ty.PtrType(capability_type.location)
+        if pointer_type not in (expected_pointer, ty.BangType(expected_pointer)):
+            raise TypeCheckError(
+                f"swap pointer must be (ptr {capability_type.location}), got {pointer_type}"
+            )
+        value_type, value_usage = _check(term.value, linear, unrestricted, context)
+        usage = _split(_split(capability_usage, pointer_usage), value_usage)
+        return ty.TensorType(ty.CapType(capability_type.location, value_type), capability_type.stored), usage
+
+    if isinstance(term, ast.LocLam):
+        body_type, usage = _check(term.body, linear, unrestricted, context.with_location(term.binder))
+        return ty.ForallLocType(term.binder, body_type), usage
+
+    if isinstance(term, ast.LocApp):
+        body_type, usage = _check(term.body, linear, unrestricted, context)
+        if not isinstance(body_type, ty.ForallLocType):
+            raise TypeCheckError(f"location application of a non-∀ζ term of type {body_type}")
+        if term.location not in context.locations:
+            raise ScopeError(f"unbound location variable {term.location!r}")
+        return ty.substitute_location(body_type.body, body_type.binder, term.location), usage
+
+    if isinstance(term, ast.Pack):
+        _well_formed(term.annotation, context.with_location(term.witness))
+        body_type, usage = _check(term.body, linear, unrestricted, context)
+        expected = ty.substitute_location(term.annotation.body, term.annotation.binder, term.witness)
+        if body_type != expected:
+            raise TypeCheckError(
+                f"pack body has type {body_type}, annotation requires {expected}"
+            )
+        return term.annotation, usage
+
+    if isinstance(term, ast.Unpack):
+        bound_type, bound_usage = _check(term.bound, linear, unrestricted, context)
+        if not isinstance(bound_type, ty.ExistsLocType):
+            raise TypeCheckError(f"unpack expects an existential, got {bound_type}")
+        opened = ty.substitute_location(bound_type.body, bound_type.binder, term.location_name)
+        body_linear = dict(linear)
+        body_linear[term.value_name] = opened
+        body_context = context.with_location(term.location_name)
+        body_type, body_usage = _check(term.body, body_linear, unrestricted, body_context)
+        if term.location_name in ty.free_locations(body_type):
+            raise TypeCheckError(
+                f"the unpacked location variable {term.location_name!r} escapes in the result type {body_type}"
+            )
+        return body_type, _split(bound_usage, body_usage - {term.value_name})
+
+    if isinstance(term, ast.Boundary):
+        if context.hook is None:
+            raise ConvertibilityError(
+                "L3 boundary term encountered but no interoperability system is configured"
+            )
+        _well_formed(term.annotation, context)
+        return context.hook(term, linear, unrestricted, context.locations, context.foreign_env)
+
+    raise TypeCheckError(f"unrecognized L3 term {term!r}")
+
+
+def _reference_package_payload(package_type: ty.Type) -> Optional[ty.Type]:
+    """Match ``∃ζ. cap ζ τ ⊗ !ptr ζ`` (or without the !) and return ``τ``."""
+    if not isinstance(package_type, ty.ExistsLocType):
+        return None
+    body = package_type.body
+    if not isinstance(body, ty.TensorType):
+        return None
+    capability, pointer = body.left, body.right
+    if not isinstance(capability, ty.CapType) or capability.location != package_type.binder:
+        return None
+    pointer_core = pointer.body if isinstance(pointer, ty.BangType) else pointer
+    if not isinstance(pointer_core, ty.PtrType) or pointer_core.location != package_type.binder:
+        return None
+    return capability.stored

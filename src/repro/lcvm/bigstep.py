@@ -1,0 +1,320 @@
+"""An environment-based big-step evaluator for LCVM.
+
+The substitution-based machine in :mod:`repro.lcvm.machine` is the reference
+semantics (it matches the paper's figures and drives the realizability
+models), but substitution makes every β-step linear in the size of the body.
+This evaluator uses closures and environments instead, which is how a real
+LCVM implementation would work; the benchmark suite compares the two as an
+ablation of the "interpreter substrate" design choice.
+
+The evaluator implements the same observable behaviour: the same values, the
+same error codes, and the same GC semantics (``callgc`` collects GC'd cells
+unreachable from the current environments and the manual cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import ErrorCode, OutOfFuelError
+from repro.lcvm import syntax as s
+from repro.lcvm.heap import CellKind
+
+
+# -- runtime values -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnitV:
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class IntV:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class LocV:
+    address: int
+
+    def __str__(self) -> str:
+        return f"ℓ{self.address}"
+
+
+@dataclass(frozen=True)
+class PairV:
+    first: "RuntimeValue"
+    second: "RuntimeValue"
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class InlV:
+    body: "RuntimeValue"
+
+    def __str__(self) -> str:
+        return f"(inl {self.body})"
+
+
+@dataclass(frozen=True)
+class InrV:
+    body: "RuntimeValue"
+
+    def __str__(self) -> str:
+        return f"(inr {self.body})"
+
+
+@dataclass(frozen=True)
+class Closure:
+    parameter: str
+    body: s.Expr
+    environment: Tuple[Tuple[str, "RuntimeValue"], ...]
+
+    def __str__(self) -> str:
+        return f"<closure λ{self.parameter}>"
+
+
+RuntimeValue = Union[UnitV, IntV, LocV, PairV, InlV, InrV, Closure]
+
+
+class EvaluationFailure(Exception):
+    """The program executed ``fail c`` (or an operation that reduces to it)."""
+
+    def __init__(self, code: ErrorCode):
+        super().__init__(str(code))
+        self.code = code
+
+
+@dataclass
+class EvalResult:
+    value: Optional[RuntimeValue]
+    failure: Optional[ErrorCode]
+    heap_size: int
+    collections: int
+    reclaimed: int
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class Evaluator:
+    """Environment-based evaluator with explicit GC support."""
+
+    def __init__(self, fuel: int = 1_000_000):
+        self.fuel = fuel
+        self._remaining = fuel
+        self._heap: Dict[int, Tuple[CellKind, RuntimeValue]] = {}
+        self._next_address = 0
+        self._env_stack: List[Dict[str, RuntimeValue]] = []
+        self.collections = 0
+        self.reclaimed = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, expr: s.Expr) -> EvalResult:
+        self._remaining = self.fuel
+        try:
+            value = self._eval(expr, {})
+            return EvalResult(value, None, len(self._heap), self.collections, self.reclaimed)
+        except EvaluationFailure as failure:
+            return EvalResult(None, failure.code, len(self._heap), self.collections, self.reclaimed)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _spend(self) -> None:
+        self._remaining -= 1
+        if self._remaining < 0:
+            raise OutOfFuelError(f"exceeded {self.fuel} evaluation steps")
+
+    def _alloc(self, value: RuntimeValue, kind: CellKind) -> int:
+        address = self._next_address
+        while address in self._heap:
+            address += 1
+        self._next_address = address + 1
+        self._heap[address] = (kind, value)
+        return address
+
+    def _expect_int(self, value: RuntimeValue) -> int:
+        if isinstance(value, IntV):
+            return value.value
+        raise EvaluationFailure(ErrorCode.TYPE)
+
+    # -- garbage collection ----------------------------------------------------
+
+    def _roots(self, extra: Dict[str, RuntimeValue]) -> List[int]:
+        roots: List[int] = []
+        for environment in self._env_stack + [extra]:
+            for value in environment.values():
+                roots.extend(self._locations_of(value))
+        return roots
+
+    def _locations_of(self, value: RuntimeValue) -> List[int]:
+        if isinstance(value, LocV):
+            return [value.address]
+        if isinstance(value, PairV):
+            return self._locations_of(value.first) + self._locations_of(value.second)
+        if isinstance(value, (InlV, InrV)):
+            return self._locations_of(value.body)
+        if isinstance(value, Closure):
+            locations: List[int] = []
+            for bound in dict(value.environment).values():
+                locations.extend(self._locations_of(bound))
+            return locations
+        return []
+
+    def collect(self, extra_env: Optional[Dict[str, RuntimeValue]] = None) -> int:
+        live: set = set()
+        frontier = list(self._roots(extra_env or {}))
+        frontier.extend(address for address, (kind, _v) in self._heap.items() if kind is CellKind.MANUAL)
+        while frontier:
+            address = frontier.pop()
+            if address in live or address not in self._heap:
+                continue
+            live.add(address)
+            _kind, stored = self._heap[address]
+            frontier.extend(self._locations_of(stored))
+        dead = [address for address, (kind, _v) in self._heap.items() if kind is CellKind.GC and address not in live]
+        for address in dead:
+            del self._heap[address]
+        self.collections += 1
+        self.reclaimed += len(dead)
+        return len(dead)
+
+    # -- the evaluator -----------------------------------------------------------
+
+    def _eval(self, expr: s.Expr, env: Dict[str, RuntimeValue]) -> RuntimeValue:
+        self._spend()
+
+        if isinstance(expr, s.Unit):
+            return UnitV()
+        if isinstance(expr, s.Int):
+            return IntV(expr.value)
+        if isinstance(expr, s.Loc):
+            return LocV(expr.address)
+        if isinstance(expr, s.Var):
+            if expr.name not in env:
+                raise EvaluationFailure(ErrorCode.TYPE)
+            return env[expr.name]
+        if isinstance(expr, s.Fail):
+            raise EvaluationFailure(expr.code)
+        if isinstance(expr, s.Pair):
+            return PairV(self._eval(expr.first, env), self._eval(expr.second, env))
+        if isinstance(expr, s.Fst):
+            value = self._eval(expr.body, env)
+            if isinstance(value, PairV):
+                return value.first
+            raise EvaluationFailure(ErrorCode.TYPE)
+        if isinstance(expr, s.Snd):
+            value = self._eval(expr.body, env)
+            if isinstance(value, PairV):
+                return value.second
+            raise EvaluationFailure(ErrorCode.TYPE)
+        if isinstance(expr, s.Inl):
+            return InlV(self._eval(expr.body, env))
+        if isinstance(expr, s.Inr):
+            return InrV(self._eval(expr.body, env))
+        if isinstance(expr, s.If):
+            condition = self._expect_int(self._eval(expr.condition, env))
+            branch = expr.then_branch if condition == 0 else expr.else_branch
+            return self._eval(branch, env)
+        if isinstance(expr, s.Match):
+            scrutinee = self._eval(expr.scrutinee, env)
+            if isinstance(scrutinee, InlV):
+                extended = dict(env)
+                extended[expr.left_name] = scrutinee.body
+                return self._eval(expr.left_branch, extended)
+            if isinstance(scrutinee, InrV):
+                extended = dict(env)
+                extended[expr.right_name] = scrutinee.body
+                return self._eval(expr.right_branch, extended)
+            raise EvaluationFailure(ErrorCode.TYPE)
+        if isinstance(expr, s.Let):
+            bound = self._eval(expr.bound, env)
+            extended = dict(env)
+            extended[expr.name] = bound
+            return self._eval(expr.body, extended)
+        if isinstance(expr, s.Lam):
+            return Closure(expr.parameter, expr.body, tuple(env.items()))
+        if isinstance(expr, s.App):
+            function = self._eval(expr.function, env)
+            argument = self._eval(expr.argument, env)
+            if not isinstance(function, Closure):
+                raise EvaluationFailure(ErrorCode.TYPE)
+            call_env = dict(function.environment)
+            call_env[function.parameter] = argument
+            self._env_stack.append(env)
+            try:
+                return self._eval(function.body, call_env)
+            finally:
+                self._env_stack.pop()
+        if isinstance(expr, s.BinOp):
+            left = self._expect_int(self._eval(expr.left, env))
+            right = self._expect_int(self._eval(expr.right, env))
+            if expr.op == "+":
+                return IntV(left + right)
+            if expr.op == "-":
+                return IntV(left - right)
+            if expr.op == "*":
+                return IntV(left * right)
+            if expr.op == "<":
+                return IntV(0 if left < right else 1)
+            raise EvaluationFailure(ErrorCode.TYPE)
+        if isinstance(expr, s.NewRef):
+            value = self._eval(expr.initial, env)
+            return LocV(self._alloc(value, CellKind.GC))
+        if isinstance(expr, s.Alloc):
+            value = self._eval(expr.initial, env)
+            return LocV(self._alloc(value, CellKind.MANUAL))
+        if isinstance(expr, s.Deref):
+            reference = self._eval(expr.reference, env)
+            if not isinstance(reference, LocV):
+                raise EvaluationFailure(ErrorCode.TYPE)
+            if reference.address not in self._heap:
+                raise EvaluationFailure(ErrorCode.PTR)
+            return self._heap[reference.address][1]
+        if isinstance(expr, s.Assign):
+            reference = self._eval(expr.reference, env)
+            value = self._eval(expr.value, env)
+            if not isinstance(reference, LocV):
+                raise EvaluationFailure(ErrorCode.TYPE)
+            if reference.address not in self._heap:
+                raise EvaluationFailure(ErrorCode.PTR)
+            kind, _old = self._heap[reference.address]
+            self._heap[reference.address] = (kind, value)
+            return UnitV()
+        if isinstance(expr, s.Free):
+            reference = self._eval(expr.reference, env)
+            if not isinstance(reference, LocV):
+                raise EvaluationFailure(ErrorCode.TYPE)
+            entry = self._heap.get(reference.address)
+            if entry is None or entry[0] is not CellKind.MANUAL:
+                raise EvaluationFailure(ErrorCode.PTR)
+            del self._heap[reference.address]
+            return UnitV()
+        if isinstance(expr, s.GcMov):
+            reference = self._eval(expr.reference, env)
+            if not isinstance(reference, LocV):
+                raise EvaluationFailure(ErrorCode.TYPE)
+            entry = self._heap.get(reference.address)
+            if entry is None or entry[0] is not CellKind.MANUAL:
+                raise EvaluationFailure(ErrorCode.PTR)
+            self._heap[reference.address] = (CellKind.GC, entry[1])
+            return reference
+        if isinstance(expr, s.CallGc):
+            self.collect(env)
+            return UnitV()
+        raise EvaluationFailure(ErrorCode.TYPE)
+
+
+def evaluate(expr: s.Expr, fuel: int = 1_000_000) -> EvalResult:
+    """Evaluate a closed LCVM expression with the environment-based evaluator."""
+    return Evaluator(fuel=fuel).run(expr)

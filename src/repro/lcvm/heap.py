@@ -1,0 +1,160 @@
+"""The LCVM heap with garbage-collected and manually managed cells (Fig. 12).
+
+The §5 extension of LCVM lets the *same* pool of location names be used for
+both garbage-collected (``ℓ ↦gc v``) and manually managed (``ℓ ↦m v``) cells,
+with names re-usable after collection or ``free``.  ``gcmov`` transfers a
+manual cell to the collector (the key instruction behind the
+``ref τ ∼ REF τ`` conversion); ``callgc`` runs a mark-and-sweep collection
+whose roots are supplied by the machine (the locations mentioned by the
+current program).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.lcvm.syntax import Expr, mentioned_locations
+
+
+class CellKind(enum.Enum):
+    """How a heap cell is managed."""
+
+    GC = "gc"
+    MANUAL = "manual"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class HeapCell:
+    """One heap binding: a stored value and its management discipline."""
+
+    value: Expr
+    kind: CellKind
+
+
+@dataclass
+class Heap:
+    """A mutable LCVM heap.
+
+    The heap is deliberately a small, explicit object (not a raw dict) because
+    the §5 realizability model needs to split it into GC'd and manual
+    fragments, and the machine needs allocation, freeing, moving, and
+    collection as primitive operations.
+    """
+
+    cells: Dict[int, HeapCell] = field(default_factory=dict)
+    #: Statistics exposed for the benchmarks (collections run, cells reclaimed).
+    collections: int = 0
+    reclaimed: int = 0
+
+    # -- basic operations -----------------------------------------------------
+
+    def fresh_address(self) -> int:
+        """Return an unused address (freed/collected names may be re-used)."""
+        address = 0
+        while address in self.cells:
+            address += 1
+        return address
+
+    def allocate(self, value: Expr, kind: CellKind) -> int:
+        address = self.fresh_address()
+        self.cells[address] = HeapCell(value, kind)
+        return address
+
+    def contains(self, address: int) -> bool:
+        return address in self.cells
+
+    def kind_of(self, address: int) -> Optional[CellKind]:
+        cell = self.cells.get(address)
+        return cell.kind if cell is not None else None
+
+    def read(self, address: int) -> Expr:
+        return self.cells[address].value
+
+    def write(self, address: int, value: Expr) -> None:
+        self.cells[address].value = value
+
+    def free(self, address: int) -> None:
+        del self.cells[address]
+
+    def move_to_gc(self, address: int) -> None:
+        self.cells[address].kind = CellKind.GC
+
+    # -- fragments (used by the §5 model) --------------------------------------
+
+    def gc_fragment(self) -> Dict[int, Expr]:
+        return {address: cell.value for address, cell in self.cells.items() if cell.kind is CellKind.GC}
+
+    def manual_fragment(self) -> Dict[int, Expr]:
+        return {address: cell.value for address, cell in self.cells.items() if cell.kind is CellKind.MANUAL}
+
+    def snapshot(self) -> Dict[int, HeapCell]:
+        """A shallow copy of the cells (used by tests and the model)."""
+        return {address: HeapCell(cell.value, cell.kind) for address, cell in self.cells.items()}
+
+    def copy(self) -> "Heap":
+        heap = Heap(self.snapshot())
+        heap.collections = self.collections
+        heap.reclaimed = self.reclaimed
+        return heap
+
+    # -- garbage collection -----------------------------------------------------
+
+    def reachable_from(self, roots: Iterable[int]) -> Set[int]:
+        """Locations transitively reachable from ``roots`` through stored values."""
+        seen: Set[int] = set()
+        frontier = [address for address in roots if address in self.cells]
+        while frontier:
+            address = frontier.pop()
+            if address in seen:
+                continue
+            seen.add(address)
+            cell = self.cells.get(address)
+            if cell is None:
+                continue
+            for child in mentioned_locations(cell.value):
+                if child not in seen and child in self.cells:
+                    frontier.append(child)
+        return seen
+
+    def collect(self, roots: Iterable[int], pinned: Iterable[int] = ()) -> int:
+        """Mark-and-sweep over the GC'd cells.
+
+        Manual cells are never collected (they are freed explicitly), but they
+        *are* traced: a manual cell holding a GC'd location keeps that location
+        alive.  ``pinned`` locations are always retained (used by the model's
+        pinned-location set L).
+        """
+        all_roots = set(roots) | set(pinned)
+        # Manual cells act as additional roots because the collector cannot
+        # prove they are dead.
+        all_roots.update(address for address, cell in self.cells.items() if cell.kind is CellKind.MANUAL)
+        live = self.reachable_from(all_roots)
+        dead = [
+            address
+            for address, cell in self.cells.items()
+            if cell.kind is CellKind.GC and address not in live
+        ]
+        for address in dead:
+            del self.cells[address]
+        self.collections += 1
+        self.reclaimed += len(dead)
+        return len(dead)
+
+    # -- dunder helpers ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self.cells
+
+    def __str__(self) -> str:
+        entries = ", ".join(
+            f"ℓ{address} ↦{cell.kind.value} {cell.value}" for address, cell in sorted(self.cells.items())
+        )
+        return "{" + entries + "}"

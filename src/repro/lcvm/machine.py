@@ -1,0 +1,303 @@
+"""Small-step operational semantics of LCVM (Fig. 6) with the Fig. 12 extension.
+
+Configurations are ⟨H, e⟩ pairs of a heap and an expression; one ``step``
+reduces the leftmost-innermost redex.  Dynamic type errors (projecting a
+non-pair, calling a non-function, branching on a non-integer, ...) reduce to
+``fail Type``; dangling-pointer operations reduce to ``fail Ptr``; glue code
+signals conversion failures with ``fail Conv``.
+
+The machine is substitution-based, which keeps the semantics close to the
+paper and makes garbage-collection roots trivial to compute (the locations
+mentioned by the current expression).  A faster environment-based evaluator
+lives in :mod:`repro.lcvm.bigstep` and is compared against this machine in the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import ErrorCode, StuckError
+from repro.lcvm.heap import CellKind, Heap
+from repro.lcvm.syntax import (
+    Alloc,
+    App,
+    Assign,
+    BinOp,
+    CallGc,
+    Deref,
+    Expr,
+    Fail,
+    Free,
+    Fst,
+    GcMov,
+    If,
+    Inl,
+    Inr,
+    Int,
+    Lam,
+    Let,
+    Loc,
+    Match,
+    NewRef,
+    Pair,
+    Snd,
+    Unit,
+    Var,
+    is_value,
+    mentioned_locations,
+    substitute,
+)
+
+
+class Status(enum.Enum):
+    VALUE = "value"
+    FAIL = "fail"
+    OUT_OF_FUEL = "out_of_fuel"
+    STUCK = "stuck"
+
+
+@dataclass
+class Config:
+    """A machine configuration ⟨H, e⟩ (with a failure marker once ``fail c`` ran)."""
+
+    heap: Heap
+    expr: Expr
+    failure: Optional[ErrorCode] = None
+
+    def finished(self) -> bool:
+        return self.failure is not None or is_value(self.expr)
+
+    def __str__(self) -> str:
+        if self.failure is not None:
+            return f"⟨{self.heap}, fail {self.failure}⟩"
+        return f"⟨{self.heap}, {self.expr}⟩"
+
+
+@dataclass
+class MachineResult:
+    status: Status
+    config: Config
+    steps: int
+
+    @property
+    def value(self) -> Optional[Expr]:
+        if self.status is Status.VALUE:
+            return self.config.expr
+        return None
+
+    @property
+    def failure_code(self) -> Optional[ErrorCode]:
+        return self.config.failure
+
+    @property
+    def heap(self) -> Heap:
+        return self.config.heap
+
+    def __str__(self) -> str:
+        if self.status is Status.VALUE:
+            return f"value {self.value} in {self.steps} steps"
+        if self.status is Status.FAIL:
+            return f"fail {self.failure_code} in {self.steps} steps"
+        return f"{self.status.value} after {self.steps} steps"
+
+
+class _Failure(Exception):
+    """Internal signal that the redex was ``fail c``."""
+
+    def __init__(self, code: ErrorCode):
+        super().__init__(str(code))
+        self.code = code
+
+
+def _type_failure() -> "_Failure":
+    return _Failure(ErrorCode.TYPE)
+
+
+def _expects_int(expr: Expr) -> int:
+    if isinstance(expr, Int):
+        return expr.value
+    raise _type_failure()
+
+
+def step(config: Config) -> Config:
+    """Perform one reduction step; raises StuckError on non-reducible non-values."""
+    if config.finished():
+        raise StuckError(f"configuration is terminal: {config}")
+    heap = config.heap
+    # GC roots are the locations mentioned by the *whole* remaining program,
+    # computed before descending to the redex so that ``callgc`` deep inside a
+    # context cannot collect cells the surrounding context still refers to.
+    roots = mentioned_locations(config.expr)
+    try:
+        new_expr = _reduce(heap, config.expr, roots)
+    except _Failure as failure:
+        return Config(heap, Fail(failure.code), failure.code)
+    return Config(heap, new_expr)
+
+
+def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
+    """Reduce the leftmost-innermost redex of ``expr`` (mutating the heap)."""
+    if isinstance(expr, Var):
+        # Free variables cannot be evaluated; this is a dynamic type error.
+        raise _type_failure()
+
+    if isinstance(expr, Fail):
+        raise _Failure(expr.code)
+
+    if isinstance(expr, Pair):
+        if not is_value(expr.first):
+            return Pair(_reduce(heap, expr.first, roots), expr.second)
+        return Pair(expr.first, _reduce(heap, expr.second, roots))
+
+    if isinstance(expr, (Inl, Inr)):
+        constructor = type(expr)
+        return constructor(_reduce(heap, expr.body, roots))
+
+    if isinstance(expr, Fst):
+        if not is_value(expr.body):
+            return Fst(_reduce(heap, expr.body, roots))
+        if isinstance(expr.body, Pair):
+            return expr.body.first
+        raise _type_failure()
+
+    if isinstance(expr, Snd):
+        if not is_value(expr.body):
+            return Snd(_reduce(heap, expr.body, roots))
+        if isinstance(expr.body, Pair):
+            return expr.body.second
+        raise _type_failure()
+
+    if isinstance(expr, If):
+        if not is_value(expr.condition):
+            return If(_reduce(heap, expr.condition, roots), expr.then_branch, expr.else_branch)
+        scrutinee = _expects_int(expr.condition)
+        return expr.then_branch if scrutinee == 0 else expr.else_branch
+
+    if isinstance(expr, Match):
+        if not is_value(expr.scrutinee):
+            return Match(
+                _reduce(heap, expr.scrutinee, roots),
+                expr.left_name,
+                expr.left_branch,
+                expr.right_name,
+                expr.right_branch,
+            )
+        if isinstance(expr.scrutinee, Inl):
+            return substitute(expr.left_branch, expr.left_name, expr.scrutinee.body)
+        if isinstance(expr.scrutinee, Inr):
+            return substitute(expr.right_branch, expr.right_name, expr.scrutinee.body)
+        raise _type_failure()
+
+    if isinstance(expr, Let):
+        if not is_value(expr.bound):
+            return Let(expr.name, _reduce(heap, expr.bound, roots), expr.body)
+        return substitute(expr.body, expr.name, expr.bound)
+
+    if isinstance(expr, App):
+        if not is_value(expr.function):
+            return App(_reduce(heap, expr.function, roots), expr.argument)
+        if not is_value(expr.argument):
+            return App(expr.function, _reduce(heap, expr.argument, roots))
+        if isinstance(expr.function, Lam):
+            return substitute(expr.function.body, expr.function.parameter, expr.argument)
+        raise _type_failure()
+
+    if isinstance(expr, BinOp):
+        if not is_value(expr.left):
+            return BinOp(expr.op, _reduce(heap, expr.left, roots), expr.right)
+        if not is_value(expr.right):
+            return BinOp(expr.op, expr.left, _reduce(heap, expr.right, roots))
+        left, right = _expects_int(expr.left), _expects_int(expr.right)
+        if expr.op == "+":
+            return Int(left + right)
+        if expr.op == "-":
+            return Int(left - right)
+        if expr.op == "*":
+            return Int(left * right)
+        if expr.op == "<":
+            return Int(0 if left < right else 1)
+        raise _type_failure()
+
+    if isinstance(expr, NewRef):
+        if not is_value(expr.initial):
+            return NewRef(_reduce(heap, expr.initial, roots))
+        address = heap.allocate(expr.initial, CellKind.GC)
+        return Loc(address)
+
+    if isinstance(expr, Alloc):
+        if not is_value(expr.initial):
+            return Alloc(_reduce(heap, expr.initial, roots))
+        address = heap.allocate(expr.initial, CellKind.MANUAL)
+        return Loc(address)
+
+    if isinstance(expr, Deref):
+        if not is_value(expr.reference):
+            return Deref(_reduce(heap, expr.reference, roots))
+        if not isinstance(expr.reference, Loc):
+            raise _type_failure()
+        if not heap.contains(expr.reference.address):
+            raise _Failure(ErrorCode.PTR)
+        return heap.read(expr.reference.address)
+
+    if isinstance(expr, Assign):
+        if not is_value(expr.reference):
+            return Assign(_reduce(heap, expr.reference, roots), expr.value)
+        if not is_value(expr.value):
+            return Assign(expr.reference, _reduce(heap, expr.value, roots))
+        if not isinstance(expr.reference, Loc):
+            raise _type_failure()
+        if not heap.contains(expr.reference.address):
+            raise _Failure(ErrorCode.PTR)
+        heap.write(expr.reference.address, expr.value)
+        return Unit()
+
+    if isinstance(expr, Free):
+        if not is_value(expr.reference):
+            return Free(_reduce(heap, expr.reference, roots))
+        if not isinstance(expr.reference, Loc):
+            raise _type_failure()
+        address = expr.reference.address
+        if not heap.contains(address) or heap.kind_of(address) is not CellKind.MANUAL:
+            raise _Failure(ErrorCode.PTR)
+        heap.free(address)
+        return Unit()
+
+    if isinstance(expr, GcMov):
+        if not is_value(expr.reference):
+            return GcMov(_reduce(heap, expr.reference, roots))
+        if not isinstance(expr.reference, Loc):
+            raise _type_failure()
+        address = expr.reference.address
+        if not heap.contains(address) or heap.kind_of(address) is not CellKind.MANUAL:
+            raise _Failure(ErrorCode.PTR)
+        heap.move_to_gc(address)
+        return expr.reference
+
+    if isinstance(expr, CallGc):
+        heap.collect(roots=roots)
+        return Unit()
+
+    raise StuckError(f"no reduction rule for {expr!r}")
+
+
+def run(expr: Expr, heap: Optional[Heap] = None, fuel: int = 100_000) -> MachineResult:
+    """Run ``expr`` to a value / failure, or until ``fuel`` steps have been taken."""
+    return run_config(Config(heap if heap is not None else Heap(), expr), fuel=fuel)
+
+
+def run_config(config: Config, fuel: int = 100_000) -> MachineResult:
+    steps = 0
+    while steps < fuel:
+        if config.failure is not None:
+            return MachineResult(Status.FAIL, config, steps)
+        if is_value(config.expr):
+            return MachineResult(Status.VALUE, config, steps)
+        try:
+            config = step(config)
+        except StuckError:
+            return MachineResult(Status.STUCK, config, steps)
+        steps += 1
+    return MachineResult(Status.OUT_OF_FUEL, config, steps)

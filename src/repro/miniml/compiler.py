@@ -1,0 +1,96 @@
+"""The MiniML → LCVM compiler (standard; see Fig. 8 and Fig. 13 for its style).
+
+Unit compiles to ``()``; sums to LCVM injections; products to pairs; type
+abstraction to a unit-accepting λ (type application forces it); references to
+garbage-collected cells, with ``callgc`` inserted before each allocation so
+the collector can intercede exactly as the §5 compiler does for L3.
+Boundary terms are compiled by the interoperability system's hook, which
+compiles the foreign term and wraps it with conversion glue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import CompileError
+from repro.lcvm import syntax as target
+from repro.miniml import syntax as ast
+
+BoundaryHook = Callable[[ast.Boundary], target.Expr]
+
+
+def compile_expr(term: ast.Expr, boundary_hook: Optional[BoundaryHook] = None) -> target.Expr:
+    """Compile a MiniML term to an LCVM expression (``e⁺``)."""
+    if isinstance(term, ast.UnitLit):
+        return target.Unit()
+
+    if isinstance(term, ast.IntLit):
+        return target.Int(term.value)
+
+    if isinstance(term, ast.Var):
+        return target.Var(term.name)
+
+    if isinstance(term, ast.Pair):
+        return target.Pair(compile_expr(term.first, boundary_hook), compile_expr(term.second, boundary_hook))
+
+    if isinstance(term, ast.Fst):
+        return target.Fst(compile_expr(term.body, boundary_hook))
+
+    if isinstance(term, ast.Snd):
+        return target.Snd(compile_expr(term.body, boundary_hook))
+
+    if isinstance(term, ast.Inl):
+        return target.Inl(compile_expr(term.body, boundary_hook))
+
+    if isinstance(term, ast.Inr):
+        return target.Inr(compile_expr(term.body, boundary_hook))
+
+    if isinstance(term, ast.Match):
+        return target.Match(
+            compile_expr(term.scrutinee, boundary_hook),
+            term.left_name,
+            compile_expr(term.left_branch, boundary_hook),
+            term.right_name,
+            compile_expr(term.right_branch, boundary_hook),
+        )
+
+    if isinstance(term, ast.Lam):
+        return target.Lam(term.parameter, compile_expr(term.body, boundary_hook))
+
+    if isinstance(term, ast.App):
+        return target.App(compile_expr(term.function, boundary_hook), compile_expr(term.argument, boundary_hook))
+
+    if isinstance(term, ast.TyLam):
+        return target.Lam("_", compile_expr(term.body, boundary_hook))
+
+    if isinstance(term, ast.TyApp):
+        return target.App(compile_expr(term.body, boundary_hook), target.Unit())
+
+    if isinstance(term, ast.Add):
+        return target.BinOp("+", compile_expr(term.left, boundary_hook), compile_expr(term.right, boundary_hook))
+
+    if isinstance(term, ast.LetIn):
+        return target.Let(term.name, compile_expr(term.bound, boundary_hook), compile_expr(term.body, boundary_hook))
+
+    if isinstance(term, ast.NewRef):
+        # Let the collector intercede before each GC'd allocation (cf. Fig. 13).
+        return target.Let(
+            "gcref_init",
+            compile_expr(term.initial, boundary_hook),
+            target.Let("_", target.CallGc(), target.NewRef(target.Var("gcref_init"))),
+        )
+
+    if isinstance(term, ast.Deref):
+        return target.Deref(compile_expr(term.reference, boundary_hook))
+
+    if isinstance(term, ast.Assign):
+        return target.Assign(compile_expr(term.reference, boundary_hook), compile_expr(term.value, boundary_hook))
+
+    if isinstance(term, ast.Boundary):
+        if boundary_hook is None:
+            raise CompileError(
+                "MiniML boundary term encountered but no interoperability system is configured"
+            )
+        return boundary_hook(term)
+
+    raise CompileError(f"unrecognized MiniML term {term!r}")

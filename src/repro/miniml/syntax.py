@@ -1,0 +1,213 @@
+"""Abstract syntax of MiniML (Fig. 6).
+
+``e ::= () | n | x | (e,e) | fst e | snd e | inl e | inr e
+      | match e x {e} y {e} | λx:τ. e | e e | Λα. e | e[τ]
+      | ref e | !e | e := e | ⦇e⦈^τ``
+
+As in RefHL, sum injections are annotated with their sum type to keep
+typechecking syntax-directed, and a primitive ``+`` on integers is included
+(the paper's MiniML has integer literals; arithmetic makes the examples and
+workloads non-trivial without changing anything essential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.miniml.types import SumType, Type
+
+
+@dataclass(frozen=True)
+class UnitLit:
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Pair:
+    first: "Expr"
+    second: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class Fst:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(fst {self.body})"
+
+
+@dataclass(frozen=True)
+class Snd:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(snd {self.body})"
+
+
+@dataclass(frozen=True)
+class Inl:
+    annotation: SumType
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(inl {self.annotation} {self.body})"
+
+
+@dataclass(frozen=True)
+class Inr:
+    annotation: SumType
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(inr {self.annotation} {self.body})"
+
+
+@dataclass(frozen=True)
+class Match:
+    scrutinee: "Expr"
+    left_name: str
+    left_branch: "Expr"
+    right_name: str
+    right_branch: "Expr"
+
+    def __str__(self) -> str:
+        return (
+            f"(match {self.scrutinee} {self.left_name}{{{self.left_branch}}} "
+            f"{self.right_name}{{{self.right_branch}}})"
+        )
+
+
+@dataclass(frozen=True)
+class Lam:
+    parameter: str
+    parameter_type: Type
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(λ{self.parameter}:{self.parameter_type}. {self.body})"
+
+
+@dataclass(frozen=True)
+class App:
+    function: "Expr"
+    argument: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.function} {self.argument})"
+
+
+@dataclass(frozen=True)
+class TyLam:
+    binder: str
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(Λ{self.binder}. {self.body})"
+
+
+@dataclass(frozen=True)
+class TyApp:
+    body: "Expr"
+    argument: Type
+
+    def __str__(self) -> str:
+        return f"({self.body} [{self.argument}])"
+
+
+@dataclass(frozen=True)
+class Add:
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class LetIn:
+    name: str
+    bound: "Expr"
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(let {self.name} = {self.bound} in {self.body})"
+
+
+@dataclass(frozen=True)
+class NewRef:
+    initial: "Expr"
+
+    def __str__(self) -> str:
+        return f"(ref {self.initial})"
+
+
+@dataclass(frozen=True)
+class Deref:
+    reference: "Expr"
+
+    def __str__(self) -> str:
+        return f"(! {self.reference})"
+
+
+@dataclass(frozen=True)
+class Assign:
+    reference: "Expr"
+    value: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.reference} := {self.value})"
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """``⦇e⦈^τ`` — embed a foreign term (Affi in §4, L3 in §5) at MiniML type τ."""
+
+    annotation: Type
+    foreign_term: Any
+
+    def __str__(self) -> str:
+        return f"⦇{self.foreign_term}⦈^{self.annotation}"
+
+
+Expr = Union[
+    UnitLit,
+    IntLit,
+    Var,
+    Pair,
+    Fst,
+    Snd,
+    Inl,
+    Inr,
+    Match,
+    Lam,
+    App,
+    TyLam,
+    TyApp,
+    Add,
+    LetIn,
+    NewRef,
+    Deref,
+    Assign,
+    Boundary,
+]

@@ -1,0 +1,213 @@
+"""Static semantics of MiniML.
+
+The typing judgment is ``Δ; Γ; Γ̄; Ω ⊢ e : τ`` (Fig. 7): ``Δ`` holds type
+variables, ``Γ`` MiniML term variables, and the foreign environments are
+threaded through opaquely so that boundary terms can mention foreign
+variables.  Because the foreign languages of §4 and §5 are substructural,
+MiniML's own rules must make sure the foreign resources reaching it through
+boundaries are not duplicated: the checker therefore computes, for every
+subterm, the set of affine/linear foreign variables it uses and rejects terms
+that use one of them more than once (the algorithmic reading of the
+environment-splitting ``Ω = Ω₁ ⊎ Ω₂`` premises).
+
+Boundary terms are delegated to a hook supplied by the interoperability
+system; the hook returns both the boundary's type and the foreign resources it
+consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.core.errors import ConvertibilityError, LinearityError, ScopeError, TypeCheckError
+from repro.miniml import syntax as ast
+from repro.miniml import types as ty
+
+Env = Dict[str, ty.Type]
+ForeignEnv = Dict[str, object]
+#: (type, consumed foreign affine/linear variables)
+CheckResult = Tuple[ty.Type, FrozenSet[str]]
+BoundaryHook = Callable[[ast.Boundary, Env, FrozenSet[str], ForeignEnv], CheckResult]
+
+
+def typecheck(
+    term: ast.Expr,
+    env: Optional[Env] = None,
+    type_vars: Optional[FrozenSet[str]] = None,
+    foreign_env: Optional[ForeignEnv] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+) -> ty.Type:
+    """Infer the type of ``term``; raise on ill-typed or resource-unsafe terms."""
+    inferred, _usage = check_with_usage(term, env, type_vars, foreign_env, boundary_hook)
+    return inferred
+
+
+def check_with_usage(
+    term: ast.Expr,
+    env: Optional[Env] = None,
+    type_vars: Optional[FrozenSet[str]] = None,
+    foreign_env: Optional[ForeignEnv] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+) -> CheckResult:
+    """Like :func:`typecheck` but also report which foreign resources were used."""
+    context = _Context(frozenset(type_vars or ()), dict(foreign_env or {}), boundary_hook)
+    return _check(term, dict(env or {}), context)
+
+
+class _Context:
+    def __init__(self, type_vars: FrozenSet[str], foreign_env: ForeignEnv, hook: Optional[BoundaryHook]):
+        self.type_vars = type_vars
+        self.foreign_env = foreign_env
+        self.hook = hook
+
+    def with_type_var(self, name: str) -> "_Context":
+        return _Context(self.type_vars | {name}, self.foreign_env, self.hook)
+
+
+def _well_formed(in_type: ty.Type, context: _Context) -> None:
+    unbound = ty.free_type_variables(in_type) - context.type_vars
+    if unbound:
+        raise TypeCheckError(f"type {in_type} mentions unbound type variables {sorted(unbound)}")
+
+
+def _split(left: FrozenSet[str], right: FrozenSet[str]) -> FrozenSet[str]:
+    """Combine sequential usages (``Ω = Ω₁ ⊎ Ω₂``): reuse is a linearity error."""
+    overlap = left & right
+    if overlap:
+        raise LinearityError(
+            f"foreign affine/linear resources used more than once: {sorted(overlap)}"
+        )
+    return left | right
+
+
+def _check(term: ast.Expr, env: Env, context: _Context) -> CheckResult:
+    if isinstance(term, ast.UnitLit):
+        return ty.UNIT, frozenset()
+
+    if isinstance(term, ast.IntLit):
+        return ty.INT, frozenset()
+
+    if isinstance(term, ast.Var):
+        if term.name not in env:
+            raise ScopeError(f"unbound MiniML variable {term.name!r}")
+        return env[term.name], frozenset()
+
+    if isinstance(term, ast.Pair):
+        left_type, left_usage = _check(term.first, env, context)
+        right_type, right_usage = _check(term.second, env, context)
+        return ty.ProdType(left_type, right_type), _split(left_usage, right_usage)
+
+    if isinstance(term, ast.Fst):
+        body_type, usage = _check(term.body, env, context)
+        if not isinstance(body_type, ty.ProdType):
+            raise TypeCheckError(f"fst expects a product, got {body_type}")
+        return body_type.left, usage
+
+    if isinstance(term, ast.Snd):
+        body_type, usage = _check(term.body, env, context)
+        if not isinstance(body_type, ty.ProdType):
+            raise TypeCheckError(f"snd expects a product, got {body_type}")
+        return body_type.right, usage
+
+    if isinstance(term, ast.Inl):
+        _well_formed(term.annotation, context)
+        body_type, usage = _check(term.body, env, context)
+        if body_type != term.annotation.left:
+            raise TypeCheckError(f"inl payload has type {body_type}, annotation expects {term.annotation.left}")
+        return term.annotation, usage
+
+    if isinstance(term, ast.Inr):
+        _well_formed(term.annotation, context)
+        body_type, usage = _check(term.body, env, context)
+        if body_type != term.annotation.right:
+            raise TypeCheckError(f"inr payload has type {body_type}, annotation expects {term.annotation.right}")
+        return term.annotation, usage
+
+    if isinstance(term, ast.Match):
+        scrutinee_type, scrutinee_usage = _check(term.scrutinee, env, context)
+        if not isinstance(scrutinee_type, ty.SumType):
+            raise TypeCheckError(f"match expects a sum, got {scrutinee_type}")
+        left_env = dict(env)
+        left_env[term.left_name] = scrutinee_type.left
+        right_env = dict(env)
+        right_env[term.right_name] = scrutinee_type.right
+        left_type, left_usage = _check(term.left_branch, left_env, context)
+        right_type, right_usage = _check(term.right_branch, right_env, context)
+        if left_type != right_type:
+            raise TypeCheckError(f"match branches disagree: {left_type} vs {right_type}")
+        # Only one branch runs, so the branches' usages may overlap with each
+        # other but not with the scrutinee's.
+        branch_usage = left_usage | right_usage
+        return left_type, _split(scrutinee_usage, branch_usage)
+
+    if isinstance(term, ast.Lam):
+        _well_formed(term.parameter_type, context)
+        body_env = dict(env)
+        body_env[term.parameter] = term.parameter_type
+        body_type, usage = _check(term.body, body_env, context)
+        return ty.FunType(term.parameter_type, body_type), usage
+
+    if isinstance(term, ast.App):
+        function_type, function_usage = _check(term.function, env, context)
+        if not isinstance(function_type, ty.FunType):
+            raise TypeCheckError(f"application of a non-function of type {function_type}")
+        argument_type, argument_usage = _check(term.argument, env, context)
+        if argument_type != function_type.argument:
+            raise TypeCheckError(f"argument has type {argument_type}, expected {function_type.argument}")
+        return function_type.result, _split(function_usage, argument_usage)
+
+    if isinstance(term, ast.TyLam):
+        body_type, usage = _check(term.body, env, context.with_type_var(term.binder))
+        return ty.ForallType(term.binder, body_type), usage
+
+    if isinstance(term, ast.TyApp):
+        body_type, usage = _check(term.body, env, context)
+        if not isinstance(body_type, ty.ForallType):
+            raise TypeCheckError(f"type application of a non-polymorphic term of type {body_type}")
+        _well_formed(term.argument, context)
+        return ty.substitute_type(body_type.body, body_type.binder, term.argument), usage
+
+    if isinstance(term, ast.Add):
+        left_type, left_usage = _check(term.left, env, context)
+        right_type, right_usage = _check(term.right, env, context)
+        if not isinstance(left_type, ty.IntType) or not isinstance(right_type, ty.IntType):
+            raise TypeCheckError(f"+ expects ints, got {left_type} and {right_type}")
+        return ty.INT, _split(left_usage, right_usage)
+
+    if isinstance(term, ast.LetIn):
+        bound_type, bound_usage = _check(term.bound, env, context)
+        body_env = dict(env)
+        body_env[term.name] = bound_type
+        body_type, body_usage = _check(term.body, body_env, context)
+        return body_type, _split(bound_usage, body_usage)
+
+    if isinstance(term, ast.NewRef):
+        body_type, usage = _check(term.initial, env, context)
+        return ty.RefType(body_type), usage
+
+    if isinstance(term, ast.Deref):
+        reference_type, usage = _check(term.reference, env, context)
+        if not isinstance(reference_type, ty.RefType):
+            raise TypeCheckError(f"dereference of a non-reference of type {reference_type}")
+        return reference_type.referent, usage
+
+    if isinstance(term, ast.Assign):
+        reference_type, reference_usage = _check(term.reference, env, context)
+        if not isinstance(reference_type, ty.RefType):
+            raise TypeCheckError(f"assignment to a non-reference of type {reference_type}")
+        value_type, value_usage = _check(term.value, env, context)
+        if value_type != reference_type.referent:
+            raise TypeCheckError(
+                f"assigned value has type {value_type}, reference holds {reference_type.referent}"
+            )
+        return ty.UNIT, _split(reference_usage, value_usage)
+
+    if isinstance(term, ast.Boundary):
+        if context.hook is None:
+            raise ConvertibilityError(
+                "MiniML boundary term encountered but no interoperability system is configured"
+            )
+        _well_formed(term.annotation, context)
+        return context.hook(term, env, context.type_vars, context.foreign_env)
+
+    raise TypeCheckError(f"unrecognized MiniML term {term!r}")

@@ -1,0 +1,174 @@
+"""Types of MiniML (Fig. 6), plus the §5 foreign type ``⟨τ⟩``.
+
+``τ ::= unit | int | τ × τ | τ + τ | τ → τ | ∀α.τ | α | ref τ | ⟨τ_L3⟩``
+
+The foreign type ``⟨τ⟩`` opaquely embeds an L3 type into MiniML's type grammar
+(§5): MiniML has no introduction or elimination forms for it, but it can
+instantiate type abstractions and flow through functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core.errors import ParseError
+from repro.util.sexpr import SAtom, SExpr, SList, parse_sexpr
+
+
+@dataclass(frozen=True)
+class UnitType:
+    def __str__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class IntType:
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class ProdType:
+    left: "Type"
+    right: "Type"
+
+    def __str__(self) -> str:
+        return f"({self.left} * {self.right})"
+
+
+@dataclass(frozen=True)
+class SumType:
+    left: "Type"
+    right: "Type"
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class FunType:
+    argument: "Type"
+    result: "Type"
+
+    def __str__(self) -> str:
+        return f"({self.argument} -> {self.result})"
+
+
+@dataclass(frozen=True)
+class TypeVar:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ForallType:
+    binder: str
+    body: "Type"
+
+    def __str__(self) -> str:
+        return f"(∀{self.binder}. {self.body})"
+
+
+@dataclass(frozen=True)
+class RefType:
+    referent: "Type"
+
+    def __str__(self) -> str:
+        return f"(ref {self.referent})"
+
+
+@dataclass(frozen=True)
+class ForeignType:
+    """``⟨τ⟩`` — an opaquely embedded L3 type (§5)."""
+
+    embedded: Any
+
+    def __str__(self) -> str:
+        return f"⟨{self.embedded}⟩"
+
+
+Type = Union[UnitType, IntType, ProdType, SumType, FunType, TypeVar, ForallType, RefType, ForeignType]
+
+UNIT = UnitType()
+INT = IntType()
+
+
+def substitute_type(in_type: Type, name: str, replacement: Type) -> Type:
+    """Capture-avoiding substitution ``[α ↦ τ']τ``."""
+    if isinstance(in_type, TypeVar):
+        return replacement if in_type.name == name else in_type
+    if isinstance(in_type, (UnitType, IntType, ForeignType)):
+        return in_type
+    if isinstance(in_type, ProdType):
+        return ProdType(substitute_type(in_type.left, name, replacement), substitute_type(in_type.right, name, replacement))
+    if isinstance(in_type, SumType):
+        return SumType(substitute_type(in_type.left, name, replacement), substitute_type(in_type.right, name, replacement))
+    if isinstance(in_type, FunType):
+        return FunType(substitute_type(in_type.argument, name, replacement), substitute_type(in_type.result, name, replacement))
+    if isinstance(in_type, RefType):
+        return RefType(substitute_type(in_type.referent, name, replacement))
+    if isinstance(in_type, ForallType):
+        if in_type.binder == name:
+            return in_type
+        return ForallType(in_type.binder, substitute_type(in_type.body, name, replacement))
+    raise ParseError(f"unknown MiniML type {in_type!r}")
+
+
+def free_type_variables(in_type: Type) -> frozenset:
+    if isinstance(in_type, TypeVar):
+        return frozenset({in_type.name})
+    if isinstance(in_type, (UnitType, IntType, ForeignType)):
+        return frozenset()
+    if isinstance(in_type, (ProdType, SumType)):
+        return free_type_variables(in_type.left) | free_type_variables(in_type.right)
+    if isinstance(in_type, FunType):
+        return free_type_variables(in_type.argument) | free_type_variables(in_type.result)
+    if isinstance(in_type, RefType):
+        return free_type_variables(in_type.referent)
+    if isinstance(in_type, ForallType):
+        return free_type_variables(in_type.body) - {in_type.binder}
+    raise ParseError(f"unknown MiniML type {in_type!r}")
+
+
+def parse_type_sexpr(sexpr: SExpr, foreign_type_parser=None) -> Type:
+    """Interpret an s-expression as a MiniML type.
+
+    Surface syntax: ``unit``, ``int``, ``(prod τ τ)``, ``(sum τ τ)``,
+    ``(-> τ τ)``, ``(forall a τ)``, ``(ref τ)``, type variables as bare
+    symbols, and ``(foreign τ_L3)`` (parsed with ``foreign_type_parser``).
+    """
+    if isinstance(sexpr, SAtom):
+        if sexpr.text == "unit":
+            return UNIT
+        if sexpr.text == "int":
+            return INT
+        if sexpr.text.isidentifier():
+            return TypeVar(sexpr.text)
+        raise ParseError(f"malformed MiniML type {sexpr.text!r}")
+    if isinstance(sexpr, SList) and len(sexpr) > 0 and isinstance(sexpr[0], SAtom):
+        head = sexpr[0].text
+        if head == "prod" and len(sexpr) == 3:
+            return ProdType(parse_type_sexpr(sexpr[1], foreign_type_parser), parse_type_sexpr(sexpr[2], foreign_type_parser))
+        if head == "sum" and len(sexpr) == 3:
+            return SumType(parse_type_sexpr(sexpr[1], foreign_type_parser), parse_type_sexpr(sexpr[2], foreign_type_parser))
+        if head == "->" and len(sexpr) == 3:
+            return FunType(parse_type_sexpr(sexpr[1], foreign_type_parser), parse_type_sexpr(sexpr[2], foreign_type_parser))
+        if head == "forall" and len(sexpr) == 3 and isinstance(sexpr[1], SAtom):
+            return ForallType(sexpr[1].text, parse_type_sexpr(sexpr[2], foreign_type_parser))
+        if head == "ref" and len(sexpr) == 2:
+            return RefType(parse_type_sexpr(sexpr[1], foreign_type_parser))
+        if head == "foreign" and len(sexpr) == 2:
+            if foreign_type_parser is None:
+                from repro.l3.types import parse_type_sexpr as parse_l3_type
+
+                foreign_type_parser = parse_l3_type
+            return ForeignType(foreign_type_parser(sexpr[1]))
+    raise ParseError(f"malformed MiniML type: {sexpr}")
+
+
+def parse_type(text: str) -> Type:
+    """Parse a MiniML type from surface text."""
+    return parse_type_sexpr(parse_sexpr(text))

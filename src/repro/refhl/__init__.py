@@ -1,0 +1,35 @@
+"""RefHL: the higher-level source language of case study 1 (§3)."""
+
+from repro.refhl import syntax
+from repro.refhl.compiler import compile_expr
+from repro.refhl.parser import parse_expr
+from repro.refhl.typechecker import typecheck
+from repro.refhl.types import (
+    BOOL,
+    UNIT,
+    BoolType,
+    FunType,
+    ProdType,
+    RefType,
+    SumType,
+    Type,
+    UnitType,
+    parse_type,
+)
+
+__all__ = [
+    "syntax",
+    "compile_expr",
+    "parse_expr",
+    "typecheck",
+    "BOOL",
+    "UNIT",
+    "BoolType",
+    "FunType",
+    "ProdType",
+    "RefType",
+    "SumType",
+    "Type",
+    "UnitType",
+    "parse_type",
+]

@@ -1,0 +1,148 @@
+"""The RefHL → StackLang compiler (Fig. 3, left column).
+
+Booleans compile to target integers with ``true ↦ 0`` and ``false ↦ 1``
+(``if`` compiles to ``if0``, whose zero branch is the "then" branch, so the
+compiler in effect interprets any non-zero integer as false).  Sums compile
+to two-element arrays ``[tag, payload]`` with ``inl ↦ 0`` and ``inr ↦ 1``;
+products compile to two-element arrays ``[v1, v2]``; functions to thunks of
+a ``lam``; references to target locations.
+
+Boundary terms ``⦇ē⦈^τ`` compile to ``ē⁺`` followed by the conversion glue
+``C[τ̄ ↦ τ]``.  The glue is supplied by a *boundary hook* (see
+``repro.interop_refs``); stand-alone compilation rejects boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import CompileError
+from repro.refhl import syntax as refhl
+from repro.stacklang.macros import dup, swap
+from repro.stacklang.syntax import (
+    Alloc,
+    Call,
+    Idx,
+    If0,
+    Lam,
+    Num,
+    Program,
+    Push,
+    Read,
+    Thunk,
+    Var,
+    Write,
+    program,
+)
+
+BoundaryHook = Callable[[refhl.Boundary], Program]
+
+#: Target encodings of the RefHL booleans (the compiler sends true to 0).
+TRUE_ENCODING = Num(0)
+FALSE_ENCODING = Num(1)
+
+#: Target tags used for compiled sum injections.
+INL_TAG = Num(0)
+INR_TAG = Num(1)
+
+
+def compile_expr(term: refhl.Expr, boundary_hook: Optional[BoundaryHook] = None) -> Program:
+    """Compile a RefHL term to a StackLang program (written ``e⁺`` in the paper)."""
+    if isinstance(term, refhl.UnitLit):
+        return program(Push(Num(0)))
+
+    if isinstance(term, refhl.BoolLit):
+        return program(Push(TRUE_ENCODING if term.value else FALSE_ENCODING))
+
+    if isinstance(term, refhl.Var):
+        return program(Push(Var(term.name)))
+
+    if isinstance(term, refhl.Inl):
+        return _compile_injection(term.body, INL_TAG, boundary_hook)
+
+    if isinstance(term, refhl.Inr):
+        return _compile_injection(term.body, INR_TAG, boundary_hook)
+
+    if isinstance(term, refhl.Pair):
+        return program(
+            compile_expr(term.first, boundary_hook),
+            compile_expr(term.second, boundary_hook),
+            Lam(("pair_x2", "pair_x1"), (Push(_array(Var("pair_x1"), Var("pair_x2"))),)),
+        )
+
+    if isinstance(term, refhl.Fst):
+        return program(compile_expr(term.body, boundary_hook), Push(Num(0)), Idx())
+
+    if isinstance(term, refhl.Snd):
+        return program(compile_expr(term.body, boundary_hook), Push(Num(1)), Idx())
+
+    if isinstance(term, refhl.If):
+        return program(
+            compile_expr(term.condition, boundary_hook),
+            If0(
+                compile_expr(term.then_branch, boundary_hook),
+                compile_expr(term.else_branch, boundary_hook),
+            ),
+        )
+
+    if isinstance(term, refhl.Lam):
+        body = compile_expr(term.body, boundary_hook)
+        return program(Push(Thunk((Lam((term.parameter,), body),))))
+
+    if isinstance(term, refhl.App):
+        return program(
+            compile_expr(term.function, boundary_hook),
+            compile_expr(term.argument, boundary_hook),
+            swap("_app"),
+            Call(),
+        )
+
+    if isinstance(term, refhl.Match):
+        left_body = compile_expr(term.left_branch, boundary_hook)
+        right_body = compile_expr(term.right_branch, boundary_hook)
+        return program(
+            compile_expr(term.scrutinee, boundary_hook),
+            dup("_match"),
+            Push(Num(1)),
+            Idx(),
+            swap("_match"),
+            Push(Num(0)),
+            Idx(),
+            If0((Lam((term.left_name,), left_body),), (Lam((term.right_name,), right_body),)),
+        )
+
+    if isinstance(term, refhl.NewRef):
+        return program(compile_expr(term.initial, boundary_hook), Alloc())
+
+    if isinstance(term, refhl.Deref):
+        return program(compile_expr(term.reference, boundary_hook), Read())
+
+    if isinstance(term, refhl.Assign):
+        return program(
+            compile_expr(term.reference, boundary_hook),
+            compile_expr(term.value, boundary_hook),
+            Write(),
+            Push(Num(0)),
+        )
+
+    if isinstance(term, refhl.Boundary):
+        if boundary_hook is None:
+            raise CompileError(
+                "RefHL boundary term encountered but no interoperability system is configured"
+            )
+        return boundary_hook(term)
+
+    raise CompileError(f"unrecognized RefHL term {term!r}")
+
+
+def _compile_injection(body: refhl.Expr, tag: Num, boundary_hook: Optional[BoundaryHook]) -> Program:
+    return program(
+        compile_expr(body, boundary_hook),
+        Lam(("inj_x",), (Push(_array(tag, Var("inj_x"))),)),
+    )
+
+
+def _array(*items) -> "object":
+    from repro.stacklang.syntax import Arr
+
+    return Arr(tuple(items))

@@ -1,0 +1,182 @@
+"""Abstract syntax of RefHL (Fig. 1).
+
+``e ::= () | true | false | x | inl e | inr e | (e, e) | fst e | snd e
+      | if e e e | λx:τ. e | e e | match e x {e} y {e}
+      | ref e | !e | e := e | ⦇e⦈^τ``
+
+Sum injections carry their full sum type so that typechecking does not need
+unification; the paper elides the (standard) statics, and annotated
+injections are the usual way to keep them syntax-directed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.refhl.types import SumType, Type
+
+
+@dataclass(frozen=True)
+class UnitLit:
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Inl:
+    annotation: SumType
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(inl {self.annotation} {self.body})"
+
+
+@dataclass(frozen=True)
+class Inr:
+    annotation: SumType
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(inr {self.annotation} {self.body})"
+
+
+@dataclass(frozen=True)
+class Pair:
+    first: "Expr"
+    second: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class Fst:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(fst {self.body})"
+
+
+@dataclass(frozen=True)
+class Snd:
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(snd {self.body})"
+
+
+@dataclass(frozen=True)
+class If:
+    condition: "Expr"
+    then_branch: "Expr"
+    else_branch: "Expr"
+
+    def __str__(self) -> str:
+        return f"(if {self.condition} {self.then_branch} {self.else_branch})"
+
+
+@dataclass(frozen=True)
+class Lam:
+    parameter: str
+    parameter_type: Type
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(λ{self.parameter}:{self.parameter_type}. {self.body})"
+
+
+@dataclass(frozen=True)
+class App:
+    function: "Expr"
+    argument: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.function} {self.argument})"
+
+
+@dataclass(frozen=True)
+class Match:
+    scrutinee: "Expr"
+    left_name: str
+    left_branch: "Expr"
+    right_name: str
+    right_branch: "Expr"
+
+    def __str__(self) -> str:
+        return (
+            f"(match {self.scrutinee} {self.left_name}{{{self.left_branch}}} "
+            f"{self.right_name}{{{self.right_branch}}})"
+        )
+
+
+@dataclass(frozen=True)
+class NewRef:
+    initial: "Expr"
+
+    def __str__(self) -> str:
+        return f"(ref {self.initial})"
+
+
+@dataclass(frozen=True)
+class Deref:
+    reference: "Expr"
+
+    def __str__(self) -> str:
+        return f"(! {self.reference})"
+
+
+@dataclass(frozen=True)
+class Assign:
+    reference: "Expr"
+    value: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.reference} := {self.value})"
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """``⦇e⦈^τ`` — embed a RefLL term ``foreign_term`` at RefHL type ``annotation``."""
+
+    annotation: Type
+    foreign_term: Any
+
+    def __str__(self) -> str:
+        return f"⦇{self.foreign_term}⦈^{self.annotation}"
+
+
+Expr = Union[
+    UnitLit,
+    BoolLit,
+    Var,
+    Inl,
+    Inr,
+    Pair,
+    Fst,
+    Snd,
+    If,
+    Lam,
+    App,
+    Match,
+    NewRef,
+    Deref,
+    Assign,
+    Boundary,
+]

@@ -1,0 +1,174 @@
+"""Static semantics of RefHL.
+
+The judgment is ``Γ; Γ̄ ⊢ e : τ`` (Fig. 1 / §3): ``Γ`` types RefHL variables
+and ``Γ̄`` types RefLL variables, which must be threaded through because open
+terms may cross conversion boundaries.  The typing rules themselves are the
+standard ones for a simply-typed language with sums, products, functions, and
+ML-style references; the only non-standard rule is the boundary rule, which
+delegates to a *boundary hook* supplied by the interoperability system
+(``repro.interop_refs``):
+
+    Γ; Γ̄ ⊢ ē : τ̄        τ ∼ τ̄
+    ---------------------------------
+    Γ; Γ̄ ⊢ ⦇ē⦈^τ : τ
+
+Without a hook, boundary terms are rejected (a stand-alone RefHL has no
+foreign language to talk to).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.errors import ConvertibilityError, ScopeError, TypeCheckError
+from repro.refhl.syntax import (
+    App,
+    Assign,
+    Boundary,
+    BoolLit,
+    Deref,
+    Expr,
+    Fst,
+    If,
+    Inl,
+    Inr,
+    Lam,
+    Match,
+    NewRef,
+    Pair,
+    Snd,
+    UnitLit,
+    Var,
+)
+from repro.refhl.types import BOOL, UNIT, BoolType, FunType, ProdType, RefType, SumType, Type, UnitType
+
+Env = Dict[str, Type]
+ForeignEnv = Dict[str, object]
+BoundaryHook = Callable[[Boundary, Env, ForeignEnv], Type]
+
+
+def typecheck(
+    term: Expr,
+    env: Optional[Env] = None,
+    foreign_env: Optional[ForeignEnv] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+) -> Type:
+    """Infer the type of ``term`` under the two environments."""
+    return _check(term, dict(env or {}), dict(foreign_env or {}), boundary_hook)
+
+
+def _check(term: Expr, env: Env, foreign_env: ForeignEnv, hook: Optional[BoundaryHook]) -> Type:
+    if isinstance(term, UnitLit):
+        return UNIT
+
+    if isinstance(term, BoolLit):
+        return BOOL
+
+    if isinstance(term, Var):
+        if term.name not in env:
+            raise ScopeError(f"unbound RefHL variable {term.name!r}")
+        return env[term.name]
+
+    if isinstance(term, Inl):
+        body_type = _check(term.body, env, foreign_env, hook)
+        if body_type != term.annotation.left:
+            raise TypeCheckError(
+                f"inl payload has type {body_type}, but the annotation expects {term.annotation.left}"
+            )
+        return term.annotation
+
+    if isinstance(term, Inr):
+        body_type = _check(term.body, env, foreign_env, hook)
+        if body_type != term.annotation.right:
+            raise TypeCheckError(
+                f"inr payload has type {body_type}, but the annotation expects {term.annotation.right}"
+            )
+        return term.annotation
+
+    if isinstance(term, Pair):
+        return ProdType(
+            _check(term.first, env, foreign_env, hook),
+            _check(term.second, env, foreign_env, hook),
+        )
+
+    if isinstance(term, Fst):
+        pair_type = _check(term.body, env, foreign_env, hook)
+        if not isinstance(pair_type, ProdType):
+            raise TypeCheckError(f"fst expects a product, got {pair_type}")
+        return pair_type.left
+
+    if isinstance(term, Snd):
+        pair_type = _check(term.body, env, foreign_env, hook)
+        if not isinstance(pair_type, ProdType):
+            raise TypeCheckError(f"snd expects a product, got {pair_type}")
+        return pair_type.right
+
+    if isinstance(term, If):
+        condition_type = _check(term.condition, env, foreign_env, hook)
+        if not isinstance(condition_type, BoolType):
+            raise TypeCheckError(f"if condition must be bool, got {condition_type}")
+        then_type = _check(term.then_branch, env, foreign_env, hook)
+        else_type = _check(term.else_branch, env, foreign_env, hook)
+        if then_type != else_type:
+            raise TypeCheckError(f"if branches disagree: {then_type} vs {else_type}")
+        return then_type
+
+    if isinstance(term, Lam):
+        body_env = dict(env)
+        body_env[term.parameter] = term.parameter_type
+        body_type = _check(term.body, body_env, foreign_env, hook)
+        return FunType(term.parameter_type, body_type)
+
+    if isinstance(term, App):
+        function_type = _check(term.function, env, foreign_env, hook)
+        if not isinstance(function_type, FunType):
+            raise TypeCheckError(f"application of a non-function of type {function_type}")
+        argument_type = _check(term.argument, env, foreign_env, hook)
+        if argument_type != function_type.argument:
+            raise TypeCheckError(
+                f"argument has type {argument_type}, expected {function_type.argument}"
+            )
+        return function_type.result
+
+    if isinstance(term, Match):
+        scrutinee_type = _check(term.scrutinee, env, foreign_env, hook)
+        if not isinstance(scrutinee_type, SumType):
+            raise TypeCheckError(f"match expects a sum, got {scrutinee_type}")
+        left_env = dict(env)
+        left_env[term.left_name] = scrutinee_type.left
+        right_env = dict(env)
+        right_env[term.right_name] = scrutinee_type.right
+        left_type = _check(term.left_branch, left_env, foreign_env, hook)
+        right_type = _check(term.right_branch, right_env, foreign_env, hook)
+        if left_type != right_type:
+            raise TypeCheckError(f"match branches disagree: {left_type} vs {right_type}")
+        return left_type
+
+    if isinstance(term, NewRef):
+        return RefType(_check(term.initial, env, foreign_env, hook))
+
+    if isinstance(term, Deref):
+        reference_type = _check(term.reference, env, foreign_env, hook)
+        if not isinstance(reference_type, RefType):
+            raise TypeCheckError(f"dereference of a non-reference of type {reference_type}")
+        return reference_type.referent
+
+    if isinstance(term, Assign):
+        reference_type = _check(term.reference, env, foreign_env, hook)
+        if not isinstance(reference_type, RefType):
+            raise TypeCheckError(f"assignment to a non-reference of type {reference_type}")
+        value_type = _check(term.value, env, foreign_env, hook)
+        if value_type != reference_type.referent:
+            raise TypeCheckError(
+                f"assigned value has type {value_type}, reference holds {reference_type.referent}"
+            )
+        return UNIT
+
+    if isinstance(term, Boundary):
+        if hook is None:
+            raise ConvertibilityError(
+                "RefHL boundary term encountered but no interoperability system is configured"
+            )
+        return hook(term, env, foreign_env)
+
+    raise TypeCheckError(f"unrecognized RefHL term {term!r}")

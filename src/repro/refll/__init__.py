@@ -1,0 +1,21 @@
+"""RefLL: the lower-level source language of case study 1 (§3)."""
+
+from repro.refll import syntax
+from repro.refll.compiler import compile_expr
+from repro.refll.parser import parse_expr
+from repro.refll.typechecker import typecheck
+from repro.refll.types import INT, ArrayType, FunType, IntType, RefType, Type, parse_type
+
+__all__ = [
+    "syntax",
+    "compile_expr",
+    "parse_expr",
+    "typecheck",
+    "INT",
+    "ArrayType",
+    "FunType",
+    "IntType",
+    "RefType",
+    "Type",
+    "parse_type",
+]

@@ -1,0 +1,113 @@
+"""The RefLL → StackLang compiler (Fig. 3, right column).
+
+Integers compile to target numbers, arrays to target arrays, functions to
+thunks of a ``lam``, references to locations.  Boundary terms ``⦇e⦈^τ̄``
+compile to the compiled RefHL term followed by the conversion glue
+``C[τ ↦ τ̄]``, supplied by the interoperability system's boundary hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import CompileError
+from repro.refll import syntax as refll
+from repro.stacklang.macros import swap
+from repro.stacklang.syntax import (
+    Add,
+    Alloc,
+    Arr,
+    Call,
+    Idx,
+    If0,
+    Lam,
+    Num,
+    Program,
+    Push,
+    Read,
+    Thunk,
+    Var,
+    Write,
+    program,
+)
+
+BoundaryHook = Callable[[refll.Boundary], Program]
+
+
+def compile_expr(term: refll.Expr, boundary_hook: Optional[BoundaryHook] = None) -> Program:
+    """Compile a RefLL term to a StackLang program (written ``e⁺`` in the paper)."""
+    if isinstance(term, refll.IntLit):
+        return program(Push(Num(term.value)))
+
+    if isinstance(term, refll.Var):
+        return program(Push(Var(term.name)))
+
+    if isinstance(term, refll.ArrayLit):
+        element_count = len(term.elements)
+        binders = tuple(f"arr_x{position}" for position in range(element_count, 0, -1))
+        payload = Arr(tuple(Var(f"arr_x{position}") for position in range(1, element_count + 1)))
+        compiled_elements = tuple(
+            instruction
+            for element in term.elements
+            for instruction in compile_expr(element, boundary_hook)
+        )
+        return program(compiled_elements, Lam(binders, (Push(payload),)))
+
+    if isinstance(term, refll.Index):
+        return program(
+            compile_expr(term.array, boundary_hook),
+            compile_expr(term.index, boundary_hook),
+            Idx(),
+        )
+
+    if isinstance(term, refll.Lam):
+        body = compile_expr(term.body, boundary_hook)
+        return program(Push(Thunk((Lam((term.parameter,), body),))))
+
+    if isinstance(term, refll.App):
+        return program(
+            compile_expr(term.function, boundary_hook),
+            compile_expr(term.argument, boundary_hook),
+            swap("_app"),
+            Call(),
+        )
+
+    if isinstance(term, refll.Add):
+        return program(
+            compile_expr(term.left, boundary_hook),
+            compile_expr(term.right, boundary_hook),
+            swap("_add"),
+            Add(),
+        )
+
+    if isinstance(term, refll.If0):
+        return program(
+            compile_expr(term.condition, boundary_hook),
+            If0(
+                compile_expr(term.then_branch, boundary_hook),
+                compile_expr(term.else_branch, boundary_hook),
+            ),
+        )
+
+    if isinstance(term, refll.NewRef):
+        return program(compile_expr(term.initial, boundary_hook), Alloc())
+
+    if isinstance(term, refll.Deref):
+        return program(compile_expr(term.reference, boundary_hook), Read())
+
+    if isinstance(term, refll.Assign):
+        return program(
+            compile_expr(term.reference, boundary_hook),
+            compile_expr(term.value, boundary_hook),
+            Write(),
+            Push(Num(0)),
+        )
+
+    if isinstance(term, refll.Boundary):
+        if boundary_hook is None:
+            raise CompileError(
+                "RefLL boundary term encountered but no interoperability system is configured"
+            )
+        return boundary_hook(term)
+
+    raise CompileError(f"unrecognized RefLL term {term!r}")

@@ -1,0 +1,122 @@
+"""Abstract syntax of RefLL (Fig. 1).
+
+``e ::= n | x | [e, ...] | e[e] | λx:τ̄. e | e e | e + e | if0 e e e
+      | ref e | !e | e := e | ⦇e⦈^τ̄``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple, Union
+
+from repro.refll.types import Type
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayLit:
+    elements: Tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(element) for element in self.elements) + "]"
+
+
+@dataclass(frozen=True)
+class Index:
+    array: "Expr"
+    index: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Lam:
+    parameter: str
+    parameter_type: Type
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"(λ{self.parameter}:{self.parameter_type}. {self.body})"
+
+
+@dataclass(frozen=True)
+class App:
+    function: "Expr"
+    argument: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.function} {self.argument})"
+
+
+@dataclass(frozen=True)
+class Add:
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class If0:
+    condition: "Expr"
+    then_branch: "Expr"
+    else_branch: "Expr"
+
+    def __str__(self) -> str:
+        return f"(if0 {self.condition} {self.then_branch} {self.else_branch})"
+
+
+@dataclass(frozen=True)
+class NewRef:
+    initial: "Expr"
+
+    def __str__(self) -> str:
+        return f"(ref {self.initial})"
+
+
+@dataclass(frozen=True)
+class Deref:
+    reference: "Expr"
+
+    def __str__(self) -> str:
+        return f"(! {self.reference})"
+
+
+@dataclass(frozen=True)
+class Assign:
+    reference: "Expr"
+    value: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.reference} := {self.value})"
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """``⦇e⦈^τ̄`` — embed a RefHL term ``foreign_term`` at RefLL type ``annotation``."""
+
+    annotation: Type
+    foreign_term: Any
+
+    def __str__(self) -> str:
+        return f"⦇{self.foreign_term}⦈^{self.annotation}"
+
+
+Expr = Union[IntLit, Var, ArrayLit, Index, Lam, App, Add, If0, NewRef, Deref, Assign, Boundary]

@@ -1,0 +1,138 @@
+"""Static semantics of RefLL.
+
+The judgment is ``Γ; Γ̄ ⊢ e : τ̄`` — as in RefHL, both environments are
+threaded so that open terms can cross conversion boundaries.  The rules are
+the standard ones for a simply-typed language with integers, homogeneous
+arrays, functions, and ML-style references; the boundary rule delegates to
+the interoperability system's hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.errors import ConvertibilityError, ScopeError, TypeCheckError
+from repro.refll.syntax import (
+    Add,
+    App,
+    ArrayLit,
+    Assign,
+    Boundary,
+    Deref,
+    Expr,
+    If0,
+    Index,
+    IntLit,
+    Lam,
+    NewRef,
+    Var,
+)
+from repro.refll.types import INT, ArrayType, FunType, IntType, RefType, Type
+
+Env = Dict[str, Type]
+ForeignEnv = Dict[str, object]
+BoundaryHook = Callable[[Boundary, Env, ForeignEnv], Type]
+
+
+def typecheck(
+    term: Expr,
+    env: Optional[Env] = None,
+    foreign_env: Optional[ForeignEnv] = None,
+    boundary_hook: Optional[BoundaryHook] = None,
+) -> Type:
+    """Infer the type of ``term`` under the two environments."""
+    return _check(term, dict(env or {}), dict(foreign_env or {}), boundary_hook)
+
+
+def _check(term: Expr, env: Env, foreign_env: ForeignEnv, hook: Optional[BoundaryHook]) -> Type:
+    if isinstance(term, IntLit):
+        return INT
+
+    if isinstance(term, Var):
+        if term.name not in env:
+            raise ScopeError(f"unbound RefLL variable {term.name!r}")
+        return env[term.name]
+
+    if isinstance(term, ArrayLit):
+        if not term.elements:
+            raise TypeCheckError("cannot infer the element type of an empty array literal")
+        element_types = [_check(element, env, foreign_env, hook) for element in term.elements]
+        first = element_types[0]
+        for position, element_type in enumerate(element_types[1:], start=1):
+            if element_type != first:
+                raise TypeCheckError(
+                    f"array elements disagree: element 0 has type {first}, "
+                    f"element {position} has type {element_type}"
+                )
+        return ArrayType(first)
+
+    if isinstance(term, Index):
+        array_type = _check(term.array, env, foreign_env, hook)
+        if not isinstance(array_type, ArrayType):
+            raise TypeCheckError(f"indexing a non-array of type {array_type}")
+        index_type = _check(term.index, env, foreign_env, hook)
+        if not isinstance(index_type, IntType):
+            raise TypeCheckError(f"array index must be int, got {index_type}")
+        return array_type.element
+
+    if isinstance(term, Lam):
+        body_env = dict(env)
+        body_env[term.parameter] = term.parameter_type
+        return FunType(term.parameter_type, _check(term.body, body_env, foreign_env, hook))
+
+    if isinstance(term, App):
+        function_type = _check(term.function, env, foreign_env, hook)
+        if not isinstance(function_type, FunType):
+            raise TypeCheckError(f"application of a non-function of type {function_type}")
+        argument_type = _check(term.argument, env, foreign_env, hook)
+        if argument_type != function_type.argument:
+            raise TypeCheckError(
+                f"argument has type {argument_type}, expected {function_type.argument}"
+            )
+        return function_type.result
+
+    if isinstance(term, Add):
+        left_type = _check(term.left, env, foreign_env, hook)
+        right_type = _check(term.right, env, foreign_env, hook)
+        if not isinstance(left_type, IntType) or not isinstance(right_type, IntType):
+            raise TypeCheckError(f"+ expects ints, got {left_type} and {right_type}")
+        return INT
+
+    if isinstance(term, If0):
+        condition_type = _check(term.condition, env, foreign_env, hook)
+        if not isinstance(condition_type, IntType):
+            raise TypeCheckError(f"if0 condition must be int, got {condition_type}")
+        then_type = _check(term.then_branch, env, foreign_env, hook)
+        else_type = _check(term.else_branch, env, foreign_env, hook)
+        if then_type != else_type:
+            raise TypeCheckError(f"if0 branches disagree: {then_type} vs {else_type}")
+        return then_type
+
+    if isinstance(term, NewRef):
+        return RefType(_check(term.initial, env, foreign_env, hook))
+
+    if isinstance(term, Deref):
+        reference_type = _check(term.reference, env, foreign_env, hook)
+        if not isinstance(reference_type, RefType):
+            raise TypeCheckError(f"dereference of a non-reference of type {reference_type}")
+        return reference_type.referent
+
+    if isinstance(term, Assign):
+        reference_type = _check(term.reference, env, foreign_env, hook)
+        if not isinstance(reference_type, RefType):
+            raise TypeCheckError(f"assignment to a non-reference of type {reference_type}")
+        value_type = _check(term.value, env, foreign_env, hook)
+        if value_type != reference_type.referent:
+            raise TypeCheckError(
+                f"assigned value has type {value_type}, reference holds {reference_type.referent}"
+            )
+        return INT  # e := e evaluates to 0 in RefLL (compiled as push 0).
+
+    if isinstance(term, Boundary):
+        if hook is None:
+            raise ConvertibilityError(
+                "RefLL boundary term encountered but no interoperability system is configured"
+            )
+        return hook(term, env, foreign_env)
+
+    raise TypeCheckError(f"unrecognized RefLL term {term!r}")

@@ -1,0 +1,38 @@
+"""StackLang instruction macros used by the compilers and glue code (Fig. 3).
+
+``SWAP``, ``DROP``, and ``DUP`` are ordinary instruction sequences — the paper
+defines them once and reuses them in the compilers (Fig. 3) and conversions
+(Fig. 4).  They are functions here (returning fresh programs) purely so each
+expansion can pick binder names that do not collide when macros are nested.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.stacklang.syntax import Instruction, Lam, Program, Push, Var
+
+
+def swap(suffix: str = "") -> Program:
+    """``SWAP ≜ lam x. (lam y. push x, push y)`` — exchange the top two values."""
+    x = f"swap_x{suffix}"
+    y = f"swap_y{suffix}"
+    return (Lam((x,), (Lam((y,), (Push(Var(x)), Push(Var(y)))),)),)
+
+
+def drop(suffix: str = "") -> Program:
+    """``DROP ≜ lam x. ()`` — discard the top of the stack."""
+    x = f"drop_x{suffix}"
+    return (Lam((x,), ()),)
+
+
+def dup(suffix: str = "") -> Program:
+    """``DUP ≜ lam x. (push x, push x)`` — duplicate the top of the stack."""
+    x = f"dup_x{suffix}"
+    return (Lam((x,), (Push(Var(x)), Push(Var(x)))),)
+
+
+#: Convenient pre-expanded forms for call sites that do not nest macros.
+SWAP: Tuple[Instruction, ...] = swap()
+DROP: Tuple[Instruction, ...] = drop()
+DUP: Tuple[Instruction, ...] = dup()

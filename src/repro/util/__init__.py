@@ -1,0 +1,17 @@
+"""Shared utilities: s-expression reading and pretty printing."""
+
+from repro.util.sexpr import SAtom, SExpr, SList, parse_many, parse_sexpr, tokenize
+from repro.util.pretty import commas, indent_block, parens, truncate
+
+__all__ = [
+    "SAtom",
+    "SExpr",
+    "SList",
+    "parse_many",
+    "parse_sexpr",
+    "tokenize",
+    "commas",
+    "indent_block",
+    "parens",
+    "truncate",
+]

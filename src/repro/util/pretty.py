@@ -1,0 +1,30 @@
+"""Small pretty-printing helpers shared by the per-language printers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+INDENT = "  "
+
+
+def parens(*parts: str) -> str:
+    """Join non-empty parts with spaces and wrap in parentheses."""
+    return "(" + " ".join(part for part in parts if part) + ")"
+
+
+def indent_block(text: str, levels: int = 1) -> str:
+    """Indent every line of ``text`` by ``levels`` indentation units."""
+    pad = INDENT * levels
+    return "\n".join(pad + line if line else line for line in text.splitlines())
+
+
+def commas(items: Iterable[str]) -> str:
+    """Join items with ", "."""
+    return ", ".join(items)
+
+
+def truncate(text: str, limit: int = 72) -> str:
+    """Truncate long strings for use in error messages."""
+    if len(text) <= limit:
+        return text
+    return text[: limit - 3] + "..."

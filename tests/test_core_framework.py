@@ -1,0 +1,180 @@
+"""Tests for the generic framework pieces in ``repro.core``."""
+
+import pytest
+
+from repro.core import (
+    CheckReport,
+    Conversion,
+    ConvertibilityError,
+    ConvertibilityRelation,
+    ConvertibilityRule,
+    Counterexample,
+    NameSupply,
+    TypeTag,
+    World,
+    check_boundary,
+    is_generated_name,
+    merge_disjoint,
+)
+from repro.core.errors import ModelError
+from repro.core.worlds import USED, affine_extends, fresh_location, world_flags
+
+
+# -- convertibility registry ---------------------------------------------------
+
+
+def _identity_conversion(type_a, type_b, name="id"):
+    return Conversion(type_a, type_b, lambda term: term, lambda term: term, name)
+
+
+def test_register_pair_and_query():
+    relation = ConvertibilityRelation("A", "B")
+    relation.register_pair("bool", "int", lambda t: ("a->b", t), lambda t: ("b->a", t))
+    conversion = relation.query("bool", "int")
+    assert conversion is not None
+    assert conversion.apply_a_to_b("x") == ("a->b", "x")
+    assert relation.convertible("bool", "int")
+    assert not relation.convertible("int", "bool")
+
+
+def test_require_raises_for_unknown_pair():
+    relation = ConvertibilityRelation("A", "B")
+    with pytest.raises(ConvertibilityError):
+        relation.require("bool", "int")
+
+
+def test_later_rules_take_precedence():
+    relation = ConvertibilityRelation("A", "B")
+    relation.register(ConvertibilityRule("first", lambda a, b, r: _identity_conversion(a, b, "first") if a == b == "t" else None))
+    relation.register(ConvertibilityRule("second", lambda a, b, r: _identity_conversion(a, b, "second") if a == b == "t" else None))
+    assert relation.query("t", "t").rule_name == "second"
+
+
+def test_schematic_rule_with_recursive_premise():
+    relation = ConvertibilityRelation("A", "B")
+    relation.register_pair("base_a", "base_b", lambda t: t, lambda t: t, name="base")
+
+    def list_rule(type_a, type_b, rel):
+        if isinstance(type_a, tuple) and isinstance(type_b, tuple) and type_a[0] == type_b[0] == "list":
+            if rel.convertible(type_a[1], type_b[1]):
+                return _identity_conversion(type_a, type_b, "list")
+        return None
+
+    relation.register(ConvertibilityRule("list", list_rule))
+    assert relation.convertible(("list", "base_a"), ("list", "base_b"))
+    assert not relation.convertible(("list", "other"), ("list", "base_b"))
+
+
+def test_cyclic_rules_terminate():
+    relation = ConvertibilityRelation("A", "B")
+
+    def self_referential(type_a, type_b, rel):
+        # A rule whose premise is the conclusion itself must not loop forever.
+        if rel.convertible(type_a, type_b):
+            return _identity_conversion(type_a, type_b)
+        return None
+
+    relation.register(ConvertibilityRule("loop", self_referential))
+    assert not relation.convertible("x", "y")
+
+
+def test_flipped_conversion_swaps_directions():
+    conversion = Conversion("a", "b", lambda t: ("ab", t), lambda t: ("ba", t))
+    flipped = conversion.flipped()
+    assert flipped.type_a == "b"
+    assert flipped.apply_a_to_b("v") == ("ba", "v")
+
+
+def test_check_boundary_orients_conversion_toward_host():
+    relation = ConvertibilityRelation("A", "B")
+    relation.register_pair("ta", "tb", lambda t: ("to_b", t), lambda t: ("to_a", t))
+    toward_a = check_boundary(relation, "A", "ta", "tb")
+    assert toward_a.apply_a_to_b("v") == ("to_a", "v")
+    toward_b = check_boundary(relation, "B", "tb", "ta")
+    assert toward_b.apply_a_to_b("v") == ("to_b", "v")
+    with pytest.raises(ConvertibilityError):
+        check_boundary(relation, "A", "ta", "unknown")
+    with pytest.raises(ConvertibilityError):
+        check_boundary(relation, "C", "ta", "tb")
+
+
+# -- worlds ---------------------------------------------------------------------
+
+
+def test_world_later_spends_budget():
+    world = World.initial(5)
+    assert world.later(2).step_budget == 3
+    with pytest.raises(ModelError):
+        world.later(9)
+
+
+def test_world_rejects_negative_budget():
+    with pytest.raises(ModelError):
+        World(-1)
+
+
+def test_world_extend_heap_typing_requires_fresh_location():
+    world = World.initial(5, {0: TypeTag("A", "bool")})
+    with pytest.raises(ModelError):
+        world.extend_heap_typing(0, TypeTag("A", "bool"))
+
+
+def test_world_extension_allows_growth_and_smaller_budget():
+    base = World.initial(5, {0: TypeTag("A", "bool")})
+    future = base.later().extend_heap_typing(1, TypeTag("B", "int"))
+    assert future.extends(base)
+    assert not base.extends(future)
+
+
+def test_affine_extension_marks_used_monotonically():
+    base = World.initial(5).with_affine_store({7: frozenset({"f1"})})
+    used = base.later().with_affine_store({7: USED})
+    assert affine_extends(used, base)
+    assert not affine_extends(base, used)
+
+
+def test_affine_extension_rejects_lost_flags_entry():
+    base = World.initial(5).with_affine_store({7: frozenset()})
+    missing = base.later().with_affine_store({})
+    assert not affine_extends(missing, base)
+
+
+def test_affine_extension_respects_excluded_flags():
+    base = World.initial(5).with_affine_store({7: frozenset({"f1"})})
+    future = base.later()
+    assert not affine_extends(future, base, excluded_flags=frozenset({"f1"}))
+
+
+def test_world_flags_collects_phantom_flags():
+    world = World.initial(3).with_affine_store({1: frozenset({"a"}), 2: USED, 3: frozenset({"b"})})
+    assert world_flags(world) == frozenset({"a", "b"})
+
+
+def test_merge_disjoint_and_fresh_location():
+    merged = merge_disjoint({0: "x"}, {1: "y"})
+    assert merged == {0: "x", 1: "y"}
+    with pytest.raises(ModelError):
+        merge_disjoint({0: "x"}, {0: "y"})
+    assert fresh_location({0: "x"}, {5: "y"}) == 6
+    assert fresh_location() == 0
+
+
+# -- misc -----------------------------------------------------------------------
+
+
+def test_name_supply_is_fresh_and_marked():
+    supply = NameSupply()
+    first, second = supply.fresh("x"), supply.fresh("x")
+    assert first != second
+    assert is_generated_name(first)
+    assert not is_generated_name("user_name")
+
+
+def test_check_report_accumulates():
+    report = CheckReport("demo")
+    report.record_success(3)
+    assert report.ok
+    report.record_failure(Counterexample("bad", source_type="t"))
+    assert not report.ok
+    assert "FAILED" in report.summary()
+    assert "bad" in str(report)

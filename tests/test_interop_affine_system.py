@@ -1,0 +1,161 @@
+"""End-to-end tests of the §4 system (Affi + MiniML + LCVM) and its checkers."""
+
+import pytest
+
+from repro.core.errors import ConvertibilityError, ErrorCode, LinearityError
+from repro.interop_affine import (
+    DOUBLE_FORCE_PROGRAM,
+    SINGLE_FORCE_PROGRAM,
+    AffineModel,
+    check_affine_enforcement,
+    check_convertibility_soundness,
+    check_phantom_erasure_agreement,
+    check_type_safety,
+    erase,
+    make_system,
+    phantom_run,
+)
+from repro.interop_affine.model import LANGUAGE_A, LANGUAGE_B
+from repro.lcvm import Int, Pair, Status
+from repro.lcvm import machine as lcvm_machine
+from repro.lcvm import syntax as t
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_system()
+
+
+def test_miniml_uses_affi_value(system):
+    assert system.run_source("MiniML", "(+ 1 (boundary int 41))").value == Int(42)
+
+
+def test_miniml_receives_affi_boolean_as_int(system):
+    assert system.run_source("MiniML", "(boundary int true)").value == Int(0)
+    assert system.run_source("MiniML", "(boundary int false)").value == Int(1)
+
+
+def test_affi_receives_miniml_int_normalized_to_bool(system):
+    result = system.run_source("Affi", "(if (boundary bool 7) 1 2)")
+    assert result.value == Int(2)  # any non-zero int normalizes to false
+
+
+def test_tensor_converts_to_product(system):
+    assert system.run_source("MiniML", "(boundary (prod int int) (tensor 1 true))").value == Pair(Int(1), Int(0))
+
+
+def test_affi_function_used_from_miniml(system):
+    source = "((boundary (-> (-> unit int) int) (dlam (a int) a)) (lam (u unit) 5))"
+    assert system.run_source("MiniML", source).value == Int(5)
+
+
+def test_miniml_function_used_from_affi(system):
+    source = "((boundary (-o int int) (lam (f (-> unit int)) (+ 1 (f unit)))) 9)"
+    assert system.run_source("Affi", source).value == Int(10)
+
+
+def test_double_force_fails_with_conv_not_type(system):
+    result = system.run_source("Affi", DOUBLE_FORCE_PROGRAM)
+    assert not result.ok
+    assert result.failure is ErrorCode.CONV
+
+
+def test_single_force_succeeds(system):
+    assert system.run_source("Affi", SINGLE_FORCE_PROGRAM).value == Int(4)
+
+
+def test_nested_boundaries_with_dynamic_variable(system):
+    source = "((dlam (a int) (boundary int (+ 1 (boundary int a)))) 4)"
+    assert system.run_source("Affi", source).value == Int(5)
+
+
+def test_static_variable_cannot_cross_into_miniml(system):
+    source = "((slam (a int) (boundary int (+ 1 (boundary int a)))) 4)"
+    with pytest.raises(LinearityError):
+        system.compile_source("Affi", source)
+
+
+def test_static_lolli_is_not_convertible(system):
+    with pytest.raises(ConvertibilityError):
+        system.compile_source("MiniML", "(boundary (-> (-> unit int) int) (slam (a int) a))")
+
+
+def test_boundary_type_mismatch_rejected(system):
+    with pytest.raises(ConvertibilityError):
+        system.compile_source("MiniML", "(boundary (prod int int) true)")
+
+
+# -- phantom semantics ------------------------------------------------------------
+
+
+def test_phantom_run_matches_standard_run_on_compiled_code(system):
+    unit = system.compile_source("Affi", "((slam (a int) a) 5)")
+    standard = lcvm_machine.run(unit.target_code)
+    augmented = phantom_run(unit.target_code)
+    assert standard.value == augmented.value == Int(5)
+
+
+def test_phantom_semantics_rejects_static_duplication():
+    from repro.affi.compiler import static_name
+
+    duplicating = t.Let(
+        static_name("a"), t.Int(2), t.BinOp("+", t.Var(static_name("a")), t.Var(static_name("a")))
+    )
+    assert lcvm_machine.run(duplicating).value == Int(4)
+    assert phantom_run(duplicating).status is Status.STUCK
+
+
+def test_phantom_flags_are_consumed_exactly_once():
+    from repro.affi.compiler import static_name
+
+    single_use = t.Let(static_name("a"), t.Int(2), t.BinOp("+", t.Var(static_name("a")), t.Int(1)))
+    result = phantom_run(single_use)
+    assert result.value == Int(3)
+    assert result.remaining_flags == frozenset()
+
+
+def test_erase_removes_protect_wrappers():
+    wrapped = t.BinOp("+", t.Protect(t.Int(1), "f"), t.Int(2))
+    assert erase(wrapped) == t.BinOp("+", t.Int(1), t.Int(2))
+
+
+# -- model and checkers --------------------------------------------------------------
+
+
+def test_affine_model_value_interpretations():
+    from repro.affi import types as affi_ty
+    from repro.miniml import types as ml_ty
+
+    model = AffineModel()
+    world = model.default_world()
+    assert model.value_in_type(LANGUAGE_A, affi_ty.BOOL, world, t.Int(1))
+    assert not model.value_in_type(LANGUAGE_A, affi_ty.BOOL, world, t.Int(5))
+    assert model.value_in_type(LANGUAGE_B, ml_ty.INT, world, t.Int(5))
+    assert model.value_in_type(
+        LANGUAGE_A, affi_ty.TensorType(affi_ty.INT, affi_ty.BOOL), world, t.Pair(t.Int(3), t.Int(0))
+    )
+    assert not model.value_in_type(
+        LANGUAGE_A, affi_ty.TensorType(affi_ty.INT, affi_ty.BOOL), world, t.Int(3)
+    )
+
+
+def test_soundness_checkers_all_pass(system):
+    reports = [
+        check_convertibility_soundness(system=system),
+        check_type_safety(system=system),
+        check_affine_enforcement(system=system),
+        check_phantom_erasure_agreement(system=system),
+    ]
+    for report in reports:
+        assert report.ok, str(report)
+
+
+def test_registered_checks_run_through_the_system(system):
+    reports = system.run_soundness_checks()
+    assert set(reports) == {
+        "convertibility-soundness",
+        "type-safety",
+        "affine-enforcement",
+        "phantom-erasure",
+    }
+    assert all(report.ok for report in reports.values())

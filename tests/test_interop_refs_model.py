@@ -1,0 +1,228 @@
+"""Tests for the Fig. 5 realizability model (value/expression relations)."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.worlds import TypeTag, World
+from repro.interop_refs import RefsModel, hl_tag, ll_tag
+from repro.interop_refs.model import LANGUAGE_A, LANGUAGE_B
+from repro.refhl import types as hl
+from repro.refll import types as ll
+from repro.refhl import compile_expr as compile_hl, parse_expr as parse_hl
+from repro.refll import compile_expr as compile_ll, parse_expr as parse_ll
+from repro.stacklang import Arr, Lam, Loc, Num, Push, Thunk, Var, program
+
+
+@pytest.fixture()
+def model():
+    return RefsModel()
+
+
+@pytest.fixture()
+def world(model):
+    return model.default_world(64)
+
+
+# -- value relation ------------------------------------------------------------
+
+
+def test_unit_interpretation_is_only_zero(model, world):
+    assert model.value_in_type(LANGUAGE_A, hl.UNIT, world, Num(0))
+    assert not model.value_in_type(LANGUAGE_A, hl.UNIT, world, Num(1))
+
+
+def test_bool_interpretation_is_all_numbers(model, world):
+    for number in (0, 1, -5, 42):
+        assert model.value_in_type(LANGUAGE_A, hl.BOOL, world, Num(number))
+    assert not model.value_in_type(LANGUAGE_A, hl.BOOL, world, Arr(()))
+
+
+def test_int_interpretation_is_all_numbers(model, world):
+    assert model.value_in_type(LANGUAGE_B, ll.INT, world, Num(17))
+    assert not model.value_in_type(LANGUAGE_B, ll.INT, world, Thunk(()))
+
+
+def test_bool_and_int_interpretations_coincide(model):
+    assert model.same_interpretation(hl_tag(hl.BOOL), ll_tag(ll.INT))
+
+
+def test_unit_and_int_interpretations_differ(model):
+    assert not model.same_interpretation(hl_tag(hl.UNIT), ll_tag(ll.INT))
+
+
+def test_sum_interpretation_checks_tag_and_payload(model, world):
+    sum_type = hl.SumType(hl.BOOL, hl.UNIT)
+    assert model.value_in_type(LANGUAGE_A, sum_type, world, Arr((Num(0), Num(3))))
+    assert model.value_in_type(LANGUAGE_A, sum_type, world, Arr((Num(1), Num(0))))
+    assert not model.value_in_type(LANGUAGE_A, sum_type, world, Arr((Num(1), Num(3))))
+    assert not model.value_in_type(LANGUAGE_A, sum_type, world, Arr((Num(2), Num(0))))
+    assert not model.value_in_type(LANGUAGE_A, sum_type, world, Arr((Num(0),)))
+
+
+def test_product_interpretation(model, world):
+    prod = hl.ProdType(hl.UNIT, hl.BOOL)
+    assert model.value_in_type(LANGUAGE_A, prod, world, Arr((Num(0), Num(9))))
+    assert not model.value_in_type(LANGUAGE_A, prod, world, Arr((Num(2), Num(9))))
+
+
+def test_array_interpretation_any_length(model, world):
+    array = ll.ArrayType(ll.INT)
+    assert model.value_in_type(LANGUAGE_B, array, world, Arr(()))
+    assert model.value_in_type(LANGUAGE_B, array, world, Arr((Num(1), Num(2), Num(3))))
+    assert not model.value_in_type(LANGUAGE_B, array, world, Arr((Num(1), Arr(()))))
+
+
+def test_sum_and_array_interpretations_differ(model):
+    sum_tag = hl_tag(hl.SumType(hl.BOOL, hl.BOOL))
+    array_tag = ll_tag(ll.ArrayType(ll.INT))
+    assert not model.same_interpretation(sum_tag, array_tag)
+
+
+def test_reference_interpretation_uses_heap_typing(model):
+    world = model.default_world(16).extend_heap_typing(0, ll_tag(ll.INT))
+    assert model.value_in_type(LANGUAGE_A, hl.RefType(hl.BOOL), world, Loc(0))
+    assert model.value_in_type(LANGUAGE_B, ll.RefType(ll.INT), world, Loc(0))
+    assert not model.value_in_type(LANGUAGE_A, hl.RefType(hl.UNIT), world, Loc(0))
+    assert not model.value_in_type(LANGUAGE_A, hl.RefType(hl.BOOL), world, Loc(3))
+
+
+def test_ref_bool_and_ref_int_interpretations_coincide(model):
+    assert model.same_interpretation(hl_tag(hl.RefType(hl.BOOL)), ll_tag(ll.RefType(ll.INT)))
+    assert not model.same_interpretation(hl_tag(hl.RefType(hl.UNIT)), ll_tag(ll.RefType(ll.INT)))
+
+
+def test_function_interpretation_accepts_identity_thunk(model, world):
+    identity = Thunk((Lam(("x",), (Push(Var("x")),)),))
+    assert model.value_in_type(LANGUAGE_A, hl.FunType(hl.BOOL, hl.BOOL), world, identity)
+    assert model.value_in_type(LANGUAGE_B, ll.FunType(ll.INT, ll.INT), world, identity)
+
+
+def test_function_interpretation_rejects_non_thunk(model, world):
+    assert not model.value_in_type(LANGUAGE_A, hl.FunType(hl.BOOL, hl.BOOL), world, Num(0))
+
+
+def test_function_interpretation_rejects_ill_behaved_body(model, world):
+    # A "function" that returns an array is not in V[[bool -> bool]].
+    bad = Thunk((Lam(("x",), (Push(Arr(())),)),))
+    assert not model.value_in_type(LANGUAGE_A, hl.FunType(hl.BOOL, hl.BOOL), world, bad)
+
+
+def test_compiled_unit_to_unit_function_respects_unit_result(model, world):
+    # unit -> unit functions must return exactly 0.
+    good = Thunk((Lam(("x",), (Push(Num(0)),)),))
+    bad = Thunk((Lam(("x",), (Push(Num(7)),)),))
+    fun_type = hl.FunType(hl.UNIT, hl.UNIT)
+    assert model.value_in_type(LANGUAGE_A, fun_type, world, good)
+    assert not model.value_in_type(LANGUAGE_A, fun_type, world, bad)
+
+
+# -- expression relation ---------------------------------------------------------
+
+
+def test_compiled_refhl_terms_inhabit_expression_relation(model, world):
+    for source, source_type in [
+        ("(if true false true)", hl.BOOL),
+        ("(pair true unit)", hl.ProdType(hl.BOOL, hl.UNIT)),
+        ("(! (ref true))", hl.BOOL),
+        ("(ref false)", hl.RefType(hl.BOOL)),
+    ]:
+        compiled = compile_hl(parse_hl(source))
+        assert model.expression_in_type(LANGUAGE_A, source_type, world, compiled), source
+
+
+def test_compiled_refll_terms_inhabit_expression_relation(model, world):
+    for source, source_type in [
+        ("(+ 1 2)", ll.INT),
+        ("(array 1 2)", ll.ArrayType(ll.INT)),
+        ("(ref 5)", ll.RefType(ll.INT)),
+        ("(idx (array 1) 4)", ll.INT),  # fails Idx, which E[[τ]] permits
+    ]:
+        compiled = compile_ll(parse_ll(source))
+        assert model.expression_in_type(LANGUAGE_B, source_type, world, compiled), source
+
+
+def test_expression_relation_rejects_wrong_type(model, world):
+    compiled = compile_hl(parse_hl("(pair true true)"))
+    assert not model.expression_in_type(LANGUAGE_A, hl.UNIT, world, compiled)
+
+
+def test_expression_relation_rejects_type_failure(model, world):
+    from repro.core.errors import ErrorCode
+    from repro.stacklang import Fail
+
+    assert not model.expression_in_type(LANGUAGE_A, hl.BOOL, world, program(Fail(ErrorCode.TYPE)))
+
+
+def test_expression_relation_accepts_conv_failure(model, world):
+    from repro.core.errors import ErrorCode
+    from repro.stacklang import Fail
+
+    assert model.expression_in_type(LANGUAGE_A, hl.BOOL, world, program(Fail(ErrorCode.CONV)))
+
+
+def test_expression_relation_tolerates_divergence(model):
+    from repro.stacklang import Call, Lam, Push, Thunk, Var
+    from repro.stacklang.macros import dup
+
+    loop = program(
+        Push(Thunk((Lam(("self",), (Push(Var("self")), Push(Var("self")), Call())),))),
+        dup(),
+        Call(),
+    )
+    world = model.default_world(32)
+    assert model.expression_in_type(LANGUAGE_A, hl.BOOL, world, loop)
+
+
+def test_heap_satisfaction_respected_by_expression_relation(model):
+    # A program reading a location typed int must produce an int.
+    world = model.default_world(32).extend_heap_typing(0, ll_tag(ll.INT))
+    from repro.stacklang import Loc, Push, Read
+
+    read_program = program(Push(Loc(0)), Read())
+    assert model.expression_in_type(LANGUAGE_B, ll.INT, world, read_program)
+    assert not model.expression_in_type(LANGUAGE_B, ll.ArrayType(ll.INT), world, read_program)
+
+
+# -- sampling helpers -------------------------------------------------------------
+
+
+def test_sample_values_inhabit_their_type(model, world):
+    cases = [
+        (LANGUAGE_A, hl.BOOL),
+        (LANGUAGE_A, hl.SumType(hl.BOOL, hl.UNIT)),
+        (LANGUAGE_A, hl.ProdType(hl.BOOL, hl.BOOL)),
+        (LANGUAGE_B, ll.INT),
+        (LANGUAGE_B, ll.ArrayType(ll.INT)),
+    ]
+    for language, source_type in cases:
+        samples = model.sample_values(language, source_type, world)
+        assert samples, f"no samples for {source_type}"
+        for sample in samples:
+            assert model.value_in_type(language, source_type, world, sample)
+
+
+def test_canonical_values_inhabit_their_type(model, world):
+    for tag in [hl_tag(hl.BOOL), hl_tag(hl.ProdType(hl.UNIT, hl.BOOL)), ll_tag(ll.ArrayType(ll.INT))]:
+        value = model.canonical_value(tag)
+        assert model.value_in_tag(tag, world, value)
+
+
+def test_canonical_value_of_reference_type_raises(model):
+    with pytest.raises(ModelError):
+        model.canonical_value(hl_tag(hl.RefType(hl.BOOL)))
+
+
+def test_canonical_heap_satisfies_world(model):
+    world = model.default_world(16).extend_heap_typing(0, hl_tag(hl.BOOL)).extend_heap_typing(1, ll_tag(ll.ArrayType(ll.INT)))
+    heap = model.canonical_heap(world)
+    assert set(heap) == {0, 1}
+    assert model._heap_satisfies(heap, world, depth=1)
+
+
+def test_worlds_extension_basics():
+    base = World.initial(10, {0: hl_tag(hl.BOOL)})
+    extended = base.later(3).extend_heap_typing(1, ll_tag(ll.INT))
+    assert extended.extends(base)
+    assert not base.extends(extended)
+    retyped = World.initial(5, {0: ll_tag(ll.ArrayType(ll.INT))})
+    assert not retyped.extends(base)

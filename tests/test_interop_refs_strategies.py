@@ -1,0 +1,72 @@
+"""Tests for the §3 Discussion reference-sharing strategies (direct / copy / proxy)."""
+
+from repro.interop_refs import strategies
+from repro.stacklang import Arr, Loc, Num, Status, run, program
+
+
+def test_direct_sharing_aliases_the_same_cell():
+    workload = strategies.build_write_workloads(count=1)["direct"]
+    result = workload.run()
+    assert result.status is Status.VALUE
+    # Only one cell exists and the foreign write is visible through it.
+    assert len(result.heap) == 1
+    assert list(result.heap.values()) == [Num(3)]
+
+
+def test_copy_strategy_allocates_a_second_cell():
+    workload = strategies.build_write_workloads(count=1)["copy"]
+    result = workload.run()
+    assert result.status is Status.VALUE
+    assert len(result.heap) == 2
+    # The original cell is untouched; only the copy sees the write.
+    assert Num(1) in result.heap.values()
+    assert Num(3) in result.heap.values()
+
+
+def test_proxy_strategy_preserves_aliasing():
+    workload = strategies.build_write_workloads(count=1)["proxy"]
+    result = workload.run()
+    assert result.status is Status.VALUE
+    assert len(result.heap) == 1
+    assert list(result.heap.values()) == [Num(3)]
+
+
+def test_reads_return_the_stored_value_under_every_strategy():
+    for name, workload in strategies.build_read_workloads(count=3, initial=Num(9)).items():
+        result = workload.run()
+        assert result.status is Status.VALUE, name
+        assert result.value == Num(9), name
+
+
+def test_proxy_reads_cost_more_steps_than_direct_reads():
+    workloads = strategies.build_read_workloads(count=50)
+    direct_steps = workloads["direct"].steps()
+    proxy_steps = workloads["proxy"].steps()
+    assert proxy_steps > direct_steps
+
+
+def test_proxy_writes_cost_more_steps_than_direct_writes():
+    workloads = strategies.build_write_workloads(count=50)
+    assert workloads["proxy"].steps() > workloads["direct"].steps()
+
+
+def test_copy_conversion_pays_once_not_per_access():
+    few = strategies.build_read_workloads(count=2)
+    many = strategies.build_read_workloads(count=100)
+    copy_overhead_few = few["copy"].steps() - few["direct"].steps()
+    copy_overhead_many = many["copy"].steps() - many["direct"].steps()
+    # The copy strategy's overhead is a constant (the one-time copy), unlike the proxy's.
+    assert copy_overhead_few == copy_overhead_many
+
+
+def test_proxy_structure_is_reader_writer_array():
+    prog = program(strategies.allocate_reference(Num(0)), strategies.share_proxy())
+    result = run(prog)
+    assert isinstance(result.value, Arr)
+    assert len(result.value.items) == 2
+
+
+def test_direct_share_returns_original_location():
+    prog = program(strategies.allocate_reference(Num(0)), strategies.share_direct())
+    result = run(prog)
+    assert result.value == Loc(0)

@@ -1,0 +1,171 @@
+"""Tests for the L3 parser, linear typechecker, and compiler."""
+
+import pytest
+
+from repro.core.errors import LinearityError, ScopeError, TypeCheckError
+from repro.l3 import (
+    check_with_usage,
+    compile_expr,
+    is_duplicable,
+    parse_expr,
+    parse_type,
+    reference_package,
+    typecheck,
+    unused_linear_variables,
+)
+from repro.l3 import types as ty
+from repro.lcvm import CellKind, Int, Pair, Status, Unit, run
+
+
+def _check(source: str, **kwargs):
+    return typecheck(parse_expr(source), **kwargs)
+
+
+def _run(source: str):
+    return run(compile_expr(parse_expr(source)))
+
+
+# -- types ------------------------------------------------------------------------
+
+
+def test_parse_types_and_refpkg_sugar():
+    assert parse_type("(cap z bool)") == ty.CapType("z", ty.BOOL)
+    assert parse_type("(refpkg bool)") == reference_package(ty.BOOL)
+    assert parse_type("(exists z (tensor (cap z bool) (! (ptr z))))") == reference_package(ty.BOOL)
+
+
+def test_duplicable_subset():
+    assert is_duplicable(ty.BOOL)
+    assert is_duplicable(ty.PtrType("z"))
+    assert is_duplicable(ty.BangType(ty.BOOL))
+    assert not is_duplicable(ty.CapType("z", ty.BOOL))
+    assert not is_duplicable(ty.LolliType(ty.BOOL, ty.BOOL))
+
+
+def test_location_substitution():
+    packaged = parse_type("(exists z (cap z bool))")
+    opened = ty.substitute_location(packaged.body, "z", "w")
+    assert opened == ty.CapType("w", ty.BOOL)
+
+
+# -- typechecker -------------------------------------------------------------------
+
+
+def test_new_produces_reference_package():
+    assert _check("(new true)") == reference_package(ty.BOOL)
+
+
+def test_free_consumes_reference_package():
+    assert _check("(free (new true))") == ty.BOOL
+
+
+def test_linear_variable_cannot_be_duplicated():
+    with pytest.raises(LinearityError):
+        _check("((lam (c (cap z bool)) (tensor c c)) true)", locations=frozenset({"z"}))
+
+
+def test_duplicable_values_can_be_duplicated_explicitly():
+    assert _check("(dupl true)") == ty.TensorType(ty.BOOL, ty.BOOL)
+    with pytest.raises(LinearityError):
+        _check("((lam (c (cap z bool)) (dupl c)) true)", locations=frozenset({"z"}))
+
+
+def test_swap_types_strong_update():
+    source = (
+        "(unpack (z pkg) (new true) (let-tensor (c p) pkg (let! (pp p) "
+        "(let-tensor (c2 old) (swap c pp false) (let-unit (drop old) "
+        "(free (pack z (tensor c2 (bang pp)) (refpkg bool))))))))"
+    )
+    assert _check(source) == ty.BOOL
+
+
+def test_unpack_escape_check():
+    with pytest.raises(TypeCheckError):
+        _check("(unpack (z pkg) (new true) pkg)")
+
+
+def test_bang_requires_no_linear_capture():
+    with pytest.raises(LinearityError):
+        _check("((lam (c (cap z bool)) (bang c)) true)", locations=frozenset({"z"}))
+
+
+def test_let_bang_gives_unrestricted_variable():
+    assert _check("(let! (x (bang true)) (tensor x x))") == ty.TensorType(ty.BOOL, ty.BOOL)
+
+
+def test_location_abstraction_and_application():
+    source = "(loclam z (lam (p (ptr z)) p))"
+    inferred = _check(source)
+    assert inferred == ty.ForallLocType("z", ty.LolliType(ty.PtrType("z"), ty.PtrType("z")))
+
+
+def test_location_application_requires_scope():
+    with pytest.raises(ScopeError):
+        _check("(locapp (loclam z (lam (p (ptr z)) p)) w)")
+
+
+def test_unused_linear_variables_reports_leaks():
+    term = parse_expr("true")
+    leaks = unused_linear_variables(term, linear={"c": ty.CapType("z", ty.BOOL)}, locations=frozenset({"z"}))
+    assert leaks == frozenset({"c"})
+
+
+def test_if_condition_must_be_bool():
+    with pytest.raises(TypeCheckError):
+        _check("(if (new true) true false)")
+
+
+# -- compiler ---------------------------------------------------------------------
+
+
+def test_compile_new_free_roundtrip():
+    result = _run("(free (new true))")
+    assert result.value == Int(0)
+    assert len(result.heap) == 0  # the manual cell was freed
+
+
+def test_compile_new_allocates_manual_cell():
+    result = _run("(new true)")
+    assert result.status is Status.VALUE
+    assert isinstance(result.value, Pair)
+    assert result.value.first == Unit()
+    kinds = [cell.kind for cell in result.heap.cells.values()]
+    assert kinds == [CellKind.MANUAL]
+
+
+def test_compile_swap_performs_strong_update():
+    source = (
+        "(unpack (z pkg) (new true) (let-tensor (c p) pkg (let! (pp p) "
+        "(let-tensor (c2 old) (swap c pp false) (let-unit (drop old) "
+        "(free (pack z (tensor c2 (bang pp)) (refpkg bool))))))))"
+    )
+    result = _run(source)
+    assert result.value == Int(1)  # the swapped-in `false`
+    assert len(result.heap) == 0
+
+
+def test_compile_capabilities_erase_to_unit():
+    result = _run("(new true)")
+    assert result.value.first == Unit()
+
+
+def test_compile_dupl_and_drop():
+    assert _run("(dupl true)").value == Pair(Int(0), Int(0))
+    assert _run("(drop false)").value == Unit()
+
+
+def test_compile_location_abstraction_erases():
+    result = _run("((lam (x bool) x) true)")
+    assert result.value == Int(0)
+
+
+def test_well_typed_l3_programs_run_to_values():
+    corpus = [
+        "(free (new (tensor true false)))",
+        "(let-tensor (a b) (free (new (tensor true false))) (if a b true))",
+        "(let! (x (bang true)) (if x false true))",
+    ]
+    for source in corpus:
+        typecheck(parse_expr(source))
+        result = _run(source)
+        assert result.status is Status.VALUE, source

@@ -1,0 +1,249 @@
+"""Tests for the LCVM machine (Fig. 6 + Fig. 12), heap, GC, and big-step evaluator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ErrorCode
+from repro.lcvm import (
+    Alloc,
+    App,
+    Assign,
+    BinOp,
+    CallGc,
+    CellKind,
+    Deref,
+    Fail,
+    Free,
+    Fst,
+    GcMov,
+    Heap,
+    If,
+    Inl,
+    Inr,
+    Int,
+    Lam,
+    Let,
+    Match,
+    NewRef,
+    Pair,
+    Snd,
+    Status,
+    Unit,
+    Var,
+    evaluate,
+    free_variables,
+    is_value,
+    let_sequence,
+    run,
+    substitute,
+)
+from repro.lcvm.bigstep import IntV, PairV, UnitV
+
+
+# -- core evaluation -----------------------------------------------------------
+
+
+def test_int_and_unit_are_values():
+    assert is_value(Int(3))
+    assert is_value(Unit())
+    assert not is_value(BinOp("+", Int(1), Int(2)))
+
+
+def test_arithmetic():
+    assert run(BinOp("+", Int(2), Int(3))).value == Int(5)
+    assert run(BinOp("*", Int(2), Int(3))).value == Int(6)
+    assert run(BinOp("-", Int(2), Int(3))).value == Int(-1)
+
+
+def test_less_encodes_booleans_zero_is_true():
+    assert run(BinOp("<", Int(1), Int(2))).value == Int(0)
+    assert run(BinOp("<", Int(3), Int(2))).value == Int(1)
+
+
+def test_application_and_substitution():
+    program = App(Lam("x", BinOp("+", Var("x"), Int(1))), Int(41))
+    assert run(program).value == Int(42)
+
+
+def test_let_binds_value():
+    program = Let("x", Int(7), Pair(Var("x"), Var("x")))
+    assert run(program).value == Pair(Int(7), Int(7))
+
+
+def test_if_zero_takes_then_branch():
+    assert run(If(Int(0), Int(10), Int(20))).value == Int(10)
+    assert run(If(Int(3), Int(10), Int(20))).value == Int(20)
+
+
+def test_if_non_integer_fails_type():
+    result = run(If(Unit(), Int(1), Int(2)))
+    assert result.status is Status.FAIL
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_match_on_injections():
+    program = Match(Inl(Int(5)), "x", BinOp("+", Var("x"), Int(1)), "y", Int(0))
+    assert run(program).value == Int(6)
+    program = Match(Inr(Int(5)), "x", Int(0), "y", BinOp("+", Var("y"), Int(2)))
+    assert run(program).value == Int(7)
+
+
+def test_projections():
+    assert run(Fst(Pair(Int(1), Int(2)))).value == Int(1)
+    assert run(Snd(Pair(Int(1), Int(2)))).value == Int(2)
+    assert run(Fst(Int(3))).failure_code is ErrorCode.TYPE
+
+
+def test_application_of_non_function_fails_type():
+    assert run(App(Int(1), Int(2))).failure_code is ErrorCode.TYPE
+
+
+def test_unbound_variable_fails_type():
+    assert run(Var("nope")).failure_code is ErrorCode.TYPE
+
+
+def test_fail_propagates_code():
+    result = run(Let("x", Fail(ErrorCode.CONV), Int(1)))
+    assert result.status is Status.FAIL
+    assert result.failure_code is ErrorCode.CONV
+
+
+def test_out_of_fuel_on_divergence():
+    omega = App(Lam("x", App(Var("x"), Var("x"))), Lam("x", App(Var("x"), Var("x"))))
+    assert run(omega, fuel=100).status is Status.OUT_OF_FUEL
+
+
+# -- references, manual memory, GC ----------------------------------------------
+
+
+def test_gc_reference_roundtrip():
+    program = Let("r", NewRef(Int(1)), Let("_", Assign(Var("r"), Int(9)), Deref(Var("r"))))
+    assert run(program).value == Int(9)
+
+
+def test_manual_alloc_free_and_dangling_ptr():
+    program = Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Deref(Var("r"))))
+    result = run(program)
+    assert result.status is Status.FAIL
+    assert result.failure_code is ErrorCode.PTR
+
+
+def test_free_of_gc_cell_is_ptr_error():
+    assert run(Free(NewRef(Int(1)))).failure_code is ErrorCode.PTR
+
+
+def test_double_free_is_ptr_error():
+    program = Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Free(Var("r"))))
+    assert run(program).failure_code is ErrorCode.PTR
+
+
+def test_gcmov_transfers_cell_to_gc():
+    program = Let("r", Alloc(Int(5)), Deref(GcMov(Var("r"))))
+    result = run(program)
+    assert result.value == Int(5)
+    assert all(cell.kind is CellKind.GC for cell in result.heap.cells.values())
+
+
+def test_gcmov_of_gc_cell_is_ptr_error():
+    assert run(GcMov(NewRef(Int(1)))).failure_code is ErrorCode.PTR
+
+
+def test_callgc_collects_unreachable_gc_cells():
+    program = let_sequence(NewRef(Int(1)), NewRef(Int(2)), CallGc(), Int(0))
+    result = run(program)
+    assert result.value == Int(0)
+    assert len(result.heap) == 0
+    assert result.heap.collections == 1
+    assert result.heap.reclaimed == 2
+
+
+def test_callgc_keeps_reachable_cells():
+    program = Let("r", NewRef(Int(1)), Let("_", CallGc(), Deref(Var("r"))))
+    result = run(program)
+    assert result.value == Int(1)
+    assert len(result.heap) == 1
+
+
+def test_callgc_never_collects_manual_cells():
+    program = let_sequence(Alloc(Int(1)), CallGc(), Int(0))
+    result = run(program)
+    assert len(result.heap) == 1
+    assert list(result.heap.cells.values())[0].kind is CellKind.MANUAL
+
+
+def test_heap_addresses_are_reused_after_free():
+    heap = Heap()
+    first = heap.allocate(Int(1), CellKind.MANUAL)
+    heap.free(first)
+    second = heap.allocate(Int(2), CellKind.MANUAL)
+    assert first == second
+
+
+def test_heap_fragments_split_by_kind():
+    heap = Heap()
+    heap.allocate(Int(1), CellKind.MANUAL)
+    heap.allocate(Int(2), CellKind.GC)
+    assert set(heap.manual_fragment().values()) == {Int(1)}
+    assert set(heap.gc_fragment().values()) == {Int(2)}
+
+
+# -- substitution ---------------------------------------------------------------
+
+
+def test_substitute_respects_binders():
+    body = Lam("x", Var("x"))
+    assert substitute(body, "x", Int(1)) == body
+    open_term = Lam("y", Var("x"))
+    assert substitute(open_term, "x", Int(1)) == Lam("y", Int(1))
+
+
+def test_free_variables():
+    term = Let("x", Var("y"), App(Var("x"), Var("z")))
+    assert free_variables(term) == frozenset({"y", "z"})
+
+
+# -- big-step evaluator agrees with the machine -----------------------------------
+
+
+_CLOSED_PROGRAMS = [
+    BinOp("+", Int(2), Int(3)),
+    App(Lam("x", BinOp("*", Var("x"), Var("x"))), Int(6)),
+    Let("r", NewRef(Int(1)), Let("_", Assign(Var("r"), Int(9)), Deref(Var("r")))),
+    Match(Inl(Int(5)), "x", Var("x"), "y", Int(0)),
+    If(Int(0), Pair(Int(1), Int(2)), Pair(Int(3), Int(4))),
+    Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Deref(Var("r")))),
+]
+
+
+@pytest.mark.parametrize("program", _CLOSED_PROGRAMS, ids=[str(p)[:40] for p in _CLOSED_PROGRAMS])
+def test_bigstep_agrees_with_smallstep(program):
+    small = run(program)
+    big = evaluate(program)
+    if small.status is Status.VALUE:
+        assert big.ok
+        assert _runtime_equals(big.value, small.value)
+    else:
+        assert not big.ok
+        assert big.failure == small.failure_code
+
+
+def _runtime_equals(runtime_value, syntax_value):
+    if isinstance(runtime_value, IntV):
+        return syntax_value == Int(runtime_value.value)
+    if isinstance(runtime_value, UnitV):
+        return syntax_value == Unit()
+    if isinstance(runtime_value, PairV):
+        return (
+            isinstance(syntax_value, Pair)
+            and _runtime_equals(runtime_value.first, syntax_value.first)
+            and _runtime_equals(runtime_value.second, syntax_value.second)
+        )
+    return True  # closures/locations: structural comparison is not meaningful
+
+
+@given(st.integers(min_value=-50, max_value=50), st.integers(min_value=-50, max_value=50))
+def test_bigstep_and_smallstep_agree_on_arithmetic(a, b):
+    program = BinOp("+", Int(a), BinOp("*", Int(b), Int(2)))
+    assert run(program).value == Int(a + b * 2)
+    assert evaluate(program).value == IntV(a + b * 2)

@@ -1,0 +1,136 @@
+"""Tests for the MiniML parser, typechecker, and compiler."""
+
+import pytest
+
+from repro.core.errors import LinearityError, ParseError, ScopeError, TypeCheckError
+from repro.lcvm import Int, Pair, Status, run
+from repro.miniml import compile_expr, parse_expr, parse_type, typecheck
+from repro.miniml import syntax as ast
+from repro.miniml import types as ty
+
+
+def _check(source: str, **kwargs):
+    return typecheck(parse_expr(source), **kwargs)
+
+
+def _run(source: str):
+    return run(compile_expr(parse_expr(source)))
+
+
+# -- parser / types -----------------------------------------------------------
+
+
+def test_parse_type_forms():
+    assert parse_type("int") == ty.INT
+    assert parse_type("(forall a (-> a a))") == ty.ForallType("a", ty.FunType(ty.TypeVar("a"), ty.TypeVar("a")))
+    assert parse_type("(ref (prod unit int))") == ty.RefType(ty.ProdType(ty.UNIT, ty.INT))
+    assert isinstance(parse_type("(foreign bool)"), ty.ForeignType)
+
+
+def test_parse_expr_forms():
+    assert parse_expr("5") == ast.IntLit(5)
+    assert isinstance(parse_expr("(tylam a (lam (x a) x))"), ast.TyLam)
+    assert isinstance(parse_expr("(tyapp (tylam a (lam (x a) x)) int)"), ast.TyApp)
+    assert isinstance(parse_expr("(let (x 1) (+ x x))"), ast.LetIn)
+
+
+def test_parse_boundary_requires_foreign_parser():
+    with pytest.raises(ParseError):
+        parse_expr("(boundary int true)")
+
+
+# -- typechecker ---------------------------------------------------------------
+
+
+def test_typecheck_literals_and_arithmetic():
+    assert _check("()") == ty.UNIT
+    assert _check("(+ 1 2)") == ty.INT
+
+
+def test_typecheck_polymorphic_identity():
+    identity = "(tylam a (lam (x a) x))"
+    assert _check(identity) == ty.ForallType("a", ty.FunType(ty.TypeVar("a"), ty.TypeVar("a")))
+    assert _check(f"((tyapp {identity} int) 5)") == ty.INT
+
+
+def test_typecheck_type_application_substitutes():
+    assert _check("(tyapp (tylam a (lam (x a) x)) (prod int unit))") == ty.FunType(
+        ty.ProdType(ty.INT, ty.UNIT), ty.ProdType(ty.INT, ty.UNIT)
+    )
+
+
+def test_typecheck_unbound_type_variable_rejected():
+    with pytest.raises(TypeCheckError):
+        _check("(lam (x b) x)")
+
+
+def test_typecheck_references():
+    assert _check("(ref 5)") == ty.RefType(ty.INT)
+    assert _check("(! (ref 5))") == ty.INT
+    assert _check("(set! (ref 5) 6)") == ty.UNIT
+    with pytest.raises(TypeCheckError):
+        _check("(set! (ref 5) unit)")
+
+
+def test_typecheck_sums_and_match():
+    source = "(match (inl (sum int unit) 5) (x x) (y 0))"
+    assert _check(source) == ty.INT
+
+
+def test_typecheck_let_and_scope():
+    assert _check("(let (x 2) (+ x x))") == ty.INT
+    with pytest.raises(ScopeError):
+        _check("y")
+
+
+def test_foreign_usage_duplication_is_rejected():
+    """Two boundaries consuming the same foreign affine variable must be rejected."""
+
+    def hook(boundary, env, type_vars, foreign_env):
+        return boundary.annotation, frozenset({"a"})
+
+    term = ast.Pair(
+        ast.Boundary(ty.INT, object()),
+        ast.Boundary(ty.INT, object()),
+    )
+    with pytest.raises(LinearityError):
+        typecheck(term, boundary_hook=hook)
+
+
+def test_foreign_usage_single_boundary_accepted():
+    def hook(boundary, env, type_vars, foreign_env):
+        return boundary.annotation, frozenset({"a"})
+
+    term = ast.Pair(ast.Boundary(ty.INT, object()), ast.IntLit(1))
+    assert typecheck(term, boundary_hook=hook) == ty.ProdType(ty.INT, ty.INT)
+
+
+# -- compiler -------------------------------------------------------------------
+
+
+def test_compile_arithmetic_and_functions():
+    assert _run("(+ 1 2)").value == Int(3)
+    assert _run("((lam (x int) (+ x x)) 21)").value == Int(42)
+
+
+def test_compile_polymorphism_erases_to_unit_application():
+    assert _run("((tyapp (tylam a (lam (x a) x)) int) 9)").value == Int(9)
+
+
+def test_compile_pairs_sums_and_match():
+    assert _run("(fst (pair 1 2))").value == Int(1)
+    assert _run("(match (inr (sum int int) 3) (x 0) (y y))").value == Int(3)
+
+
+def test_compile_references_with_gc_interleaving():
+    result = _run("(let (r (ref 5)) (let (i (set! r 6)) (! r)))")
+    assert result.value == Int(6)
+    assert result.status is Status.VALUE
+
+
+def test_compile_let_shadowing():
+    assert _run("(let (x 1) (let (x 2) x))").value == Int(2)
+
+
+def test_compiled_pair_structure():
+    assert _run("(pair (pair 1 2) 3)").value == Pair(Pair(Int(1), Int(2)), Int(3))

@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the conversion glue code.
+
+These widen the finite sampling used by the bounded checkers: random values
+are pushed through the glue code in both directions and the results are
+checked against the value interpretations (and, where the conversion pair is
+lossless, against a round-trip property).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interop_affine.conversions import make_convertibility as make_affine_convertibility
+from repro.interop_refs.conversions import make_convertibility as make_refs_convertibility
+from repro.interop_refs.model import LANGUAGE_A as REFHL, LANGUAGE_B as REFLL, RefsModel
+from repro.lcvm import Int as LInt, Pair as LPair, run as lcvm_run
+from repro.affi import types as affi_ty
+from repro.miniml import types as ml_ty
+from repro.refhl import types as hl
+from repro.refll import types as ll
+from repro.stacklang import Arr, Num, Push, program, run
+
+_refs_relation = make_refs_convertibility()
+_refs_model = RefsModel()
+_affine_relation = make_affine_convertibility()
+
+
+# -- §3: RefHL ∼ RefLL -----------------------------------------------------------
+
+
+@given(st.integers(min_value=-1000, max_value=1000))
+def test_bool_int_conversion_is_identity_on_target_values(number):
+    conversion = _refs_relation.require(hl.BOOL, ll.INT)
+    converted = conversion.apply_a_to_b(program(Push(Num(number))))
+    assert run(converted).value == Num(number)
+    back = conversion.apply_b_to_a(program(Push(Num(number))))
+    assert run(back).value == Num(number)
+
+
+@given(st.booleans(), st.integers(min_value=-50, max_value=50))
+def test_sum_to_array_round_trip(use_left, payload):
+    """Sums of convertible payloads survive the round trip through [int]."""
+    sum_type = hl.SumType(hl.BOOL, hl.BOOL)
+    array_type = ll.ArrayType(ll.INT)
+    conversion = _refs_relation.require(sum_type, array_type)
+    tag = Num(0) if use_left else Num(1)
+    value = Arr((tag, Num(payload)))
+    to_array = run(conversion.apply_a_to_b(program(Push(value))))
+    assert to_array.value == value  # payload conversion is the identity here
+    back = run(conversion.apply_b_to_a(program(Push(to_array.value))))
+    assert back.value == value
+
+
+@given(st.integers(min_value=-50, max_value=50), st.integers(min_value=-50, max_value=50))
+def test_pair_to_array_round_trip(first, second):
+    prod_type = hl.ProdType(hl.BOOL, hl.BOOL)
+    array_type = ll.ArrayType(ll.INT)
+    conversion = _refs_relation.require(prod_type, array_type)
+    value = Arr((Num(first), Num(second)))
+    converted = run(conversion.apply_a_to_b(program(Push(value))))
+    assert converted.value == value
+    back = run(conversion.apply_b_to_a(program(Push(converted.value))))
+    assert back.value == value
+
+
+@given(st.integers(min_value=-20, max_value=20))
+@settings(max_examples=25)
+def test_converted_values_inhabit_the_target_interpretation(number):
+    """Lemma 3.1 as a property: conversion output lands in E[[τ_B]]."""
+    world = _refs_model.default_world(32)
+    conversion = _refs_relation.require(hl.BOOL, ll.INT)
+    converted = conversion.apply_a_to_b(program(Push(Num(number))))
+    assert _refs_model.expression_in_type(REFLL, ll.INT, world, converted)
+    back = conversion.apply_b_to_a(program(Push(Num(number))))
+    assert _refs_model.expression_in_type(REFHL, hl.BOOL, world, back)
+
+
+# -- §4: Affi ∼ MiniML --------------------------------------------------------------
+
+
+@given(st.integers(min_value=-1000, max_value=1000))
+def test_int_to_affi_bool_normalizes_to_zero_or_one(number):
+    conversion = _affine_relation.require(affi_ty.BOOL, ml_ty.INT)
+    normalized = lcvm_run(conversion.apply_b_to_a(LInt(number)))
+    assert normalized.value in (LInt(0), LInt(1))
+    assert (normalized.value == LInt(0)) == (number == 0)
+
+
+@given(st.integers(min_value=-100, max_value=100), st.sampled_from([0, 1]))
+def test_tensor_prod_conversion_preserves_components(number, flag):
+    tensor = affi_ty.TensorType(affi_ty.INT, affi_ty.BOOL)
+    prod = ml_ty.ProdType(ml_ty.INT, ml_ty.INT)
+    conversion = _affine_relation.require(tensor, prod)
+    value = LPair(LInt(number), LInt(flag))
+    converted = lcvm_run(conversion.apply_a_to_b(value))
+    assert converted.value == value
+    back = lcvm_run(conversion.apply_b_to_a(converted.value))
+    assert back.value == value
+
+
+@given(st.integers(min_value=0, max_value=1))
+def test_affi_bool_to_int_is_identity(flag):
+    conversion = _affine_relation.require(affi_ty.BOOL, ml_ty.INT)
+    assert lcvm_run(conversion.apply_a_to_b(LInt(flag))).value == LInt(flag)

@@ -1,0 +1,204 @@
+"""Tests for the RefHL parser, typechecker, and compiler."""
+
+import pytest
+
+from repro.core.errors import ConvertibilityError, ParseError, ScopeError, TypeCheckError
+from repro.refhl import compile_expr, parse_expr, parse_type, typecheck
+from repro.refhl import syntax as ast
+from repro.refhl.types import BOOL, UNIT, BoolType, FunType, ProdType, RefType, SumType
+from repro.stacklang import Num, Status, run
+
+
+# -- parser -----------------------------------------------------------------
+
+
+def test_parse_booleans_and_unit():
+    assert parse_expr("true") == ast.BoolLit(True)
+    assert parse_expr("false") == ast.BoolLit(False)
+    assert parse_expr("unit") == ast.UnitLit()
+    assert parse_expr("()") == ast.UnitLit()
+
+
+def test_parse_variable():
+    assert parse_expr("x") == ast.Var("x")
+
+
+def test_parse_lambda_and_application():
+    term = parse_expr("((lam (x bool) x) true)")
+    assert isinstance(term, ast.App)
+    assert isinstance(term.function, ast.Lam)
+    assert term.function.parameter_type == BOOL
+
+
+def test_parse_match():
+    term = parse_expr("(match (inl (sum bool unit) true) (x x) (y false))")
+    assert isinstance(term, ast.Match)
+    assert term.left_name == "x"
+    assert term.right_name == "y"
+
+
+def test_parse_reference_forms():
+    assert isinstance(parse_expr("(ref true)"), ast.NewRef)
+    assert isinstance(parse_expr("(! (ref true))"), ast.Deref)
+    assert isinstance(parse_expr("(set! (ref true) false)"), ast.Assign)
+
+
+def test_parse_boundary_embeds_refll():
+    term = parse_expr("(boundary bool 5)")
+    assert isinstance(term, ast.Boundary)
+    assert term.annotation == BOOL
+    from repro.refll import syntax as ll_ast
+
+    assert term.foreign_term == ll_ast.IntLit(5)
+
+
+def test_parse_rejects_integer_literal():
+    with pytest.raises(ParseError):
+        parse_expr("17")
+
+
+def test_parse_rejects_bad_arity():
+    with pytest.raises(ParseError):
+        parse_expr("(if true false)")
+
+
+def test_parse_types():
+    assert parse_type("bool") == BOOL
+    assert parse_type("(ref (sum unit bool))") == RefType(SumType(UNIT, BOOL))
+    assert parse_type("(-> bool (prod bool unit))") == FunType(BOOL, ProdType(BOOL, UNIT))
+
+
+def test_parse_type_rejects_unknown():
+    with pytest.raises(ParseError):
+        parse_type("(list bool)")
+
+
+# -- typechecker -------------------------------------------------------------
+
+
+def test_typecheck_literals():
+    assert typecheck(parse_expr("true")) == BOOL
+    assert typecheck(parse_expr("unit")) == UNIT
+
+
+def test_typecheck_if():
+    assert typecheck(parse_expr("(if true false true)")) == BOOL
+
+
+def test_typecheck_if_requires_bool_condition():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("(if (pair true true) false true)"))
+
+
+def test_typecheck_if_branches_must_agree():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("(if true unit true)"))
+
+
+def test_typecheck_lambda_and_application():
+    term = parse_expr("((lam (x bool) (if x false true)) true)")
+    assert typecheck(term) == BOOL
+
+
+def test_typecheck_application_argument_mismatch():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("((lam (x bool) x) unit)"))
+
+
+def test_typecheck_pair_projections():
+    assert typecheck(parse_expr("(fst (pair true unit))")) == BOOL
+    assert typecheck(parse_expr("(snd (pair true unit))")) == UNIT
+
+
+def test_typecheck_sum_and_match():
+    term = parse_expr("(match (inl (sum bool unit) true) (x x) (y false))")
+    assert typecheck(term) == BOOL
+
+
+def test_typecheck_inl_payload_mismatch():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("(inl (sum bool unit) unit)"))
+
+
+def test_typecheck_references():
+    assert typecheck(parse_expr("(ref true)")) == RefType(BOOL)
+    assert typecheck(parse_expr("(! (ref true))")) == BOOL
+    assert typecheck(parse_expr("(set! (ref true) false)")) == UNIT
+
+
+def test_typecheck_assignment_type_mismatch():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("(set! (ref true) unit)"))
+
+
+def test_typecheck_unbound_variable():
+    with pytest.raises(ScopeError):
+        typecheck(parse_expr("x"))
+
+
+def test_typecheck_variable_from_environment():
+    assert typecheck(parse_expr("x"), env={"x": RefType(BOOL)}) == RefType(BOOL)
+
+
+def test_typecheck_boundary_without_system_is_rejected():
+    with pytest.raises(ConvertibilityError):
+        typecheck(parse_expr("(boundary bool 1)"))
+
+
+# -- compiler ----------------------------------------------------------------
+
+
+def _run_closed(source: str):
+    return run(compile_expr(parse_expr(source)))
+
+
+def test_compile_true_is_zero():
+    assert _run_closed("true").value == Num(0)
+
+
+def test_compile_false_is_one():
+    assert _run_closed("false").value == Num(1)
+
+
+def test_compile_if_branches_on_truth():
+    assert _run_closed("(if true false true)").value == Num(1)
+    assert _run_closed("(if false false true)").value == Num(0)
+
+
+def test_compile_application():
+    assert _run_closed("((lam (x bool) (if x false true)) true)").value == Num(1)
+
+
+def test_compile_pair_and_projections():
+    assert _run_closed("(fst (pair true false))").value == Num(0)
+    assert _run_closed("(snd (pair true false))").value == Num(1)
+
+
+def test_compile_match_left_and_right():
+    assert _run_closed("(match (inl (sum bool bool) false) (x x) (y true))").value == Num(1)
+    assert _run_closed("(match (inr (sum bool bool) false) (x true) (y y))").value == Num(1)
+
+
+def test_compile_references_roundtrip():
+    assert _run_closed("(! (ref false))").value == Num(1)
+
+
+def test_compile_assignment_returns_unit_encoding():
+    assert _run_closed("(set! (ref true) false)").value == Num(0)
+
+
+def test_compile_nested_state():
+    source = "((lam (r (ref bool)) (if (! r) false (! r))) (ref false))"
+    assert _run_closed(source).value == Num(1)
+
+
+def test_compiled_well_typed_programs_never_fail_type(subtests=None):
+    corpus = [
+        "(if true false true)",
+        "(fst (pair (ref true) false))",
+        "(match (inl (sum bool unit) true) (x x) (y false))",
+        "((lam (x (prod bool bool)) (snd x)) (pair true false))",
+    ]
+    for source in corpus:
+        result = _run_closed(source)
+        assert result.status is Status.VALUE

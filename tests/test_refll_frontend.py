@@ -1,0 +1,169 @@
+"""Tests for the RefLL parser, typechecker, and compiler."""
+
+import pytest
+
+from repro.core.errors import ConvertibilityError, ErrorCode, ParseError, ScopeError, TypeCheckError
+from repro.refll import compile_expr, parse_expr, parse_type, typecheck
+from repro.refll import syntax as ast
+from repro.refll.types import INT, ArrayType, FunType, RefType
+from repro.stacklang import Arr, Num, Status, run
+
+
+# -- parser -----------------------------------------------------------------
+
+
+def test_parse_integer_literal():
+    assert parse_expr("42") == ast.IntLit(42)
+    assert parse_expr("-3") == ast.IntLit(-3)
+
+
+def test_parse_variable():
+    assert parse_expr("x") == ast.Var("x")
+
+
+def test_parse_array_and_index():
+    term = parse_expr("(idx (array 1 2 3) 0)")
+    assert isinstance(term, ast.Index)
+    assert isinstance(term.array, ast.ArrayLit)
+    assert len(term.array.elements) == 3
+
+
+def test_parse_lambda_application_add():
+    term = parse_expr("((lam (x int) (+ x 1)) 41)")
+    assert isinstance(term, ast.App)
+    assert isinstance(term.function, ast.Lam)
+
+
+def test_parse_if0_and_refs():
+    assert isinstance(parse_expr("(if0 0 1 2)"), ast.If0)
+    assert isinstance(parse_expr("(ref 1)"), ast.NewRef)
+    assert isinstance(parse_expr("(! (ref 1))"), ast.Deref)
+    assert isinstance(parse_expr("(set! (ref 1) 2)"), ast.Assign)
+
+
+def test_parse_boundary_embeds_refhl():
+    term = parse_expr("(boundary int true)")
+    assert isinstance(term, ast.Boundary)
+    from repro.refhl import syntax as hl_ast
+
+    assert term.foreign_term == hl_ast.BoolLit(True)
+
+
+def test_parse_rejects_empty_list():
+    with pytest.raises(ParseError):
+        parse_expr("()")
+
+
+def test_parse_types():
+    assert parse_type("int") == INT
+    assert parse_type("(array (ref int))") == ArrayType(RefType(INT))
+    assert parse_type("(-> int (array int))") == FunType(INT, ArrayType(INT))
+
+
+# -- typechecker -------------------------------------------------------------
+
+
+def test_typecheck_arithmetic():
+    assert typecheck(parse_expr("(+ 1 2)")) == INT
+
+
+def test_typecheck_add_requires_ints():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("(+ 1 (array 1))"))
+
+
+def test_typecheck_array_and_index():
+    assert typecheck(parse_expr("(array 1 2 3)")) == ArrayType(INT)
+    assert typecheck(parse_expr("(idx (array 1 2 3) 0)")) == INT
+
+
+def test_typecheck_heterogeneous_array_rejected():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("(array 1 (array 2))"))
+
+
+def test_typecheck_empty_array_rejected():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("(array)"))
+
+
+def test_typecheck_lambda_application():
+    assert typecheck(parse_expr("((lam (x int) (+ x 1)) 41)")) == INT
+
+
+def test_typecheck_if0():
+    assert typecheck(parse_expr("(if0 0 1 2)")) == INT
+
+
+def test_typecheck_if0_requires_int_condition():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_expr("(if0 (array 1) 1 2)"))
+
+
+def test_typecheck_references():
+    assert typecheck(parse_expr("(ref 5)")) == RefType(INT)
+    assert typecheck(parse_expr("(! (ref 5))")) == INT
+    assert typecheck(parse_expr("(set! (ref 1) 2)")) == INT
+
+
+def test_typecheck_unbound_variable():
+    with pytest.raises(ScopeError):
+        typecheck(parse_expr("y"))
+
+
+def test_typecheck_boundary_without_system_is_rejected():
+    with pytest.raises(ConvertibilityError):
+        typecheck(parse_expr("(boundary int true)"))
+
+
+# -- compiler ----------------------------------------------------------------
+
+
+def _run_closed(source: str):
+    return run(compile_expr(parse_expr(source)))
+
+
+def test_compile_arithmetic():
+    assert _run_closed("(+ 1 2)").value == Num(3)
+
+
+def test_compile_array_literal_preserves_order():
+    assert _run_closed("(array 1 2 3)").value == Arr((Num(1), Num(2), Num(3)))
+
+
+def test_compile_index():
+    assert _run_closed("(idx (array 10 20 30) 2)").value == Num(30)
+
+
+def test_compile_index_out_of_bounds_fails_idx():
+    result = _run_closed("(idx (array 10) 5)")
+    assert result.status is Status.FAIL
+    assert result.failure_code is ErrorCode.IDX
+
+
+def test_compile_application():
+    assert _run_closed("((lam (x int) (+ x 1)) 41)").value == Num(42)
+
+
+def test_compile_if0():
+    assert _run_closed("(if0 0 10 20)").value == Num(10)
+    assert _run_closed("(if0 3 10 20)").value == Num(20)
+
+
+def test_compile_reference_roundtrip():
+    assert _run_closed("(! (ref 5))").value == Num(5)
+
+
+def test_compile_assignment_then_read():
+    source = "((lam (r (ref int)) ((lam (ignore int) (! r)) (set! r 9))) (ref 1))"
+    assert _run_closed(source).value == Num(9)
+
+
+def test_compile_higher_order_function():
+    source = "((lam (f (-> int int)) (f 3)) (lam (y int) (+ y y)))"
+    assert _run_closed(source).value == Num(6)
+
+
+def test_compile_nested_arrays():
+    result = _run_closed("(idx (array (array 1 2) (array 3 4)) 1)")
+    assert result.value == Arr((Num(3), Num(4)))

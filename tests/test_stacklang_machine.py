@@ -1,0 +1,221 @@
+"""Tests for the StackLang small-step machine (Fig. 2)."""
+
+import pytest
+
+from repro.core.errors import ErrorCode, StuckError
+from repro.stacklang import (
+    DUP,
+    SWAP,
+    Add,
+    Alloc,
+    Arr,
+    Call,
+    Fail,
+    Idx,
+    If0,
+    Lam,
+    Len,
+    Less,
+    Loc,
+    Num,
+    Push,
+    Read,
+    Status,
+    Thunk,
+    Var,
+    Write,
+    initial_config,
+    program,
+    run,
+    step,
+)
+
+
+def test_push_and_terminate_with_value():
+    result = run(program(Push(Num(5))))
+    assert result.status is Status.VALUE
+    assert result.value == Num(5)
+    assert result.steps == 1
+
+
+def test_empty_program_terminates_empty():
+    result = run(())
+    assert result.status is Status.EMPTY
+
+
+def test_add_sums_top_two():
+    result = run(program(Push(Num(2)), Push(Num(3)), Add()))
+    assert result.value == Num(5)
+
+
+def test_add_with_too_few_operands_fails_type():
+    result = run(program(Push(Num(2)), Add()))
+    assert result.status is Status.FAIL
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_add_with_non_number_fails_type():
+    result = run(program(Push(Arr(())), Push(Num(1)), Add()))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_less_true_pushes_zero():
+    # Stack is S, n', n with n on top; result is 0 when n < n'.
+    result = run(program(Push(Num(10)), Push(Num(3)), Less()))
+    assert result.value == Num(0)
+
+
+def test_less_false_pushes_one():
+    result = run(program(Push(Num(3)), Push(Num(10)), Less()))
+    assert result.value == Num(1)
+
+
+def test_if0_takes_then_branch_on_zero():
+    result = run(program(Push(Num(0)), If0((Push(Num(100)),), (Push(Num(200)),))))
+    assert result.value == Num(100)
+
+
+def test_if0_takes_else_branch_on_nonzero():
+    result = run(program(Push(Num(7)), If0((Push(Num(100)),), (Push(Num(200)),))))
+    assert result.value == Num(200)
+
+
+def test_if0_on_empty_stack_fails_type():
+    result = run(program(If0((), ())))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_if0_on_non_number_fails_type():
+    result = run(program(Push(Thunk(())), If0((), ())))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_lam_substitutes_single_binder():
+    result = run(program(Push(Num(9)), Lam(("x",), (Push(Var("x")), Push(Var("x")), Add()))))
+    assert result.value == Num(18)
+
+
+def test_lam_multiple_binders_pop_top_first():
+    # lam x2, x1 binds x2 to the top of the stack (per the Fig. 3 pair compile).
+    result = run(
+        program(
+            Push(Num(1)),
+            Push(Num(2)),
+            Lam(("x2", "x1"), (Push(Arr((Var("x1"), Var("x2")))),)),
+        )
+    )
+    assert result.value == Arr((Num(1), Num(2)))
+
+
+def test_lam_with_too_few_values_fails_type():
+    result = run(program(Lam(("x",), ())))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_call_runs_thunk():
+    result = run(program(Push(Thunk((Push(Num(3)), Push(Num(4)), Add()))), Call()))
+    assert result.value == Num(7)
+
+
+def test_call_on_non_thunk_fails_type():
+    result = run(program(Push(Num(1)), Call()))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_idx_in_bounds():
+    result = run(program(Push(Arr((Num(10), Num(20), Num(30)))), Push(Num(2)), Idx()))
+    assert result.value == Num(30)
+
+
+def test_idx_out_of_bounds_fails_idx():
+    result = run(program(Push(Arr((Num(10),))), Push(Num(3)), Idx()))
+    assert result.status is Status.FAIL
+    assert result.failure_code is ErrorCode.IDX
+
+
+def test_idx_negative_fails_idx():
+    result = run(program(Push(Arr((Num(10),))), Push(Num(-1)), Idx()))
+    assert result.failure_code is ErrorCode.IDX
+
+
+def test_idx_on_non_array_fails_type():
+    result = run(program(Push(Num(1)), Push(Num(0)), Idx()))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_len_pushes_length():
+    result = run(program(Push(Arr((Num(1), Num(2)))), Len()))
+    assert result.value == Num(2)
+
+
+def test_alloc_read_roundtrip():
+    result = run(program(Push(Num(42)), Alloc(), Read()))
+    assert result.value == Num(42)
+
+
+def test_alloc_returns_location_and_extends_heap():
+    result = run(program(Push(Num(42)), Alloc()))
+    assert isinstance(result.value, Loc)
+    assert result.heap[result.value.address] == Num(42)
+
+
+def test_write_updates_heap():
+    result = run(program(Push(Num(1)), Alloc(), DUP, Push(Num(99)), Write(), Read()))
+    assert result.value == Num(99)
+
+
+def test_write_to_missing_location_fails_type():
+    result = run(program(Push(Loc(17)), Push(Num(1)), Write()))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_read_missing_location_fails_type():
+    result = run(program(Push(Loc(17)), Read()))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_fail_instruction_aborts_with_code():
+    result = run(program(Push(Num(1)), Fail(ErrorCode.CONV), Push(Num(2))))
+    assert result.status is Status.FAIL
+    assert result.failure_code is ErrorCode.CONV
+
+
+def test_swap_macro_exchanges_top_two():
+    result = run(program(Push(Num(1)), Push(Num(2)), SWAP, Add()))
+    assert result.value == Num(3)
+    result = run(program(Push(Arr(())), Push(Num(2)), SWAP))
+    assert result.value == Arr(())
+
+
+def test_dup_macro_duplicates_top():
+    result = run(program(Push(Num(4)), DUP, Add()))
+    assert result.value == Num(8)
+
+
+def test_push_unsubstituted_variable_fails_type():
+    result = run(program(Push(Var("x"))))
+    assert result.failure_code is ErrorCode.TYPE
+
+
+def test_out_of_fuel_status():
+    # An infinite loop: a thunk that pushes itself and calls itself.
+    loop_body = (Push(Var("self")), Push(Var("self")), Call())
+    looping = program(
+        Push(Thunk((Lam(("self",), loop_body),))),
+        DUP,
+        Call(),
+    )
+    result = run(looping, fuel=50)
+    assert result.status is Status.OUT_OF_FUEL
+
+
+def test_step_on_terminal_config_raises():
+    with pytest.raises(StuckError):
+        step(initial_config((), {}, []))
+
+
+def test_heap_is_not_shared_between_runs():
+    prog = program(Push(Num(0)), Alloc())
+    first = run(prog)
+    second = run(prog)
+    assert first.heap == second.heap == {0: Num(0)}

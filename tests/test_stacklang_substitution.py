@@ -1,0 +1,75 @@
+"""Tests for StackLang substitution and free-variable computation."""
+
+from repro.stacklang import (
+    Arr,
+    If0,
+    Lam,
+    Num,
+    Push,
+    Thunk,
+    Var,
+    free_variables,
+    program,
+    substitute_program,
+)
+
+
+def test_substitute_replaces_variable_occurrence():
+    prog = program(Push(Var("x")))
+    assert substitute_program(prog, "x", Num(3)) == program(Push(Num(3)))
+
+
+def test_substitute_leaves_other_variables():
+    prog = program(Push(Var("y")))
+    assert substitute_program(prog, "x", Num(3)) == prog
+
+
+def test_substitute_descends_into_if0_branches():
+    prog = program(If0((Push(Var("x")),), (Push(Var("x")),)))
+    result = substitute_program(prog, "x", Num(1))
+    assert result == program(If0((Push(Num(1)),), (Push(Num(1)),)))
+
+
+def test_substitute_descends_into_thunks():
+    prog = program(Push(Thunk((Push(Var("x")),))))
+    result = substitute_program(prog, "x", Num(7))
+    assert result == program(Push(Thunk((Push(Num(7)),))))
+
+
+def test_substitute_descends_into_arrays():
+    prog = program(Push(Arr((Var("x"), Num(0)))))
+    result = substitute_program(prog, "x", Num(5))
+    assert result == program(Push(Arr((Num(5), Num(0)))))
+
+
+def test_substitute_respects_shadowing():
+    inner = Lam(("x",), (Push(Var("x")),))
+    prog = program(inner)
+    assert substitute_program(prog, "x", Num(9)) == prog
+
+
+def test_substitute_under_different_binder():
+    prog = program(Lam(("y",), (Push(Var("x")), Push(Var("y")))))
+    result = substitute_program(prog, "x", Num(2))
+    assert result == program(Lam(("y",), (Push(Num(2)), Push(Var("y")))))
+
+
+def test_free_variables_of_closed_program():
+    prog = program(Push(Num(1)), Lam(("x",), (Push(Var("x")),)))
+    assert free_variables(prog) == frozenset()
+
+
+def test_free_variables_detects_open_program():
+    prog = program(Push(Var("x")), Lam(("y",), (Push(Var("z")),)))
+    assert free_variables(prog) == frozenset({"x", "z"})
+
+
+def test_free_variables_inside_thunk_and_array():
+    prog = program(Push(Thunk((Push(Arr((Var("w"),))),))))
+    assert free_variables(prog) == frozenset({"w"})
+
+
+def test_substitution_makes_program_closed():
+    prog = program(Push(Var("a")), Lam(("b",), (Push(Var("a")), Push(Var("b")))))
+    closed = substitute_program(prog, "a", Num(0))
+    assert free_variables(closed) == frozenset()
