@@ -3,7 +3,9 @@
 Measures the full pipeline cost (parse + typecheck + compile + run) of a
 program that stays within one language against the same computation that
 crosses the language boundary repeatedly, for each of the §3, §4, and §5
-systems.
+systems; then compares the evaluator backends (``substitution`` reference
+machine vs ``bigstep`` vs ``cek``) on deep-crossing workloads, and measures
+what the pipeline cache buys on repeated submissions of the same program.
 """
 
 import pytest
@@ -13,6 +15,8 @@ from repro.interop_l3 import make_system as make_l3_system
 from repro.interop_refs import make_system as make_refs_system
 
 CROSSINGS = 10
+DEEP_CROSSINGS = 40
+RUN_FUEL = 5_000_000
 
 
 def _nested_refll_boundary(depth: int) -> str:
@@ -27,6 +31,13 @@ def _nested_ml_affi_boundary(depth: int) -> str:
     source = "1"
     for _ in range(depth):
         source = f"(+ 1 (boundary int (boundary int {source})))"
+    return source
+
+
+def _nested_ml_l3_boundary(depth: int) -> str:
+    source = "1"
+    for _ in range(depth):
+        source = f"(+ {source} (! (boundary (ref int) (new true))))"
     return source
 
 
@@ -51,3 +62,55 @@ def test_boundary_crossing_pipeline(benchmark, label, factory, language, source)
     assert result.ok, f"{label}: {result}"
     benchmark.extra_info["label"] = label
     benchmark.extra_info["steps"] = result.steps
+    benchmark.extra_info["cache"] = system.cache_stats()
+
+
+# -- backend comparison on deep crossings ------------------------------------------
+
+_DEEP_WORKLOADS = {
+    "refs": (make_refs_system, "RefLL", _nested_refll_boundary(DEEP_CROSSINGS)),
+    "affine": (make_affine_system, "MiniML", _nested_ml_affi_boundary(DEEP_CROSSINGS)),
+    "l3": (make_l3_system, "MiniML", _nested_ml_l3_boundary(DEEP_CROSSINGS)),
+}
+
+
+@pytest.mark.parametrize(
+    "workload,backend",
+    [
+        (workload, backend)
+        for workload, (factory, _lang, _src) in _DEEP_WORKLOADS.items()
+        for backend in factory().target.backend_names()
+    ],
+)
+def test_deep_crossing_backend_comparison(benchmark, workload, backend):
+    """Same compiled deep-crossing program, one timing per registered backend."""
+    factory, language, source = _DEEP_WORKLOADS[workload]
+    system = factory()
+    unit = system.compile_source(language, source)
+
+    result = benchmark(lambda: system.run_compiled(unit.target_code, fuel=RUN_FUEL, backend=backend))
+    assert result.ok, f"{workload}/{backend}: {result}"
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["steps"] = result.steps
+
+
+# -- pipeline cache ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cached", [True, False], ids=["warm-cache", "cold-cache"])
+def test_pipeline_cache_effect(benchmark, cached):
+    """Repeated submissions of one crossing-heavy program, with/without cache."""
+    system = make_affine_system()
+    source = _nested_ml_affi_boundary(CROSSINGS)
+    frontend = system.frontend("MiniML")
+    frontend.cache_enabled = cached
+
+    def resubmit():
+        if not cached:
+            frontend.clear_cache()
+        return system.run_source("MiniML", source)
+
+    result = benchmark(resubmit)
+    assert result.ok
+    benchmark.extra_info["cache"] = system.cache_stats()

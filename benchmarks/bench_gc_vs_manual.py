@@ -21,6 +21,7 @@ from repro.lcvm import (
     Var,
     evaluate,
     run,
+    run_cek,
 )
 
 CELLS = 30
@@ -63,12 +64,15 @@ def test_manual_allocation_and_free(benchmark):
     benchmark.extra_info["steps"] = result.steps
 
 
-@pytest.mark.parametrize("engine", ["smallstep", "bigstep"])
+@pytest.mark.parametrize("engine", ["smallstep", "bigstep", "cek"])
 def test_interpreter_ablation(benchmark, engine):
-    """Ablation: substitution-based reference machine vs environment evaluator."""
+    """Ablation: substitution reference machine vs the environment engines."""
     program = _gc_allocation_workload(CELLS)
     if engine == "smallstep":
         result = benchmark(lambda: run(program, fuel=1_000_000))
+        assert result.value == Int(0)
+    elif engine == "cek":
+        result = benchmark(lambda: run_cek(program, fuel=1_000_000))
         assert result.value == Int(0)
     else:
         result = benchmark(lambda: evaluate(program, fuel=1_000_000))
@@ -76,7 +80,7 @@ def test_interpreter_ablation(benchmark, engine):
 
 
 def test_arithmetic_ablation(benchmark):
-    """Pure computation (no heap): the evaluators should agree and both scale."""
+    """Pure computation (no heap): the evaluators should agree and all scale."""
     expression = Int(1)
     for index in range(200):
         expression = BinOp("+", expression, Int(index))
@@ -84,8 +88,10 @@ def test_arithmetic_ablation(benchmark):
     def measure():
         small = run(expression, fuel=1_000_000)
         big = evaluate(expression, fuel=1_000_000)
-        return small, big
+        fast = run_cek(expression, fuel=1_000_000)
+        return small, big, fast
 
-    small, big = benchmark(measure)
+    small, big, fast = benchmark(measure)
     assert small.value == Int(sum(range(200)) + 1)
     assert big.value.value == sum(range(200)) + 1
+    assert fast.value == small.value

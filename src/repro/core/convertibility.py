@@ -88,6 +88,9 @@ class ConvertibilityRelation:
     rules: List[ConvertibilityRule] = field(default_factory=list)
     _memo: Dict[Tuple[Any, Any], Optional[Conversion]] = field(default_factory=dict, repr=False)
     _in_progress: set = field(default_factory=set, repr=False)
+    #: Queries whose evaluation hit a cycle cutoff in some premise.  Their
+    #: negative results are path-dependent and must not be memoized.
+    _tainted: set = field(default_factory=set, repr=False)
 
     def register(self, rule: ConvertibilityRule) -> ConvertibilityRule:
         """Add a rule; later rules take precedence over earlier ones."""
@@ -122,7 +125,11 @@ class ConvertibilityRelation:
             return self._memo[key]
         if key in self._in_progress:
             # A recursive premise loops back on itself; treat as not derivable
-            # along this path (the relation is inductively generated).
+            # along this path (the relation is inductively generated).  Every
+            # query currently on the stack is an ancestor of this cutoff, so a
+            # *negative* answer for any of them only means "not derivable from
+            # this position" — taint them all so those answers are not cached.
+            self._tainted.update(self._in_progress)
             return None
         self._in_progress.add(key)
         try:
@@ -131,10 +138,15 @@ class ConvertibilityRelation:
                 found = rule.try_apply(type_a, type_b, self)
                 if found is not None:
                     break
-            self._memo[key] = found
+            # A successful derivation never rests on a cutoff (cutoffs only
+            # prune), so positive results are always safe to memoize; negative
+            # results are cached only when no premise hit a cycle.
+            if found is not None or key not in self._tainted:
+                self._memo[key] = found
             return found
         finally:
             self._in_progress.discard(key)
+            self._tainted.discard(key)
 
     def convertible(self, type_a: Any, type_b: Any) -> bool:
         """Return True iff ``type_a ∼ type_b`` is derivable."""

@@ -68,16 +68,45 @@ class InteropSystem:
         )
 
     def compile_source(self, language_name: str, source: str, **typecheck_kwargs: Any) -> CompiledUnit:
-        """Parse, typecheck, and compile ``source`` written in ``language_name``."""
+        """Parse, typecheck, and compile ``source`` written in ``language_name``.
+
+        Results are memoized per frontend, so repeated boundary crossings of
+        the same program skip the parse/typecheck/compile pipeline entirely.
+        """
         return self.frontend(language_name).pipeline(source, **typecheck_kwargs)
 
-    def run_source(self, language_name: str, source: str, fuel: int = 100_000, **typecheck_kwargs: Any) -> RunResult:
-        """Compile and execute a program; return its observable outcome."""
-        unit = self.compile_source(language_name, source, **typecheck_kwargs)
-        return self.run_compiled(unit.target_code, fuel=fuel)
+    def run_source(
+        self,
+        language_name: str,
+        source: str,
+        fuel: int = 100_000,
+        backend: Optional[str] = None,
+        **typecheck_kwargs: Any,
+    ) -> RunResult:
+        """Compile and execute a program; return its observable outcome.
 
-    def run_compiled(self, target_code: Any, fuel: int = 100_000) -> RunResult:
-        return self.target.run(target_code, fuel=fuel)
+        ``backend`` selects an evaluator from the target's backend registry
+        (``None`` runs the target's default backend, normally ``cek``).
+        """
+        unit = self.compile_source(language_name, source, **typecheck_kwargs)
+        return self.run_compiled(unit.target_code, fuel=fuel, backend=backend)
+
+    def run_compiled(self, target_code: Any, fuel: int = 100_000, backend: Optional[str] = None) -> RunResult:
+        return self.target.run_with(target_code, backend=backend, fuel=fuel)
+
+    # -- caches ---------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop the memoized pipelines of both frontends."""
+        self.language_a.clear_cache()
+        self.language_b.clear_cache()
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Pipeline-cache statistics per frontend (for benchmarks/diagnostics)."""
+        return {
+            self.language_a.name: self.language_a.cache_stats(),
+            self.language_b.name: self.language_b.cache_stats(),
+        }
 
     # -- soundness ------------------------------------------------------------
 

@@ -6,17 +6,31 @@ small; each case study package provides concrete implementations (parsers,
 typecheckers, compilers, machines) and wraps them in :class:`LanguageFrontend`
 records so that generic tooling — the multi-language driver, the benchmark
 harness, the example scripts — can operate uniformly.
+
+Two performance layers live here because every case study needs them:
+
+* :class:`LanguageFrontend` memoizes its parse → typecheck → compile pipeline
+  keyed on ``(language, source, typecheck arguments)``, so repeated boundary
+  crossings (and repeated benchmark iterations) do not re-run the frontend;
+* :class:`TargetBackend` is a *registry* of named evaluators for one target
+  language (``substitution`` | ``bigstep`` | ``cek``), with a selectable
+  default, so callers can trade the paper-faithful reference machine for the
+  fast CEK substrate — or run several backends for differential testing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ReproError
 
 ParseFn = Callable[[str], Any]
 TypecheckFn = Callable[..., Any]
 CompileFn = Callable[..., Any]
 RunFn = Callable[..., Any]
+
+CacheKey = Tuple[str, str]
 
 
 @dataclass
@@ -27,6 +41,9 @@ class LanguageFrontend:
     ``typecheck`` infers the type of a closed term (case studies that support
     open boundary terms accept environment keyword arguments).
     ``compile`` translates a (well-typed) term to the target language.
+
+    ``pipeline`` memoizes its result; disable with ``cache_enabled = False``
+    or drop stale entries with :meth:`clear_cache`.
     """
 
     name: str
@@ -34,22 +51,110 @@ class LanguageFrontend:
     parse_type: ParseFn
     typecheck: TypecheckFn
     compile: CompileFn
+    cache_enabled: bool = True
+    cache_hits: int = 0
+    cache_misses: int = 0
+    _cache: Dict[CacheKey, "CompiledUnit"] = field(default_factory=dict, repr=False)
 
     def pipeline(self, source: str, **typecheck_kwargs: Any) -> "CompiledUnit":
-        """Parse, typecheck, and compile ``source`` in one call."""
+        """Parse, typecheck, and compile ``source`` in one (memoized) call.
+
+        Only closed-term calls (no typecheck keyword arguments) are cached —
+        the key is exactly ``(language, source)``.  Environment-carrying
+        calls bypass the cache: environments are arbitrary objects with no
+        reliable equality surrogate, and a wrong hit would return code
+        compiled against a different typing context.
+        """
+        if not self.cache_enabled or typecheck_kwargs:
+            return self._run_pipeline(source, **typecheck_kwargs)
+        key = (self.name, source)
+        unit = self._cache.get(key)
+        if unit is not None:
+            self.cache_hits += 1
+            return unit
+        unit = self._run_pipeline(source)
+        self.cache_misses += 1
+        self._cache[key] = unit
+        return unit
+
+    def _run_pipeline(self, source: str, **typecheck_kwargs: Any) -> "CompiledUnit":
         term = self.parse_expr(source)
         inferred = self.typecheck(term, **typecheck_kwargs)
         compiled = self.compile(term)
         return CompiledUnit(language=self.name, term=term, type=inferred, target_code=compiled)
 
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {"entries": len(self._cache), "hits": self.cache_hits, "misses": self.cache_misses}
+
 
 @dataclass
 class TargetBackend:
-    """A target language: how to run compiled code."""
+    """A target language together with its registry of evaluator backends.
+
+    The common shape is three backends per target: ``substitution`` (the
+    paper-faithful reference machine), ``bigstep`` (environment-based
+    recursive evaluator), and ``cek`` (the fast production machine).  ``run``
+    remains the default-backend runner for backward compatibility, so
+    ``backend.run(code, fuel=...)`` keeps working.
+    """
 
     name: str
-    run: RunFn
+    run: Optional[RunFn] = None
     pretty: Optional[Callable[[Any], str]] = None
+    backends: Dict[str, RunFn] = field(default_factory=dict)
+    default_backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.run is not None and not self.backends:
+            self.backends["substitution"] = self.run
+        if self.default_backend is None and self.backends:
+            self.default_backend = next(iter(self.backends))
+        if self.default_backend is not None and self.default_backend not in self.backends:
+            raise ReproError(
+                f"target {self.name!r} has no backend {self.default_backend!r}; "
+                f"registered: {sorted(self.backends)}"
+            )
+        if self.run is None:
+            if not self.backends:
+                raise ReproError(f"target {self.name!r} needs a runner or at least one backend")
+            self.run = self.backends[self.default_backend]
+
+    # -- registry -------------------------------------------------------------
+
+    def register_backend(self, name: str, run_fn: RunFn, default: bool = False) -> None:
+        self.backends[name] = run_fn
+        if default or self.default_backend is None:
+            self.select_backend(name)
+
+    def select_backend(self, name: str) -> None:
+        """Make ``name`` the default backend (used by ``run`` / ``run_with``)."""
+        if name not in self.backends:
+            raise ReproError(
+                f"target {self.name!r} has no backend {name!r}; registered: {sorted(self.backends)}"
+            )
+        self.default_backend = name
+        self.run = self.backends[name]
+
+    def backend(self, name: Optional[str] = None) -> RunFn:
+        """Resolve a backend by name (``None`` means the default backend)."""
+        resolved = name if name is not None else self.default_backend
+        if resolved is None or resolved not in self.backends:
+            raise ReproError(
+                f"target {self.name!r} has no backend {resolved!r}; registered: {sorted(self.backends)}"
+            )
+        return self.backends[resolved]
+
+    def backend_names(self) -> List[str]:
+        return list(self.backends)
+
+    def run_with(self, target_code: Any, backend: Optional[str] = None, **kwargs: Any) -> Any:
+        """Run compiled code on a named backend (default backend when None)."""
+        return self.backend(backend)(target_code, **kwargs)
 
 
 @dataclass

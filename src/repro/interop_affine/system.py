@@ -26,11 +26,10 @@ from repro.affi import types as affi_types
 from repro.affi.types import Mode
 from repro.core.convertibility import ConvertibilityRelation
 from repro.core.errors import ConvertibilityError, LinearityError
-from repro.core.interop import InteropSystem, RunResult
-from repro.core.language import LanguageFrontend, TargetBackend
+from repro.core.interop import InteropSystem
+from repro.core.language import LanguageFrontend
 from repro.interop_affine.conversions import LANGUAGE_A, LANGUAGE_B, make_convertibility
-from repro.lcvm import machine as lcvm_machine
-from repro.lcvm.machine import Status
+from repro.lcvm.backends import make_lcvm_backend
 from repro.miniml import compiler as ml_compiler
 from repro.miniml import parser as ml_parser
 from repro.miniml import syntax as ml_syntax
@@ -116,13 +115,6 @@ class AffineBoundaryHooks:
         return conversion.apply_b_to_a(compiled)
 
 
-def _run_lcvm(compiled, fuel: int = 100_000) -> RunResult:
-    result = lcvm_machine.run(compiled, fuel=fuel)
-    if result.status is Status.VALUE:
-        return RunResult(value=result.value, steps=result.steps)
-    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
-
-
 def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
     """Build the complete §4 interoperability system."""
     relation = relation or make_convertibility()
@@ -165,7 +157,9 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
         ),
         compile=lambda term: ml_compiler.compile_expr(term, boundary_hook=hooks.ml_compile_boundary),
     )
-    backend = TargetBackend(name="LCVM", run=_run_lcvm)
+    # All three LCVM evaluator backends; CEK is the default, the substitution
+    # machine remains available as the differential-testing oracle.
+    backend = make_lcvm_backend(name="LCVM", default="cek")
 
     system = InteropSystem(
         name="affine & unrestricted (§4)",

@@ -7,16 +7,15 @@ from typing import Dict, Optional
 
 from repro.core.convertibility import ConvertibilityRelation
 from repro.core.errors import ConvertibilityError
-from repro.core.interop import InteropSystem, RunResult
-from repro.core.language import LanguageFrontend, TargetBackend
+from repro.core.interop import InteropSystem
+from repro.core.language import LanguageFrontend
 from repro.interop_l3.conversions import LANGUAGE_A, LANGUAGE_B, make_convertibility
+from repro.lcvm.backends import make_lcvm_backend
 from repro.l3 import compiler as l3_compiler
 from repro.l3 import parser as l3_parser
 from repro.l3 import syntax as l3_syntax
 from repro.l3 import typechecker as l3_typechecker
 from repro.l3 import types as l3_types
-from repro.lcvm import machine as lcvm_machine
-from repro.lcvm.machine import Status
 from repro.miniml import compiler as ml_compiler
 from repro.miniml import parser as ml_parser
 from repro.miniml import syntax as ml_syntax
@@ -86,13 +85,6 @@ class L3BoundaryHooks:
         return conversion.apply_a_to_b(compiled)
 
 
-def _run_lcvm(compiled, fuel: int = 100_000) -> RunResult:
-    result = lcvm_machine.run(compiled, fuel=fuel)
-    if result.status is Status.VALUE:
-        return RunResult(value=result.value, steps=result.steps)
-    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
-
-
 def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
     """Build the complete §5 interoperability system."""
     relation = relation or make_convertibility()
@@ -131,7 +123,9 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
         ),
         compile=lambda term: l3_compiler.compile_expr(term, boundary_hook=hooks.l3_compile_boundary),
     )
-    backend = TargetBackend(name="LCVM+memory", run=_run_lcvm)
+    # All three LCVM evaluator backends; CEK is the default, the substitution
+    # machine remains available as the differential-testing oracle.
+    backend = make_lcvm_backend(name="LCVM+memory", default="cek")
 
     system = InteropSystem(
         name="memory management & polymorphism (§5)",

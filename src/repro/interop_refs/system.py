@@ -32,6 +32,7 @@ from repro.refll import parser as ll_parser
 from repro.refll import syntax as ll_syntax
 from repro.refll import typechecker as ll_typechecker
 from repro.refll import types as ll_types
+from repro.stacklang import cek as stack_cek
 from repro.stacklang import machine as stack_machine
 from repro.stacklang.machine import Status
 
@@ -103,13 +104,22 @@ class BoundaryHooks:
         return conversion.apply_a_to_b(compiled)
 
 
-def _run_stacklang(compiled, fuel: int = 100_000) -> RunResult:
-    result = stack_machine.run(compiled, fuel=fuel)
+def _stacklang_result(result) -> RunResult:
     if result.status is Status.VALUE:
         return RunResult(value=result.value, steps=result.steps)
     if result.status is Status.EMPTY:
         return RunResult(value=None, steps=result.steps)
     return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
+
+
+def _run_stacklang(compiled, fuel: int = 100_000) -> RunResult:
+    """The substitution-based reference machine (Fig. 2)."""
+    return _stacklang_result(stack_machine.run(compiled, fuel=fuel))
+
+
+def _run_stacklang_cek(compiled, fuel: int = 100_000) -> RunResult:
+    """The environment/closure machine (the fast default)."""
+    return _stacklang_result(stack_cek.run(compiled, fuel=fuel))
 
 
 def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
@@ -135,7 +145,14 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
         ),
         compile=lambda term: ll_compiler.compile_expr(term, boundary_hook=hooks.refll_compile_boundary),
     )
-    backend = TargetBackend(name="StackLang", run=_run_stacklang)
+    # StackLang has two evaluator backends (there is no separate big-step
+    # engine for a stack language); the closure machine is the default and
+    # the substitution machine remains the differential-testing oracle.
+    backend = TargetBackend(
+        name="StackLang",
+        backends={"substitution": _run_stacklang, "cek": _run_stacklang_cek},
+        default_backend="cek",
+    )
 
     system = InteropSystem(
         name="shared-memory (§3)",

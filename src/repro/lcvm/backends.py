@@ -1,0 +1,67 @@
+"""The LCVM evaluator backends, packaged for the interop framework.
+
+Both LCVM-targeting case studies (§4 affine, §5 L3/memory) run compiled
+programs through one of three observably-equivalent engines:
+
+* ``substitution`` — the paper-faithful small-step reference machine
+  (:mod:`repro.lcvm.machine`); quadratic, kept as the differential-testing
+  oracle;
+* ``bigstep`` — the recursive environment-based evaluator
+  (:mod:`repro.lcvm.bigstep`);
+* ``cek`` — the CEK machine (:mod:`repro.lcvm.cek`); the default.
+
+Each wrapper normalizes the engine's native result into the framework's
+:class:`~repro.core.interop.RunResult` (reifying runtime values back to
+syntax), so callers observe identical values and error codes regardless of
+the backend that produced them.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import OutOfFuelError
+from repro.core.interop import RunResult
+from repro.core.language import TargetBackend
+from repro.lcvm import bigstep, cek
+from repro.lcvm import machine as lcvm_machine
+from repro.lcvm.machine import Status
+from repro.lcvm.values import reify
+
+
+def run_substitution(compiled, fuel: int = 100_000) -> RunResult:
+    """Run on the substitution-based reference machine (Fig. 6 / Fig. 12)."""
+    result = lcvm_machine.run(compiled, fuel=fuel)
+    if result.status is Status.VALUE:
+        return RunResult(value=result.value, steps=result.steps)
+    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
+
+
+def run_bigstep(compiled, fuel: int = 100_000) -> RunResult:
+    """Run on the recursive environment-based evaluator."""
+    try:
+        result = bigstep.evaluate(compiled, fuel=fuel)
+    except OutOfFuelError:
+        return RunResult(failure=Status.OUT_OF_FUEL.value, steps=fuel)
+    if result.ok:
+        return RunResult(value=result.reified_value(), steps=result.steps)
+    return RunResult(failure=result.failure, steps=result.steps)
+
+
+def run_cek(compiled, fuel: int = 100_000) -> RunResult:
+    """Run on the CEK machine (the fast production substrate)."""
+    result = cek.run(compiled, fuel=fuel)
+    if result.status is Status.VALUE:
+        return RunResult(value=result.value, steps=result.steps)
+    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
+
+
+def make_lcvm_backend(name: str = "LCVM", default: str = "cek") -> TargetBackend:
+    """The full LCVM backend registry with ``default`` pre-selected."""
+    return TargetBackend(
+        name=name,
+        backends={
+            "substitution": run_substitution,
+            "bigstep": run_bigstep,
+            "cek": run_cek,
+        },
+        default_backend=default,
+    )

@@ -5,84 +5,66 @@ semantics (it matches the paper's figures and drives the realizability
 models), but substitution makes every β-step linear in the size of the body.
 This evaluator uses closures and environments instead, which is how a real
 LCVM implementation would work; the benchmark suite compares the two as an
-ablation of the "interpreter substrate" design choice.
+ablation of the "interpreter substrate" design choice, and the CEK machine
+(:mod:`repro.lcvm.cek`) is the production evaluator built on the same value
+representation.
 
 The evaluator implements the same observable behaviour: the same values, the
-same error codes, and the same GC semantics (``callgc`` collects GC'd cells
-unreachable from the current environments and the manual cells).
+same error codes — a dangling ``!``/``:=``/``free`` surfaces ``fail Ptr``,
+never a raw ``KeyError`` — and the same GC semantics (``callgc`` collects
+GC'd cells unreachable from the current environments and the manual cells).
+It shares the allocator with the reference machine through
+:class:`repro.lcvm.heap.Heap`, so freed location names are re-used in exactly
+the same order as the paper's semantics dictates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import ErrorCode, OutOfFuelError
 from repro.lcvm import syntax as s
-from repro.lcvm.heap import CellKind
+from repro.lcvm.heap import CellKind, Heap
+from repro.lcvm.values import (
+    InlV,
+    InrV,
+    IntV,
+    LocV,
+    PairV,
+    RuntimeValue,
+    UnitV,
+    locations_of,
+    reify,
+)
 
-
-# -- runtime values -------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class UnitV:
-    def __str__(self) -> str:
-        return "()"
-
-
-@dataclass(frozen=True)
-class IntV:
-    value: int
-
-    def __str__(self) -> str:
-        return str(self.value)
-
-
-@dataclass(frozen=True)
-class LocV:
-    address: int
-
-    def __str__(self) -> str:
-        return f"ℓ{self.address}"
-
-
-@dataclass(frozen=True)
-class PairV:
-    first: "RuntimeValue"
-    second: "RuntimeValue"
-
-    def __str__(self) -> str:
-        return f"({self.first}, {self.second})"
-
-
-@dataclass(frozen=True)
-class InlV:
-    body: "RuntimeValue"
-
-    def __str__(self) -> str:
-        return f"(inl {self.body})"
-
-
-@dataclass(frozen=True)
-class InrV:
-    body: "RuntimeValue"
-
-    def __str__(self) -> str:
-        return f"(inr {self.body})"
+__all__ = [
+    "Closure",
+    "EvalResult",
+    "Evaluator",
+    "EvaluationFailure",
+    "InlV",
+    "InrV",
+    "IntV",
+    "LocV",
+    "PairV",
+    "RuntimeValue",
+    "UnitV",
+    "evaluate",
+]
 
 
 @dataclass(frozen=True)
 class Closure:
     parameter: str
     body: s.Expr
-    environment: Tuple[Tuple[str, "RuntimeValue"], ...]
+    environment: Tuple[Tuple[str, RuntimeValue], ...]
+
+    def env_bindings(self) -> Iterator[Tuple[str, RuntimeValue]]:
+        return iter(self.environment)
 
     def __str__(self) -> str:
         return f"<closure λ{self.parameter}>"
-
-
-RuntimeValue = Union[UnitV, IntV, LocV, PairV, InlV, InrV, Closure]
 
 
 class EvaluationFailure(Exception):
@@ -100,10 +82,16 @@ class EvalResult:
     heap_size: int
     collections: int
     reclaimed: int
+    heap: Optional[Heap] = None
+    steps: int = 0
 
     @property
     def ok(self) -> bool:
         return self.failure is None
+
+    def reified_value(self) -> Optional[s.Expr]:
+        """The result as a syntax value (None on failure)."""
+        return reify(self.value) if self.value is not None else None
 
 
 class Evaluator:
@@ -112,21 +100,41 @@ class Evaluator:
     def __init__(self, fuel: int = 1_000_000):
         self.fuel = fuel
         self._remaining = fuel
-        self._heap: Dict[int, Tuple[CellKind, RuntimeValue]] = {}
-        self._next_address = 0
+        self._heap = Heap(trace=locations_of)
         self._env_stack: List[Dict[str, RuntimeValue]] = []
-        self.collections = 0
-        self.reclaimed = 0
+        #: Partially-evaluated siblings (the pair's first component while the
+        #: second runs, a function value while its argument runs, ...): GC
+        #: roots that live in no environment yet.
+        self._temps: List[RuntimeValue] = []
 
     # -- public API ----------------------------------------------------------
+
+    @property
+    def collections(self) -> int:
+        return self._heap.collections
+
+    @property
+    def reclaimed(self) -> int:
+        return self._heap.reclaimed
 
     def run(self, expr: s.Expr) -> EvalResult:
         self._remaining = self.fuel
         try:
             value = self._eval(expr, {})
-            return EvalResult(value, None, len(self._heap), self.collections, self.reclaimed)
+            return self._result(value, None)
         except EvaluationFailure as failure:
-            return EvalResult(None, failure.code, len(self._heap), self.collections, self.reclaimed)
+            return self._result(None, failure.code)
+
+    def _result(self, value: Optional[RuntimeValue], failure: Optional[ErrorCode]) -> EvalResult:
+        return EvalResult(
+            value,
+            failure,
+            len(self._heap),
+            self._heap.collections,
+            self._heap.reclaimed,
+            self._heap,
+            self.fuel - self._remaining,
+        )
 
     # -- helpers --------------------------------------------------------------
 
@@ -135,18 +143,18 @@ class Evaluator:
         if self._remaining < 0:
             raise OutOfFuelError(f"exceeded {self.fuel} evaluation steps")
 
-    def _alloc(self, value: RuntimeValue, kind: CellKind) -> int:
-        address = self._next_address
-        while address in self._heap:
-            address += 1
-        self._next_address = address + 1
-        self._heap[address] = (kind, value)
-        return address
-
     def _expect_int(self, value: RuntimeValue) -> int:
         if isinstance(value, IntV):
             return value.value
         raise EvaluationFailure(ErrorCode.TYPE)
+
+    def _expect_live_loc(self, value: RuntimeValue) -> int:
+        """The address of a live location — TYPE for non-locations, PTR for dangling."""
+        if not isinstance(value, LocV):
+            raise EvaluationFailure(ErrorCode.TYPE)
+        if not self._heap.contains(value.address):
+            raise EvaluationFailure(ErrorCode.PTR)
+        return value.address
 
     # -- garbage collection ----------------------------------------------------
 
@@ -154,40 +162,13 @@ class Evaluator:
         roots: List[int] = []
         for environment in self._env_stack + [extra]:
             for value in environment.values():
-                roots.extend(self._locations_of(value))
+                roots.extend(locations_of(value))
+        for value in self._temps:
+            roots.extend(locations_of(value))
         return roots
 
-    def _locations_of(self, value: RuntimeValue) -> List[int]:
-        if isinstance(value, LocV):
-            return [value.address]
-        if isinstance(value, PairV):
-            return self._locations_of(value.first) + self._locations_of(value.second)
-        if isinstance(value, (InlV, InrV)):
-            return self._locations_of(value.body)
-        if isinstance(value, Closure):
-            locations: List[int] = []
-            for bound in dict(value.environment).values():
-                locations.extend(self._locations_of(bound))
-            return locations
-        return []
-
     def collect(self, extra_env: Optional[Dict[str, RuntimeValue]] = None) -> int:
-        live: set = set()
-        frontier = list(self._roots(extra_env or {}))
-        frontier.extend(address for address, (kind, _v) in self._heap.items() if kind is CellKind.MANUAL)
-        while frontier:
-            address = frontier.pop()
-            if address in live or address not in self._heap:
-                continue
-            live.add(address)
-            _kind, stored = self._heap[address]
-            frontier.extend(self._locations_of(stored))
-        dead = [address for address, (kind, _v) in self._heap.items() if kind is CellKind.GC and address not in live]
-        for address in dead:
-            del self._heap[address]
-        self.collections += 1
-        self.reclaimed += len(dead)
-        return len(dead)
+        return self._heap.collect(roots=self._roots(extra_env or {}))
 
     # -- the evaluator -----------------------------------------------------------
 
@@ -207,7 +188,13 @@ class Evaluator:
         if isinstance(expr, s.Fail):
             raise EvaluationFailure(expr.code)
         if isinstance(expr, s.Pair):
-            return PairV(self._eval(expr.first, env), self._eval(expr.second, env))
+            first = self._eval(expr.first, env)
+            self._temps.append(first)
+            try:
+                second = self._eval(expr.second, env)
+            finally:
+                self._temps.pop()
+            return PairV(first, second)
         if isinstance(expr, s.Fst):
             value = self._eval(expr.body, env)
             if isinstance(value, PairV):
@@ -246,7 +233,11 @@ class Evaluator:
             return Closure(expr.parameter, expr.body, tuple(env.items()))
         if isinstance(expr, s.App):
             function = self._eval(expr.function, env)
-            argument = self._eval(expr.argument, env)
+            self._temps.append(function)
+            try:
+                argument = self._eval(expr.argument, env)
+            finally:
+                self._temps.pop()
             if not isinstance(function, Closure):
                 raise EvaluationFailure(ErrorCode.TYPE)
             call_env = dict(function.environment)
@@ -257,8 +248,17 @@ class Evaluator:
             finally:
                 self._env_stack.pop()
         if isinstance(expr, s.BinOp):
-            left = self._expect_int(self._eval(expr.left, env))
-            right = self._expect_int(self._eval(expr.right, env))
+            # Evaluate *both* operands before any int check — the reference
+            # machine reduces each operand to a value first, so a failure in
+            # the right operand outranks a non-integer left operand.
+            left_value = self._eval(expr.left, env)
+            self._temps.append(left_value)
+            try:
+                right_value = self._eval(expr.right, env)
+            finally:
+                self._temps.pop()
+            left = self._expect_int(left_value)
+            right = self._expect_int(right_value)
             if expr.op == "+":
                 return IntV(left + right)
             if expr.op == "-":
@@ -270,44 +270,35 @@ class Evaluator:
             raise EvaluationFailure(ErrorCode.TYPE)
         if isinstance(expr, s.NewRef):
             value = self._eval(expr.initial, env)
-            return LocV(self._alloc(value, CellKind.GC))
+            return LocV(self._heap.allocate(value, CellKind.GC))
         if isinstance(expr, s.Alloc):
             value = self._eval(expr.initial, env)
-            return LocV(self._alloc(value, CellKind.MANUAL))
+            return LocV(self._heap.allocate(value, CellKind.MANUAL))
         if isinstance(expr, s.Deref):
             reference = self._eval(expr.reference, env)
-            if not isinstance(reference, LocV):
-                raise EvaluationFailure(ErrorCode.TYPE)
-            if reference.address not in self._heap:
-                raise EvaluationFailure(ErrorCode.PTR)
-            return self._heap[reference.address][1]
+            return self._heap.read(self._expect_live_loc(reference))
         if isinstance(expr, s.Assign):
             reference = self._eval(expr.reference, env)
-            value = self._eval(expr.value, env)
-            if not isinstance(reference, LocV):
-                raise EvaluationFailure(ErrorCode.TYPE)
-            if reference.address not in self._heap:
-                raise EvaluationFailure(ErrorCode.PTR)
-            kind, _old = self._heap[reference.address]
-            self._heap[reference.address] = (kind, value)
+            self._temps.append(reference)
+            try:
+                value = self._eval(expr.value, env)
+            finally:
+                self._temps.pop()
+            self._heap.write(self._expect_live_loc(reference), value)
             return UnitV()
         if isinstance(expr, s.Free):
             reference = self._eval(expr.reference, env)
-            if not isinstance(reference, LocV):
-                raise EvaluationFailure(ErrorCode.TYPE)
-            entry = self._heap.get(reference.address)
-            if entry is None or entry[0] is not CellKind.MANUAL:
+            address = self._expect_live_loc(reference)
+            if self._heap.kind_of(address) is not CellKind.MANUAL:
                 raise EvaluationFailure(ErrorCode.PTR)
-            del self._heap[reference.address]
+            self._heap.free(address)
             return UnitV()
         if isinstance(expr, s.GcMov):
             reference = self._eval(expr.reference, env)
-            if not isinstance(reference, LocV):
-                raise EvaluationFailure(ErrorCode.TYPE)
-            entry = self._heap.get(reference.address)
-            if entry is None or entry[0] is not CellKind.MANUAL:
+            address = self._expect_live_loc(reference)
+            if self._heap.kind_of(address) is not CellKind.MANUAL:
                 raise EvaluationFailure(ErrorCode.PTR)
-            self._heap[reference.address] = (CellKind.GC, entry[1])
+            self._heap.move_to_gc(address)
             return reference
         if isinstance(expr, s.CallGc):
             self.collect(env)

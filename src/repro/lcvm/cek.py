@@ -1,0 +1,370 @@
+"""A CEK-style abstract machine for LCVM: the production execution substrate.
+
+The substitution machine (:mod:`repro.lcvm.machine`) re-walks the whole
+program on every step — once to find the redex and once to compute GC roots —
+and every β-reduction copies the function body, so running a program of size
+*n* costs Θ(n²) even before the heap gets involved.  This machine is the
+observably-equivalent fast engine: a classic CEK machine with
+
+* **C**ontrol — the expression (or runtime value) in focus,
+* **E**nvironment — a shared, immutable linked environment giving O(1)
+  closure capture and O(1) binding,
+* **K**ontinuation — an explicit stack of defunctionalized frames,
+
+so each transition costs O(1) amortized, and ``callgc`` roots come from the
+environment and continuation stack rather than a full-AST walk.
+
+Observable behaviour matches the reference machine: the same values (runtime
+values are reified back to syntax on exit), the same error codes, the same
+allocator (the shared :class:`~repro.lcvm.heap.Heap`, so freed location names
+are re-used in the same order), and the same GC discipline.  The one
+intentional difference is GC precision on *dead let-bindings*: the
+substitution machine drops a binding the moment the variable no longer
+occurs, while an environment machine keeps it live until its scope ends —
+the environment machine therefore never collects *more* than the reference
+machine, and the differential tests compare heaps after a final
+result-rooted collection, which erases the difference.
+
+Continuation frames are uniform 5-tuples ``(tag, names, exprs, env, value)``
+so the GC root scan can walk every frame without knowing its tag: ``names``
+are binder/operator strings (never traced), ``exprs`` are pending syntax
+expressions (traced via :func:`~repro.lcvm.syntax.mentioned_locations`),
+``env`` is the environment the pending expressions close over, and ``value``
+is an already-computed runtime value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import ErrorCode, StuckError
+from repro.lcvm import syntax as s
+from repro.lcvm.heap import CellKind, Heap
+from repro.lcvm.machine import Config, MachineResult, Status
+from repro.lcvm.syntax import mentioned_locations
+from repro.lcvm.values import (
+    InlV,
+    InrV,
+    IntV,
+    LocV,
+    PairV,
+    RuntimeValue,
+    UnitV,
+    inject,
+    locations_of,
+    reify,
+)
+
+__all__ = ["Closure", "run"]
+
+
+#: Environments are immutable cons cells ``(name, value, parent)`` with
+#: ``None`` as the empty environment — extension and capture are O(1).
+Env = Optional[Tuple[str, RuntimeValue, "Env"]]
+
+
+@dataclass(frozen=True)
+class Closure:
+    parameter: str
+    body: s.Expr
+    environment: Env
+
+    def env_bindings(self) -> Iterator[Tuple[str, RuntimeValue]]:
+        cell = self.environment
+        while cell is not None:
+            yield cell[0], cell[1]
+            cell = cell[2]
+
+    def __str__(self) -> str:
+        return f"<closure λ{self.parameter}>"
+
+
+_MISSING = object()
+
+
+def _lookup(env: Env, name: str) -> object:
+    while env is not None:
+        if env[0] == name:
+            return env[1]
+        env = env[2]
+    return _MISSING
+
+
+class _Failure(Exception):
+    def __init__(self, code: ErrorCode):
+        super().__init__(str(code))
+        self.code = code
+
+
+def _type_failure() -> "_Failure":
+    return _Failure(ErrorCode.TYPE)
+
+
+# Frame layout: (tag, names, exprs, env, value) — see module docstring.
+Frame = Tuple[str, Tuple[str, ...], Tuple[s.Expr, ...], Env, Optional[RuntimeValue]]
+
+
+def _state_roots(env: Env, kont: List[Frame], mentioned_cache: dict) -> List[int]:
+    """GC roots of the whole machine state (environment + continuation)."""
+    roots: List[int] = []
+    seen_envs: set = set()
+
+    def walk_env(cell: Env) -> None:
+        while cell is not None:
+            marker = id(cell)
+            if marker in seen_envs:
+                return
+            seen_envs.add(marker)
+            roots.extend(locations_of(cell[1]))
+            cell = cell[2]
+
+    def mentioned(expr: s.Expr):
+        # Expressions are immutable and shared with the program tree (kept
+        # alive via the cache entry), so memoizing by identity is sound and
+        # keeps repeated collections from re-walking the same pending code.
+        entry = mentioned_cache.get(id(expr))
+        if entry is None:
+            entry = (expr, mentioned_locations(expr))
+            mentioned_cache[id(expr)] = entry
+        return entry[1]
+
+    walk_env(env)
+    for _tag, _names, exprs, frame_env, value in kont:
+        for expr in exprs:
+            roots.extend(mentioned(expr))
+        walk_env(frame_env)
+        if value is not None:
+            roots.extend(locations_of(value))
+    return roots
+
+
+def _expect_live_loc(heap: Heap, value: RuntimeValue) -> int:
+    if not isinstance(value, LocV):
+        raise _type_failure()
+    if not heap.contains(value.address):
+        raise _Failure(ErrorCode.PTR)
+    return value.address
+
+
+def _finalize_heap(heap: Heap) -> Heap:
+    """Reify stored runtime values so the final heap reads as syntax."""
+    for cell in heap.cells.values():
+        cell.value = reify(cell.value)
+    heap.trace = mentioned_locations
+    return heap
+
+
+def run(expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000) -> MachineResult:
+    """Run a closed LCVM expression on the CEK machine.
+
+    Returns the same :class:`~repro.lcvm.machine.MachineResult` shape as the
+    reference machine: ``result.value`` is a syntax value, ``result.heap`` a
+    syntax-valued :class:`~repro.lcvm.heap.Heap` with collection statistics.
+    """
+    if heap is None:
+        heap = Heap(trace=locations_of)
+    else:
+        # A caller-supplied heap is seeded with syntax values (the reference
+        # machine's representation); bring it into runtime-value form.
+        for cell in heap.cells.values():
+            cell.value = inject(cell.value)
+        heap.trace = locations_of
+
+    control: object = expr  # syntax expression (eval mode) or RuntimeValue (apply mode)
+    evaluating = True
+    env: Env = None
+    kont: List[Frame] = []
+    steps = 0
+    mentioned_cache: dict = {}
+
+    try:
+        while True:
+            if steps >= fuel:
+                leftover = control if evaluating else reify(control)
+                return MachineResult(Status.OUT_OF_FUEL, Config(_finalize_heap(heap), leftover), steps)
+            steps += 1
+
+            if evaluating:
+                e = control
+                if isinstance(e, s.Int):
+                    control, evaluating = IntV(e.value), False
+                elif isinstance(e, s.Var):
+                    value = _lookup(env, e.name)
+                    if value is _MISSING:
+                        raise _type_failure()
+                    control, evaluating = value, False
+                elif isinstance(e, s.Lam):
+                    control, evaluating = Closure(e.parameter, e.body, env), False
+                elif isinstance(e, s.App):
+                    kont.append(("app-arg", (), (e.argument,), env, None))
+                    control = e.function
+                elif isinstance(e, s.Let):
+                    kont.append(("let", (e.name,), (e.body,), env, None))
+                    control = e.bound
+                elif isinstance(e, s.BinOp):
+                    kont.append(("binop-rhs", (e.op,), (e.right,), env, None))
+                    control = e.left
+                elif isinstance(e, s.If):
+                    kont.append(("if", (), (e.then_branch, e.else_branch), env, None))
+                    control = e.condition
+                elif isinstance(e, s.Pair):
+                    kont.append(("pair-snd", (), (e.second,), env, None))
+                    control = e.first
+                elif isinstance(e, s.Fst):
+                    kont.append(("fst", (), (), None, None))
+                    control = e.body
+                elif isinstance(e, s.Snd):
+                    kont.append(("snd", (), (), None, None))
+                    control = e.body
+                elif isinstance(e, s.Inl):
+                    kont.append(("inl", (), (), None, None))
+                    control = e.body
+                elif isinstance(e, s.Inr):
+                    kont.append(("inr", (), (), None, None))
+                    control = e.body
+                elif isinstance(e, s.Match):
+                    kont.append(
+                        (
+                            "match",
+                            (e.left_name, e.right_name),
+                            (e.left_branch, e.right_branch),
+                            env,
+                            None,
+                        )
+                    )
+                    control = e.scrutinee
+                elif isinstance(e, s.Unit):
+                    control, evaluating = UnitV(), False
+                elif isinstance(e, s.Loc):
+                    control, evaluating = LocV(e.address), False
+                elif isinstance(e, s.NewRef):
+                    kont.append(("ref", (), (), None, None))
+                    control = e.initial
+                elif isinstance(e, s.Alloc):
+                    kont.append(("alloc", (), (), None, None))
+                    control = e.initial
+                elif isinstance(e, s.Deref):
+                    kont.append(("deref", (), (), None, None))
+                    control = e.reference
+                elif isinstance(e, s.Assign):
+                    kont.append(("assign-rhs", (), (e.value,), env, None))
+                    control = e.reference
+                elif isinstance(e, s.Free):
+                    kont.append(("free", (), (), None, None))
+                    control = e.reference
+                elif isinstance(e, s.GcMov):
+                    kont.append(("gcmov", (), (), None, None))
+                    control = e.reference
+                elif isinstance(e, s.CallGc):
+                    heap.collect(roots=_state_roots(env, kont, mentioned_cache))
+                    control, evaluating = UnitV(), False
+                elif isinstance(e, s.Fail):
+                    raise _Failure(e.code)
+                else:
+                    # Protect (augmented-semantics-only) and unknown forms are stuck,
+                    # exactly like the reference machine.
+                    raise StuckError(f"no CEK rule for {e!r}")
+                continue
+
+            # -- apply mode: return `control` (a runtime value) to the continuation
+            if not kont:
+                result_value = reify(control)
+                return MachineResult(Status.VALUE, Config(_finalize_heap(heap), result_value), steps)
+
+            tag, names, exprs, frame_env, frame_value = kont.pop()
+            v = control
+
+            if tag == "app-arg":
+                kont.append(("app-call", (), (), None, v))
+                control, evaluating, env = exprs[0], True, frame_env
+            elif tag == "app-call":
+                if not isinstance(frame_value, Closure):
+                    raise _type_failure()
+                env = (frame_value.parameter, v, frame_value.environment)
+                control, evaluating = frame_value.body, True
+            elif tag == "let":
+                env = (names[0], v, frame_env)
+                control, evaluating = exprs[0], True
+            elif tag == "binop-rhs":
+                kont.append(("binop-done", names, (), None, v))
+                control, evaluating, env = exprs[0], True, frame_env
+            elif tag == "binop-done":
+                if not isinstance(frame_value, IntV) or not isinstance(v, IntV):
+                    raise _type_failure()
+                op = names[0]
+                left, right = frame_value.value, v.value
+                if op == "+":
+                    control = IntV(left + right)
+                elif op == "-":
+                    control = IntV(left - right)
+                elif op == "*":
+                    control = IntV(left * right)
+                elif op == "<":
+                    control = IntV(0 if left < right else 1)
+                else:
+                    raise _type_failure()
+            elif tag == "if":
+                if not isinstance(v, IntV):
+                    raise _type_failure()
+                control = exprs[0] if v.value == 0 else exprs[1]
+                evaluating, env = True, frame_env
+            elif tag == "pair-snd":
+                kont.append(("pair-done", (), (), None, v))
+                control, evaluating, env = exprs[0], True, frame_env
+            elif tag == "pair-done":
+                control = PairV(frame_value, v)
+            elif tag == "fst":
+                if not isinstance(v, PairV):
+                    raise _type_failure()
+                control = v.first
+            elif tag == "snd":
+                if not isinstance(v, PairV):
+                    raise _type_failure()
+                control = v.second
+            elif tag == "inl":
+                control = InlV(v)
+            elif tag == "inr":
+                control = InrV(v)
+            elif tag == "match":
+                if isinstance(v, InlV):
+                    env = (names[0], v.body, frame_env)
+                    control = exprs[0]
+                elif isinstance(v, InrV):
+                    env = (names[1], v.body, frame_env)
+                    control = exprs[1]
+                else:
+                    raise _type_failure()
+                evaluating = True
+            elif tag == "ref":
+                control = LocV(heap.allocate(v, CellKind.GC))
+            elif tag == "alloc":
+                control = LocV(heap.allocate(v, CellKind.MANUAL))
+            elif tag == "deref":
+                control = heap.read(_expect_live_loc(heap, v))
+            elif tag == "assign-rhs":
+                kont.append(("assign-done", (), (), None, v))
+                control, evaluating, env = exprs[0], True, frame_env
+            elif tag == "assign-done":
+                heap.write(_expect_live_loc(heap, frame_value), v)
+                control = UnitV()
+            elif tag == "free":
+                address = _expect_live_loc(heap, v)
+                if heap.kind_of(address) is not CellKind.MANUAL:
+                    raise _Failure(ErrorCode.PTR)
+                heap.free(address)
+                control = UnitV()
+            elif tag == "gcmov":
+                address = _expect_live_loc(heap, v)
+                if heap.kind_of(address) is not CellKind.MANUAL:
+                    raise _Failure(ErrorCode.PTR)
+                heap.move_to_gc(address)
+                control = v
+            else:  # pragma: no cover - defensive
+                raise StuckError(f"unknown continuation frame {tag!r}")
+    except _Failure as failure:
+        config = Config(_finalize_heap(heap), s.Fail(failure.code), failure.code)
+        return MachineResult(Status.FAIL, config, steps)
+    except StuckError:
+        leftover = control if evaluating else reify(control)
+        return MachineResult(Status.STUCK, Config(_finalize_heap(heap), leftover), steps)

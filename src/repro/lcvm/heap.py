@@ -7,14 +7,26 @@ manual cell to the collector (the key instruction behind the
 ``ref τ ∼ REF τ`` conversion); ``callgc`` runs a mark-and-sweep collection
 whose roots are supplied by the machine (the locations mentioned by the
 current program).
+
+Allocation keeps a free list plus a high-water-mark counter, so
+``fresh_address`` is O(log n) instead of a linear scan from 0, while
+preserving the Fig. 12 name-reuse semantics exactly: the smallest address not
+currently in the heap's domain is always the one handed out next.
+
+The heap is shared between evaluators that store different value
+representations: the substitution machine stores syntax values, while the
+environment-based evaluators store runtime values.  The ``trace`` hook tells
+the collector how to find the locations inside whatever is stored.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
+from repro.core.errors import ErrorCode, MachineFailure
 from repro.lcvm.syntax import Expr, mentioned_locations
 
 
@@ -36,6 +48,10 @@ class HeapCell:
     kind: CellKind
 
 
+def _dangling(address: int) -> MachineFailure:
+    return MachineFailure(ErrorCode.PTR, f"dangling access to ℓ{address}")
+
+
 @dataclass
 class Heap:
     """A mutable LCVM heap.
@@ -50,19 +66,51 @@ class Heap:
     #: Statistics exposed for the benchmarks (collections run, cells reclaimed).
     collections: int = 0
     reclaimed: int = 0
+    #: Extracts the locations mentioned by a stored value; evaluators that
+    #: store runtime values instead of syntax plug in their own walker.
+    trace: Callable[[Any], Iterable[int]] = field(default=mentioned_locations, repr=False)
+    #: Min-heap of freed addresses below the high-water mark (may contain
+    #: stale entries if ``cells`` is mutated directly; ``fresh_address``
+    #: lazily discards those).
+    _free: List[int] = field(default_factory=list, init=False, repr=False)
+    #: High-water mark: every address >= ``_next`` has never been handed out.
+    _next: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rebuild_allocator()
+
+    def _rebuild_allocator(self) -> None:
+        """Recompute the free list from ``cells`` (after bulk construction)."""
+        self._next = max(self.cells, default=-1) + 1
+        self._free = [address for address in range(self._next) if address not in self.cells]
+        heapq.heapify(self._free)
 
     # -- basic operations -----------------------------------------------------
 
     def fresh_address(self) -> int:
-        """Return an unused address (freed/collected names may be re-used)."""
-        address = 0
-        while address in self.cells:
-            address += 1
-        return address
+        """Return the smallest unused address (freed/collected names are re-used).
+
+        This is a pure query: it does not reserve the address.  Calling it
+        twice without an intervening ``allocate`` returns the same name.
+        """
+        while self._free and self._free[0] in self.cells:
+            heapq.heappop(self._free)  # stale entry from direct cells mutation
+        counter = self._next
+        while counter in self.cells:  # direct cells mutation past the mark
+            counter += 1
+        if self._free and self._free[0] < counter:
+            return self._free[0]
+        # The counter candidate also covers direct cells mutation *below* the
+        # mark: gaps the free list never saw are still found smallest-first.
+        return counter
 
     def allocate(self, value: Expr, kind: CellKind) -> int:
         address = self.fresh_address()
+        if self._free and self._free[0] == address:
+            heapq.heappop(self._free)
         self.cells[address] = HeapCell(value, kind)
+        if address >= self._next:
+            self._next = address + 1
         return address
 
     def contains(self, address: int) -> bool:
@@ -73,16 +121,28 @@ class Heap:
         return cell.kind if cell is not None else None
 
     def read(self, address: int) -> Expr:
-        return self.cells[address].value
+        cell = self.cells.get(address)
+        if cell is None:
+            raise _dangling(address)
+        return cell.value
 
     def write(self, address: int, value: Expr) -> None:
-        self.cells[address].value = value
+        cell = self.cells.get(address)
+        if cell is None:
+            raise _dangling(address)
+        cell.value = value
 
     def free(self, address: int) -> None:
+        if address not in self.cells:
+            raise _dangling(address)
         del self.cells[address]
+        heapq.heappush(self._free, address)
 
     def move_to_gc(self, address: int) -> None:
-        self.cells[address].kind = CellKind.GC
+        cell = self.cells.get(address)
+        if cell is None:
+            raise _dangling(address)
+        cell.kind = CellKind.GC
 
     # -- fragments (used by the §5 model) --------------------------------------
 
@@ -97,7 +157,7 @@ class Heap:
         return {address: HeapCell(cell.value, cell.kind) for address, cell in self.cells.items()}
 
     def copy(self) -> "Heap":
-        heap = Heap(self.snapshot())
+        heap = Heap(self.snapshot(), trace=self.trace)
         heap.collections = self.collections
         heap.reclaimed = self.reclaimed
         return heap
@@ -116,7 +176,7 @@ class Heap:
             cell = self.cells.get(address)
             if cell is None:
                 continue
-            for child in mentioned_locations(cell.value):
+            for child in self.trace(cell.value):
                 if child not in seen and child in self.cells:
                     frontier.append(child)
         return seen
@@ -141,6 +201,7 @@ class Heap:
         ]
         for address in dead:
             del self.cells[address]
+            heapq.heappush(self._free, address)
         self.collections += 1
         self.reclaimed += len(dead)
         return len(dead)

@@ -1,0 +1,231 @@
+"""An environment/closure-based StackLang machine (no substitution).
+
+The reference machine (:mod:`repro.stacklang.machine`) follows Fig. 2
+literally: ``lam`` *substitutes* the popped values into the body, copying the
+program text on every binding.  This machine is the fast, observably
+equivalent engine in the style of the LCVM CEK machine: variables are looked
+up in a shared immutable environment, thunks capture the environment they
+close over, and control is a stack of ``(program, pc, env)`` segments, so
+each instruction costs O(1) amortized regardless of program size.
+
+Observable behaviour matches the reference machine: the same statuses, the
+same error codes (``fail Type`` for unmet stack preconditions, ``fail Idx``
+for out-of-bounds indexing), the same heap addresses (both allocators hand
+out ``max + 1``), and the same final stack — runtime thunks and arrays are
+reified back to syntax on exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ErrorCode
+from repro.stacklang import syntax as s
+from repro.stacklang.machine import Config, FailStack, MachineResult, Status
+
+__all__ = ["ArrV", "ThunkV", "run"]
+
+
+#: Environments are immutable cons cells ``(name, value, parent)``; ``None``
+#: is the empty environment.
+Env = Optional[Tuple[str, object, "Env"]]
+
+
+@dataclass(frozen=True)
+class ThunkV:
+    """A suspended program together with the environment it closes over."""
+
+    program: s.Program
+    environment: Env
+
+    def __str__(self) -> str:
+        return f"<thunk/{len(self.program)}>"
+
+
+@dataclass(frozen=True)
+class ArrV:
+    """An array of runtime values."""
+
+    items: Tuple[object, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(item) for item in self.items) + "]"
+
+
+_MISSING = object()
+
+
+def _lookup(env: Env, name: str) -> object:
+    while env is not None:
+        if env[0] == name:
+            return env[1]
+        env = env[2]
+    return _MISSING
+
+
+def _resolve(operand: object, env: Env) -> object:
+    """Resolve a push operand to a runtime value (``_MISSING`` for unbound vars)."""
+    if isinstance(operand, (s.Num, s.Loc)):
+        return operand
+    if isinstance(operand, s.Var):
+        return _lookup(env, operand.name)
+    if isinstance(operand, s.Thunk):
+        return ThunkV(operand.program, env)
+    if isinstance(operand, s.Arr):
+        items = []
+        for item in operand.items:
+            resolved = _resolve(item, env)
+            # The reference machine leaves unbound variables inside arrays
+            # untouched (substitution simply does not fire); mirror that.
+            items.append(item if resolved is _MISSING else resolved)
+        return ArrV(tuple(items))
+    return operand
+
+
+def _reify(value: object) -> s.Value:
+    """Convert a runtime value back to the syntax value it denotes."""
+    if isinstance(value, ThunkV):
+        program = value.program
+        remaining = set(s.free_variables(program))
+        cell = value.environment
+        while cell is not None and remaining:
+            name, bound, cell = cell
+            if name in remaining:
+                program = s.substitute_program(program, name, _reify(bound))
+                remaining.discard(name)
+        return s.Thunk(program)
+    if isinstance(value, ArrV):
+        return s.Arr(tuple(_reify(item) for item in value.items))
+    return value
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One region of program text executing under one environment."""
+
+    program: s.Program
+    env: Env
+
+
+def run(
+    program: s.Program,
+    heap: Optional[Dict[int, s.Value]] = None,
+    stack: Optional[List[s.Value]] = None,
+    fuel: int = 100_000,
+) -> MachineResult:
+    """Run ``program`` on the closure machine; mirrors ``machine.run``."""
+    heap_cells: Dict[int, object] = dict(heap or {})
+    next_address = max(heap_cells.keys(), default=-1) + 1
+    values: List[object] = list(stack if stack is not None else [])
+    # Control: a stack of (program, pc, env) entries; the top is executing.
+    control: List[List[object]] = [[tuple(program), 0, None]]
+    steps = 0
+    failure: Optional[ErrorCode] = None
+
+    def fail(code: ErrorCode) -> None:
+        nonlocal failure
+        failure = code
+
+    while failure is None:
+        while control and control[-1][1] >= len(control[-1][0]):
+            control.pop()
+        if not control:
+            break
+        if steps >= fuel:
+            final = Config(dict(heap_cells), [_reify(v) for v in values], ())
+            return MachineResult(Status.OUT_OF_FUEL, final, steps)
+        steps += 1
+
+        segment = control[-1]
+        instruction = segment[0][segment[1]]
+        segment[1] += 1
+        env: Env = segment[2]
+
+        if isinstance(instruction, s.Push):
+            value = _resolve(instruction.operand, env)
+            if value is _MISSING:
+                fail(ErrorCode.TYPE)
+            else:
+                values.append(value)
+        elif isinstance(instruction, s.Add):
+            if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], s.Num):
+                fail(ErrorCode.TYPE)
+            else:
+                top, second = values.pop(), values.pop()
+                values.append(s.Num(top.number + second.number))
+        elif isinstance(instruction, s.Less):
+            if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], s.Num):
+                fail(ErrorCode.TYPE)
+            else:
+                top, second = values.pop(), values.pop()
+                values.append(s.Num(0) if top.number < second.number else s.Num(1))
+        elif isinstance(instruction, s.If0):
+            if not values or not isinstance(values[-1], s.Num):
+                fail(ErrorCode.TYPE)
+            else:
+                scrutinee = values.pop()
+                branch = instruction.then_program if scrutinee.number == 0 else instruction.else_program
+                control.append([branch, 0, env])
+        elif isinstance(instruction, s.Lam):
+            if len(values) < len(instruction.binders):
+                fail(ErrorCode.TYPE)
+            else:
+                extended = env
+                for binder in instruction.binders:
+                    extended = (binder, values.pop(), extended)
+                control.append([instruction.body, 0, extended])
+        elif isinstance(instruction, s.Call):
+            if not values or not isinstance(values[-1], ThunkV):
+                fail(ErrorCode.TYPE)
+            else:
+                thunk = values.pop()
+                control.append([thunk.program, 0, thunk.environment])
+        elif isinstance(instruction, s.Idx):
+            if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], ArrV):
+                fail(ErrorCode.TYPE)
+            else:
+                index, array = values.pop(), values.pop()
+                if not 0 <= index.number < len(array.items):
+                    fail(ErrorCode.IDX)
+                else:
+                    values.append(array.items[index.number])
+        elif isinstance(instruction, s.Len):
+            if not values or not isinstance(values[-1], ArrV):
+                fail(ErrorCode.TYPE)
+            else:
+                values.append(s.Num(len(values.pop().items)))
+        elif isinstance(instruction, s.Alloc):
+            if not values:
+                fail(ErrorCode.TYPE)
+            else:
+                heap_cells[next_address] = values.pop()
+                values.append(s.Loc(next_address))
+                next_address += 1
+        elif isinstance(instruction, s.Read):
+            if not values or not isinstance(values[-1], s.Loc) or values[-1].address not in heap_cells:
+                fail(ErrorCode.TYPE)
+            else:
+                values.append(heap_cells[values.pop().address])
+        elif isinstance(instruction, s.Write):
+            if len(values) < 2 or not isinstance(values[-2], s.Loc) or values[-2].address not in heap_cells:
+                fail(ErrorCode.TYPE)
+            else:
+                value, location = values.pop(), values.pop()
+                heap_cells[location.address] = value
+        elif isinstance(instruction, s.Fail):
+            fail(instruction.code)
+        else:
+            final = Config(dict(heap_cells), [_reify(v) for v in values], ())
+            return MachineResult(Status.STUCK, final, steps)
+
+    reified_heap = {address: _reify(value) for address, value in heap_cells.items()}
+    if failure is not None:
+        return MachineResult(Status.FAIL, Config(reified_heap, FailStack(failure), ()), steps)
+    reified_stack = [_reify(v) for v in values]
+    final = Config(reified_heap, reified_stack, ())
+    status = Status.VALUE if reified_stack else Status.EMPTY
+    return MachineResult(status, final, steps)

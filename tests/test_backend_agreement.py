@@ -1,0 +1,329 @@
+"""Property-based differential tests across the evaluator backends.
+
+The substitution machine is the paper-faithful oracle; the big-step and CEK
+engines must be observably equivalent: identical values, identical error
+codes, and identical post-GC heap fragment sizes.  Heap *addresses* are
+compared up to renaming, and GC'd fragments are compared after a final
+result-rooted collection — the environment machines root lexically-live
+bindings, so mid-run collections can be less eager than the substitution
+machine's syntactic-liveness collections, but never collect more; a final
+collection erases that (and only that) difference.
+"""
+
+import dataclasses
+from functools import lru_cache
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ErrorCode, OutOfFuelError
+from repro.interop_affine import DOUBLE_FORCE_PROGRAM
+from repro.interop_affine import make_system as make_affine_system
+from repro.interop_l3 import make_system as make_l3_system
+from repro.interop_refs import make_system as make_refs_system
+from repro.lcvm import cek, evaluate
+from repro.lcvm import machine as lcvm_machine
+from repro.lcvm.heap import CellKind, Heap, HeapCell
+from repro.lcvm.machine import Status
+from repro.lcvm.syntax import (
+    Alloc,
+    App,
+    Assign,
+    BinOp,
+    CallGc,
+    Deref,
+    Fail,
+    Free,
+    Fst,
+    GcMov,
+    If,
+    Inl,
+    Inr,
+    Int,
+    Lam,
+    Let,
+    Loc,
+    Match,
+    NewRef,
+    Pair,
+    Snd,
+    Unit,
+    Var,
+    mentioned_locations,
+)
+from repro.lcvm.values import reify
+
+MACHINE_FUEL = 50_000
+FAST_FUEL = 500_000  # env-based engines take more, finer-grained steps
+
+
+# ---------------------------------------------------------------------------
+# Random closed(ish) LCVM programs
+# ---------------------------------------------------------------------------
+
+_NAMES = ("a", "b", "c")
+
+
+def lcvm_programs():
+    names = st.sampled_from(_NAMES)
+    operators = st.sampled_from(["+", "-", "*", "<"])
+    leaves = st.one_of(
+        st.integers(-3, 3).map(Int),
+        st.just(Unit()),
+        names.map(Var),  # often unbound: exercises TYPE-failure parity
+        st.just(CallGc()),
+        st.sampled_from([Fail(ErrorCode.CONV), Fail(ErrorCode.PTR)]),
+    )
+
+    def extend(child):
+        return st.one_of(
+            st.builds(Pair, child, child),
+            st.builds(Fst, child),
+            st.builds(Snd, child),
+            st.builds(Inl, child),
+            st.builds(Inr, child),
+            st.builds(If, child, child, child),
+            st.builds(Match, child, names, child, names, child),
+            st.builds(Let, names, child, child),
+            st.builds(Lam, names, child),
+            st.builds(App, child, child),
+            st.builds(BinOp, operators, child, child),
+            st.builds(NewRef, child),
+            st.builds(Alloc, child),
+            st.builds(Deref, child),
+            st.builds(Assign, child, child),
+            st.builds(Free, child),
+            st.builds(GcMov, child),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=20)
+
+
+# ---------------------------------------------------------------------------
+# Canonical observations (addresses compared up to renaming)
+# ---------------------------------------------------------------------------
+
+
+def _canon(expr, mapping, pending):
+    """Rename every location to its first-visit index, recording visits."""
+    if isinstance(expr, Loc):
+        if expr.address not in mapping:
+            mapping[expr.address] = len(mapping)
+            pending.append(expr.address)
+        return Loc(mapping[expr.address])
+    if not dataclasses.is_dataclass(expr):
+        return expr
+    replacements = {}
+    for field in dataclasses.fields(expr):
+        child = getattr(expr, field.name)
+        if dataclasses.is_dataclass(child):
+            replacements[field.name] = _canon(child, mapping, pending)
+        else:
+            replacements[field.name] = child
+    return type(expr)(**replacements)
+
+
+def observation(value, heap):
+    """Everything observable about a successful run, address-insensitively.
+
+    The result value and the heap fragment reachable from it are renamed to
+    canonical addresses; fragment sizes are taken after a result-rooted
+    collection so all backends are measured against the same notion of
+    liveness.
+    """
+    mapping, pending = {}, []
+    canon_value = _canon(value, mapping, pending)
+    cells = []
+    index = 0
+    while index < len(pending):
+        cell = heap.cells.get(pending[index])
+        index += 1
+        if cell is None:
+            cells.append("dangling")
+        else:
+            cells.append((cell.kind.value, _canon(cell.value, mapping, pending)))
+    normalized = heap.copy()
+    normalized.collect(roots=mentioned_locations(value))
+    return (
+        canon_value,
+        tuple(cells),
+        len(normalized.gc_fragment()),
+        len(normalized.manual_fragment()),
+    )
+
+
+def _machine_outcome(result):
+    if result.status is Status.FAIL:
+        return ("fail", result.failure_code, len(result.heap.manual_fragment()))
+    return ("value",) + observation(result.value, result.heap)
+
+
+def _bigstep_outcome(result):
+    syntax_heap = Heap(
+        {address: HeapCell(reify(cell.value), cell.kind) for address, cell in result.heap.cells.items()}
+    )
+    if not result.ok:
+        return ("fail", result.failure, len(syntax_heap.manual_fragment()))
+    return ("value",) + observation(reify(result.value), syntax_heap)
+
+
+@given(program=lcvm_programs())
+@settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_three_lcvm_backends_agree(program):
+    reference = lcvm_machine.run(program, fuel=MACHINE_FUEL)
+    assume(reference.status is not Status.OUT_OF_FUEL)
+
+    cek_result = cek.run(program, fuel=FAST_FUEL)
+    assume(cek_result.status is not Status.OUT_OF_FUEL)
+    try:
+        big_result = evaluate(program, fuel=FAST_FUEL)
+    except OutOfFuelError:
+        assume(False)
+
+    expected = _machine_outcome(reference)
+    assert _machine_outcome(cek_result) == expected
+    assert _bigstep_outcome(big_result) == expected
+
+
+# ---------------------------------------------------------------------------
+# Whole-pipeline agreement in all three interop systems
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _system(factory_name):
+    return {"refs": make_refs_system, "affine": make_affine_system, "l3": make_l3_system}[factory_name]()
+
+
+def refll_sources():
+    leaves = st.integers(0, 5).map(str)
+
+    def extend(child):
+        return st.one_of(
+            st.builds("(+ {} {})".format, child, child),
+            st.builds("(+ 1 (boundary int (if (boundary bool {}) false true)))".format, child),
+            st.builds("(! (ref {}))".format, child),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def miniml_affine_sources():
+    leaves = st.integers(0, 5).map(str)
+
+    def extend(child):
+        return st.one_of(
+            st.builds("(+ {} {})".format, child, child),
+            st.builds("(boundary int (boundary int {}))".format, child),
+            st.builds("(! (ref {}))".format, child),
+            st.builds("(let (r (ref {})) (let (u (set! r {})) (! r)))".format, child, child),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def miniml_l3_sources():
+    leaves = st.integers(0, 5).map(str)
+
+    def extend(child):
+        return st.one_of(
+            st.builds("(+ {} {})".format, child, child),
+            st.builds("(+ {} (! (boundary (ref int) (new true))))".format, child),
+            st.builds(
+                "(let (r (boundary (ref int) (new false))) (let (u (set! r {})) (! r)))".format, child
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=5)
+
+
+def _assert_backends_agree(system, language, source):
+    outcomes = {
+        backend: system.run_source(language, source, backend=backend)
+        for backend in system.target.backend_names()
+    }
+    expected = outcomes["substitution"]
+    for backend, outcome in outcomes.items():
+        assert outcome.value == expected.value, (backend, source)
+        assert outcome.failure == expected.failure, (backend, source)
+
+
+@given(source=refll_sources())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_refs_system_backends_agree(source):
+    _assert_backends_agree(_system("refs"), "RefLL", source)
+
+
+@given(source=miniml_affine_sources())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_affine_system_backends_agree(source):
+    _assert_backends_agree(_system("affine"), "MiniML", source)
+
+
+@given(source=miniml_l3_sources())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_l3_system_backends_agree(source):
+    _assert_backends_agree(_system("l3"), "MiniML", source)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic error-code parity across backends
+# ---------------------------------------------------------------------------
+
+_FAILING_LCVM_PROGRAMS = [
+    (Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Deref(Var("r")))), ErrorCode.PTR),
+    (Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Assign(Var("r"), Int(2)))), ErrorCode.PTR),
+    (Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Free(Var("r")))), ErrorCode.PTR),
+    (Free(NewRef(Int(1))), ErrorCode.PTR),
+    (App(Int(1), Int(2)), ErrorCode.TYPE),
+    (Let("x", Fail(ErrorCode.CONV), Int(1)), ErrorCode.CONV),
+]
+
+
+@pytest.mark.parametrize(
+    "program,code", _FAILING_LCVM_PROGRAMS, ids=[str(p)[:48] for p, _ in _FAILING_LCVM_PROGRAMS]
+)
+def test_failure_codes_agree_on_all_lcvm_backends(program, code):
+    assert lcvm_machine.run(program).failure_code is code
+    assert cek.run(program).failure_code is code
+    assert evaluate(program).failure is code
+
+
+def test_conv_failure_agrees_across_affine_backends():
+    system = _system("affine")
+    for backend in system.target.backend_names():
+        result = system.run_source("Affi", DOUBLE_FORCE_PROGRAM, backend=backend)
+        assert not result.ok
+        assert result.failure is ErrorCode.CONV, backend
+
+
+def test_bigstep_roots_in_flight_temporaries():
+    # Regression: while a pair's second component runs callgc, the already
+    # evaluated first component must stay a GC root — the big-step evaluator
+    # used to sweep it (env-only roots) and then fail Ptr on the Deref.
+    program = Let(
+        "p",
+        Pair(NewRef(Int(1)), CallGc()),
+        Deref(Fst(Var("p"))),
+    )
+    assert lcvm_machine.run(program).value == Int(1)
+    assert cek.run(program).value == Int(1)
+    big = evaluate(program)
+    assert big.failure is None
+    assert reify(big.value) == Int(1)
+
+
+def test_gc_statistics_agree_between_env_backends():
+    # The two environment-based engines share the same notion of GC roots, so
+    # their collection statistics (not just the normalized fragments) match.
+    program = Let(
+        "keep",
+        NewRef(Int(1)),
+        Let("dead", NewRef(Int(2)), Let("_", CallGc(), Deref(Var("keep")))),
+    )
+    cek_result = cek.run(program)
+    big_result = evaluate(program)
+    assert cek_result.value == Int(1)
+    assert big_result.reified_value() == Int(1)
+    assert cek_result.heap.collections == big_result.collections == 1

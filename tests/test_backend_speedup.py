@@ -1,0 +1,70 @@
+"""Acceptance: the CEK substrate beats the substitution oracle by ≥5×.
+
+These are coarse wall-clock guards, not benchmarks (the real measurements
+live in ``benchmarks/bench_boundary_crossing.py``); the workloads are sized
+so the observed ratios are an order of magnitude above the 5× bar, keeping
+the assertion robust on slow CI machines.
+"""
+
+import time
+
+import pytest
+
+from repro.interop_affine import make_system as make_affine_system
+from repro.interop_l3 import make_system as make_l3_system
+
+FUEL = 5_000_000
+MIN_SPEEDUP = 5.0
+
+
+def _nested_affine_crossing(depth: int) -> str:
+    source = "1"
+    for _ in range(depth):
+        source = f"(+ 1 (boundary int (boundary int {source})))"
+    return source
+
+
+def _nested_l3_crossing(depth: int) -> str:
+    source = "1"
+    for _ in range(depth):
+        source = f"(+ {source} (! (boundary (ref int) (new true))))"
+    return source
+
+
+def _best_of(action, repeats: int = 3) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        action()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+@pytest.mark.parametrize(
+    "factory,builder,depth",
+    [
+        (make_affine_system, _nested_affine_crossing, 60),
+        (make_l3_system, _nested_l3_crossing, 40),
+    ],
+    ids=["affine", "l3"],
+)
+def test_cek_beats_substitution_on_deep_boundary_crossing(factory, builder, depth):
+    system = factory()
+    unit = system.compile_source("MiniML", builder(depth))
+
+    results = {
+        backend: system.run_compiled(unit.target_code, fuel=FUEL, backend=backend)
+        for backend in ("substitution", "cek")
+    }
+    assert results["substitution"].ok and results["cek"].ok
+    assert results["substitution"].value == results["cek"].value
+
+    substitution_time = _best_of(
+        lambda: system.run_compiled(unit.target_code, fuel=FUEL, backend="substitution")
+    )
+    cek_time = _best_of(lambda: system.run_compiled(unit.target_code, fuel=FUEL, backend="cek"))
+    speedup = substitution_time / cek_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"CEK only {speedup:.1f}x faster than substitution "
+        f"({substitution_time * 1000:.2f}ms vs {cek_time * 1000:.2f}ms)"
+    )

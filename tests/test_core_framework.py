@@ -16,7 +16,8 @@ from repro.core import (
     is_generated_name,
     merge_disjoint,
 )
-from repro.core.errors import ModelError
+from repro.core.errors import ModelError, ReproError
+from repro.core.language import LanguageFrontend, TargetBackend
 from repro.core.worlds import USED, affine_extends, fresh_location, world_flags
 
 
@@ -76,6 +77,59 @@ def test_cyclic_rules_terminate():
 
     relation.register(ConvertibilityRule("loop", self_referential))
     assert not relation.convertible("x", "y")
+
+
+def test_cycle_cutoff_does_not_poison_the_memo():
+    """Regression: a negative result reached only because a recursive premise
+    was cut off (the conclusion was already in progress) must not be cached —
+    the same pair can be derivable from a fresh top-level query."""
+    relation = ConvertibilityRelation("A", "B")
+    # Lowest precedence: a direct rule for P ~ Q.
+    relation.register_pair("P", "Q", lambda t: t, lambda t: t, name="base")
+
+    def p_via_rs(type_a, type_b, rel):
+        # P ~ Q holds when R ~ S holds (tried before "base" because it is
+        # registered later).
+        if type_a == "P" and type_b == "Q" and rel.convertible("R", "S"):
+            return _identity_conversion(type_a, type_b, "p-via-rs")
+        return None
+
+    def rs_via_pq(type_a, type_b, rel):
+        # R ~ S holds when P ~ Q holds — mutually recursive with the above.
+        if type_a == "R" and type_b == "S" and rel.convertible("P", "Q"):
+            return _identity_conversion(type_a, type_b, "rs-via-pq")
+        return None
+
+    relation.register(ConvertibilityRule("p-via-rs", p_via_rs))
+    relation.register(ConvertibilityRule("rs-via-pq", rs_via_pq))
+
+    # Top-level P ~ Q: the recursive rule asks for R ~ S, whose own premise
+    # P ~ Q is cut off (in progress), so R ~ S fails *along this path*; the
+    # base rule then proves P ~ Q.
+    assert relation.convertible("P", "Q")
+    # R ~ S is derivable from a fresh query (its premise P ~ Q now succeeds);
+    # before the fix the cutoff-tainted negative was memoized and this failed.
+    assert relation.convertible("R", "S")
+
+
+def test_cycle_cutoff_taint_is_transient():
+    relation = ConvertibilityRelation("A", "B")
+
+    def self_referential(type_a, type_b, rel):
+        if rel.convertible(type_a, type_b):
+            return _identity_conversion(type_a, type_b)
+        return None
+
+    relation.register(ConvertibilityRule("loop", self_referential))
+    assert not relation.convertible("x", "y")
+    # The genuinely-underivable pair is recomputed, not cached, and the taint
+    # bookkeeping does not leak across queries.
+    assert not relation.convertible("x", "y")
+    assert relation._in_progress == set() and relation._tainted == set()
+    # Positive results derived without cutoffs are still memoized.
+    relation.register_pair("a", "b", lambda t: t, lambda t: t)
+    assert relation.convertible("a", "b")
+    assert ("a", "b") in relation._memo
 
 
 def test_flipped_conversion_swaps_directions():
@@ -157,6 +211,94 @@ def test_merge_disjoint_and_fresh_location():
         merge_disjoint({0: "x"}, {0: "y"})
     assert fresh_location({0: "x"}, {5: "y"}) == 6
     assert fresh_location() == 0
+
+
+# -- backend registry and pipeline cache ------------------------------------------
+
+
+def _make_frontend(calls):
+    def parse(source):
+        calls.append(("parse", source))
+        return ("term", source)
+
+    def typecheck(term, **kwargs):
+        calls.append(("typecheck", term))
+        return "ty"
+
+    def compile_term(term):
+        calls.append(("compile", term))
+        return ("code", term)
+
+    return LanguageFrontend(
+        name="Toy", parse_expr=parse, parse_type=parse, typecheck=typecheck, compile=compile_term
+    )
+
+
+def test_pipeline_is_memoized_per_source():
+    calls = []
+    frontend = _make_frontend(calls)
+    first = frontend.pipeline("(x)")
+    again = frontend.pipeline("(x)")
+    assert first is again
+    assert len(calls) == 3  # parse/typecheck/compile ran exactly once
+    frontend.pipeline("(y)")
+    assert len(calls) == 6
+    assert frontend.cache_stats() == {"entries": 2, "hits": 1, "misses": 2}
+
+
+def test_pipeline_cache_bypassed_for_typecheck_kwargs():
+    # Environments have no reliable equality surrogate, so calls carrying
+    # typecheck kwargs never hit (or populate) the cache.
+    calls = []
+    frontend = _make_frontend(calls)
+    frontend.pipeline("(x)", env={"a": "int"})
+    frontend.pipeline("(x)", env={"a": "int"})
+    assert frontend.cache_stats() == {"entries": 0, "hits": 0, "misses": 0}
+    assert len(calls) == 6  # both calls ran the full pipeline
+    frontend.pipeline("(x)")
+    assert frontend.cache_stats() == {"entries": 1, "hits": 0, "misses": 1}
+
+
+def test_pipeline_cache_can_be_disabled_and_cleared():
+    calls = []
+    frontend = _make_frontend(calls)
+    frontend.cache_enabled = False
+    assert frontend.pipeline("(x)") is not frontend.pipeline("(x)")
+    frontend.cache_enabled = True
+    frontend.pipeline("(x)")
+    frontend.clear_cache()
+    frontend.pipeline("(x)")
+    assert frontend.cache_stats()["misses"] == 1  # cleared stats, recompiled
+
+
+def test_target_backend_registry_dispatch():
+    backend = TargetBackend(
+        name="T",
+        backends={"substitution": lambda code, **kw: ("slow", code), "cek": lambda code, **kw: ("fast", code)},
+        default_backend="cek",
+    )
+    assert backend.backend_names() == ["substitution", "cek"]
+    assert backend.run_with("p") == ("fast", "p")
+    assert backend.run_with("p", backend="substitution") == ("slow", "p")
+    assert backend.run("p") == ("fast", "p")  # legacy entry point follows the default
+    backend.select_backend("substitution")
+    assert backend.run("p") == ("slow", "p")
+    with pytest.raises(ReproError):
+        backend.run_with("p", backend="warp-drive")
+
+
+def test_target_backend_legacy_single_runner():
+    backend = TargetBackend(name="T", run=lambda code, **kw: ("only", code))
+    assert backend.backend_names() == ["substitution"]
+    assert backend.default_backend == "substitution"
+    assert backend.run_with("p") == ("only", "p")
+
+
+def test_target_backend_register_backend():
+    backend = TargetBackend(name="T", run=lambda code, **kw: ("old", code))
+    backend.register_backend("cek", lambda code, **kw: ("new", code), default=True)
+    assert backend.run("p") == ("new", "p")
+    assert backend.run_with("p", backend="substitution") == ("old", "p")
 
 
 # -- misc -----------------------------------------------------------------------

@@ -4,8 +4,10 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.errors import ErrorCode
+from repro.core.errors import ErrorCode, MachineFailure
 from repro.lcvm import (
+    HeapCell,
+    cek,
     Alloc,
     App,
     Assign,
@@ -24,6 +26,7 @@ from repro.lcvm import (
     Int,
     Lam,
     Let,
+    Loc,
     Match,
     NewRef,
     Pair,
@@ -180,6 +183,84 @@ def test_heap_addresses_are_reused_after_free():
     assert first == second
 
 
+# -- the free-list allocator ------------------------------------------------------
+
+
+def test_allocator_hands_out_smallest_unused_address():
+    heap = Heap()
+    addresses = [heap.allocate(Int(index), CellKind.MANUAL) for index in range(5)]
+    assert addresses == [0, 1, 2, 3, 4]
+    heap.free(3)
+    heap.free(1)
+    # Freed names are re-used smallest-first, exactly like the old linear scan.
+    assert heap.allocate(Int(9), CellKind.GC) == 1
+    assert heap.allocate(Int(9), CellKind.GC) == 3
+    assert heap.allocate(Int(9), CellKind.GC) == 5
+
+
+def test_fresh_address_is_a_pure_query():
+    heap = Heap()
+    heap.allocate(Int(0), CellKind.MANUAL)
+    heap.free(0)
+    assert heap.fresh_address() == heap.fresh_address() == 0
+
+
+def test_collected_addresses_are_reused():
+    result = run(let_sequence(NewRef(Int(1)), NewRef(Int(2)), CallGc(), NewRef(Int(3)), Int(0)))
+    assert result.value == Int(0)
+    # Both collected names went back to the allocator; the post-collection
+    # allocation re-used the smallest one.
+    assert set(result.heap.cells) == {0}
+
+
+def test_heap_copy_preserves_allocation_order():
+    heap = Heap()
+    for index in range(4):
+        heap.allocate(Int(index), CellKind.MANUAL)
+    heap.free(2)
+    copied = heap.copy()
+    assert copied.allocate(Int(9), CellKind.MANUAL) == 2 == heap.allocate(Int(9), CellKind.MANUAL)
+
+
+def test_allocator_tolerates_direct_cells_mutation():
+    heap = Heap()
+    heap.cells[0] = HeapCell(Int(1), CellKind.MANUAL)
+    heap.cells[2] = HeapCell(Int(2), CellKind.MANUAL)
+    assert heap.allocate(Int(3), CellKind.MANUAL) == 1
+    assert heap.allocate(Int(4), CellKind.MANUAL) == 3
+
+
+def test_allocator_finds_untracked_gaps_below_freed_addresses():
+    # Direct seeding past the high-water mark followed by a free must still
+    # hand out the *smallest* unused name, like the old linear scan.
+    heap = Heap()
+    heap.cells[2] = HeapCell(Int(1), CellKind.MANUAL)
+    heap.free(2)
+    assert heap.allocate(Int(9), CellKind.MANUAL) == 0
+    collected = Heap()
+    collected.cells[5] = HeapCell(Int(1), CellKind.GC)
+    collected.collect(roots=())
+    assert collected.allocate(Int(9), CellKind.GC) == 0
+
+
+def test_allocation_is_not_quadratic_in_heap_size():
+    heap = Heap()
+    for index in range(5_000):
+        heap.allocate(Int(index), CellKind.MANUAL)
+    # The high-water-mark counter answers without scanning the 5000 cells.
+    assert heap.fresh_address() == 5_000
+    assert heap._free == []
+
+
+def test_dangling_heap_access_raises_ptr_failure_not_keyerror():
+    heap = Heap()
+    for operation in (lambda: heap.read(7), lambda: heap.write(7, Int(1)),
+                      lambda: heap.free(7), lambda: heap.move_to_gc(7)):
+        with pytest.raises(MachineFailure) as excinfo:
+            operation()
+        assert excinfo.value.code is ErrorCode.PTR
+
+
 def test_heap_fragments_split_by_kind():
     heap = Heap()
     heap.allocate(Int(1), CellKind.MANUAL)
@@ -247,3 +328,73 @@ def test_bigstep_and_smallstep_agree_on_arithmetic(a, b):
     program = BinOp("+", Int(a), BinOp("*", Int(b), Int(2)))
     assert run(program).value == Int(a + b * 2)
     assert evaluate(program).value == IntV(a + b * 2)
+
+
+# -- error-code parity: dangling pointers surface Ptr on every backend -------------
+
+
+_DANGLING_PROGRAMS = [
+    Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Deref(Var("r")))),
+    Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Assign(Var("r"), Int(2)))),
+    Let("r", Alloc(Int(1)), Let("_", Free(Var("r")), Free(Var("r")))),
+]
+
+
+@pytest.mark.parametrize("program", _DANGLING_PROGRAMS, ids=["deref", "assign", "free"])
+def test_dangling_operations_fail_ptr_on_every_backend(program):
+    assert run(program).failure_code is ErrorCode.PTR
+    assert cek.run(program).failure_code is ErrorCode.PTR
+    big = evaluate(program)  # must be fail Ptr, never a raw KeyError
+    assert big.failure is ErrorCode.PTR
+
+
+def test_binop_failure_in_right_operand_outranks_type_error():
+    # The reference machine reduces both operands to values before the int
+    # check; a bad left operand with a failing right operand is Conv, not Type.
+    program = BinOp("+", NewRef(Int(0)), Fail(ErrorCode.CONV))
+    assert run(program).failure_code is ErrorCode.CONV
+    assert cek.run(program).failure_code is ErrorCode.CONV
+    assert evaluate(program).failure is ErrorCode.CONV
+
+
+# -- the CEK machine agrees with the reference machine ----------------------------
+
+
+@pytest.mark.parametrize("program", _CLOSED_PROGRAMS, ids=[str(p)[:40] for p in _CLOSED_PROGRAMS])
+def test_cek_agrees_with_smallstep(program):
+    small = run(program)
+    fast = cek.run(program)
+    assert fast.status is small.status
+    assert fast.value == small.value
+    assert fast.failure_code == small.failure_code
+    assert len(fast.heap.manual_fragment()) == len(small.heap.manual_fragment())
+
+
+def test_cek_reifies_closures_with_captured_environment():
+    program = Let("x", Int(5), Lam("y", BinOp("+", Var("x"), Var("y"))))
+    result = cek.run(program)
+    assert result.value == Lam("y", BinOp("+", Int(5), Var("y")))
+    assert result.value == run(program).value
+
+
+def test_cek_runs_with_preseeded_syntax_heap():
+    heap = Heap()
+    address = heap.allocate(Int(41), CellKind.GC)
+    result = cek.run(BinOp("+", Deref(Loc(address)), Int(1)), heap=heap)
+    assert result.value == Int(42)
+
+
+def test_cek_step_count_is_linear_not_quadratic():
+    # A right-nested addition of n leaves takes O(n) CEK transitions; the
+    # substitution machine re-walks the spine and needs Ω(n²) work.
+    def nested(n):
+        expression = Int(0)
+        for index in range(n):
+            expression = BinOp("+", Int(1), expression)
+        return expression
+
+    small = cek.run(nested(100), fuel=1_000_000)
+    large = cek.run(nested(200), fuel=1_000_000)
+    assert small.value == Int(100) and large.value == Int(200)
+    # Linear growth: doubling the program roughly doubles the steps.
+    assert large.steps <= 2 * small.steps + 10
