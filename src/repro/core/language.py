@@ -20,6 +20,9 @@ Two performance layers live here because every case study needs them:
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -30,7 +33,39 @@ TypecheckFn = Callable[..., Any]
 CompileFn = Callable[..., Any]
 RunFn = Callable[..., Any]
 
-CacheKey = Tuple[str, str]
+#: ``(language, source, frozen typecheck kwargs)``.
+CacheKey = Tuple[str, str, tuple]
+
+
+def _freeze(value: Any) -> Any:
+    """Build a hashable *value-equality* surrogate for a typecheck argument.
+
+    Environments are (nested) dicts of name → type; types are frozen
+    dataclasses, so the common shapes all freeze.  Raises ``TypeError`` for
+    anything without a reliable surrogate — callers treat that as "bypass
+    the cache", never as a wrong hit.  Mere hashability is NOT enough: every
+    plain object has a default identity hash, and keying on identity would
+    return stale hits after in-place mutation, so only shapes with
+    value-based equality are accepted.
+    """
+    if value is None:
+        return value
+    if isinstance(value, (str, int, float, bool, bytes, enum.Enum)):
+        # Tag the concrete type: True == 1 == 1.0 in Python, but a typechecker
+        # may well distinguish them, so they must not share a key.
+        return (type(value).__name__, value)
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted((_freeze(key), _freeze(item)) for key, item in value.items())))
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__, tuple(_freeze(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", frozenset(_freeze(item) for item in value))
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        params = type(value).__dataclass_params__
+        if params.frozen and params.eq:
+            hash(value)  # raises TypeError when a field is unhashable
+            return value
+    raise TypeError(f"no reliable equality surrogate for {type(value).__name__!s}")
 
 
 @dataclass
@@ -42,8 +77,9 @@ class LanguageFrontend:
     open boundary terms accept environment keyword arguments).
     ``compile`` translates a (well-typed) term to the target language.
 
-    ``pipeline`` memoizes its result; disable with ``cache_enabled = False``
-    or drop stale entries with :meth:`clear_cache`.
+    ``pipeline`` memoizes its result in an LRU bounded by ``cache_capacity``
+    (least-recently-used entries are evicted past the bound); disable with
+    ``cache_enabled = False`` or drop stale entries with :meth:`clear_cache`.
     """
 
     name: str
@@ -52,30 +88,48 @@ class LanguageFrontend:
     typecheck: TypecheckFn
     compile: CompileFn
     cache_enabled: bool = True
+    cache_capacity: int = 256
     cache_hits: int = 0
     cache_misses: int = 0
-    _cache: Dict[CacheKey, "CompiledUnit"] = field(default_factory=dict, repr=False)
+    cache_evictions: int = 0
+    _cache: "OrderedDict[CacheKey, CompiledUnit]" = field(default_factory=OrderedDict, repr=False)
 
     def pipeline(self, source: str, **typecheck_kwargs: Any) -> "CompiledUnit":
         """Parse, typecheck, and compile ``source`` in one (memoized) call.
 
-        Only closed-term calls (no typecheck keyword arguments) are cached —
-        the key is exactly ``(language, source)``.  Environment-carrying
-        calls bypass the cache: environments are arbitrary objects with no
-        reliable equality surrogate, and a wrong hit would return code
-        compiled against a different typing context.
+        The key is ``(language, source, frozen typecheck kwargs)``: keyword
+        arguments (typing environments) are frozen to a sorted-tuple
+        surrogate, so environment-carrying calls are cached too.  Arguments
+        with no hashable form bypass the cache — a wrong hit would return
+        code compiled against a different typing context, so unknown shapes
+        always recompile.
         """
-        if not self.cache_enabled or typecheck_kwargs:
+        if not self.cache_enabled:
             return self._run_pipeline(source, **typecheck_kwargs)
-        key = (self.name, source)
+        key = self._cache_key(source, typecheck_kwargs)
+        if key is None:
+            return self._run_pipeline(source, **typecheck_kwargs)
         unit = self._cache.get(key)
         if unit is not None:
             self.cache_hits += 1
+            self._cache.move_to_end(key)
             return unit
-        unit = self._run_pipeline(source)
+        unit = self._run_pipeline(source, **typecheck_kwargs)
         self.cache_misses += 1
         self._cache[key] = unit
+        while self._cache and self.cache_capacity is not None and len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+            self.cache_evictions += 1
         return unit
+
+    def _cache_key(self, source: str, typecheck_kwargs: Dict[str, Any]) -> Optional[CacheKey]:
+        if not typecheck_kwargs:
+            return (self.name, source, ())
+        try:
+            frozen = tuple(sorted((name, _freeze(value)) for name, value in typecheck_kwargs.items()))
+        except TypeError:
+            return None
+        return (self.name, source, frozen)
 
     def _run_pipeline(self, source: str, **typecheck_kwargs: Any) -> "CompiledUnit":
         term = self.parse_expr(source)
@@ -87,9 +141,16 @@ class LanguageFrontend:
         self._cache.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     def cache_stats(self) -> Dict[str, int]:
-        return {"entries": len(self._cache), "hits": self.cache_hits, "misses": self.cache_misses}
+        return {
+            "entries": len(self._cache),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+            "capacity": self.cache_capacity,
+        }
 
 
 @dataclass

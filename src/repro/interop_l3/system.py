@@ -123,9 +123,10 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
         ),
         compile=lambda term: l3_compiler.compile_expr(term, boundary_hook=hooks.l3_compile_boundary),
     )
-    # All three LCVM evaluator backends; CEK is the default, the substitution
-    # machine remains available as the differential-testing oracle.
-    backend = make_lcvm_backend(name="LCVM+memory", default="cek")
+    # All four LCVM evaluator backends; the compiled-dispatch CEK machine is
+    # the default, with the substitution machine (and the interpreted CEK
+    # machine) available as differential-testing oracles.
+    backend = make_lcvm_backend(name="LCVM+memory", default="cek-compiled")
 
     system = InteropSystem(
         name="memory management & polymorphism (§5)",

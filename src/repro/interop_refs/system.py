@@ -118,8 +118,13 @@ def _run_stacklang(compiled, fuel: int = 100_000) -> RunResult:
 
 
 def _run_stacklang_cek(compiled, fuel: int = 100_000) -> RunResult:
-    """The environment/closure machine (the fast default)."""
+    """The environment/closure segment machine (second oracle)."""
     return _stacklang_result(stack_cek.run(compiled, fuel=fuel))
+
+
+def _run_stacklang_compiled(compiled, fuel: int = 100_000) -> RunResult:
+    """The pc-threaded compiled machine (the fast default)."""
+    return _stacklang_result(stack_cek.run_compiled(compiled, fuel=fuel))
 
 
 def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
@@ -145,13 +150,18 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
         ),
         compile=lambda term: ll_compiler.compile_expr(term, boundary_hook=hooks.refll_compile_boundary),
     )
-    # StackLang has two evaluator backends (there is no separate big-step
-    # engine for a stack language); the closure machine is the default and
-    # the substitution machine remains the differential-testing oracle.
+    # StackLang has three evaluator backends (there is no separate big-step
+    # engine for a stack language); the pc-threaded compiled machine is the
+    # default, with the substitution machine and the segment machine kept as
+    # differential-testing oracles.
     backend = TargetBackend(
         name="StackLang",
-        backends={"substitution": _run_stacklang, "cek": _run_stacklang_cek},
-        default_backend="cek",
+        backends={
+            "substitution": _run_stacklang,
+            "cek": _run_stacklang_cek,
+            "cek-compiled": _run_stacklang_compiled,
+        },
+        default_backend="cek-compiled",
     )
 
     system = InteropSystem(

@@ -8,7 +8,10 @@ programs through one of three observably-equivalent engines:
   oracle;
 * ``bigstep`` — the recursive environment-based evaluator
   (:mod:`repro.lcvm.bigstep`);
-* ``cek`` — the CEK machine (:mod:`repro.lcvm.cek`); the default.
+* ``cek`` — the interpreted CEK machine (:mod:`repro.lcvm.cek`); kept as a
+  second oracle for the compiled machine;
+* ``cek-compiled`` — the compiled-dispatch CEK machine with pruned
+  environments (:func:`repro.lcvm.cek.run_compiled`); the default.
 
 Each wrapper normalizes the engine's native result into the framework's
 :class:`~repro.core.interop.RunResult` (reifying runtime values back to
@@ -47,14 +50,22 @@ def run_bigstep(compiled, fuel: int = 100_000) -> RunResult:
 
 
 def run_cek(compiled, fuel: int = 100_000) -> RunResult:
-    """Run on the CEK machine (the fast production substrate)."""
+    """Run on the interpreted CEK machine."""
     result = cek.run(compiled, fuel=fuel)
     if result.status is Status.VALUE:
         return RunResult(value=result.value, steps=result.steps)
     return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
 
 
-def make_lcvm_backend(name: str = "LCVM", default: str = "cek") -> TargetBackend:
+def run_cek_compiled(compiled, fuel: int = 100_000) -> RunResult:
+    """Run on the compiled-dispatch CEK machine (the fast production substrate)."""
+    result = cek.run_compiled(compiled, fuel=fuel)
+    if result.status is Status.VALUE:
+        return RunResult(value=result.value, steps=result.steps)
+    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
+
+
+def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> TargetBackend:
     """The full LCVM backend registry with ``default`` pre-selected."""
     return TargetBackend(
         name=name,
@@ -62,6 +73,7 @@ def make_lcvm_backend(name: str = "LCVM", default: str = "cek") -> TargetBackend
             "substitution": run_substitution,
             "bigstep": run_bigstep,
             "cek": run_cek,
+            "cek-compiled": run_cek_compiled,
         },
         default_backend=default,
     )

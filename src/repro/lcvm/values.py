@@ -100,6 +100,12 @@ def locations_of(value: RuntimeValue) -> List[int]:
         elif isinstance(current, (InlV, InrV)):
             stack.append(current.body)
         elif _is_closure(current):
+            # Compiled closures precompute the locations literally mentioned
+            # by their body syntax (the substitution oracle counts those as
+            # roots because they sit in the substituted program text).
+            static = getattr(current, "static_locations", None)
+            if static:
+                locations.extend(static)
             marker = id(current.environment)
             if marker not in seen_envs:
                 seen_envs.add(marker)

@@ -17,14 +17,15 @@ reified back to syntax on exit.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ErrorCode
 from repro.stacklang import syntax as s
 from repro.stacklang.machine import Config, FailStack, MachineResult, Status
 
-__all__ = ["ArrV", "ThunkV", "run"]
+__all__ = ["ArrV", "CThunkV", "ThunkV", "compile_program", "compiled_cache_stats", "run", "run_compiled"]
 
 
 #: Environments are immutable cons cells ``(name, value, parent)``; ``None``
@@ -88,7 +89,7 @@ def _resolve(operand: object, env: Env) -> object:
 
 def _reify(value: object) -> s.Value:
     """Convert a runtime value back to the syntax value it denotes."""
-    if isinstance(value, ThunkV):
+    if isinstance(value, (ThunkV, CThunkV)):
         program = value.program
         remaining = set(s.free_variables(program))
         cell = value.environment
@@ -226,6 +227,462 @@ def run(
     if failure is not None:
         return MachineResult(Status.FAIL, Config(reified_heap, FailStack(failure), ()), steps)
     reified_stack = [_reify(v) for v in values]
+    final = Config(reified_heap, reified_stack, ())
+    status = Status.VALUE if reified_stack else Status.EMPTY
+    return MachineResult(status, final, steps)
+
+
+# ===========================================================================
+# PC-threaded machine (the ``cek-compiled`` backend)
+# ===========================================================================
+#
+# The segment machine above still interprets: every instruction goes through
+# an isinstance ladder, every ``If0``/``Lam``/``Call`` pushes a segment that
+# the loop pops back off, and ``Push`` re-resolves its operand shape each
+# time.  The pc-threaded machine compiles a program once into a flat array of
+# handler closures with *resolved branch targets*:
+#
+# * ``if0`` becomes a conditional jump into inlined branch code (no
+#   ``branch + rest`` splicing, no segment bookkeeping),
+# * ``lam`` becomes an env-extend entry/exit bracket around its inlined body,
+# * thunk programs compile into dedicated regions of the same array ended by
+#   a return op; ``call`` jumps to the thunk's entry pc and a return stack
+#   brings control (and the caller's environment) back,
+# * ``push`` operands are pre-resolved: constants are pushed as-is, and a
+#   thunk capture prunes the environment to the thunk's free variables.
+#
+# The steady-state loop is ``pc = code[pc](pc + 1, state)`` — one list index
+# and one call per instruction.  Observable behaviour matches :func:`run`.
+
+_OpState = list  # [values, rstack, estack, env, heap, next_address, failure, stuck]
+_V, _RSTACK, _ESTACK, _ENV, _HEAP, _NEXT, _FAILURE, _STUCK = range(8)
+
+Op = Callable[[int, _OpState], int]
+
+
+class CThunkV:
+    """A suspended program compiled to an entry pc, with its pruned environment."""
+
+    __slots__ = ("entry", "environment", "program")
+
+    def __init__(self, entry: int, environment: Env, program: s.Program):
+        self.entry = entry
+        self.environment = environment
+        self.program = program  # syntax, so reification works unchanged
+
+    def __str__(self) -> str:
+        return f"<thunk/{len(self.program)}>"
+
+
+def _prune(env: Env, needed: frozenset) -> Env:
+    """Restrict ``env`` to the innermost binding of each name in ``needed``."""
+    if env is None or not needed:
+        return None
+    kept = []
+    remaining = set(needed)
+    cell = env
+    while cell is not None:
+        if cell[0] in remaining:
+            remaining.discard(cell[0])
+            kept.append(cell)
+            if not remaining:
+                break
+        cell = cell[2]
+    pruned: Env = None
+    for cell in reversed(kept):
+        pruned = (cell[0], cell[1], pruned)
+    return pruned
+
+
+# -- fixed ops ----------------------------------------------------------------
+
+
+def _op_halt(pc: int, st: _OpState) -> int:
+    return -1
+
+
+def _op_return(pc: int, st: _OpState) -> int:
+    pc, st[_ENV] = st[_RSTACK].pop()
+    return pc
+
+
+def _op_env_exit(pc: int, st: _OpState) -> int:
+    st[_ENV] = st[_ESTACK].pop()
+    return pc
+
+
+def _op_call(pc: int, st: _OpState) -> int:
+    values = st[_V]
+    if not values or type(values[-1]) is not CThunkV:
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+    thunk = values.pop()
+    st[_RSTACK].append((pc, st[_ENV]))
+    st[_ENV] = thunk.environment
+    return thunk.entry
+
+
+def _op_add(pc: int, st: _OpState) -> int:
+    values = st[_V]
+    if len(values) < 2 or type(values[-1]) is not s.Num or type(values[-2]) is not s.Num:
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+    top = values.pop()
+    second = values.pop()
+    values.append(s.Num(top.number + second.number))
+    return pc
+
+
+def _op_less(pc: int, st: _OpState) -> int:
+    values = st[_V]
+    if len(values) < 2 or type(values[-1]) is not s.Num or type(values[-2]) is not s.Num:
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+    top = values.pop()
+    second = values.pop()
+    values.append(s.Num(0) if top.number < second.number else s.Num(1))
+    return pc
+
+
+def _op_idx(pc: int, st: _OpState) -> int:
+    values = st[_V]
+    if len(values) < 2 or type(values[-1]) is not s.Num or type(values[-2]) is not ArrV:
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+    index = values.pop()
+    array = values.pop()
+    if not 0 <= index.number < len(array.items):
+        st[_FAILURE] = ErrorCode.IDX
+        return -1
+    values.append(array.items[index.number])
+    return pc
+
+
+def _op_len(pc: int, st: _OpState) -> int:
+    values = st[_V]
+    if not values or type(values[-1]) is not ArrV:
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+    values.append(s.Num(len(values.pop().items)))
+    return pc
+
+
+def _op_alloc(pc: int, st: _OpState) -> int:
+    values = st[_V]
+    if not values:
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+    address = st[_NEXT]
+    st[_HEAP][address] = values.pop()
+    values.append(s.Loc(address))
+    st[_NEXT] = address + 1
+    return pc
+
+
+def _op_read(pc: int, st: _OpState) -> int:
+    values = st[_V]
+    heap = st[_HEAP]
+    if not values or type(values[-1]) is not s.Loc or values[-1].address not in heap:
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+    values.append(heap[values.pop().address])
+    return pc
+
+
+def _op_write(pc: int, st: _OpState) -> int:
+    values = st[_V]
+    heap = st[_HEAP]
+    if len(values) < 2 or type(values[-2]) is not s.Loc or values[-2].address not in heap:
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+    value = values.pop()
+    location = values.pop()
+    heap[location.address] = value
+    return pc
+
+
+# -- op factories -------------------------------------------------------------
+
+
+def _make_push_const(value: object) -> Op:
+    def op(pc: int, st: _OpState) -> int:
+        st[_V].append(value)
+        return pc
+
+    return op
+
+
+def _make_push_var(name: str) -> Op:
+    def op(pc: int, st: _OpState) -> int:
+        cell = st[_ENV]
+        while cell is not None:
+            if cell[0] == name:
+                st[_V].append(cell[1])
+                return pc
+            cell = cell[2]
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+
+    return op
+
+
+def _make_push_resolved(resolve: Callable[[Env], object]) -> Op:
+    def op(pc: int, st: _OpState) -> int:
+        st[_V].append(resolve(st[_ENV]))
+        return pc
+
+    return op
+
+
+def _make_if0(else_entry: int) -> Op:
+    def op(pc: int, st: _OpState) -> int:
+        values = st[_V]
+        if not values or type(values[-1]) is not s.Num:
+            st[_FAILURE] = ErrorCode.TYPE
+            return -1
+        return pc if values.pop().number == 0 else else_entry
+
+    return op
+
+
+def _make_jump(target: int) -> Op:
+    def op(pc: int, st: _OpState) -> int:
+        return target
+
+    return op
+
+
+def _make_lam_enter(binders: Tuple[str, ...]) -> Op:
+    count = len(binders)
+
+    def op(pc: int, st: _OpState) -> int:
+        values = st[_V]
+        if len(values) < count:
+            st[_FAILURE] = ErrorCode.TYPE
+            return -1
+        st[_ESTACK].append(st[_ENV])
+        env = st[_ENV]
+        for binder in binders:
+            env = (binder, values.pop(), env)
+        st[_ENV] = env
+        return pc
+
+    return op
+
+
+def _make_fail(code: ErrorCode) -> Op:
+    def op(pc: int, st: _OpState) -> int:
+        st[_FAILURE] = code
+        return -1
+
+    return op
+
+
+def _make_stuck() -> Op:
+    def op(pc: int, st: _OpState) -> int:
+        st[_STUCK] = True
+        return -1
+
+    return op
+
+
+# -- the compiler -------------------------------------------------------------
+
+
+def _operand_resolver(operand: object, pending: List[Tuple[s.Program, List[int]]]):
+    """Pre-resolve a push operand to a closure ``env -> runtime value``."""
+    if isinstance(operand, s.Var):
+        name = operand.name
+        unbound = operand  # unbound vars inside arrays stay as syntax (see _resolve)
+
+        def resolve(env: Env) -> object:
+            cell = env
+            while cell is not None:
+                if cell[0] == name:
+                    return cell[1]
+                cell = cell[2]
+            return unbound
+
+        return resolve
+    if isinstance(operand, s.Thunk):
+        entry_cell = [0]
+        pending.append((operand.program, entry_cell))
+        capture = s.free_variables(operand.program)
+        program = operand.program
+
+        def resolve(env: Env) -> object:
+            return CThunkV(entry_cell[0], _prune(env, capture), program)
+
+        return resolve
+    if isinstance(operand, s.Arr):
+        resolvers = [_operand_resolver(item, pending) for item in operand.items]
+
+        def resolve(env: Env) -> object:
+            return ArrV(tuple(r(env) for r in resolvers))
+
+        return resolve
+    value = operand
+    return lambda env: value
+
+
+def _env_dependent(operand: object) -> bool:
+    if isinstance(operand, (s.Var, s.Thunk)):
+        return True
+    if isinstance(operand, s.Arr):
+        return any(_env_dependent(item) for item in operand.items)
+    return False
+
+
+def _emit(program: s.Program, ops: List[Op], pending: List[Tuple[s.Program, List[int]]]) -> None:
+    for instruction in program:
+        kind = type(instruction)
+        if kind is s.Push:
+            operand = instruction.operand
+            if isinstance(operand, s.Var):
+                ops.append(_make_push_var(operand.name))
+            elif not _env_dependent(operand):
+                # Constants (numbers, locations, var/thunk-free arrays) are
+                # resolved once at compile time.
+                resolver = _operand_resolver(operand, pending)
+                ops.append(_make_push_const(resolver(None)))
+            else:
+                ops.append(_make_push_resolved(_operand_resolver(operand, pending)))
+        elif kind is s.Add:
+            ops.append(_op_add)
+        elif kind is s.Less:
+            ops.append(_op_less)
+        elif kind is s.If0:
+            if0_index = len(ops)
+            ops.append(_op_halt)  # placeholder
+            _emit(instruction.then_program, ops, pending)
+            jump_index = len(ops)
+            ops.append(_op_halt)  # placeholder
+            else_entry = len(ops)
+            _emit(instruction.else_program, ops, pending)
+            ops[if0_index] = _make_if0(else_entry)
+            ops[jump_index] = _make_jump(len(ops))
+        elif kind is s.Lam:
+            ops.append(_make_lam_enter(instruction.binders))
+            _emit(instruction.body, ops, pending)
+            ops.append(_op_env_exit)
+        elif kind is s.Call:
+            ops.append(_op_call)
+        elif kind is s.Idx:
+            ops.append(_op_idx)
+        elif kind is s.Len:
+            ops.append(_op_len)
+        elif kind is s.Alloc:
+            ops.append(_op_alloc)
+        elif kind is s.Read:
+            ops.append(_op_read)
+        elif kind is s.Write:
+            ops.append(_op_write)
+        elif kind is s.Fail:
+            ops.append(_make_fail(instruction.code))
+        else:
+            # Unknown instructions are stuck at runtime, like the oracle.
+            ops.append(_make_stuck())
+
+
+_COMPILED_CACHE: "OrderedDict[int, Tuple[s.Program, List[Op]]]" = OrderedDict()
+_COMPILED_CACHE_CAPACITY = 512
+_compiled_hits = 0
+_compiled_misses = 0
+
+
+def _compile(program: s.Program) -> List[Op]:
+    ops: List[Op] = []
+    pending: List[Tuple[s.Program, List[int]]] = []
+    _emit(tuple(program), ops, pending)
+    ops.append(_op_halt)
+    while pending:
+        thunk_program, entry_cell = pending.pop()
+        entry_cell[0] = len(ops)
+        _emit(thunk_program, ops, pending)
+        ops.append(_op_return)
+    return ops
+
+
+def compile_program(program: s.Program) -> List[Op]:
+    """Compile ``program`` to a flat op array, memoized per compiled unit.
+
+    Keyed on object identity (entries retain the program tuple, keeping the
+    key valid while cached), so the frontend pipeline cache's hits line up
+    with ours: a program is compiled once per cache generation.
+    """
+    global _compiled_hits, _compiled_misses
+    key = id(program)
+    entry = _COMPILED_CACHE.get(key)
+    if entry is not None and entry[0] is program:
+        _compiled_hits += 1
+        _COMPILED_CACHE.move_to_end(key)
+        return entry[1]
+    ops = _compile(program)
+    _compiled_misses += 1
+    _COMPILED_CACHE[key] = (program, ops)
+    _COMPILED_CACHE.move_to_end(key)
+    while len(_COMPILED_CACHE) > _COMPILED_CACHE_CAPACITY:
+        _COMPILED_CACHE.popitem(last=False)
+    return ops
+
+
+def compiled_cache_stats() -> Dict[str, int]:
+    return {
+        "entries": len(_COMPILED_CACHE),
+        "hits": _compiled_hits,
+        "misses": _compiled_misses,
+        "capacity": _COMPILED_CACHE_CAPACITY,
+    }
+
+
+def run_compiled(
+    program: s.Program,
+    heap: Optional[Dict[int, s.Value]] = None,
+    stack: Optional[List[s.Value]] = None,
+    fuel: int = 100_000,
+) -> MachineResult:
+    """Run ``program`` on the pc-threaded machine; mirrors :func:`run`.
+
+    Observable results (statuses, error codes, stacks, heaps) match the
+    segment machine; *fuel granularity* does not — synthetic ops (jumps,
+    env-exit brackets, thunk returns, the final halt) each consume a step,
+    just as the environment machines take more, finer-grained steps than
+    the substitution oracle.  Fuel comparisons near the budget boundary are
+    backend-specific everywhere in this codebase; give the compiled machine
+    the same headroom the differential tests give the interpreted one.
+    """
+    # Programs are tuples (repro.stacklang.syntax.Program); only those hit
+    # the id-keyed memo.  Other sequences compile uncached — caching a
+    # per-call ``tuple(...)`` copy would just churn the LRU with dead keys.
+    code = compile_program(program) if isinstance(program, tuple) else _compile(tuple(program))
+    heap_cells: Dict[int, object] = dict(heap or {})
+    st: _OpState = [
+        list(stack if stack is not None else []),  # values
+        [],  # return stack
+        [],  # env-restore stack
+        None,  # environment
+        heap_cells,
+        max(heap_cells.keys(), default=-1) + 1,  # next address
+        None,  # failure code
+        False,  # stuck flag
+    ]
+    pc = 0
+    steps = 0
+    while pc >= 0:
+        if steps >= fuel:
+            final = Config(dict(heap_cells), [_reify(v) for v in st[_V]], ())
+            return MachineResult(Status.OUT_OF_FUEL, final, steps)
+        steps += 1
+        pc = code[pc](pc + 1, st)
+
+    if st[_STUCK]:
+        # Mirror run(): stuck configurations keep the raw heap.
+        final = Config(dict(heap_cells), [_reify(v) for v in st[_V]], ())
+        return MachineResult(Status.STUCK, final, steps)
+    reified_heap = {address: _reify(value) for address, value in heap_cells.items()}
+    if st[_FAILURE] is not None:
+        return MachineResult(Status.FAIL, Config(reified_heap, FailStack(st[_FAILURE]), ()), steps)
+    reified_stack = [_reify(v) for v in st[_V]]
     final = Config(reified_heap, reified_stack, ())
     status = Status.VALUE if reified_stack else Status.EMPTY
     return MachineResult(status, final, steps)

@@ -1,13 +1,20 @@
 """Property-based differential tests across the evaluator backends.
 
-The substitution machine is the paper-faithful oracle; the big-step and CEK
-engines must be observably equivalent: identical values, identical error
-codes, and identical post-GC heap fragment sizes.  Heap *addresses* are
-compared up to renaming, and GC'd fragments are compared after a final
-result-rooted collection — the environment machines root lexically-live
-bindings, so mid-run collections can be less eager than the substitution
-machine's syntactic-liveness collections, but never collect more; a final
-collection erases that (and only that) difference.
+The substitution machine is the paper-faithful oracle; the big-step, CEK,
+and compiled-dispatch engines must be observably equivalent: identical
+values, identical error codes, and identical post-GC heap fragment sizes.
+
+Two levels of heap comparison are used:
+
+* the *interpreted* environment machines (``bigstep``, plain ``cek``) root
+  lexically-live bindings, so mid-run collections can be less eager than the
+  substitution machine's syntactic-liveness collections (never more); their
+  heaps are compared address-insensitively after a final result-rooted
+  collection, which erases that (and only that) difference;
+* the *compiled* machine (``cek-compiled``) prunes environments to
+  free-variable sets, restoring the oracle's GC precision exactly — its
+  raw post-``callgc`` heaps (exact addresses, exact cells, exact collection
+  statistics) are compared with **no** normalization.
 """
 
 import dataclasses
@@ -170,12 +177,14 @@ def _bigstep_outcome(result):
 
 @given(program=lcvm_programs())
 @settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-def test_three_lcvm_backends_agree(program):
+def test_four_lcvm_backends_agree(program):
     reference = lcvm_machine.run(program, fuel=MACHINE_FUEL)
     assume(reference.status is not Status.OUT_OF_FUEL)
 
     cek_result = cek.run(program, fuel=FAST_FUEL)
     assume(cek_result.status is not Status.OUT_OF_FUEL)
+    compiled_result = cek.run_compiled(program, fuel=FAST_FUEL)
+    assume(compiled_result.status is not Status.OUT_OF_FUEL)
     try:
         big_result = evaluate(program, fuel=FAST_FUEL)
     except OutOfFuelError:
@@ -183,7 +192,33 @@ def test_three_lcvm_backends_agree(program):
 
     expected = _machine_outcome(reference)
     assert _machine_outcome(cek_result) == expected
+    assert _machine_outcome(compiled_result) == expected
     assert _bigstep_outcome(big_result) == expected
+
+
+@given(program=lcvm_programs())
+@settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_machine_matches_oracle_raw_heaps(program):
+    """``cek-compiled`` vs substitution with NO result-rooted normalization.
+
+    Environment pruning restores the oracle's GC precision, so the raw final
+    heaps — exact addresses (both machines share the smallest-first
+    allocator), exact cells, and exact collection statistics — must be
+    identical, without collecting at the end.
+    """
+    reference = lcvm_machine.run(program, fuel=MACHINE_FUEL)
+    assume(reference.status is not Status.OUT_OF_FUEL)
+    compiled = cek.run_compiled(program, fuel=FAST_FUEL)
+    assume(compiled.status is not Status.OUT_OF_FUEL)
+
+    assert compiled.status == reference.status
+    if reference.status is Status.VALUE:
+        assert compiled.value == reference.value
+    else:
+        assert compiled.failure_code == reference.failure_code
+    assert compiled.heap.cells == reference.heap.cells
+    assert compiled.heap.collections == reference.heap.collections
+    assert compiled.heap.reclaimed == reference.heap.reclaimed
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +322,7 @@ _FAILING_LCVM_PROGRAMS = [
 def test_failure_codes_agree_on_all_lcvm_backends(program, code):
     assert lcvm_machine.run(program).failure_code is code
     assert cek.run(program).failure_code is code
+    assert cek.run_compiled(program).failure_code is code
     assert evaluate(program).failure is code
 
 
@@ -312,6 +348,86 @@ def test_bigstep_roots_in_flight_temporaries():
     big = evaluate(program)
     assert big.failure is None
     assert reify(big.value) == Int(1)
+
+
+# ---------------------------------------------------------------------------
+# Raw post-callgc fragments: dead-let precision of the compiled machine
+# ---------------------------------------------------------------------------
+
+_DEAD_LET_PROGRAMS = [
+    # The canonical case: a dead let-binding must be collected mid-run.
+    Let(
+        "keep",
+        NewRef(Int(1)),
+        Let("dead", NewRef(Int(2)), Let("_", CallGc(), Deref(Var("keep")))),
+    ),
+    # A closure that does not capture the dead binding must not root it.
+    Let(
+        "dead",
+        NewRef(Int(7)),
+        Let("f", Lam("x", Var("x")), Let("_", CallGc(), App(Var("f"), Int(3)))),
+    ),
+    # ... while a closure that mentions a binding keeps it alive.
+    Let(
+        "live",
+        NewRef(Int(5)),
+        Let("f", Lam("x", Deref(Var("live"))), Let("_", CallGc(), App(Var("f"), Int(0)))),
+    ),
+    # A binding only free in the *other* match branch is dead once the
+    # branch is chosen (branch selection re-prunes the environment).
+    Let(
+        "a",
+        NewRef(Int(1)),
+        Match(Inl(Int(0)), "x", Let("_", CallGc(), Int(9)), "y", Deref(Var("a"))),
+    ),
+    # Dead binding while a continuation frame holds an in-flight value.
+    Let(
+        "dead",
+        NewRef(Int(2)),
+        Pair(NewRef(Int(3)), Let("_", CallGc(), Int(1))),
+    ),
+    # Nested shadowing: only the innermost binding is live.
+    Let(
+        "r",
+        NewRef(Int(1)),
+        Let("r", NewRef(Int(2)), Let("_", CallGc(), Deref(Var("r")))),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "program", _DEAD_LET_PROGRAMS, ids=[str(p)[:56] for p in _DEAD_LET_PROGRAMS]
+)
+def test_compiled_machine_collects_dead_lets_like_oracle(program):
+    """Raw-fragment differential: exact cells, addresses, and GC statistics."""
+    reference = lcvm_machine.run(program, fuel=MACHINE_FUEL)
+    compiled = cek.run_compiled(program, fuel=FAST_FUEL)
+    assert compiled.status == reference.status
+    assert compiled.value == reference.value
+    assert compiled.heap.cells == reference.heap.cells  # no normalization
+    assert compiled.heap.collections == reference.heap.collections
+    assert compiled.heap.reclaimed == reference.heap.reclaimed
+
+
+def test_compiled_machine_drops_dead_binding_the_interpreted_cek_keeps():
+    # The sharpest contrast: on the canonical dead-let program the compiled
+    # machine reclaims the dead cell mid-run (like the oracle), while the
+    # interpreted CEK machine roots it until its scope ends.
+    program = _DEAD_LET_PROGRAMS[0]
+    compiled = cek.run_compiled(program)
+    interpreted = cek.run(program)
+    assert compiled.value == interpreted.value == Int(1)
+    assert compiled.heap.reclaimed == 1  # `dead` collected at callgc
+    assert set(compiled.heap.cells) == {0}  # only `keep`'s cell survives
+    assert interpreted.heap.reclaimed == 0  # lexical scoping kept it alive
+
+
+def test_compiled_backend_registered_and_default_in_all_systems():
+    for factory_name in ("refs", "affine", "l3"):
+        system = _system(factory_name)
+        assert "cek-compiled" in system.target.backend_names(), factory_name
+        assert system.target.default_backend == "cek-compiled", factory_name
+        assert "substitution" in system.target.backend_names(), factory_name
 
 
 def test_gc_statistics_agree_between_env_backends():

@@ -243,20 +243,57 @@ def test_pipeline_is_memoized_per_source():
     assert len(calls) == 3  # parse/typecheck/compile ran exactly once
     frontend.pipeline("(y)")
     assert len(calls) == 6
-    assert frontend.cache_stats() == {"entries": 2, "hits": 1, "misses": 2}
+    stats = frontend.cache_stats()
+    assert (stats["entries"], stats["hits"], stats["misses"]) == (2, 1, 2)
 
 
-def test_pipeline_cache_bypassed_for_typecheck_kwargs():
-    # Environments have no reliable equality surrogate, so calls carrying
-    # typecheck kwargs never hit (or populate) the cache.
+def test_pipeline_caches_hashable_typecheck_kwargs():
+    # Environments freeze to a sorted-tuple surrogate, so kwarg-carrying
+    # calls hit the cache when (and only when) the environments are equal.
     calls = []
     frontend = _make_frontend(calls)
-    frontend.pipeline("(x)", env={"a": "int"})
-    frontend.pipeline("(x)", env={"a": "int"})
-    assert frontend.cache_stats() == {"entries": 0, "hits": 0, "misses": 0}
+    first = frontend.pipeline("(x)", env={"a": "int"})
+    again = frontend.pipeline("(x)", env={"a": "int"})
+    assert first is again
+    assert len(calls) == 3
+    frontend.pipeline("(x)", env={"a": "bool"})  # different context recompiles
+    assert len(calls) == 6
+    frontend.pipeline("(x)")  # no-kwargs call is a distinct key
+    stats = frontend.cache_stats()
+    assert (stats["entries"], stats["hits"], stats["misses"]) == (3, 1, 3)
+
+
+def test_pipeline_cache_bypassed_for_unhashable_kwargs():
+    # Arguments with no hashable form never hit (or populate) the cache — a
+    # wrong hit would return code compiled against a different context.
+    calls = []
+    frontend = _make_frontend(calls)
+
+    class Opaque:
+        __hash__ = None
+
+    frontend.pipeline("(x)", env=Opaque())
+    frontend.pipeline("(x)", env=Opaque())
+    stats = frontend.cache_stats()
+    assert (stats["entries"], stats["hits"], stats["misses"]) == (0, 0, 0)
     assert len(calls) == 6  # both calls ran the full pipeline
-    frontend.pipeline("(x)")
-    assert frontend.cache_stats() == {"entries": 1, "hits": 0, "misses": 1}
+
+
+def test_pipeline_cache_is_lru_bounded():
+    calls = []
+    frontend = _make_frontend(calls)
+    frontend.cache_capacity = 2
+    frontend.pipeline("(a)")
+    frontend.pipeline("(b)")
+    frontend.pipeline("(a)")  # refresh (a): (b) is now least recent
+    frontend.pipeline("(c)")  # evicts (b)
+    stats = frontend.cache_stats()
+    assert stats["entries"] == 2
+    assert stats["evictions"] == 1
+    frontend.pipeline("(a)")  # still cached
+    assert frontend.cache_stats()["hits"] == 2
+    frontend.pipeline("(b)")  # was evicted: recompiles
+    assert frontend.cache_stats()["misses"] == 4
 
 
 def test_pipeline_cache_can_be_disabled_and_cleared():
