@@ -27,32 +27,15 @@ import pytest
 from repro.interop_affine import make_system as make_affine_system
 from repro.interop_l3 import make_system as make_l3_system
 from repro.interop_refs import make_system as make_refs_system
+from repro.util.workloads import (
+    nested_ml_affi_boundary as _nested_ml_affi_boundary,
+    nested_ml_l3_boundary as _nested_ml_l3_boundary,
+    nested_refll_boundary as _nested_refll_boundary,
+)
 
 CROSSINGS = 10
 DEEP_CROSSINGS = 40
 RUN_FUEL = 5_000_000
-
-
-def _nested_refll_boundary(depth: int) -> str:
-    """RefLL int expression that bounces through RefHL ``depth`` times."""
-    source = "1"
-    for _ in range(depth):
-        source = f"(+ 1 (boundary int (if (boundary bool {source}) false true)))"
-    return source
-
-
-def _nested_ml_affi_boundary(depth: int) -> str:
-    source = "1"
-    for _ in range(depth):
-        source = f"(+ 1 (boundary int (boundary int {source})))"
-    return source
-
-
-def _nested_ml_l3_boundary(depth: int) -> str:
-    source = "1"
-    for _ in range(depth):
-        source = f"(+ {source} (! (boundary (ref int) (new true))))"
-    return source
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,217 @@
+"""Serving-layer throughput: N concurrent mixed programs, one interleaved loop.
+
+Builds a batch of mixed-workload requests across all three case-study
+systems — compiled fast-path requests next to oracle-backed differential
+requests, plus a deliberately fuel-starved one — and measures:
+
+* **sequential**: each request driven to completion before the next starts
+  (single-program latency × N, the baseline the async driver must not blow
+  up), and
+* **interleaved**: the whole batch step-sliced round-robin on one asyncio
+  event loop by the :class:`~repro.serve.scheduler.Scheduler`.
+
+The module is runnable as a script: it writes machine-readable
+``BENCH_serving.json`` (batch timings, throughput, interleaving overhead
+ratio, per-request accounting) so the serving-perf trajectory is tracked
+across PRs, and with ``--check`` exits non-zero if interleaved results
+diverge from sequential results anywhere, or if the interleaved batch takes
+more than ``2×`` the sequential baseline:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --check
+"""
+
+import json
+import sys
+import time
+
+from repro.serve import Request, make_default_scheduler
+from repro.util.workloads import (
+    nested_ml_affi_boundary as _nested_ml_affi_boundary,
+    nested_ml_l3_boundary as _nested_ml_l3_boundary,
+    nested_refll_boundary as _nested_refll_boundary,
+)
+
+SLICE_STEPS = 512
+REPEATS = 3
+DEEP = 12
+SHALLOW = 6
+JSON_REPORT = "BENCH_serving.json"
+
+
+def make_requests(deep: int = DEEP, shallow: int = SHALLOW):
+    """A mixed batch: 3 systems, 4 backends, 12 requests, one fuel-starved."""
+    return [
+        Request(language="RefLL", source=_nested_refll_boundary(deep), request_id="refs-deep"),
+        Request(language="RefLL", source=_nested_refll_boundary(shallow), request_id="refs-shallow"),
+        Request(
+            language="RefLL",
+            source=_nested_refll_boundary(shallow),
+            backend="substitution",
+            request_id="refs-oracle",
+        ),
+        Request(
+            language="RefLL", source=_nested_refll_boundary(shallow), backend="cek", request_id="refs-segment"
+        ),
+        Request(
+            language="MiniML",
+            system="affine",
+            source=_nested_ml_affi_boundary(deep),
+            request_id="affine-deep",
+        ),
+        Request(
+            language="MiniML",
+            system="affine",
+            source=_nested_ml_affi_boundary(shallow),
+            backend="substitution",
+            request_id="affine-oracle",
+        ),
+        Request(
+            language="MiniML",
+            system="affine",
+            source=_nested_ml_affi_boundary(shallow),
+            backend="bigstep",
+            request_id="affine-bigstep",
+        ),
+        Request(language="Affi", source="(if (boundary bool 7) 1 2)", request_id="affi-small"),
+        Request(
+            language="MiniML", system="l3", source=_nested_ml_l3_boundary(deep), request_id="l3-deep"
+        ),
+        Request(
+            language="MiniML",
+            system="l3",
+            source=_nested_ml_l3_boundary(shallow),
+            backend="substitution",
+            request_id="l3-oracle",
+        ),
+        Request(
+            language="MiniML", system="l3", source="(! (boundary (ref int) (new true)))", request_id="l3-small"
+        ),
+        Request(
+            language="MiniML",
+            system="affine",
+            source=_nested_ml_affi_boundary(deep),
+            fuel=7,
+            request_id="affine-starved",
+        ),
+    ]
+
+
+def _observable(response):
+    """The scheduling-independent view of a response (no timings/slices)."""
+    result = response.result
+    return (
+        response.error,
+        None if result is None else str(result.value),
+        None if result is None else str(result.failure),
+        None if result is None else result.steps,
+    )
+
+
+def _best_of(action, repeats: int = REPEATS) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        action()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def collect_json_report() -> dict:
+    scheduler = make_default_scheduler(slice_steps=SLICE_STEPS)
+    requests = make_requests()
+    scheduler.warm_cache(requests)
+
+    # One untimed pass per mode settles the machine-code memos, then compare
+    # outcomes: interleaving must be observably invisible.
+    sequential = scheduler.serve_sequential(requests)
+    interleaved = scheduler.serve(requests)
+    mismatches = [
+        request.request_id
+        for request, seq, inter in zip(requests, sequential, interleaved)
+        if _observable(seq) != _observable(inter)
+    ]
+
+    sequential_seconds = _best_of(lambda: scheduler.serve_sequential(requests))
+    interleaved_seconds = _best_of(lambda: scheduler.serve(requests))
+
+    return {
+        "benchmark": "serving",
+        "requests": len(requests),
+        "slice_steps": SLICE_STEPS,
+        "repeats": REPEATS,
+        "sequential_seconds": sequential_seconds,
+        "interleaved_seconds": interleaved_seconds,
+        "interleaved_vs_sequential": interleaved_seconds / sequential_seconds,
+        "throughput_rps": len(requests) / interleaved_seconds,
+        "sequential_throughput_rps": len(requests) / sequential_seconds,
+        "results_match": not mismatches,
+        "mismatches": mismatches,
+        "per_request": [
+            {
+                "id": response.request.request_id,
+                "system": response.system,
+                "backend": response.backend,
+                "fuel": response.request.fuel,
+                "ok": response.ok,
+                "failure": None if response.result is None else str(response.result.failure),
+                "steps": response.steps,
+                "slices": response.slices,
+                "cache_hit": response.cache_hit,
+            }
+            for response in interleaved
+        ],
+    }
+
+
+# -- pytest smoke entry (collected by the CI benchmark pass) -------------------
+
+
+def test_interleaved_matches_sequential():
+    """Interleaving a small mixed batch is observably identical to sequential."""
+    scheduler = make_default_scheduler(slice_steps=64)
+    requests = make_requests(deep=5, shallow=3)
+    sequential = scheduler.serve_sequential(requests)
+    interleaved = scheduler.serve(requests)
+    assert [_observable(r) for r in interleaved] == [_observable(r) for r in sequential]
+    assert sum(1 for r in interleaved if r.ok) == len(requests) - 1  # only the starved one fails
+    starved = next(r for r in interleaved if r.request.request_id == "affine-starved")
+    assert str(starved.result.failure) == "out_of_fuel"
+
+
+def main(argv) -> int:
+    check = "--check" in argv
+    output = JSON_REPORT
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    report = collect_json_report()
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    ratio = report["interleaved_vs_sequential"]
+    print(
+        f"{report['requests']} mixed requests: sequential {report['sequential_seconds'] * 1e3:.1f}ms, "
+        f"interleaved {report['interleaved_seconds'] * 1e3:.1f}ms "
+        f"({report['throughput_rps']:.0f} req/s, overhead ratio {ratio:.2f}x)"
+    )
+    print(f"wrote {output}")
+
+    failed = False
+    if report["mismatches"]:
+        print(
+            "MISMATCH: interleaved results diverge from sequential on: "
+            + ", ".join(report["mismatches"]),
+            file=sys.stderr,
+        )
+        failed = True
+    if ratio > 2.0:
+        print(
+            f"REGRESSION: interleaved batch took {ratio:.2f}x the sequential baseline (limit 2.0x)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if (check and failed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

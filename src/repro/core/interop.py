@@ -94,6 +94,30 @@ class InteropSystem:
     def run_compiled(self, target_code: Any, fuel: int = 100_000, backend: Optional[str] = None) -> RunResult:
         return self.target.run_with(target_code, backend=backend, fuel=fuel)
 
+    # -- resumable executions (the serving layer's entry points) --------------
+
+    def start_source(
+        self,
+        language_name: str,
+        source: str,
+        fuel: int = 100_000,
+        backend: Optional[str] = None,
+        **typecheck_kwargs: Any,
+    ):
+        """Compile ``source`` and start a resumable execution for it.
+
+        Returns ``(unit, execution)``: the memoized :class:`CompiledUnit`
+        plus an execution object whose ``step_n(limit)`` runs bounded slices
+        under *this request's own* backend choice and fuel budget — the
+        building block the serving layer interleaves on one loop.
+        """
+        unit = self.compile_source(language_name, source, **typecheck_kwargs)
+        return unit, self.target.start(unit.target_code, backend=backend, fuel=fuel)
+
+    def start_compiled(self, target_code: Any, fuel: int = 100_000, backend: Optional[str] = None):
+        """Start a resumable execution of already-compiled code."""
+        return self.target.start(target_code, backend=backend, fuel=fuel)
+
     # -- caches ---------------------------------------------------------------
 
     def clear_caches(self) -> None:

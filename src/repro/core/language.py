@@ -32,6 +32,9 @@ ParseFn = Callable[[str], Any]
 TypecheckFn = Callable[..., Any]
 CompileFn = Callable[..., Any]
 RunFn = Callable[..., Any]
+#: ``start_fn(target_code, fuel=...) -> execution`` where the execution
+#: exposes ``step_n(limit) -> Optional[result]`` (None while still running).
+StartFn = Callable[..., Any]
 
 #: ``(language, source, frozen typecheck kwargs)``.
 CacheKey = Tuple[str, str, tuple]
@@ -153,6 +156,57 @@ class LanguageFrontend:
         }
 
 
+class BlockingExecution:
+    """Adapter giving non-resumable backends the ``step_n`` protocol.
+
+    The wrapped backend runs to completion inside the first ``step_n`` call —
+    one oversized slice — so the oracle backends (substitution, bigstep, the
+    interpreted CEK machine) can share a scheduler with the resumable
+    compiled machines; they just never yield mid-program.  Backend choice and
+    fuel stay per-execution, exactly as for the resumable machines.
+    """
+
+    __slots__ = ("_run", "_target_code", "_fuel", "result")
+
+    def __init__(self, run_fn: RunFn, target_code: Any, fuel: int):
+        self._run = run_fn
+        self._target_code = target_code
+        self._fuel = fuel
+        self.result: Optional[Any] = None
+
+    def step_n(self, limit: int) -> Any:
+        if self.result is None:
+            self.result = self._run(self._target_code, fuel=self._fuel)
+        return self.result
+
+
+class ResumableExecution:
+    """A machine-level resumable execution plus a result normalizer.
+
+    Machine ``step_n`` slices yield native ``MachineResult`` objects;
+    ``normalize`` rewrites the final one into the framework's uniform result
+    shape (the same normalization the one-shot backend wrappers apply), so a
+    scheduler observes identical outcomes whether a program ran sliced or
+    uninterrupted.
+    """
+
+    __slots__ = ("_execution", "_normalize", "result")
+
+    def __init__(self, execution: Any, normalize: Callable[[Any], Any]):
+        self._execution = execution
+        self._normalize = normalize
+        self.result: Optional[Any] = None
+
+    def step_n(self, limit: int) -> Optional[Any]:
+        if self.result is not None:
+            return self.result
+        raw = self._execution.step_n(limit)
+        if raw is None:
+            return None
+        self.result = self._normalize(raw)
+        return self.result
+
+
 @dataclass
 class TargetBackend:
     """A target language together with its registry of evaluator backends.
@@ -162,6 +216,12 @@ class TargetBackend:
     recursive evaluator), and ``cek`` (the fast production machine).  ``run``
     remains the default-backend runner for backward compatibility, so
     ``backend.run(code, fuel=...)`` keeps working.
+
+    ``executions`` is the *resumable* side of the registry: backends whose
+    machines support bounded-slice stepping register a ``start_fn`` here, and
+    :meth:`start` hands out per-request execution objects (falling back to a
+    :class:`BlockingExecution` wrapper for one-shot backends), which is what
+    the serving layer interleaves.
     """
 
     name: str
@@ -169,6 +229,7 @@ class TargetBackend:
     pretty: Optional[Callable[[Any], str]] = None
     backends: Dict[str, RunFn] = field(default_factory=dict)
     default_backend: Optional[str] = None
+    executions: Dict[str, StartFn] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.run is not None and not self.backends:
@@ -184,6 +245,12 @@ class TargetBackend:
             if not self.backends:
                 raise ReproError(f"target {self.name!r} needs a runner or at least one backend")
             self.run = self.backends[self.default_backend]
+        unknown = set(self.executions) - set(self.backends)
+        if unknown:
+            raise ReproError(
+                f"target {self.name!r} registers executions for unknown backends "
+                f"{sorted(unknown)}; registered: {sorted(self.backends)}"
+            )
 
     # -- registry -------------------------------------------------------------
 
@@ -191,6 +258,14 @@ class TargetBackend:
         self.backends[name] = run_fn
         if default or self.default_backend is None:
             self.select_backend(name)
+
+    def register_execution(self, name: str, start_fn: StartFn) -> None:
+        """Register a resumable-execution factory for backend ``name``."""
+        if name not in self.backends:
+            raise ReproError(
+                f"target {self.name!r} has no backend {name!r}; registered: {sorted(self.backends)}"
+            )
+        self.executions[name] = start_fn
 
     def select_backend(self, name: str) -> None:
         """Make ``name`` the default backend (used by ``run`` / ``run_with``)."""
@@ -216,6 +291,24 @@ class TargetBackend:
     def run_with(self, target_code: Any, backend: Optional[str] = None, **kwargs: Any) -> Any:
         """Run compiled code on a named backend (default backend when None)."""
         return self.backend(backend)(target_code, **kwargs)
+
+    def start(self, target_code: Any, backend: Optional[str] = None, fuel: int = 100_000) -> Any:
+        """Start a resumable execution on a named backend (default when None).
+
+        The returned object exposes ``step_n(limit)``: run at most ``limit``
+        machine transitions, returning the backend-normalized result when the
+        program halts (including on fuel exhaustion) or ``None`` while it can
+        still make progress.  Backends without a registered execution factory
+        get a :class:`BlockingExecution` that completes in its first slice,
+        so mixed batches — oracle-backed differential requests next to
+        compiled fast-path requests — drive uniformly.
+        """
+        resolved = backend if backend is not None else self.default_backend
+        run_fn = self.backend(resolved)  # raises ReproError for unknown names
+        factory = self.executions.get(resolved)
+        if factory is not None:
+            return factory(target_code, fuel=fuel)
+        return BlockingExecution(run_fn, target_code, fuel)
 
 
 @dataclass

@@ -159,7 +159,9 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
     )
     # All four LCVM evaluator backends; the compiled-dispatch CEK machine is
     # the default, with the substitution machine (and the interpreted CEK
-    # machine) available as differential-testing oracles.
+    # machine) available as differential-testing oracles.  The registry also
+    # carries the compiled machine's resumable-execution factory, so the
+    # serving layer can step-slice per-request runs of this system.
     backend = make_lcvm_backend(name="LCVM", default="cek-compiled")
 
     system = InteropSystem(

@@ -20,7 +20,7 @@ from typing import Dict, Optional
 from repro.core.convertibility import ConvertibilityRelation
 from repro.core.errors import ConvertibilityError
 from repro.core.interop import InteropSystem, RunResult
-from repro.core.language import LanguageFrontend, TargetBackend
+from repro.core.language import LanguageFrontend, ResumableExecution, TargetBackend
 from repro.interop_refs.conversions import LANGUAGE_A, LANGUAGE_B, make_convertibility
 from repro.refhl import compiler as hl_compiler
 from repro.refhl import parser as hl_parser
@@ -127,6 +127,11 @@ def _run_stacklang_compiled(compiled, fuel: int = 100_000) -> RunResult:
     return _stacklang_result(stack_cek.run_compiled(compiled, fuel=fuel))
 
 
+def _start_stacklang_compiled(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable pc-threaded execution (RunResult-normalized slices)."""
+    return ResumableExecution(stack_cek.CompiledExecution(compiled, fuel=fuel), _stacklang_result)
+
+
 def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
     """Build the complete §3 interoperability system."""
     relation = relation or make_convertibility()
@@ -153,7 +158,8 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
     # StackLang has three evaluator backends (there is no separate big-step
     # engine for a stack language); the pc-threaded compiled machine is the
     # default, with the substitution machine and the segment machine kept as
-    # differential-testing oracles.
+    # differential-testing oracles.  The compiled machine also registers a
+    # resumable-execution factory so the serving layer can step-slice it.
     backend = TargetBackend(
         name="StackLang",
         backends={
@@ -162,6 +168,7 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             "cek-compiled": _run_stacklang_compiled,
         },
         default_backend="cek-compiled",
+        executions={"cek-compiled": _start_stacklang_compiled},
     )
 
     system = InteropSystem(

@@ -23,19 +23,22 @@ from __future__ import annotations
 
 from repro.core.errors import OutOfFuelError
 from repro.core.interop import RunResult
-from repro.core.language import TargetBackend
+from repro.core.language import ResumableExecution, TargetBackend
 from repro.lcvm import bigstep, cek
 from repro.lcvm import machine as lcvm_machine
 from repro.lcvm.machine import Status
-from repro.lcvm.values import reify
+
+
+def _normalize(result) -> RunResult:
+    """Rewrite a native ``MachineResult`` into the framework's result shape."""
+    if result.status is Status.VALUE:
+        return RunResult(value=result.value, steps=result.steps)
+    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
 
 
 def run_substitution(compiled, fuel: int = 100_000) -> RunResult:
     """Run on the substitution-based reference machine (Fig. 6 / Fig. 12)."""
-    result = lcvm_machine.run(compiled, fuel=fuel)
-    if result.status is Status.VALUE:
-        return RunResult(value=result.value, steps=result.steps)
-    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
+    return _normalize(lcvm_machine.run(compiled, fuel=fuel))
 
 
 def run_bigstep(compiled, fuel: int = 100_000) -> RunResult:
@@ -51,18 +54,22 @@ def run_bigstep(compiled, fuel: int = 100_000) -> RunResult:
 
 def run_cek(compiled, fuel: int = 100_000) -> RunResult:
     """Run on the interpreted CEK machine."""
-    result = cek.run(compiled, fuel=fuel)
-    if result.status is Status.VALUE:
-        return RunResult(value=result.value, steps=result.steps)
-    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
+    return _normalize(cek.run(compiled, fuel=fuel))
 
 
 def run_cek_compiled(compiled, fuel: int = 100_000) -> RunResult:
     """Run on the compiled-dispatch CEK machine (the fast production substrate)."""
-    result = cek.run_compiled(compiled, fuel=fuel)
-    if result.status is Status.VALUE:
-        return RunResult(value=result.value, steps=result.steps)
-    return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
+    return _normalize(cek.run_compiled(compiled, fuel=fuel))
+
+
+def start_cek_compiled(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable compiled-CEK execution (RunResult-normalized slices).
+
+    This is the serving layer's entry point: the returned execution carries
+    its own heap, continuation, and fuel budget, so many of them interleave
+    on one scheduler loop without sharing any state.
+    """
+    return ResumableExecution(cek.CompiledExecution(compiled, fuel=fuel), _normalize)
 
 
 def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> TargetBackend:
@@ -76,4 +83,5 @@ def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> Targ
             "cek-compiled": run_cek_compiled,
         },
         default_backend=default,
+        executions={"cek-compiled": start_cek_compiled},
     )

@@ -58,7 +58,15 @@ from repro.lcvm.values import (
     reify,
 )
 
-__all__ = ["CClosure", "Closure", "compile_node", "compiled_cache_stats", "run", "run_compiled"]
+__all__ = [
+    "CClosure",
+    "Closure",
+    "CompiledExecution",
+    "compile_node",
+    "compiled_cache_stats",
+    "run",
+    "run_compiled",
+]
 
 
 #: Environments are immutable cons cells ``(name, value, parent)`` with
@@ -958,45 +966,104 @@ def compiled_cache_stats() -> dict:
     }
 
 
+class CompiledExecution:
+    """A resumable compiled-dispatch machine: run in bounded slices.
+
+    ``step_n(limit)`` advances the machine by at most ``limit`` transitions
+    and returns the final :class:`~repro.lcvm.machine.MachineResult` once the
+    machine halts (value, failure, stuck, or the *per-execution* fuel budget
+    runs out) — or ``None`` while the program still has work and fuel left.
+    Between slices the whole machine state (control, environment,
+    continuation, heap, step count) lives on the execution object, so a
+    scheduler can interleave many executions on one loop; the observable
+    result is identical to an uninterrupted :func:`run_compiled` regardless
+    of how the transitions are sliced.
+    """
+
+    __slots__ = ("heap", "fuel", "steps", "result", "_control", "_evaluating", "_env", "_kont")
+
+    def __init__(self, expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000):
+        if heap is None:
+            heap = Heap(trace=locations_of)
+        else:
+            for cell in heap.cells.values():
+                cell.value = inject(cell.value)
+            heap.trace = locations_of
+        self.heap = heap
+        self.fuel = fuel
+        self.steps = 0
+        self.result: Optional[MachineResult] = None
+        self._control: object = compile_node(expr)
+        self._evaluating = True
+        self._env: Env = None
+        self._kont: List[CFrame] = []
+
+    def step_n(self, limit: int) -> Optional[MachineResult]:
+        """Run at most ``limit`` transitions; the result when halted, else None."""
+        if limit < 1:
+            raise ValueError(f"step_n limit must be >= 1, got {limit}")
+        if self.result is not None:
+            return self.result
+        heap = self.heap
+        kont = self._kont
+        control = self._control
+        evaluating = self._evaluating
+        env = self._env
+        steps = self.steps
+        fuel = self.fuel
+        budget = fuel if fuel - steps <= limit else steps + limit
+        apply_handlers = _APPLY
+        try:
+            while True:
+                if steps >= budget:
+                    self._control, self._evaluating, self._env, self.steps = control, evaluating, env, steps
+                    if steps < fuel:
+                        return None
+                    leftover = control.expr if evaluating else reify(control)
+                    self.result = MachineResult(
+                        Status.OUT_OF_FUEL, Config(_finalize_heap(heap), leftover), steps
+                    )
+                    return self.result
+                steps += 1
+                if evaluating:
+                    control, evaluating, env = control(env, kont, heap)
+                elif kont:
+                    frame = kont.pop()
+                    control, evaluating, env = apply_handlers[frame[0]](frame, control, env, kont, heap)
+                else:
+                    self.steps = steps
+                    result_value = reify(control)
+                    self.result = MachineResult(
+                        Status.VALUE, Config(_finalize_heap(heap), result_value), steps
+                    )
+                    return self.result
+        except _Failure as failure:
+            self.steps = steps
+            config = Config(_finalize_heap(heap), s.Fail(failure.code), failure.code)
+            self.result = MachineResult(Status.FAIL, config, steps)
+            return self.result
+        except StuckError:
+            self.steps = steps
+            leftover = control.expr if evaluating else reify(control)
+            self.result = MachineResult(Status.STUCK, Config(_finalize_heap(heap), leftover), steps)
+            return self.result
+
+    def run(self) -> MachineResult:
+        """Drive the machine to completion in one maximal slice."""
+        result = self.result
+        while result is None:
+            result = self.step_n(max(1, self.fuel))
+        return result
+
+
 def run_compiled(expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000) -> MachineResult:
     """Run a closed LCVM expression on the compiled-dispatch CEK machine.
 
     Same result shape and observable behaviour as :func:`run`, but with
     handler dispatch instead of the isinstance ladder and with environments
     pruned to lexically-live bindings (so raw post-``callgc`` heap fragments
-    match the substitution oracle exactly).
+    match the substitution oracle exactly).  One maximal slice of
+    :class:`CompiledExecution`; serving code holding several programs uses
+    the execution object directly and slices the transitions itself.
     """
-    if heap is None:
-        heap = Heap(trace=locations_of)
-    else:
-        for cell in heap.cells.values():
-            cell.value = inject(cell.value)
-        heap.trace = locations_of
-
-    control: object = compile_node(expr)
-    evaluating = True
-    env: Env = None
-    kont: List[CFrame] = []
-    steps = 0
-    apply_handlers = _APPLY
-
-    try:
-        while True:
-            if steps >= fuel:
-                leftover = control.expr if evaluating else reify(control)
-                return MachineResult(Status.OUT_OF_FUEL, Config(_finalize_heap(heap), leftover), steps)
-            steps += 1
-            if evaluating:
-                control, evaluating, env = control(env, kont, heap)
-            elif kont:
-                frame = kont.pop()
-                control, evaluating, env = apply_handlers[frame[0]](frame, control, env, kont, heap)
-            else:
-                result_value = reify(control)
-                return MachineResult(Status.VALUE, Config(_finalize_heap(heap), result_value), steps)
-    except _Failure as failure:
-        config = Config(_finalize_heap(heap), s.Fail(failure.code), failure.code)
-        return MachineResult(Status.FAIL, config, steps)
-    except StuckError:
-        leftover = control.expr if evaluating else reify(control)
-        return MachineResult(Status.STUCK, Config(_finalize_heap(heap), leftover), steps)
+    return CompiledExecution(expr, heap=heap, fuel=fuel).run()

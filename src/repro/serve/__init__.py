@@ -1,0 +1,32 @@
+"""Request-serving layer: per-request backends and fuel on one shared loop.
+
+This package turns the single-program execution substrate into a
+multi-tenant service front:
+
+* :class:`~repro.serve.request.Request` / ``Response`` — one submission with
+  its own language, backend choice, fuel budget, and typecheck environments,
+  answered with per-request accounting (steps, slices, timings, cache hits);
+* :class:`~repro.serve.driver.StepSlicedDriver` — the async interleaving
+  driver: every admitted program becomes a resumable execution
+  (``step_n``-capable compiled CEK / pc-threaded StackLang machines, or a
+  blocking wrapper for the oracle backends) and many of them advance
+  round-robin on one asyncio event loop;
+* :class:`~repro.serve.scheduler.Scheduler` — admission, language routing
+  across the three case-study systems, batch serving (interleaved or
+  sequential), and cross-request pipeline-cache warming.
+"""
+
+from repro.serve.driver import DrivenResult, StepSlicedDriver
+from repro.serve.request import DEFAULT_FUEL, Request, Response
+from repro.serve.scheduler import PreparedRequest, Scheduler, make_default_scheduler
+
+__all__ = [
+    "DEFAULT_FUEL",
+    "DrivenResult",
+    "PreparedRequest",
+    "Request",
+    "Response",
+    "Scheduler",
+    "StepSlicedDriver",
+    "make_default_scheduler",
+]

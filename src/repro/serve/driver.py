@@ -1,0 +1,118 @@
+"""The async interleaving driver: many machines, one event loop.
+
+Every admitted program arrives as a *resumable execution* — an object with
+``step_n(limit)`` returning the final result once the machine halts or
+``None`` while it still has work and fuel.  The driver grants each execution
+at most ``slice_steps`` machine transitions per turn and then yields the
+event loop (``await asyncio.sleep(0)``), so N concurrent programs advance
+round-robin on a single OS thread with no shared machine state.  Fuel stays
+per-execution: a request that exhausts its own budget fails alone, in its
+own slice, without disturbing its neighbours.
+
+Three entry points:
+
+* :meth:`StepSlicedDriver.run_batch` — the production path: one fresh
+  asyncio event loop interleaving every execution concurrently;
+* :meth:`StepSlicedDriver.run_sequential` — the differential twin: the same
+  slicing, one execution at a time (CI's ``bench_serving.py --check``
+  requires the two to produce identical outcomes);
+* :meth:`StepSlicedDriver.run_schedule` — a deterministic, caller-chosen
+  stepping order; the hypothesis tests drive it with arbitrary interleavings
+  to prove results are independent of scheduling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, List, NamedTuple, Sequence
+
+
+class DrivenResult(NamedTuple):
+    """One execution's outcome: final result, slice count, wall-clock latency."""
+
+    result: Any
+    slices: int
+    seconds: float
+
+
+class StepSlicedDriver:
+    """Interleaves resumable executions by bounded transition slices."""
+
+    def __init__(self, slice_steps: int = 512):
+        if slice_steps < 1:
+            raise ValueError(f"slice_steps must be >= 1, got {slice_steps}")
+        self.slice_steps = slice_steps
+
+    # -- async interleaving ---------------------------------------------------
+
+    async def drive(self, execution: Any) -> DrivenResult:
+        """Advance one execution to completion, yielding between slices."""
+        slice_steps = self.slice_steps
+        slices = 0
+        start = time.perf_counter()
+        while True:
+            result = execution.step_n(slice_steps)
+            slices += 1
+            if result is not None:
+                return DrivenResult(result, slices, time.perf_counter() - start)
+            await asyncio.sleep(0)
+
+    def run_batch(self, executions: Sequence[Any]) -> List[DrivenResult]:
+        """Interleave all executions on one fresh event loop; results in order."""
+
+        async def _gather() -> List[DrivenResult]:
+            return list(await asyncio.gather(*(self.drive(execution) for execution in executions)))
+
+        return asyncio.run(_gather())
+
+    # -- sequential / deterministic stepping ----------------------------------
+
+    def run_sequential(self, executions: Sequence[Any]) -> List[DrivenResult]:
+        """Drive each execution to completion before starting the next."""
+        driven = []
+        for execution in executions:
+            slices = 0
+            start = time.perf_counter()
+            result = None
+            while result is None:
+                result = execution.step_n(self.slice_steps)
+                slices += 1
+            driven.append(DrivenResult(result, slices, time.perf_counter() - start))
+        return driven
+
+    def run_schedule(self, executions: Sequence[Any], schedule: Sequence[int]) -> List[DrivenResult]:
+        """Step executions in an explicit order, then finish round-robin.
+
+        ``schedule`` is a sequence of indices into ``executions``; each entry
+        grants that execution one slice (entries for already-finished
+        executions are no-ops).  Once the schedule is exhausted, remaining
+        executions finish round-robin.  Results come back in input order —
+        and must equal :meth:`run_sequential`'s for any schedule, which is
+        exactly the property the hypothesis tests check.
+        """
+        if not executions:
+            return []
+        count = len(executions)
+        results: List[Any] = [None] * count
+        slices = [0] * count
+        started = [0.0] * count
+        elapsed = [0.0] * count
+
+        def grant(index: int) -> None:
+            if results[index] is not None:
+                return
+            if slices[index] == 0:
+                started[index] = time.perf_counter()
+            outcome = executions[index].step_n(self.slice_steps)
+            slices[index] += 1
+            if outcome is not None:
+                results[index] = outcome
+                elapsed[index] = time.perf_counter() - started[index]
+
+        for index in schedule:
+            grant(index % count)
+        while any(result is None for result in results):
+            for index in range(count):
+                grant(index)
+        return [DrivenResult(results[i], slices[i], elapsed[i]) for i in range(count)]

@@ -1,0 +1,79 @@
+"""The serving layer's request/response model.
+
+A :class:`Request` is one user submission: a source program in one of the
+registered systems' languages plus the execution policy for *this request
+only* — which evaluator backend runs it, how much fuel it may burn, and
+which typechecking environments the frontend threads through.  Nothing in a
+request touches process-global state: backend choice and fuel budget ride
+through :meth:`repro.core.language.TargetBackend.start` (and, for one-shot
+runs, ``run_with``) per call, so one process serves an oracle-backed
+differential request next to compiled fast-path requests.
+
+A :class:`Response` pairs the request with its observable outcome and the
+per-request accounting: the resolved system/backend, machine step count,
+scheduler slice count, pipeline/run timings, and the frontend cache's view
+of the compile (hit or miss, plus a stats snapshot taken right after it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.interop import RunResult
+
+#: The default per-request fuel budget (matches the backend runners).
+DEFAULT_FUEL = 100_000
+
+
+@dataclass
+class Request:
+    """One program submission with its own execution policy."""
+
+    language: str
+    source: str
+    backend: Optional[str] = None  # None → the routed system's default backend
+    fuel: int = DEFAULT_FUEL
+    typecheck_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Required when ``language`` is served by more than one registered
+    #: system (MiniML appears in both the §4 and §5 case studies).
+    system: Optional[str] = None
+    request_id: Optional[str] = None
+
+    def label(self) -> str:
+        return self.request_id or f"{self.system or '?'}/{self.language}"
+
+
+@dataclass
+class Response:
+    """The outcome of one request, with per-request accounting."""
+
+    request: Request
+    system: str = ""
+    backend: Optional[str] = None
+    result: Optional[RunResult] = None
+    #: Frontend-stage failure (parse/typecheck/convertibility/routing); when
+    #: set, the request never reached a machine and ``result`` is ``None``.
+    error: Optional[str] = None
+    slices: int = 0
+    compile_seconds: float = 0.0
+    #: Wall-clock latency from the request's first slice to its last one.
+    #: Under interleaving this includes time spent advancing *other*
+    #: requests on the shared loop — i.e. it is the request's latency as a
+    #: client would observe it, not its exclusive machine time.
+    run_seconds: float = 0.0
+    cache_hit: bool = False
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None and self.result.ok
+
+    @property
+    def steps(self) -> int:
+        return self.result.steps if self.result is not None else 0
+
+    def __str__(self) -> str:
+        if self.error is not None:
+            return f"[{self.request.label()}] rejected: {self.error}"
+        return f"[{self.request.label()}] {self.result} ({self.slices} slices, backend {self.backend})"

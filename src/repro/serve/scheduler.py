@@ -1,0 +1,241 @@
+"""Admission, routing, and batching for the serving layer.
+
+The :class:`Scheduler` owns a registry of interoperability systems (by
+default all three case studies: §3 ``refs``, §4 ``affine``, §5 ``l3``) and
+routes each :class:`~repro.serve.request.Request` by language — explicitly
+via ``request.system`` when a language is served by more than one system
+(MiniML lives in both §4 and §5).
+
+``serve`` admits a batch: every request is compiled through its frontend's
+memoized pipeline (timed, with cache-hit accounting), started as a resumable
+execution under *its own* backend choice and fuel budget, and the whole
+batch is interleaved on one asyncio event loop by the
+:class:`~repro.serve.driver.StepSlicedDriver`.  ``serve_sequential`` is the
+differential twin — same pipeline, one program at a time — and CI's
+``bench_serving.py --check`` requires the two to produce identical outcomes.
+
+Per-request failures are isolated by construction: frontend errors (parse,
+typecheck, convertibility, routing, unknown backend) land in that request's
+:class:`~repro.serve.request.Response` as ``error``; runtime failures
+(including fuel exhaustion of that request's own budget) land in its
+``result``; a backend that *raises* mid-run (an engine bug, the recursive
+bigstep evaluator hitting Python's recursion limit) is caught per execution
+and surfaced as that response's ``error``.  None of them touches any other
+request in the batch.
+
+Cross-request cache warming: :meth:`Scheduler.warm_cache` pushes a
+hot-program list through the pipelines ahead of traffic, so the first real
+request for a hot program hits the LRU instead of re-running
+parse → typecheck → compile.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import ReproError
+from repro.core.interop import InteropSystem
+from repro.serve.driver import StepSlicedDriver
+from repro.serve.request import Request, Response
+
+#: A warm-list entry: a full request or a bare ``(language, source)`` pair
+#: (optionally ``(language, source, typecheck_kwargs)``).
+HotProgram = Union[Request, Tuple[str, str], Tuple[str, str, Dict[str, Any]]]
+
+
+@dataclass
+class PreparedRequest:
+    """A request after admission: its response shell plus its execution.
+
+    ``execution`` is ``None`` when the request was rejected at the frontend
+    (the response then carries ``error`` and the request never runs).
+    """
+
+    response: Response
+    execution: Optional[Any] = None
+
+
+@dataclass
+class _RunFailure:
+    """Sentinel outcome: the backend raised instead of returning a result."""
+
+    message: str
+
+
+class _GuardedExecution:
+    """Per-request crash isolation for the run phase.
+
+    A backend that raises mid-run (a Python ``RecursionError`` from the
+    recursive bigstep evaluator, an engine bug) must fail *its own* request,
+    not unwind the driver's event loop and lose the whole batch — the same
+    isolation :meth:`Scheduler.prepare` gives frontend errors.  The guard
+    turns any ``Exception`` into a :class:`_RunFailure` outcome that
+    :meth:`Scheduler.serve` surfaces as that response's ``error``.
+    """
+
+    __slots__ = ("_execution",)
+
+    def __init__(self, execution: Any):
+        self._execution = execution
+
+    def step_n(self, limit: int) -> Optional[Any]:
+        try:
+            return self._execution.step_n(limit)
+        except Exception as error:
+            return _RunFailure(f"{type(error).__name__}: {error}")
+
+
+class Scheduler:
+    """Admits batches of requests against a registry of interop systems."""
+
+    def __init__(self, systems: Dict[str, InteropSystem], driver: Optional[StepSlicedDriver] = None):
+        self.systems = dict(systems)
+        self.driver = driver or StepSlicedDriver()
+        self._systems_by_language: Dict[str, List[str]] = {}
+        for name, system in self.systems.items():
+            for frontend in (system.language_a, system.language_b):
+                self._systems_by_language.setdefault(frontend.name, []).append(name)
+
+    # -- routing --------------------------------------------------------------
+
+    def route(self, request: Request) -> Tuple[str, InteropSystem]:
+        """Resolve the system serving ``request`` (explicit or by language)."""
+        if request.system is not None:
+            system = self.systems.get(request.system)
+            if system is None:
+                raise ReproError(
+                    f"no registered system {request.system!r}; registered: {sorted(self.systems)}"
+                )
+            if request.language not in (system.language_a.name, system.language_b.name):
+                raise ReproError(
+                    f"system {request.system!r} serves {system.language_a.name!r} and "
+                    f"{system.language_b.name!r}, not {request.language!r}"
+                )
+            return request.system, system
+        serving = self._systems_by_language.get(request.language, [])
+        if not serving:
+            raise ReproError(
+                f"no registered system serves language {request.language!r}; "
+                f"known languages: {sorted(self._systems_by_language)}"
+            )
+        if len(serving) > 1:
+            raise ReproError(
+                f"language {request.language!r} is served by systems {sorted(serving)}; "
+                "set request.system to disambiguate"
+            )
+        return serving[0], self.systems[serving[0]]
+
+    # -- admission ------------------------------------------------------------
+
+    def prepare(self, request: Request) -> PreparedRequest:
+        """Route, compile (memoized, timed), and start one request's execution."""
+        response = Response(request=request)
+        try:
+            system_name, system = self.route(request)
+        except ReproError as error:
+            response.error = str(error)
+            return PreparedRequest(response)
+        response.system = system_name
+        frontend = system.frontend(request.language)
+        hits_before = frontend.cache_hits
+        start = time.perf_counter()
+        try:
+            _unit, execution = system.start_source(
+                request.language,
+                request.source,
+                fuel=request.fuel,
+                backend=request.backend,
+                **dict(request.typecheck_kwargs),
+            )
+        except Exception as error:  # a bad request must not take down the batch
+            response.compile_seconds = time.perf_counter() - start
+            response.error = f"{type(error).__name__}: {error}"
+            return PreparedRequest(response)
+        response.compile_seconds = time.perf_counter() - start
+        response.backend = request.backend if request.backend is not None else system.target.default_backend
+        response.cache_hit = frontend.cache_hits > hits_before
+        response.cache_stats = frontend.cache_stats()
+        return PreparedRequest(response, execution)
+
+    # -- serving --------------------------------------------------------------
+
+    def serve(self, requests: Sequence[Request], sequential: bool = False) -> List[Response]:
+        """Admit a batch and run it; responses come back in request order.
+
+        The default interleaves every admitted execution on one event loop;
+        ``sequential=True`` drives them one at a time instead (the
+        differential baseline).  Either way each request runs under its own
+        backend and fuel budget.
+        """
+        prepared = [self.prepare(request) for request in requests]
+        runnable = [entry for entry in prepared if entry.execution is not None]
+        executions = [_GuardedExecution(entry.execution) for entry in runnable]
+        if sequential:
+            driven = self.driver.run_sequential(executions)
+        else:
+            driven = self.driver.run_batch(executions)
+        for entry, outcome in zip(runnable, driven):
+            if isinstance(outcome.result, _RunFailure):
+                entry.response.error = outcome.result.message
+            else:
+                entry.response.result = outcome.result
+            entry.response.slices = outcome.slices
+            entry.response.run_seconds = outcome.seconds
+        return [entry.response for entry in prepared]
+
+    def serve_sequential(self, requests: Sequence[Request]) -> List[Response]:
+        return self.serve(requests, sequential=True)
+
+    def submit(self, request: Request) -> Response:
+        """Serve a single request (a batch of one)."""
+        return self.serve([request])[0]
+
+    # -- cache warming --------------------------------------------------------
+
+    def warm_cache(self, hot_programs: Iterable[HotProgram]) -> int:
+        """Pre-populate the pipeline LRUs from a hot-program list.
+
+        Each entry is compiled through its frontend's memoized pipeline (and
+        discarded), so later requests for the same ``(language, source,
+        typecheck kwargs)`` key hit the cache.  Returns the number of entries
+        warmed; a malformed hot-list entry raises — the warm list is operator
+        configuration, not user traffic, and silently skipping it would hide
+        the misconfiguration until the cache misses show up in production.
+        """
+        warmed = 0
+        for entry in hot_programs:
+            if isinstance(entry, Request):
+                language, source = entry.language, entry.source
+                kwargs = dict(entry.typecheck_kwargs)
+                _name, system = self.route(entry)
+            else:
+                language, source = entry[0], entry[1]
+                kwargs = dict(entry[2]) if len(entry) > 2 else {}
+                _name, system = self.route(Request(language=language, source=source))
+            system.compile_source(language, source, **kwargs)
+            warmed += 1
+        return warmed
+
+    # -- accounting -----------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Pipeline-cache statistics for every registered system."""
+        return {name: system.cache_stats() for name, system in self.systems.items()}
+
+
+def make_default_scheduler(
+    slice_steps: int = 512, driver: Optional[StepSlicedDriver] = None
+) -> Scheduler:
+    """A scheduler over all three case-study systems (§3 refs, §4 affine, §5 l3)."""
+    from repro.interop_affine import make_system as make_affine_system
+    from repro.interop_l3 import make_system as make_l3_system
+    from repro.interop_refs import make_system as make_refs_system
+
+    systems = {
+        "refs": make_refs_system(),
+        "affine": make_affine_system(),
+        "l3": make_l3_system(),
+    }
+    return Scheduler(systems, driver=driver or StepSlicedDriver(slice_steps))

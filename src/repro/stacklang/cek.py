@@ -25,7 +25,16 @@ from repro.core.errors import ErrorCode
 from repro.stacklang import syntax as s
 from repro.stacklang.machine import Config, FailStack, MachineResult, Status
 
-__all__ = ["ArrV", "CThunkV", "ThunkV", "compile_program", "compiled_cache_stats", "run", "run_compiled"]
+__all__ = [
+    "ArrV",
+    "CThunkV",
+    "CompiledExecution",
+    "ThunkV",
+    "compile_program",
+    "compiled_cache_stats",
+    "run",
+    "run_compiled",
+]
 
 
 #: Environments are immutable cons cells ``(name, value, parent)``; ``None``
@@ -635,6 +644,97 @@ def compiled_cache_stats() -> Dict[str, int]:
     }
 
 
+class CompiledExecution:
+    """A resumable pc-threaded machine: run in bounded slices.
+
+    ``step_n(limit)`` advances the machine by at most ``limit`` instructions
+    and returns the final :class:`~repro.stacklang.machine.MachineResult`
+    once the machine halts (or its *per-execution* fuel budget runs out), or
+    ``None`` while there is work and fuel left.  The snapshot between slices
+    is just ``(pc, op-state, steps)``, so a scheduler can interleave many
+    executions on one loop; the observable result is identical to an
+    uninterrupted :func:`run_compiled` regardless of slicing.
+    """
+
+    __slots__ = ("fuel", "steps", "result", "_code", "_heap_cells", "_st", "_pc")
+
+    def __init__(
+        self,
+        program: s.Program,
+        heap: Optional[Dict[int, s.Value]] = None,
+        stack: Optional[List[s.Value]] = None,
+        fuel: int = 100_000,
+    ):
+        # Programs are tuples (repro.stacklang.syntax.Program); only those hit
+        # the id-keyed memo.  Other sequences compile uncached — caching a
+        # per-call ``tuple(...)`` copy would just churn the LRU with dead keys.
+        self._code = compile_program(program) if isinstance(program, tuple) else _compile(tuple(program))
+        heap_cells: Dict[int, object] = dict(heap or {})
+        self._heap_cells = heap_cells
+        self._st: _OpState = [
+            list(stack if stack is not None else []),  # values
+            [],  # return stack
+            [],  # env-restore stack
+            None,  # environment
+            heap_cells,
+            max(heap_cells.keys(), default=-1) + 1,  # next address
+            None,  # failure code
+            False,  # stuck flag
+        ]
+        self._pc = 0
+        self.fuel = fuel
+        self.steps = 0
+        self.result: Optional[MachineResult] = None
+
+    def step_n(self, limit: int) -> Optional[MachineResult]:
+        """Run at most ``limit`` instructions; the result when halted, else None."""
+        if limit < 1:
+            raise ValueError(f"step_n limit must be >= 1, got {limit}")
+        if self.result is not None:
+            return self.result
+        code = self._code
+        st = self._st
+        pc = self._pc
+        steps = self.steps
+        fuel = self.fuel
+        budget = fuel if fuel - steps <= limit else steps + limit
+        while pc >= 0:
+            if steps >= budget:
+                self._pc, self.steps = pc, steps
+                if steps < fuel:
+                    return None
+                final = Config(dict(self._heap_cells), [_reify(v) for v in st[_V]], ())
+                self.result = MachineResult(Status.OUT_OF_FUEL, final, steps)
+                return self.result
+            steps += 1
+            pc = code[pc](pc + 1, st)
+        self._pc, self.steps = pc, steps
+        self.result = self._halt()
+        return self.result
+
+    def _halt(self) -> MachineResult:
+        st = self._st
+        heap_cells = self._heap_cells
+        if st[_STUCK]:
+            # Mirror run(): stuck configurations keep the raw heap.
+            final = Config(dict(heap_cells), [_reify(v) for v in st[_V]], ())
+            return MachineResult(Status.STUCK, final, self.steps)
+        reified_heap = {address: _reify(value) for address, value in heap_cells.items()}
+        if st[_FAILURE] is not None:
+            return MachineResult(Status.FAIL, Config(reified_heap, FailStack(st[_FAILURE]), ()), self.steps)
+        reified_stack = [_reify(v) for v in st[_V]]
+        final = Config(reified_heap, reified_stack, ())
+        status = Status.VALUE if reified_stack else Status.EMPTY
+        return MachineResult(status, final, self.steps)
+
+    def run(self) -> MachineResult:
+        """Drive the machine to completion in one maximal slice."""
+        result = self.result
+        while result is None:
+            result = self.step_n(max(1, self.fuel))
+        return result
+
+
 def run_compiled(
     program: s.Program,
     heap: Optional[Dict[int, s.Value]] = None,
@@ -650,39 +750,9 @@ def run_compiled(
     the substitution oracle.  Fuel comparisons near the budget boundary are
     backend-specific everywhere in this codebase; give the compiled machine
     the same headroom the differential tests give the interpreted one.
-    """
-    # Programs are tuples (repro.stacklang.syntax.Program); only those hit
-    # the id-keyed memo.  Other sequences compile uncached — caching a
-    # per-call ``tuple(...)`` copy would just churn the LRU with dead keys.
-    code = compile_program(program) if isinstance(program, tuple) else _compile(tuple(program))
-    heap_cells: Dict[int, object] = dict(heap or {})
-    st: _OpState = [
-        list(stack if stack is not None else []),  # values
-        [],  # return stack
-        [],  # env-restore stack
-        None,  # environment
-        heap_cells,
-        max(heap_cells.keys(), default=-1) + 1,  # next address
-        None,  # failure code
-        False,  # stuck flag
-    ]
-    pc = 0
-    steps = 0
-    while pc >= 0:
-        if steps >= fuel:
-            final = Config(dict(heap_cells), [_reify(v) for v in st[_V]], ())
-            return MachineResult(Status.OUT_OF_FUEL, final, steps)
-        steps += 1
-        pc = code[pc](pc + 1, st)
 
-    if st[_STUCK]:
-        # Mirror run(): stuck configurations keep the raw heap.
-        final = Config(dict(heap_cells), [_reify(v) for v in st[_V]], ())
-        return MachineResult(Status.STUCK, final, steps)
-    reified_heap = {address: _reify(value) for address, value in heap_cells.items()}
-    if st[_FAILURE] is not None:
-        return MachineResult(Status.FAIL, Config(reified_heap, FailStack(st[_FAILURE]), ()), steps)
-    reified_stack = [_reify(v) for v in st[_V]]
-    final = Config(reified_heap, reified_stack, ())
-    status = Status.VALUE if reified_stack else Status.EMPTY
-    return MachineResult(status, final, steps)
+    One maximal slice of :class:`CompiledExecution`; serving code holding
+    several programs uses the execution object directly and slices the
+    instruction stream itself.
+    """
+    return CompiledExecution(program, heap=heap, stack=stack, fuel=fuel).run()

@@ -1,0 +1,334 @@
+"""Request isolation and interleaving-order independence for the serving layer.
+
+Three layers of guarantees:
+
+* the resumable machines (``CompiledExecution`` on both the compiled CEK and
+  the pc-threaded StackLang machine) produce *identical* results however
+  their transitions are sliced — including fuel exhaustion landing on the
+  exact same step;
+* a :class:`~repro.serve.scheduler.Scheduler` batch of concurrent requests
+  with different backends and different fuel budgets produces exactly the
+  results of isolated ``run_source`` runs, with fuel-exhaustion errors
+  landing on the right request;
+* a hypothesis property drives the deterministic driver with arbitrary
+  interleaving orders (and slice sizes) and requires order-independence.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lcvm import cek as lcvm_cek
+from repro.lcvm.machine import Status
+from repro.serve import Request, StepSlicedDriver, make_default_scheduler
+from repro.stacklang import cek as stack_cek
+from repro.stacklang.machine import Status as StackStatus
+from repro.util.workloads import (
+    nested_ml_affi_boundary as _nested_ml_affi_boundary,
+    nested_ml_l3_boundary as _nested_ml_l3_boundary,
+    nested_refll_boundary as _nested_refll_boundary,
+)
+
+# One scheduler for the whole module: the pipeline caches stay warm across
+# tests (that sharing is exactly what a serving process does), while every
+# batch gets fresh executions with private heaps.
+SCHEDULER = make_default_scheduler(slice_steps=16)
+
+
+# A mixed batch: three systems, four backends, two fuel-starved requests,
+# and a duplicated heap-allocating program (private-heap isolation).
+REQUESTS = [
+    Request(language="RefLL", source=_nested_refll_boundary(6), request_id="refs-compiled"),
+    Request(
+        language="RefLL",
+        source=_nested_refll_boundary(4),
+        backend="substitution",
+        request_id="refs-oracle",
+    ),
+    Request(language="RefLL", source=_nested_refll_boundary(4), backend="cek", request_id="refs-segment"),
+    Request(
+        language="MiniML",
+        system="affine",
+        source=_nested_ml_affi_boundary(6),
+        request_id="affine-compiled",
+    ),
+    Request(
+        language="MiniML",
+        system="affine",
+        source=_nested_ml_affi_boundary(3),
+        backend="substitution",
+        request_id="affine-oracle",
+    ),
+    Request(
+        language="MiniML",
+        system="affine",
+        source=_nested_ml_affi_boundary(4),
+        backend="bigstep",
+        request_id="affine-bigstep",
+    ),
+    Request(language="Affi", source="(if (boundary bool 7) 1 2)", request_id="affi-compiled"),
+    Request(language="MiniML", system="l3", source=_nested_ml_l3_boundary(4), request_id="l3-compiled"),
+    Request(language="MiniML", system="l3", source=_nested_ml_l3_boundary(4), request_id="l3-twin"),
+    Request(
+        language="MiniML",
+        system="l3",
+        source="(! (boundary (ref int) (new true)))",
+        backend="substitution",
+        request_id="l3-oracle",
+    ),
+    Request(
+        language="MiniML",
+        system="affine",
+        source=_nested_ml_affi_boundary(5),
+        fuel=7,
+        request_id="affine-starved",
+    ),
+    Request(language="RefLL", source=_nested_refll_boundary(5), fuel=9, request_id="refs-starved"),
+]
+
+STARVED = {"affine-starved", "refs-starved"}
+
+
+def _observe_result(result):
+    if result is None:
+        return None
+    return (result.ok, str(result.value), str(result.failure), result.steps)
+
+
+def _observe(response):
+    return (response.error is None, _observe_result(response.result))
+
+
+def _isolated(request):
+    """The request run alone through the one-shot ``run_with`` path."""
+    _name, system = SCHEDULER.route(request)
+    return system.run_source(
+        request.language,
+        request.source,
+        fuel=request.fuel,
+        backend=request.backend,
+        **dict(request.typecheck_kwargs),
+    )
+
+
+EXPECTED = [(True, _observe_result(_isolated(request))) for request in REQUESTS]
+
+
+# ---------------------------------------------------------------------------
+# Resumable machines: slicing must not change the observable result
+# ---------------------------------------------------------------------------
+
+
+def _lcvm_code(depth: int = 6):
+    system = SCHEDULER.systems["affine"]
+    return system.compile_source("MiniML", _nested_ml_affi_boundary(depth)).target_code
+
+
+def _stacklang_code(depth: int = 6):
+    system = SCHEDULER.systems["refs"]
+    return system.compile_source("RefLL", _nested_refll_boundary(depth)).target_code
+
+
+def _machine_observe(result):
+    return (result.status, str(result.value), str(result.failure_code), result.steps)
+
+
+def test_lcvm_step_n_matches_run_compiled():
+    code = _lcvm_code()
+    full = lcvm_cek.run_compiled(code, fuel=100_000)
+    for slice_steps in (1, 3, 7, 1_000_000):
+        execution = lcvm_cek.CompiledExecution(code, fuel=100_000)
+        result = execution.step_n(slice_steps)
+        while result is None:
+            result = execution.step_n(slice_steps)
+        assert _machine_observe(result) == _machine_observe(full)
+        # A halted execution keeps answering with the same result.
+        assert execution.step_n(slice_steps) is result
+
+
+def test_lcvm_step_n_fuel_exhaustion_is_slice_independent():
+    code = _lcvm_code()
+    total = lcvm_cek.run_compiled(code, fuel=100_000).steps
+    fuel = total // 2
+    full = lcvm_cek.run_compiled(code, fuel=fuel)
+    assert full.status is Status.OUT_OF_FUEL and full.steps == fuel
+    execution = lcvm_cek.CompiledExecution(code, fuel=fuel)
+    result = execution.step_n(7)
+    while result is None:
+        result = execution.step_n(7)
+    assert result.status is Status.OUT_OF_FUEL
+    assert result.steps == fuel
+    assert str(result.config.expr) == str(full.config.expr)
+
+
+def test_stacklang_step_n_matches_run_compiled():
+    code = _stacklang_code()
+    full = stack_cek.run_compiled(code, fuel=100_000)
+    for slice_steps in (1, 3, 7, 1_000_000):
+        execution = stack_cek.CompiledExecution(code, fuel=100_000)
+        result = execution.step_n(slice_steps)
+        while result is None:
+            result = execution.step_n(slice_steps)
+        assert _machine_observe(result) == _machine_observe(full)
+        assert result.config.heap == full.config.heap
+        assert execution.step_n(slice_steps) is result
+
+
+def test_stacklang_step_n_fuel_exhaustion_is_slice_independent():
+    code = _stacklang_code()
+    total = stack_cek.run_compiled(code, fuel=100_000).steps
+    fuel = total // 2
+    full = stack_cek.run_compiled(code, fuel=fuel)
+    assert full.status is StackStatus.OUT_OF_FUEL and full.steps == fuel
+    execution = stack_cek.CompiledExecution(code, fuel=fuel)
+    result = execution.step_n(5)
+    while result is None:
+        result = execution.step_n(5)
+    assert result.status is StackStatus.OUT_OF_FUEL
+    assert result.steps == fuel
+    assert [str(v) for v in result.config.stack] == [str(v) for v in full.config.stack]
+
+
+# ---------------------------------------------------------------------------
+# Scheduler batches: concurrent == isolated, failures land on the right request
+# ---------------------------------------------------------------------------
+
+
+def test_interleaved_batch_matches_isolated_runs():
+    responses = SCHEDULER.serve(REQUESTS)
+    assert [_observe(response) for response in responses] == EXPECTED
+
+
+def test_sequential_batch_matches_isolated_runs():
+    responses = SCHEDULER.serve_sequential(REQUESTS)
+    assert [_observe(response) for response in responses] == EXPECTED
+
+
+def test_fuel_exhaustion_lands_on_the_starved_requests_only():
+    responses = SCHEDULER.serve(REQUESTS)
+    by_id = {response.request.request_id: response for response in responses}
+    for request_id, response in by_id.items():
+        if request_id in STARVED:
+            assert response.result is not None
+            assert str(response.result.failure) == "out_of_fuel"
+            assert response.result.steps == response.request.fuel
+        else:
+            assert response.ok, f"{request_id}: {response}"
+
+
+def test_per_request_accounting():
+    responses = SCHEDULER.serve(REQUESTS)
+    by_id = {response.request.request_id: response for response in responses}
+    # Deep compiled requests take many 16-step slices; blocking oracle
+    # backends complete in exactly one oversized slice.
+    assert by_id["refs-compiled"].slices > 1
+    assert by_id["affine-compiled"].slices > 1
+    assert by_id["refs-oracle"].slices == 1
+    assert by_id["affine-oracle"].slices == 1
+    for response in responses:
+        assert response.backend is not None
+        assert response.slices >= 1
+        assert response.compile_seconds >= 0.0
+        assert response.run_seconds >= 0.0
+        assert response.cache_stats["capacity"] > 0
+    # The batch has been served before in this module: every pipeline is hot.
+    assert all(response.cache_hit for response in responses)
+
+
+def test_rejections_are_isolated_and_admitted_requests_still_run():
+    bad_and_good = [
+        Request(language="MiniML", source="(+ 1 1)", request_id="ambiguous"),  # needs system
+        Request(language="Klingon", source="x", request_id="unknown-language"),
+        Request(language="RefLL", source="(+ 1", request_id="parse-error"),
+        Request(language="RefLL", source="(+ 1 1)", backend="warp-drive", request_id="bad-backend"),
+        Request(language="RefLL", source=_nested_refll_boundary(3), request_id="good"),
+    ]
+    responses = SCHEDULER.serve(bad_and_good)
+    by_id = {response.request.request_id: response for response in responses}
+    for request_id in ("ambiguous", "unknown-language", "parse-error", "bad-backend"):
+        assert by_id[request_id].error is not None
+        assert by_id[request_id].result is None
+    assert by_id["good"].ok
+
+
+def test_backend_crash_is_isolated_to_its_own_request():
+    """A backend that raises mid-run fails its request, not the batch."""
+    scheduler = make_default_scheduler(slice_steps=32)
+
+    def exploding_backend(target_code, fuel=100_000):
+        raise RuntimeError("engine bug")
+
+    scheduler.systems["refs"].target.register_backend("exploding", exploding_backend)
+    responses = scheduler.serve(
+        [
+            Request(language="RefLL", source=_nested_refll_boundary(3), request_id="healthy"),
+            Request(
+                language="RefLL",
+                source=_nested_refll_boundary(3),
+                backend="exploding",
+                request_id="crashing",
+            ),
+            Request(language="MiniML", system="affine", source="(+ 1 1)", request_id="other-system"),
+        ]
+    )
+    by_id = {response.request.request_id: response for response in responses}
+    assert by_id["crashing"].error == "RuntimeError: engine bug"
+    assert by_id["crashing"].result is None
+    assert by_id["healthy"].ok
+    assert by_id["other-system"].ok
+    # The sequential path guards identically.
+    sequential = scheduler.serve_sequential([response.request for response in responses])
+    assert [response.error for response in sequential] == [response.error for response in responses]
+
+
+def test_step_n_rejects_non_positive_limits():
+    import pytest
+
+    for execution in (
+        lcvm_cek.CompiledExecution(_lcvm_code(2)),
+        stack_cek.CompiledExecution(_stacklang_code(2)),
+    ):
+        with pytest.raises(ValueError):
+            execution.step_n(0)
+        with pytest.raises(ValueError):
+            execution.step_n(-5)
+        # The rejected calls made no progress; the execution still runs clean.
+        assert execution.steps == 0
+        result = execution.step_n(1_000_000)
+        assert result is not None
+
+
+def test_warm_cache_prepopulates_the_pipeline_lru():
+    scheduler = make_default_scheduler(slice_steps=32)
+    hot = [
+        ("RefLL", _nested_refll_boundary(3)),
+        Request(language="MiniML", system="affine", source=_nested_ml_affi_boundary(3)),
+    ]
+    assert scheduler.warm_cache(hot) == 2
+    responses = scheduler.serve(
+        [
+            Request(language="RefLL", source=_nested_refll_boundary(3)),
+            Request(language="MiniML", system="affine", source=_nested_ml_affi_boundary(3)),
+        ]
+    )
+    assert all(response.cache_hit for response in responses)
+    assert all(response.ok for response in responses)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: results are independent of the interleaving order
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    schedule=st.lists(st.integers(0, len(REQUESTS) - 1), max_size=80),
+    slice_steps=st.integers(1, 64),
+)
+def test_interleaving_order_independence(schedule, slice_steps):
+    prepared = [SCHEDULER.prepare(request) for request in REQUESTS]
+    executions = [entry.execution for entry in prepared]
+    assert all(execution is not None for execution in executions)
+    driver = StepSlicedDriver(slice_steps=slice_steps)
+    driven = driver.run_schedule(executions, schedule)
+    observed = [(True, _observe_result(outcome.result)) for outcome in driven]
+    assert observed == EXPECTED
