@@ -16,6 +16,16 @@ and with ``--check`` exits non-zero if ``cek-compiled`` regresses below the
 interpreted ``cek`` backend on any workload:
 
     PYTHONPATH=src python benchmarks/bench_boundary_crossing.py --check
+
+Trajectory note (step-count-sensitive): the ``substitution`` timings in this
+benchmark improved by a constant factor when the reference machine stopped
+recomputing ``mentioned_locations`` of the whole program on *every* step —
+the walk now runs only when a ``callgc`` redex actually fires.  Step
+*counts* are unchanged (the semantics reduces the same redexes); per-step
+cost fell, so cross-PR comparisons of ``substitution`` wall-clock around
+that change measure the hoist, not the machine.  The win multiplies under
+the serving layer, where the oracle now runs sliced (many ``step`` calls per
+request) instead of blocking.
 """
 
 import json

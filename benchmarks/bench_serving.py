@@ -10,12 +10,22 @@ requests, plus a deliberately fuel-starved one — and measures:
 * **interleaved**: the whole batch step-sliced round-robin on one asyncio
   event loop by the :class:`~repro.serve.scheduler.Scheduler`.
 
+A second, *oracle-heavy* batch drives deep requests through the resumable
+oracle backends (both substitution machines, the iterative big-step
+evaluator, the interpreted CEK/segment machines) and gates the
+bounded-latency guarantee: no backend may advance more than ``slice_steps``
+machine transitions per scheduler turn, so every response must satisfy
+``steps ≤ slices × slice_steps`` (within a small tolerance).  A
+``BlockingExecution``-style regression — a backend running its whole program
+inside its first slice — fails this gate immediately.
+
 The module is runnable as a script: it writes machine-readable
 ``BENCH_serving.json`` (batch timings, throughput, interleaving overhead
-ratio, per-request accounting) so the serving-perf trajectory is tracked
-across PRs, and with ``--check`` exits non-zero if interleaved results
-diverge from sequential results anywhere, or if the interleaved batch takes
-more than ``2×`` the sequential baseline:
+ratio, per-request accounting, slice-budget audit) so the serving-perf
+trajectory is tracked across PRs, and with ``--check`` exits non-zero if
+interleaved results diverge from sequential results anywhere, if the
+interleaved batch takes more than ``2×`` the sequential baseline, or if any
+slice of any backend exceeds the slice budget:
 
     PYTHONPATH=src python benchmarks/bench_serving.py --check
 """
@@ -35,6 +45,15 @@ SLICE_STEPS = 512
 REPEATS = 3
 DEEP = 12
 SHALLOW = 6
+#: Oracle-heavy batch: deep enough that every oracle needs many slices at
+#: ORACLE_SLICE_STEPS, shallow enough that the quadratic substitution
+#: machines stay fast.  (The recursive parsers cap workload depth at ~80.)
+ORACLE_DEEP = 40
+ORACLE_SLICE_STEPS = 64
+#: Headroom on the ``steps ≤ slices × slice_steps`` audit; the guarantee is
+#: exact today, the tolerance only keeps the gate from tripping on a future
+#: backend whose step accounting is slightly coarser than its slicing.
+SLICE_BUDGET_TOLERANCE = 1.05
 JSON_REPORT = "BENCH_serving.json"
 
 
@@ -96,6 +115,78 @@ def make_requests(deep: int = DEEP, shallow: int = SHALLOW):
     ]
 
 
+def make_oracle_requests(deep: int = ORACLE_DEEP):
+    """An oracle-heavy batch: every resumable oracle backend, driven deep."""
+    return [
+        Request(
+            language="RefLL",
+            source=_nested_refll_boundary(deep),
+            backend="substitution",
+            request_id="oracle-refs-substitution",
+        ),
+        Request(
+            language="RefLL",
+            source=_nested_refll_boundary(deep),
+            backend="cek",
+            request_id="oracle-refs-segment",
+        ),
+        Request(
+            language="MiniML",
+            system="l3",
+            source=_nested_ml_l3_boundary(deep // 2),
+            backend="substitution",
+            request_id="oracle-l3-substitution",
+        ),
+        Request(
+            language="MiniML",
+            system="l3",
+            source=_nested_ml_l3_boundary(deep // 2),
+            backend="bigstep",
+            request_id="oracle-l3-bigstep",
+        ),
+        Request(
+            language="MiniML",
+            system="l3",
+            source=_nested_ml_l3_boundary(deep // 2),
+            backend="cek",
+            request_id="oracle-l3-cek",
+        ),
+        # A compiled fast-path neighbour: its latency must not depend on the
+        # deep oracles sharing the loop.
+        Request(
+            language="RefLL",
+            source=_nested_refll_boundary(SHALLOW),
+            request_id="oracle-batch-compiled-neighbour",
+        ),
+    ]
+
+
+def _slice_budget_violations(responses, slice_steps):
+    """Responses whose machines advanced past the per-turn slice budget.
+
+    Each ``step_n`` call may advance at most ``slice_steps`` transitions, so
+    ``steps ≤ slices × slice_steps`` must hold for every served response; a
+    backend that runs its whole program in its first slice (the old
+    ``BlockingExecution`` behaviour) violates it on any deep request.
+    """
+    violations = []
+    for response in responses:
+        if response.result is None or response.slices == 0:
+            continue
+        budget = response.slices * slice_steps * SLICE_BUDGET_TOLERANCE
+        if response.result.steps > budget:
+            violations.append(
+                {
+                    "id": response.request.request_id,
+                    "backend": response.backend,
+                    "steps": response.result.steps,
+                    "slices": response.slices,
+                    "slice_steps": slice_steps,
+                }
+            )
+    return violations
+
+
 def _observable(response):
     """The scheduling-independent view of a response (no timings/slices)."""
     result = response.result
@@ -134,6 +225,21 @@ def collect_json_report() -> dict:
     sequential_seconds = _best_of(lambda: scheduler.serve_sequential(requests))
     interleaved_seconds = _best_of(lambda: scheduler.serve(requests))
 
+    # Oracle-heavy batch at a small slice budget: every oracle must advance
+    # in bounded turns, and interleaving must stay observably invisible.
+    oracle_scheduler = make_default_scheduler(slice_steps=ORACLE_SLICE_STEPS)
+    oracle_requests = make_oracle_requests()
+    oracle_sequential = oracle_scheduler.serve_sequential(oracle_requests)
+    oracle_interleaved = oracle_scheduler.serve(oracle_requests)
+    oracle_mismatches = [
+        request.request_id
+        for request, seq, inter in zip(oracle_requests, oracle_sequential, oracle_interleaved)
+        if _observable(seq) != _observable(inter)
+    ]
+    slice_violations = _slice_budget_violations(interleaved, SLICE_STEPS)
+    slice_violations += _slice_budget_violations(oracle_interleaved, ORACLE_SLICE_STEPS)
+    oracle_seconds = _best_of(lambda: oracle_scheduler.serve(oracle_requests))
+
     return {
         "benchmark": "serving",
         "requests": len(requests),
@@ -146,6 +252,25 @@ def collect_json_report() -> dict:
         "sequential_throughput_rps": len(requests) / sequential_seconds,
         "results_match": not mismatches,
         "mismatches": mismatches,
+        "oracle_requests": len(oracle_requests),
+        "oracle_slice_steps": ORACLE_SLICE_STEPS,
+        "oracle_interleaved_seconds": oracle_seconds,
+        "oracle_throughput_rps": len(oracle_requests) / oracle_seconds,
+        "oracle_results_match": not oracle_mismatches,
+        "oracle_mismatches": oracle_mismatches,
+        "slice_budget_tolerance": SLICE_BUDGET_TOLERANCE,
+        "slice_budget_ok": not slice_violations,
+        "slice_budget_violations": slice_violations,
+        "oracle_per_request": [
+            {
+                "id": response.request.request_id,
+                "backend": response.backend,
+                "ok": response.ok,
+                "steps": response.steps,
+                "slices": response.slices,
+            }
+            for response in oracle_interleaved
+        ],
         "per_request": [
             {
                 "id": response.request.request_id,
@@ -176,6 +301,20 @@ def test_interleaved_matches_sequential():
     assert sum(1 for r in interleaved if r.ok) == len(requests) - 1  # only the starved one fails
     starved = next(r for r in interleaved if r.request.request_id == "affine-starved")
     assert str(starved.result.failure) == "out_of_fuel"
+    assert not _slice_budget_violations(interleaved, 64)
+
+
+def test_oracle_batch_respects_the_slice_budget():
+    """Every oracle backend advances in bounded slices, matching sequential."""
+    scheduler = make_default_scheduler(slice_steps=32)
+    requests = make_oracle_requests(deep=8)
+    sequential = scheduler.serve_sequential(requests)
+    interleaved = scheduler.serve(requests)
+    assert [_observable(r) for r in interleaved] == [_observable(r) for r in sequential]
+    assert all(r.ok for r in interleaved)
+    assert not _slice_budget_violations(interleaved, 32)
+    deep_oracles = [r for r in interleaved if r.request.backend is not None and r.steps > 32]
+    assert deep_oracles and all(r.slices > 1 for r in deep_oracles)
 
 
 def main(argv) -> int:
@@ -201,6 +340,24 @@ def main(argv) -> int:
         print(
             "MISMATCH: interleaved results diverge from sequential on: "
             + ", ".join(report["mismatches"]),
+            file=sys.stderr,
+        )
+        failed = True
+    if report["oracle_mismatches"]:
+        print(
+            "MISMATCH: oracle-heavy interleaved results diverge from sequential on: "
+            + ", ".join(report["oracle_mismatches"]),
+            file=sys.stderr,
+        )
+        failed = True
+    if not report["slice_budget_ok"]:
+        print(
+            "REGRESSION: backends exceeded the per-turn slice budget "
+            f"(steps > slices x slice_steps x {SLICE_BUDGET_TOLERANCE}): "
+            + ", ".join(
+                f"{v['id']} ({v['backend']}: {v['steps']} steps in {v['slices']} slices of {v['slice_steps']})"
+                for v in report["slice_budget_violations"]
+            ),
             file=sys.stderr,
         )
         failed = True

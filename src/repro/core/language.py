@@ -157,13 +157,16 @@ class LanguageFrontend:
 
 
 class BlockingExecution:
-    """Adapter giving non-resumable backends the ``step_n`` protocol.
+    """Compatibility shim giving non-resumable backends the ``step_n`` protocol.
 
     The wrapped backend runs to completion inside the first ``step_n`` call —
-    one oversized slice — so the oracle backends (substitution, bigstep, the
-    interpreted CEK machine) can share a scheduler with the resumable
-    compiled machines; they just never yield mid-program.  Backend choice and
-    fuel stay per-execution, exactly as for the resumable machines.
+    one oversized slice that ignores ``limit``.  Every *built-in* backend in
+    all three systems now registers a genuinely resumable execution factory
+    (the oracles included), so nothing in this repository takes this path
+    anymore; it remains only so third-party ``register_backend`` callers get
+    a working (if latency-unbounded) execution without writing a factory,
+    and it is pinned by a regression test.  Backend choice and fuel stay
+    per-execution, exactly as for the resumable machines.
     """
 
     __slots__ = ("_run", "_target_code", "_fuel", "result")
@@ -298,10 +301,11 @@ class TargetBackend:
         The returned object exposes ``step_n(limit)``: run at most ``limit``
         machine transitions, returning the backend-normalized result when the
         program halts (including on fuel exhaustion) or ``None`` while it can
-        still make progress.  Backends without a registered execution factory
-        get a :class:`BlockingExecution` that completes in its first slice,
-        so mixed batches — oracle-backed differential requests next to
-        compiled fast-path requests — drive uniformly.
+        still make progress.  Every built-in backend registers a genuinely
+        resumable factory (no backend may exceed the caller's slice budget
+        per turn); only third-party backends registered without a factory
+        fall back to the :class:`BlockingExecution` shim, which completes in
+        its first slice.
         """
         resolved = backend if backend is not None else self.default_backend
         run_fn = self.backend(resolved)  # raises ReproError for unknown names

@@ -127,6 +127,16 @@ def _run_stacklang_compiled(compiled, fuel: int = 100_000) -> RunResult:
     return _stacklang_result(stack_cek.run_compiled(compiled, fuel=fuel))
 
 
+def _start_stacklang(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable Fig. 2 reference-machine execution (oracle, sliced)."""
+    return ResumableExecution(stack_machine.SubstitutionExecution(compiled, fuel=fuel), _stacklang_result)
+
+
+def _start_stacklang_cek(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable segment-machine execution (second oracle, sliced)."""
+    return ResumableExecution(stack_cek.SegmentExecution(compiled, fuel=fuel), _stacklang_result)
+
+
 def _start_stacklang_compiled(compiled, fuel: int = 100_000) -> ResumableExecution:
     """Start a resumable pc-threaded execution (RunResult-normalized slices)."""
     return ResumableExecution(stack_cek.CompiledExecution(compiled, fuel=fuel), _stacklang_result)
@@ -158,8 +168,9 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
     # StackLang has three evaluator backends (there is no separate big-step
     # engine for a stack language); the pc-threaded compiled machine is the
     # default, with the substitution machine and the segment machine kept as
-    # differential-testing oracles.  The compiled machine also registers a
-    # resumable-execution factory so the serving layer can step-slice it.
+    # differential-testing oracles.  Every backend registers a
+    # resumable-execution factory, so the serving layer step-slices the
+    # oracles with the same bounded per-turn latency as the compiled machine.
     backend = TargetBackend(
         name="StackLang",
         backends={
@@ -168,7 +179,11 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             "cek-compiled": _run_stacklang_compiled,
         },
         default_backend="cek-compiled",
-        executions={"cek-compiled": _start_stacklang_compiled},
+        executions={
+            "substitution": _start_stacklang,
+            "cek": _start_stacklang_cek,
+            "cek-compiled": _start_stacklang_compiled,
+        },
     )
 
     system = InteropSystem(

@@ -1,13 +1,13 @@
 """The LCVM evaluator backends, packaged for the interop framework.
 
 Both LCVM-targeting case studies (§4 affine, §5 L3/memory) run compiled
-programs through one of three observably-equivalent engines:
+programs through one of four observably-equivalent engines:
 
 * ``substitution`` — the paper-faithful small-step reference machine
   (:mod:`repro.lcvm.machine`); quadratic, kept as the differential-testing
   oracle;
-* ``bigstep`` — the recursive environment-based evaluator
-  (:mod:`repro.lcvm.bigstep`);
+* ``bigstep`` — the iterative environment-based big-step evaluator
+  (:mod:`repro.lcvm.bigstep`), GC-precise like the oracle;
 * ``cek`` — the interpreted CEK machine (:mod:`repro.lcvm.cek`); kept as a
   second oracle for the compiled machine;
 * ``cek-compiled`` — the compiled-dispatch CEK machine with pruned
@@ -17,6 +17,11 @@ Each wrapper normalizes the engine's native result into the framework's
 :class:`~repro.core.interop.RunResult` (reifying runtime values back to
 syntax), so callers observe identical values and error codes regardless of
 the backend that produced them.
+
+Every backend also registers a *resumable execution* factory: all four
+machines support ``step_n(limit)`` bounded slicing, so the serving layer can
+interleave an oracle-backed differential request next to compiled fast-path
+requests with the same bounded per-turn latency for each.
 """
 
 from __future__ import annotations
@@ -36,20 +41,27 @@ def _normalize(result) -> RunResult:
     return RunResult(failure=result.failure_code or result.status.value, steps=result.steps)
 
 
+def _normalize_bigstep(result: bigstep.EvalResult) -> RunResult:
+    """Rewrite a big-step ``EvalResult`` into the framework's result shape."""
+    if result.out_of_fuel:
+        return RunResult(failure=Status.OUT_OF_FUEL.value, steps=result.steps)
+    if result.ok:
+        return RunResult(value=result.reified_value(), steps=result.steps)
+    return RunResult(failure=result.failure, steps=result.steps)
+
+
 def run_substitution(compiled, fuel: int = 100_000) -> RunResult:
     """Run on the substitution-based reference machine (Fig. 6 / Fig. 12)."""
     return _normalize(lcvm_machine.run(compiled, fuel=fuel))
 
 
 def run_bigstep(compiled, fuel: int = 100_000) -> RunResult:
-    """Run on the recursive environment-based evaluator."""
+    """Run on the iterative environment-based big-step evaluator."""
     try:
         result = bigstep.evaluate(compiled, fuel=fuel)
     except OutOfFuelError:
         return RunResult(failure=Status.OUT_OF_FUEL.value, steps=fuel)
-    if result.ok:
-        return RunResult(value=result.reified_value(), steps=result.steps)
-    return RunResult(failure=result.failure, steps=result.steps)
+    return _normalize_bigstep(result)
 
 
 def run_cek(compiled, fuel: int = 100_000) -> RunResult:
@@ -60,6 +72,25 @@ def run_cek(compiled, fuel: int = 100_000) -> RunResult:
 def run_cek_compiled(compiled, fuel: int = 100_000) -> RunResult:
     """Run on the compiled-dispatch CEK machine (the fast production substrate)."""
     return _normalize(cek.run_compiled(compiled, fuel=fuel))
+
+
+def start_substitution(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable substitution-machine execution (oracle, sliced)."""
+    return ResumableExecution(lcvm_machine.SubstitutionExecution(compiled, fuel=fuel), _normalize)
+
+
+def start_bigstep(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable big-step execution (iterative machine, sliced).
+
+    Fuel exhaustion is reported as an ``out_of_fuel`` result, matching the
+    one-shot wrapper's normalization of :class:`OutOfFuelError`.
+    """
+    return ResumableExecution(bigstep.BigStepExecution(compiled, fuel=fuel), _normalize_bigstep)
+
+
+def start_cek(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable interpreted-CEK execution."""
+    return ResumableExecution(cek.InterpretedExecution(compiled, fuel=fuel), _normalize)
 
 
 def start_cek_compiled(compiled, fuel: int = 100_000) -> ResumableExecution:
@@ -83,5 +114,10 @@ def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> Targ
             "cek-compiled": run_cek_compiled,
         },
         default_backend=default,
-        executions={"cek-compiled": start_cek_compiled},
+        executions={
+            "substitution": start_substitution,
+            "bigstep": start_bigstep,
+            "cek": start_cek,
+            "cek-compiled": start_cek_compiled,
+        },
     )

@@ -1,4 +1,4 @@
-"""An environment-based big-step evaluator for LCVM.
+"""An environment-based big-step evaluator for LCVM (explicit-stack form).
 
 The substitution-based machine in :mod:`repro.lcvm.machine` is the reference
 semantics (it matches the paper's figures and drives the realizability
@@ -9,17 +9,40 @@ ablation of the "interpreter substrate" design choice, and the CEK machine
 (:mod:`repro.lcvm.cek`) is the production evaluator built on the same value
 representation.
 
+The evaluator used to be a recursive Python function, which meant two
+production defects: a deeply recursive program could blow Python's own
+recursion limit (a ``RecursionError`` escaping the semantics), and the
+evaluation could not be suspended mid-program, so a long big-step request
+monopolized its scheduler turn.  It is now an *iterative* machine over an
+explicit work stack — big-step in structure (each work item is "evaluate
+this node under this environment" or "combine the child values just
+computed"), but resumable via :meth:`Evaluator.step_n` and immune to
+``RecursionError`` at any dynamic depth.
+
+GC precision matches the substitution oracle *exactly*.  A static
+free-variable/mentioned-location analysis (memoized per program) prunes
+every environment to lexically-live bindings: closures capture only the free
+variables of their body (and carry their body's literal locations as
+``static_locations``), a ``let`` drops its binding the moment the body
+cannot mention it, and every pending work item stores its environment
+restricted to the variables its pending code actually uses.  ``callgc``
+roots are therefore precisely the locations the substitution machine would
+find mentioned in its (value-substituted) remaining program, so raw
+post-``callgc`` heaps — addresses, cells, and collection statistics — equal
+the oracle's with no result-rooted normalization.
+
 The evaluator implements the same observable behaviour: the same values, the
 same error codes — a dangling ``!``/``:=``/``free`` surfaces ``fail Ptr``,
-never a raw ``KeyError`` — and the same GC semantics (``callgc`` collects
-GC'd cells unreachable from the current environments and the manual cells).
-It shares the allocator with the reference machine through
-:class:`repro.lcvm.heap.Heap`, so freed location names are re-used in exactly
-the same order as the paper's semantics dictates.
+never a raw ``KeyError`` — and the same failure ordering (both ``BinOp``
+operands evaluate before the int check).  It shares the allocator with the
+reference machine through :class:`repro.lcvm.heap.Heap`, so freed location
+names are re-used in exactly the same order as the paper's semantics
+dictates.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -39,6 +62,7 @@ from repro.lcvm.values import (
 )
 
 __all__ = [
+    "BigStepExecution",
     "Closure",
     "EvalResult",
     "Evaluator",
@@ -59,6 +83,13 @@ class Closure:
     parameter: str
     body: s.Expr
     environment: Tuple[Tuple[str, RuntimeValue], ...]
+    #: Whether the body mentions the parameter at all (a dead parameter is
+    #: never bound, matching the substitution machine, which drops the
+    #: argument during β-reduction when the body has no occurrence).
+    needs_param: bool = True
+    #: Locations literally mentioned by the body syntax: the substitution
+    #: oracle counts those as roots because they sit in the program text.
+    static_locations: Tuple[int, ...] = ()
 
     def env_bindings(self) -> Iterator[Tuple[str, RuntimeValue]]:
         return iter(self.environment)
@@ -84,28 +115,179 @@ class EvalResult:
     reclaimed: int
     heap: Optional[Heap] = None
     steps: int = 0
+    #: This execution's own fuel budget ran out before the program halted.
+    out_of_fuel: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.failure is None
+        return self.failure is None and not self.out_of_fuel
 
     def reified_value(self) -> Optional[s.Expr]:
         """The result as a syntax value (None on failure)."""
         return reify(self.value) if self.value is not None else None
 
 
+# ---------------------------------------------------------------------------
+# Static analysis: free variables + mentioned locations, per node, iterative
+# ---------------------------------------------------------------------------
+
+_EMPTY: frozenset = frozenset()
+
+#: ``id(node) -> (free variables, mentioned locations)`` for one program tree.
+NodeInfo = Dict[int, Tuple[frozenset, frozenset]]
+
+_ANALYSIS_CACHE: "OrderedDict[int, Tuple[s.Expr, NodeInfo]]" = OrderedDict()
+_ANALYSIS_CACHE_CAPACITY = 512
+
+
+def _children(expr: s.Expr) -> Tuple[s.Expr, ...]:
+    kind = type(expr)
+    if kind in (s.Unit, s.Int, s.Loc, s.Var, s.Fail, s.CallGc):
+        return ()
+    if kind is s.Pair:
+        return (expr.first, expr.second)
+    if kind in (s.Fst, s.Snd, s.Inl, s.Inr):
+        return (expr.body,)
+    if kind is s.If:
+        return (expr.condition, expr.then_branch, expr.else_branch)
+    if kind is s.Match:
+        return (expr.scrutinee, expr.left_branch, expr.right_branch)
+    if kind is s.Let:
+        return (expr.bound, expr.body)
+    if kind is s.Lam:
+        return (expr.body,)
+    if kind is s.App:
+        return (expr.function, expr.argument)
+    if kind is s.BinOp:
+        return (expr.left, expr.right)
+    if kind in (s.NewRef, s.Alloc):
+        return (expr.initial,)
+    if kind in (s.Deref, s.Free, s.GcMov):
+        return (expr.reference,)
+    if kind is s.Assign:
+        return (expr.reference, expr.value)
+    if kind is s.Protect:
+        return (expr.body,)
+    return ()
+
+
+def _node_info(expr: s.Expr, info: NodeInfo) -> Tuple[frozenset, frozenset]:
+    """Combine already-computed child info into this node's (fv, mentioned)."""
+    kind = type(expr)
+    if kind is s.Var:
+        return frozenset((expr.name,)), _EMPTY
+    if kind is s.Loc:
+        return _EMPTY, frozenset((expr.address,))
+    if kind is s.Lam:
+        body_fv, body_mentioned = info[id(expr.body)]
+        return body_fv - {expr.parameter}, body_mentioned
+    if kind is s.Let:
+        bound_fv, bound_mentioned = info[id(expr.bound)]
+        body_fv, body_mentioned = info[id(expr.body)]
+        return bound_fv | (body_fv - {expr.name}), bound_mentioned | body_mentioned
+    if kind is s.Match:
+        scrutinee_fv, scrutinee_mentioned = info[id(expr.scrutinee)]
+        left_fv, left_mentioned = info[id(expr.left_branch)]
+        right_fv, right_mentioned = info[id(expr.right_branch)]
+        return (
+            scrutinee_fv | (left_fv - {expr.left_name}) | (right_fv - {expr.right_name}),
+            scrutinee_mentioned | left_mentioned | right_mentioned,
+        )
+    fv: frozenset = _EMPTY
+    mentioned: frozenset = _EMPTY
+    for child in _children(expr):
+        child_fv, child_mentioned = info[id(child)]
+        fv |= child_fv
+        mentioned |= child_mentioned
+    return fv, mentioned
+
+
+def _analyze(root: s.Expr) -> NodeInfo:
+    """Per-node (free variables, mentioned locations) for one program tree.
+
+    Iterative post-order (no recursion: the evaluator must not inherit a
+    recursion limit through its own analysis), memoized per program object —
+    the frontend pipeline cache returns the same ``target_code`` object for
+    repeated submissions, so its hits line up with ours.
+    """
+    key = id(root)
+    entry = _ANALYSIS_CACHE.get(key)
+    if entry is not None and entry[0] is root:
+        _ANALYSIS_CACHE.move_to_end(key)
+        return entry[1]
+    info: NodeInfo = {}
+    stack: List[Tuple[s.Expr, bool]] = [(root, False)]
+    while stack:
+        node, ready = stack.pop()
+        if ready:
+            if id(node) not in info:
+                info[id(node)] = _node_info(node, info)
+            continue
+        if id(node) in info:
+            continue
+        stack.append((node, True))
+        for child in _children(node):
+            if id(child) not in info:
+                stack.append((child, False))
+    _ANALYSIS_CACHE[key] = (root, info)
+    _ANALYSIS_CACHE.move_to_end(key)
+    while len(_ANALYSIS_CACHE) > _ANALYSIS_CACHE_CAPACITY:
+        _ANALYSIS_CACHE.popitem(last=False)
+    return info
+
+
+def _prune(env: Dict[str, RuntimeValue], needed: frozenset) -> Dict[str, RuntimeValue]:
+    """A fresh environment restricted to the ``needed`` names bound in ``env``."""
+    if not needed or not env:
+        return {}
+    return {name: env[name] for name in needed if name in env}
+
+
+# ---------------------------------------------------------------------------
+# Work items (the explicit evaluation stack)
+# ---------------------------------------------------------------------------
+#
+# ``(_EVAL, expr, env)`` evaluates one node; every other tag combines child
+# values already sitting on the value stack.  Selection/binding frames that
+# hold pending *syntax* also hold the environment that syntax closes over,
+# pruned to its free variables — those frames (plus the value stack) are
+# exactly the GC roots.
+
+_EVAL = 0
+_PAIR_MK = 1
+_FST = 2
+_SND = 3
+_INL = 4
+_INR = 5
+_IF_SEL = 6
+_MATCH_SEL = 7
+_LET_BIND = 8
+_CALL = 9
+_BINOP = 10
+_REF = 11
+_ALLOC = 12
+_DEREF = 13
+_ASSIGN = 14
+_FREE = 15
+_GCMOV = 16
+
+
 class Evaluator:
-    """Environment-based evaluator with explicit GC support."""
+    """Environment-based big-step evaluator with explicit GC support.
+
+    One instance owns one heap (shared across :meth:`run` calls, exactly as
+    before the iterative rewrite).  :meth:`start` loads a program;
+    :meth:`step_n` advances it by a bounded number of transitions, which is
+    what :class:`BigStepExecution` exposes to the serving layer.
+    """
 
     def __init__(self, fuel: int = 1_000_000):
         self.fuel = fuel
         self._remaining = fuel
         self._heap = Heap(trace=locations_of)
-        self._env_stack: List[Dict[str, RuntimeValue]] = []
-        #: Partially-evaluated siblings (the pair's first component while the
-        #: second runs, a function value while its argument runs, ...): GC
-        #: roots that live in no environment yet.
-        self._temps: List[RuntimeValue] = []
+        self._info: NodeInfo = {}
+        self._work: List[tuple] = []
+        self._values: List[RuntimeValue] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -117,15 +299,49 @@ class Evaluator:
     def reclaimed(self) -> int:
         return self._heap.reclaimed
 
-    def run(self, expr: s.Expr) -> EvalResult:
+    @property
+    def steps_taken(self) -> int:
+        return self.fuel - self._remaining
+
+    def start(self, expr: s.Expr) -> None:
+        """Load ``expr``; subsequent ``step_n`` calls advance its evaluation."""
         self._remaining = self.fuel
+        self._info = _analyze(expr)
+        self._work = [(_EVAL, expr, {})]
+        self._values = []
+
+    def run(self, expr: s.Expr) -> EvalResult:
+        """Evaluate ``expr`` to completion in one maximal slice.
+
+        Raises :class:`~repro.core.errors.OutOfFuelError` when the budget
+        runs out, matching the historical recursive evaluator; the sliced
+        :meth:`step_n` path reports fuel exhaustion as a result instead.
+        """
+        self.start(expr)
+        result: Optional[EvalResult] = None
+        while result is None:
+            result = self.step_n(max(1, self.fuel))
+        if result.out_of_fuel:
+            raise OutOfFuelError(f"exceeded {self.fuel} evaluation steps")
+        return result
+
+    def step_n(self, limit: int) -> Optional[EvalResult]:
+        """Run at most ``limit`` transitions; the result when halted, else None."""
+        if limit < 1:
+            raise ValueError(f"step_n limit must be >= 1, got {limit}")
         try:
-            value = self._eval(expr, {})
-            return self._result(value, None)
+            return self._advance(limit)
         except EvaluationFailure as failure:
             return self._result(None, failure.code)
 
-    def _result(self, value: Optional[RuntimeValue], failure: Optional[ErrorCode]) -> EvalResult:
+    # -- result shaping --------------------------------------------------------
+
+    def _result(
+        self,
+        value: Optional[RuntimeValue],
+        failure: Optional[ErrorCode],
+        out_of_fuel: bool = False,
+    ) -> EvalResult:
         return EvalResult(
             value,
             failure,
@@ -133,15 +349,11 @@ class Evaluator:
             self._heap.collections,
             self._heap.reclaimed,
             self._heap,
-            self.fuel - self._remaining,
+            self.steps_taken,
+            out_of_fuel,
         )
 
     # -- helpers --------------------------------------------------------------
-
-    def _spend(self) -> None:
-        self._remaining -= 1
-        if self._remaining < 0:
-            raise OutOfFuelError(f"exceeded {self.fuel} evaluation steps")
 
     def _expect_int(self, value: RuntimeValue) -> int:
         if isinstance(value, IntV):
@@ -158,152 +370,310 @@ class Evaluator:
 
     # -- garbage collection ----------------------------------------------------
 
-    def _roots(self, extra: Dict[str, RuntimeValue]) -> List[int]:
+    def _roots(self) -> List[int]:
+        """GC roots of the whole machine state: pending work + in-flight values.
+
+        Every pending frame's environment is pruned to the free variables of
+        the syntax it holds, so walking all frame environments, all pending
+        syntax's literal locations, and the value stack yields exactly the
+        locations the substitution oracle would find mentioned in its
+        remaining (value-substituted) program.
+        """
+        info = self._info
         roots: List[int] = []
-        for environment in self._env_stack + [extra]:
-            for value in environment.values():
-                roots.extend(locations_of(value))
-        for value in self._temps:
+        for item in self._work:
+            tag = item[0]
+            if tag is _EVAL:
+                roots.extend(info[id(item[1])][1])
+                for bound in item[2].values():
+                    roots.extend(locations_of(bound))
+            elif tag is _IF_SEL:
+                roots.extend(info[id(item[1])][1])
+                roots.extend(info[id(item[2])][1])
+                for bound in item[3].values():
+                    roots.extend(locations_of(bound))
+            elif tag is _MATCH_SEL:
+                roots.extend(info[id(item[2])][1])
+                roots.extend(info[id(item[4])][1])
+                for bound in item[5].values():
+                    roots.extend(locations_of(bound))
+            elif tag is _LET_BIND:
+                roots.extend(info[id(item[2])][1])
+                for bound in item[3].values():
+                    roots.extend(locations_of(bound))
+        for value in self._values:
             roots.extend(locations_of(value))
         return roots
 
-    def collect(self, extra_env: Optional[Dict[str, RuntimeValue]] = None) -> int:
-        return self._heap.collect(roots=self._roots(extra_env or {}))
+    # -- the machine -----------------------------------------------------------
 
-    # -- the evaluator -----------------------------------------------------------
+    def _advance(self, limit: int) -> Optional[EvalResult]:
+        work = self._work
+        values = self._values
+        info = self._info
+        heap = self._heap
+        remaining = self._remaining
 
-    def _eval(self, expr: s.Expr, env: Dict[str, RuntimeValue]) -> RuntimeValue:
-        self._spend()
+        while work:
+            if remaining <= 0:
+                self._remaining = 0
+                return self._result(None, None, out_of_fuel=True)
+            if limit <= 0:
+                self._remaining = remaining
+                return None
+            limit -= 1
+            remaining -= 1
 
-        if isinstance(expr, s.Unit):
-            return UnitV()
-        if isinstance(expr, s.Int):
-            return IntV(expr.value)
-        if isinstance(expr, s.Loc):
-            return LocV(expr.address)
-        if isinstance(expr, s.Var):
-            if expr.name not in env:
+            item = work.pop()
+            tag = item[0]
+
+            if tag is _EVAL:
+                expr = item[1]
+                env = item[2]
+                kind = type(expr)
+                if kind is s.Int:
+                    values.append(IntV(expr.value))
+                elif kind is s.Unit:
+                    values.append(UnitV())
+                elif kind is s.Loc:
+                    values.append(LocV(expr.address))
+                elif kind is s.Var:
+                    try:
+                        values.append(env[expr.name])
+                    except KeyError:
+                        self._remaining = remaining
+                        raise EvaluationFailure(ErrorCode.TYPE) from None
+                elif kind is s.Fail:
+                    self._remaining = remaining
+                    raise EvaluationFailure(expr.code)
+                elif kind is s.Lam:
+                    body_fv, body_mentioned = info[id(expr.body)]
+                    parameter = expr.parameter
+                    captured = tuple(
+                        (name, env[name]) for name in body_fv if name != parameter and name in env
+                    )
+                    values.append(
+                        Closure(
+                            parameter,
+                            expr.body,
+                            captured,
+                            parameter in body_fv,
+                            tuple(body_mentioned),
+                        )
+                    )
+                elif kind is s.Pair:
+                    work.append((_PAIR_MK,))
+                    work.append((_EVAL, expr.second, _prune(env, info[id(expr.second)][0])))
+                    work.append((_EVAL, expr.first, env))
+                elif kind is s.Fst:
+                    work.append((_FST,))
+                    work.append((_EVAL, expr.body, env))
+                elif kind is s.Snd:
+                    work.append((_SND,))
+                    work.append((_EVAL, expr.body, env))
+                elif kind is s.Inl:
+                    work.append((_INL,))
+                    work.append((_EVAL, expr.body, env))
+                elif kind is s.Inr:
+                    work.append((_INR,))
+                    work.append((_EVAL, expr.body, env))
+                elif kind is s.If:
+                    branch_fv = info[id(expr.then_branch)][0] | info[id(expr.else_branch)][0]
+                    work.append((_IF_SEL, expr.then_branch, expr.else_branch, _prune(env, branch_fv)))
+                    work.append((_EVAL, expr.condition, env))
+                elif kind is s.Match:
+                    left_keep = info[id(expr.left_branch)][0] - {expr.left_name}
+                    right_keep = info[id(expr.right_branch)][0] - {expr.right_name}
+                    work.append(
+                        (
+                            _MATCH_SEL,
+                            expr.left_name,
+                            expr.left_branch,
+                            expr.right_name,
+                            expr.right_branch,
+                            _prune(env, left_keep | right_keep),
+                        )
+                    )
+                    work.append((_EVAL, expr.scrutinee, env))
+                elif kind is s.Let:
+                    body_fv = info[id(expr.body)][0]
+                    binder = expr.name if expr.name in body_fv else None
+                    work.append(
+                        (_LET_BIND, binder, expr.body, _prune(env, body_fv - {expr.name}))
+                    )
+                    work.append((_EVAL, expr.bound, env))
+                elif kind is s.App:
+                    work.append((_CALL,))
+                    work.append((_EVAL, expr.argument, _prune(env, info[id(expr.argument)][0])))
+                    work.append((_EVAL, expr.function, env))
+                elif kind is s.BinOp:
+                    work.append((_BINOP, expr.op))
+                    work.append((_EVAL, expr.right, _prune(env, info[id(expr.right)][0])))
+                    work.append((_EVAL, expr.left, env))
+                elif kind is s.NewRef:
+                    work.append((_REF,))
+                    work.append((_EVAL, expr.initial, env))
+                elif kind is s.Alloc:
+                    work.append((_ALLOC,))
+                    work.append((_EVAL, expr.initial, env))
+                elif kind is s.Deref:
+                    work.append((_DEREF,))
+                    work.append((_EVAL, expr.reference, env))
+                elif kind is s.Assign:
+                    work.append((_ASSIGN,))
+                    work.append((_EVAL, expr.value, _prune(env, info[id(expr.value)][0])))
+                    work.append((_EVAL, expr.reference, env))
+                elif kind is s.Free:
+                    work.append((_FREE,))
+                    work.append((_EVAL, expr.reference, env))
+                elif kind is s.GcMov:
+                    work.append((_GCMOV,))
+                    work.append((_EVAL, expr.reference, env))
+                elif kind is s.CallGc:
+                    # This item is already popped: the roots are the pending
+                    # work plus the in-flight values, exactly the surrounding
+                    # context of the ``callgc`` redex in the oracle's program.
+                    self._remaining = remaining
+                    heap.collect(roots=self._roots())
+                    remaining = self._remaining
+                    values.append(UnitV())
+                else:
+                    # Protect (augmented-semantics-only) and unknown forms are
+                    # dynamic type errors, as in the recursive evaluator.
+                    self._remaining = remaining
+                    raise EvaluationFailure(ErrorCode.TYPE)
+                continue
+
+            self._remaining = remaining  # apply frames may raise EvaluationFailure
+            if tag is _PAIR_MK:
+                second = values.pop()
+                first = values.pop()
+                values.append(PairV(first, second))
+            elif tag is _FST:
+                value = values.pop()
+                if not isinstance(value, PairV):
+                    raise EvaluationFailure(ErrorCode.TYPE)
+                values.append(value.first)
+            elif tag is _SND:
+                value = values.pop()
+                if not isinstance(value, PairV):
+                    raise EvaluationFailure(ErrorCode.TYPE)
+                values.append(value.second)
+            elif tag is _INL:
+                values.append(InlV(values.pop()))
+            elif tag is _INR:
+                values.append(InrV(values.pop()))
+            elif tag is _IF_SEL:
+                condition = self._expect_int(values.pop())
+                branch = item[1] if condition == 0 else item[2]
+                work.append((_EVAL, branch, _prune(item[3], info[id(branch)][0])))
+            elif tag is _MATCH_SEL:
+                scrutinee = values.pop()
+                if isinstance(scrutinee, InlV):
+                    binder, branch = item[1], item[2]
+                elif isinstance(scrutinee, InrV):
+                    binder, branch = item[3], item[4]
+                else:
+                    raise EvaluationFailure(ErrorCode.TYPE)
+                branch_fv = info[id(branch)][0]
+                branch_env = _prune(item[5], branch_fv - {binder})
+                if binder in branch_fv:
+                    branch_env[binder] = scrutinee.body
+                work.append((_EVAL, branch, branch_env))
+            elif tag is _LET_BIND:
+                bound = values.pop()
+                env = item[3]
+                if item[1] is not None:
+                    env[item[1]] = bound
+                work.append((_EVAL, item[2], env))
+            elif tag is _CALL:
+                argument = values.pop()
+                function = values.pop()
+                if not isinstance(function, Closure):
+                    raise EvaluationFailure(ErrorCode.TYPE)
+                call_env = dict(function.environment)
+                if function.needs_param:
+                    call_env[function.parameter] = argument
+                work.append((_EVAL, function.body, call_env))
+            elif tag is _BINOP:
+                # Both operands are evaluated before any int check — the
+                # reference machine reduces each operand to a value first, so
+                # a failure in the right operand outranks a non-integer left.
+                right_value = values.pop()
+                left_value = values.pop()
+                left = self._expect_int(left_value)
+                right = self._expect_int(right_value)
+                op = item[1]
+                if op == "+":
+                    values.append(IntV(left + right))
+                elif op == "-":
+                    values.append(IntV(left - right))
+                elif op == "*":
+                    values.append(IntV(left * right))
+                elif op == "<":
+                    values.append(IntV(0 if left < right else 1))
+                else:
+                    raise EvaluationFailure(ErrorCode.TYPE)
+            elif tag is _REF:
+                values.append(LocV(heap.allocate(values.pop(), CellKind.GC)))
+            elif tag is _ALLOC:
+                values.append(LocV(heap.allocate(values.pop(), CellKind.MANUAL)))
+            elif tag is _DEREF:
+                values.append(heap.read(self._expect_live_loc(values.pop())))
+            elif tag is _ASSIGN:
+                value = values.pop()
+                reference = values.pop()
+                heap.write(self._expect_live_loc(reference), value)
+                values.append(UnitV())
+            elif tag is _FREE:
+                address = self._expect_live_loc(values.pop())
+                if heap.kind_of(address) is not CellKind.MANUAL:
+                    raise EvaluationFailure(ErrorCode.PTR)
+                heap.free(address)
+                values.append(UnitV())
+            elif tag is _GCMOV:
+                reference = values.pop()
+                address = self._expect_live_loc(reference)
+                if heap.kind_of(address) is not CellKind.MANUAL:
+                    raise EvaluationFailure(ErrorCode.PTR)
+                heap.move_to_gc(address)
+                values.append(reference)
+            else:  # pragma: no cover - defensive
                 raise EvaluationFailure(ErrorCode.TYPE)
-            return env[expr.name]
-        if isinstance(expr, s.Fail):
-            raise EvaluationFailure(expr.code)
-        if isinstance(expr, s.Pair):
-            first = self._eval(expr.first, env)
-            self._temps.append(first)
-            try:
-                second = self._eval(expr.second, env)
-            finally:
-                self._temps.pop()
-            return PairV(first, second)
-        if isinstance(expr, s.Fst):
-            value = self._eval(expr.body, env)
-            if isinstance(value, PairV):
-                return value.first
-            raise EvaluationFailure(ErrorCode.TYPE)
-        if isinstance(expr, s.Snd):
-            value = self._eval(expr.body, env)
-            if isinstance(value, PairV):
-                return value.second
-            raise EvaluationFailure(ErrorCode.TYPE)
-        if isinstance(expr, s.Inl):
-            return InlV(self._eval(expr.body, env))
-        if isinstance(expr, s.Inr):
-            return InrV(self._eval(expr.body, env))
-        if isinstance(expr, s.If):
-            condition = self._expect_int(self._eval(expr.condition, env))
-            branch = expr.then_branch if condition == 0 else expr.else_branch
-            return self._eval(branch, env)
-        if isinstance(expr, s.Match):
-            scrutinee = self._eval(expr.scrutinee, env)
-            if isinstance(scrutinee, InlV):
-                extended = dict(env)
-                extended[expr.left_name] = scrutinee.body
-                return self._eval(expr.left_branch, extended)
-            if isinstance(scrutinee, InrV):
-                extended = dict(env)
-                extended[expr.right_name] = scrutinee.body
-                return self._eval(expr.right_branch, extended)
-            raise EvaluationFailure(ErrorCode.TYPE)
-        if isinstance(expr, s.Let):
-            bound = self._eval(expr.bound, env)
-            extended = dict(env)
-            extended[expr.name] = bound
-            return self._eval(expr.body, extended)
-        if isinstance(expr, s.Lam):
-            return Closure(expr.parameter, expr.body, tuple(env.items()))
-        if isinstance(expr, s.App):
-            function = self._eval(expr.function, env)
-            self._temps.append(function)
-            try:
-                argument = self._eval(expr.argument, env)
-            finally:
-                self._temps.pop()
-            if not isinstance(function, Closure):
-                raise EvaluationFailure(ErrorCode.TYPE)
-            call_env = dict(function.environment)
-            call_env[function.parameter] = argument
-            self._env_stack.append(env)
-            try:
-                return self._eval(function.body, call_env)
-            finally:
-                self._env_stack.pop()
-        if isinstance(expr, s.BinOp):
-            # Evaluate *both* operands before any int check — the reference
-            # machine reduces each operand to a value first, so a failure in
-            # the right operand outranks a non-integer left operand.
-            left_value = self._eval(expr.left, env)
-            self._temps.append(left_value)
-            try:
-                right_value = self._eval(expr.right, env)
-            finally:
-                self._temps.pop()
-            left = self._expect_int(left_value)
-            right = self._expect_int(right_value)
-            if expr.op == "+":
-                return IntV(left + right)
-            if expr.op == "-":
-                return IntV(left - right)
-            if expr.op == "*":
-                return IntV(left * right)
-            if expr.op == "<":
-                return IntV(0 if left < right else 1)
-            raise EvaluationFailure(ErrorCode.TYPE)
-        if isinstance(expr, s.NewRef):
-            value = self._eval(expr.initial, env)
-            return LocV(self._heap.allocate(value, CellKind.GC))
-        if isinstance(expr, s.Alloc):
-            value = self._eval(expr.initial, env)
-            return LocV(self._heap.allocate(value, CellKind.MANUAL))
-        if isinstance(expr, s.Deref):
-            reference = self._eval(expr.reference, env)
-            return self._heap.read(self._expect_live_loc(reference))
-        if isinstance(expr, s.Assign):
-            reference = self._eval(expr.reference, env)
-            self._temps.append(reference)
-            try:
-                value = self._eval(expr.value, env)
-            finally:
-                self._temps.pop()
-            self._heap.write(self._expect_live_loc(reference), value)
-            return UnitV()
-        if isinstance(expr, s.Free):
-            reference = self._eval(expr.reference, env)
-            address = self._expect_live_loc(reference)
-            if self._heap.kind_of(address) is not CellKind.MANUAL:
-                raise EvaluationFailure(ErrorCode.PTR)
-            self._heap.free(address)
-            return UnitV()
-        if isinstance(expr, s.GcMov):
-            reference = self._eval(expr.reference, env)
-            address = self._expect_live_loc(reference)
-            if self._heap.kind_of(address) is not CellKind.MANUAL:
-                raise EvaluationFailure(ErrorCode.PTR)
-            self._heap.move_to_gc(address)
-            return reference
-        if isinstance(expr, s.CallGc):
-            self.collect(env)
-            return UnitV()
-        raise EvaluationFailure(ErrorCode.TYPE)
+
+        self._remaining = remaining
+        return self._result(values.pop() if values else None, None)
+
+
+class BigStepExecution:
+    """A resumable big-step evaluation: run in bounded slices.
+
+    ``step_n(limit)`` advances the machine by at most ``limit`` transitions
+    and returns the final :class:`EvalResult` once the program halts (value,
+    failure, or this execution's own fuel budget running out — reported as an
+    ``out_of_fuel`` result, never as an exception) or ``None`` while there is
+    work and fuel left.  The whole machine state lives on the execution
+    object between slices, so a scheduler can interleave many of them; the
+    observable result is identical however the transitions are sliced.
+    """
+
+    __slots__ = ("_evaluator", "result")
+
+    def __init__(self, expr: s.Expr, fuel: int = 1_000_000):
+        self._evaluator = Evaluator(fuel=fuel)
+        self._evaluator.start(expr)
+        self.result: Optional[EvalResult] = None
+
+    @property
+    def steps(self) -> int:
+        return self._evaluator.steps_taken
+
+    def step_n(self, limit: int) -> Optional[EvalResult]:
+        """Run at most ``limit`` transitions; the result when halted, else None."""
+        if self.result is not None:
+            return self.result
+        self.result = self._evaluator.step_n(limit)
+        return self.result
 
 
 def evaluate(expr: s.Expr, fuel: int = 1_000_000) -> EvalResult:

@@ -62,6 +62,7 @@ __all__ = [
     "CClosure",
     "Closure",
     "CompiledExecution",
+    "InterpretedExecution",
     "compile_node",
     "compiled_cache_stats",
     "run",
@@ -171,213 +172,271 @@ def run(expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000) -> Machi
     Returns the same :class:`~repro.lcvm.machine.MachineResult` shape as the
     reference machine: ``result.value`` is a syntax value, ``result.heap`` a
     syntax-valued :class:`~repro.lcvm.heap.Heap` with collection statistics.
+    One maximal slice of :class:`InterpretedExecution`; serving code holding
+    several programs uses the execution object directly and slices the
+    transitions itself.
     """
-    if heap is None:
-        heap = Heap(trace=locations_of)
-    else:
-        # A caller-supplied heap is seeded with syntax values (the reference
-        # machine's representation); bring it into runtime-value form.
-        for cell in heap.cells.values():
-            cell.value = inject(cell.value)
-        heap.trace = locations_of
+    return InterpretedExecution(expr, heap=heap, fuel=fuel).run()
 
-    control: object = expr  # syntax expression (eval mode) or RuntimeValue (apply mode)
-    evaluating = True
-    env: Env = None
-    kont: List[Frame] = []
-    steps = 0
-    mentioned_cache: dict = {}
 
-    try:
-        while True:
-            if steps >= fuel:
-                leftover = control if evaluating else reify(control)
-                return MachineResult(Status.OUT_OF_FUEL, Config(_finalize_heap(heap), leftover), steps)
-            steps += 1
+class InterpretedExecution:
+    """A resumable interpreted CEK machine: run in bounded slices.
 
-            if evaluating:
-                e = control
-                if isinstance(e, s.Int):
-                    control, evaluating = IntV(e.value), False
-                elif isinstance(e, s.Var):
-                    value = _lookup(env, e.name)
-                    if value is _MISSING:
-                        raise _type_failure()
-                    control, evaluating = value, False
-                elif isinstance(e, s.Lam):
-                    control, evaluating = Closure(e.parameter, e.body, env), False
-                elif isinstance(e, s.App):
-                    kont.append(("app-arg", (), (e.argument,), env, None))
-                    control = e.function
-                elif isinstance(e, s.Let):
-                    kont.append(("let", (e.name,), (e.body,), env, None))
-                    control = e.bound
-                elif isinstance(e, s.BinOp):
-                    kont.append(("binop-rhs", (e.op,), (e.right,), env, None))
-                    control = e.left
-                elif isinstance(e, s.If):
-                    kont.append(("if", (), (e.then_branch, e.else_branch), env, None))
-                    control = e.condition
-                elif isinstance(e, s.Pair):
-                    kont.append(("pair-snd", (), (e.second,), env, None))
-                    control = e.first
-                elif isinstance(e, s.Fst):
-                    kont.append(("fst", (), (), None, None))
-                    control = e.body
-                elif isinstance(e, s.Snd):
-                    kont.append(("snd", (), (), None, None))
-                    control = e.body
-                elif isinstance(e, s.Inl):
-                    kont.append(("inl", (), (), None, None))
-                    control = e.body
-                elif isinstance(e, s.Inr):
-                    kont.append(("inr", (), (), None, None))
-                    control = e.body
-                elif isinstance(e, s.Match):
-                    kont.append(
-                        (
-                            "match",
-                            (e.left_name, e.right_name),
-                            (e.left_branch, e.right_branch),
-                            env,
-                            None,
-                        )
+    The interpreted machine keeps its whole state (control, environment,
+    continuation, heap, step count) on the execution object between
+    ``step_n(limit)`` slices, exactly like :class:`CompiledExecution` does
+    for the compiled-dispatch machine; the observable result is identical to
+    an uninterrupted :func:`run` regardless of how transitions are sliced.
+    """
+
+    __slots__ = ("heap", "fuel", "steps", "result", "_control", "_evaluating", "_env", "_kont", "_mentioned_cache")
+
+    def __init__(self, expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000):
+        if heap is None:
+            heap = Heap(trace=locations_of)
+        else:
+            # A caller-supplied heap is seeded with syntax values (the reference
+            # machine's representation); bring it into runtime-value form.
+            for cell in heap.cells.values():
+                cell.value = inject(cell.value)
+            heap.trace = locations_of
+        self.heap = heap
+        self.fuel = fuel
+        self.steps = 0
+        self.result: Optional[MachineResult] = None
+        self._control: object = expr  # syntax (eval mode) or RuntimeValue (apply mode)
+        self._evaluating = True
+        self._env: Env = None
+        self._kont: List[Frame] = []
+        self._mentioned_cache: dict = {}
+
+    def run(self) -> MachineResult:
+        """Drive the machine to completion in one maximal slice."""
+        result = self.result
+        while result is None:
+            result = self.step_n(max(1, self.fuel))
+        return result
+
+    def step_n(self, limit: int) -> Optional[MachineResult]:
+        """Run at most ``limit`` transitions; the result when halted, else None."""
+        if limit < 1:
+            raise ValueError(f"step_n limit must be >= 1, got {limit}")
+        if self.result is not None:
+            return self.result
+        heap = self.heap
+        control = self._control
+        evaluating = self._evaluating
+        env = self._env
+        kont = self._kont
+        steps = self.steps
+        fuel = self.fuel
+        budget = fuel if fuel - steps <= limit else steps + limit
+        mentioned_cache = self._mentioned_cache
+
+        try:
+            while True:
+                if steps >= budget:
+                    self._control, self._evaluating, self._env, self.steps = control, evaluating, env, steps
+                    if steps < fuel:
+                        return None
+                    leftover = control if evaluating else reify(control)
+                    self.result = MachineResult(
+                        Status.OUT_OF_FUEL, Config(_finalize_heap(heap), leftover), steps
                     )
-                    control = e.scrutinee
-                elif isinstance(e, s.Unit):
-                    control, evaluating = UnitV(), False
-                elif isinstance(e, s.Loc):
-                    control, evaluating = LocV(e.address), False
-                elif isinstance(e, s.NewRef):
-                    kont.append(("ref", (), (), None, None))
-                    control = e.initial
-                elif isinstance(e, s.Alloc):
-                    kont.append(("alloc", (), (), None, None))
-                    control = e.initial
-                elif isinstance(e, s.Deref):
-                    kont.append(("deref", (), (), None, None))
-                    control = e.reference
-                elif isinstance(e, s.Assign):
-                    kont.append(("assign-rhs", (), (e.value,), env, None))
-                    control = e.reference
-                elif isinstance(e, s.Free):
-                    kont.append(("free", (), (), None, None))
-                    control = e.reference
-                elif isinstance(e, s.GcMov):
-                    kont.append(("gcmov", (), (), None, None))
-                    control = e.reference
-                elif isinstance(e, s.CallGc):
-                    heap.collect(roots=_state_roots(env, kont, mentioned_cache))
-                    control, evaluating = UnitV(), False
-                elif isinstance(e, s.Fail):
-                    raise _Failure(e.code)
-                else:
-                    # Protect (augmented-semantics-only) and unknown forms are stuck,
-                    # exactly like the reference machine.
-                    raise StuckError(f"no CEK rule for {e!r}")
-                continue
+                    return self.result
+                steps += 1
 
-            # -- apply mode: return `control` (a runtime value) to the continuation
-            if not kont:
-                result_value = reify(control)
-                return MachineResult(Status.VALUE, Config(_finalize_heap(heap), result_value), steps)
+                if evaluating:
+                    e = control
+                    if isinstance(e, s.Int):
+                        control, evaluating = IntV(e.value), False
+                    elif isinstance(e, s.Var):
+                        value = _lookup(env, e.name)
+                        if value is _MISSING:
+                            raise _type_failure()
+                        control, evaluating = value, False
+                    elif isinstance(e, s.Lam):
+                        control, evaluating = Closure(e.parameter, e.body, env), False
+                    elif isinstance(e, s.App):
+                        kont.append(("app-arg", (), (e.argument,), env, None))
+                        control = e.function
+                    elif isinstance(e, s.Let):
+                        kont.append(("let", (e.name,), (e.body,), env, None))
+                        control = e.bound
+                    elif isinstance(e, s.BinOp):
+                        kont.append(("binop-rhs", (e.op,), (e.right,), env, None))
+                        control = e.left
+                    elif isinstance(e, s.If):
+                        kont.append(("if", (), (e.then_branch, e.else_branch), env, None))
+                        control = e.condition
+                    elif isinstance(e, s.Pair):
+                        kont.append(("pair-snd", (), (e.second,), env, None))
+                        control = e.first
+                    elif isinstance(e, s.Fst):
+                        kont.append(("fst", (), (), None, None))
+                        control = e.body
+                    elif isinstance(e, s.Snd):
+                        kont.append(("snd", (), (), None, None))
+                        control = e.body
+                    elif isinstance(e, s.Inl):
+                        kont.append(("inl", (), (), None, None))
+                        control = e.body
+                    elif isinstance(e, s.Inr):
+                        kont.append(("inr", (), (), None, None))
+                        control = e.body
+                    elif isinstance(e, s.Match):
+                        kont.append(
+                            (
+                                "match",
+                                (e.left_name, e.right_name),
+                                (e.left_branch, e.right_branch),
+                                env,
+                                None,
+                            )
+                        )
+                        control = e.scrutinee
+                    elif isinstance(e, s.Unit):
+                        control, evaluating = UnitV(), False
+                    elif isinstance(e, s.Loc):
+                        control, evaluating = LocV(e.address), False
+                    elif isinstance(e, s.NewRef):
+                        kont.append(("ref", (), (), None, None))
+                        control = e.initial
+                    elif isinstance(e, s.Alloc):
+                        kont.append(("alloc", (), (), None, None))
+                        control = e.initial
+                    elif isinstance(e, s.Deref):
+                        kont.append(("deref", (), (), None, None))
+                        control = e.reference
+                    elif isinstance(e, s.Assign):
+                        kont.append(("assign-rhs", (), (e.value,), env, None))
+                        control = e.reference
+                    elif isinstance(e, s.Free):
+                        kont.append(("free", (), (), None, None))
+                        control = e.reference
+                    elif isinstance(e, s.GcMov):
+                        kont.append(("gcmov", (), (), None, None))
+                        control = e.reference
+                    elif isinstance(e, s.CallGc):
+                        heap.collect(roots=_state_roots(env, kont, mentioned_cache))
+                        control, evaluating = UnitV(), False
+                    elif isinstance(e, s.Fail):
+                        raise _Failure(e.code)
+                    else:
+                        # Protect (augmented-semantics-only) and unknown forms are stuck,
+                        # exactly like the reference machine.
+                        raise StuckError(f"no CEK rule for {e!r}")
+                    continue
 
-            tag, names, exprs, frame_env, frame_value = kont.pop()
-            v = control
+                # -- apply mode: return `control` (a runtime value) to the continuation
+                if not kont:
+                    self.steps = steps
+                    result_value = reify(control)
+                    self.result = MachineResult(
+                        Status.VALUE, Config(_finalize_heap(heap), result_value), steps
+                    )
+                    return self.result
 
-            if tag == "app-arg":
-                kont.append(("app-call", (), (), None, v))
-                control, evaluating, env = exprs[0], True, frame_env
-            elif tag == "app-call":
-                if not isinstance(frame_value, Closure):
-                    raise _type_failure()
-                env = (frame_value.parameter, v, frame_value.environment)
-                control, evaluating = frame_value.body, True
-            elif tag == "let":
-                env = (names[0], v, frame_env)
-                control, evaluating = exprs[0], True
-            elif tag == "binop-rhs":
-                kont.append(("binop-done", names, (), None, v))
-                control, evaluating, env = exprs[0], True, frame_env
-            elif tag == "binop-done":
-                if not isinstance(frame_value, IntV) or not isinstance(v, IntV):
-                    raise _type_failure()
-                op = names[0]
-                left, right = frame_value.value, v.value
-                if op == "+":
-                    control = IntV(left + right)
-                elif op == "-":
-                    control = IntV(left - right)
-                elif op == "*":
-                    control = IntV(left * right)
-                elif op == "<":
-                    control = IntV(0 if left < right else 1)
-                else:
-                    raise _type_failure()
-            elif tag == "if":
-                if not isinstance(v, IntV):
-                    raise _type_failure()
-                control = exprs[0] if v.value == 0 else exprs[1]
-                evaluating, env = True, frame_env
-            elif tag == "pair-snd":
-                kont.append(("pair-done", (), (), None, v))
-                control, evaluating, env = exprs[0], True, frame_env
-            elif tag == "pair-done":
-                control = PairV(frame_value, v)
-            elif tag == "fst":
-                if not isinstance(v, PairV):
-                    raise _type_failure()
-                control = v.first
-            elif tag == "snd":
-                if not isinstance(v, PairV):
-                    raise _type_failure()
-                control = v.second
-            elif tag == "inl":
-                control = InlV(v)
-            elif tag == "inr":
-                control = InrV(v)
-            elif tag == "match":
-                if isinstance(v, InlV):
-                    env = (names[0], v.body, frame_env)
-                    control = exprs[0]
-                elif isinstance(v, InrV):
-                    env = (names[1], v.body, frame_env)
-                    control = exprs[1]
-                else:
-                    raise _type_failure()
-                evaluating = True
-            elif tag == "ref":
-                control = LocV(heap.allocate(v, CellKind.GC))
-            elif tag == "alloc":
-                control = LocV(heap.allocate(v, CellKind.MANUAL))
-            elif tag == "deref":
-                control = heap.read(_expect_live_loc(heap, v))
-            elif tag == "assign-rhs":
-                kont.append(("assign-done", (), (), None, v))
-                control, evaluating, env = exprs[0], True, frame_env
-            elif tag == "assign-done":
-                heap.write(_expect_live_loc(heap, frame_value), v)
-                control = UnitV()
-            elif tag == "free":
-                address = _expect_live_loc(heap, v)
-                if heap.kind_of(address) is not CellKind.MANUAL:
-                    raise _Failure(ErrorCode.PTR)
-                heap.free(address)
-                control = UnitV()
-            elif tag == "gcmov":
-                address = _expect_live_loc(heap, v)
-                if heap.kind_of(address) is not CellKind.MANUAL:
-                    raise _Failure(ErrorCode.PTR)
-                heap.move_to_gc(address)
-                control = v
-            else:  # pragma: no cover - defensive
-                raise StuckError(f"unknown continuation frame {tag!r}")
-    except _Failure as failure:
-        config = Config(_finalize_heap(heap), s.Fail(failure.code), failure.code)
-        return MachineResult(Status.FAIL, config, steps)
-    except StuckError:
-        leftover = control if evaluating else reify(control)
-        return MachineResult(Status.STUCK, Config(_finalize_heap(heap), leftover), steps)
+                tag, names, exprs, frame_env, frame_value = kont.pop()
+                v = control
+
+                if tag == "app-arg":
+                    kont.append(("app-call", (), (), None, v))
+                    control, evaluating, env = exprs[0], True, frame_env
+                elif tag == "app-call":
+                    if not isinstance(frame_value, Closure):
+                        raise _type_failure()
+                    env = (frame_value.parameter, v, frame_value.environment)
+                    control, evaluating = frame_value.body, True
+                elif tag == "let":
+                    env = (names[0], v, frame_env)
+                    control, evaluating = exprs[0], True
+                elif tag == "binop-rhs":
+                    kont.append(("binop-done", names, (), None, v))
+                    control, evaluating, env = exprs[0], True, frame_env
+                elif tag == "binop-done":
+                    if not isinstance(frame_value, IntV) or not isinstance(v, IntV):
+                        raise _type_failure()
+                    op = names[0]
+                    left, right = frame_value.value, v.value
+                    if op == "+":
+                        control = IntV(left + right)
+                    elif op == "-":
+                        control = IntV(left - right)
+                    elif op == "*":
+                        control = IntV(left * right)
+                    elif op == "<":
+                        control = IntV(0 if left < right else 1)
+                    else:
+                        raise _type_failure()
+                elif tag == "if":
+                    if not isinstance(v, IntV):
+                        raise _type_failure()
+                    control = exprs[0] if v.value == 0 else exprs[1]
+                    evaluating, env = True, frame_env
+                elif tag == "pair-snd":
+                    kont.append(("pair-done", (), (), None, v))
+                    control, evaluating, env = exprs[0], True, frame_env
+                elif tag == "pair-done":
+                    control = PairV(frame_value, v)
+                elif tag == "fst":
+                    if not isinstance(v, PairV):
+                        raise _type_failure()
+                    control = v.first
+                elif tag == "snd":
+                    if not isinstance(v, PairV):
+                        raise _type_failure()
+                    control = v.second
+                elif tag == "inl":
+                    control = InlV(v)
+                elif tag == "inr":
+                    control = InrV(v)
+                elif tag == "match":
+                    if isinstance(v, InlV):
+                        env = (names[0], v.body, frame_env)
+                        control = exprs[0]
+                    elif isinstance(v, InrV):
+                        env = (names[1], v.body, frame_env)
+                        control = exprs[1]
+                    else:
+                        raise _type_failure()
+                    evaluating = True
+                elif tag == "ref":
+                    control = LocV(heap.allocate(v, CellKind.GC))
+                elif tag == "alloc":
+                    control = LocV(heap.allocate(v, CellKind.MANUAL))
+                elif tag == "deref":
+                    control = heap.read(_expect_live_loc(heap, v))
+                elif tag == "assign-rhs":
+                    kont.append(("assign-done", (), (), None, v))
+                    control, evaluating, env = exprs[0], True, frame_env
+                elif tag == "assign-done":
+                    heap.write(_expect_live_loc(heap, frame_value), v)
+                    control = UnitV()
+                elif tag == "free":
+                    address = _expect_live_loc(heap, v)
+                    if heap.kind_of(address) is not CellKind.MANUAL:
+                        raise _Failure(ErrorCode.PTR)
+                    heap.free(address)
+                    control = UnitV()
+                elif tag == "gcmov":
+                    address = _expect_live_loc(heap, v)
+                    if heap.kind_of(address) is not CellKind.MANUAL:
+                        raise _Failure(ErrorCode.PTR)
+                    heap.move_to_gc(address)
+                    control = v
+                else:  # pragma: no cover - defensive
+                    raise StuckError(f"unknown continuation frame {tag!r}")
+        except _Failure as failure:
+            self.steps = steps
+            config = Config(_finalize_heap(heap), s.Fail(failure.code), failure.code)
+            self.result = MachineResult(Status.FAIL, config, steps)
+            return self.result
+        except StuckError:
+            self.steps = steps
+            leftover = control if evaluating else reify(control)
+            self.result = MachineResult(Status.STUCK, Config(_finalize_heap(heap), leftover), steps)
+            return self.result
 
 
 # ===========================================================================

@@ -127,18 +127,18 @@ def step(config: Config) -> Config:
     if config.finished():
         raise StuckError(f"configuration is terminal: {config}")
     heap = config.heap
-    # GC roots are the locations mentioned by the *whole* remaining program,
-    # computed before descending to the redex so that ``callgc`` deep inside a
-    # context cannot collect cells the surrounding context still refers to.
-    roots = mentioned_locations(config.expr)
+    # Only the ``callgc`` rule consumes GC roots, and its roots are the
+    # locations mentioned by the *whole* remaining program — so the whole
+    # program is threaded down to the redex and the (linear-in-program-size)
+    # root walk runs only when a ``callgc`` actually fires, not on every step.
     try:
-        new_expr = _reduce(heap, config.expr, roots)
+        new_expr = _reduce(heap, config.expr, config.expr)
     except _Failure as failure:
         return Config(heap, Fail(failure.code), failure.code)
     return Config(heap, new_expr)
 
 
-def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
+def _reduce(heap: Heap, expr: Expr, whole: Expr) -> Expr:
     """Reduce the leftmost-innermost redex of ``expr`` (mutating the heap)."""
     if isinstance(expr, Var):
         # Free variables cannot be evaluated; this is a dynamic type error.
@@ -149,37 +149,37 @@ def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
 
     if isinstance(expr, Pair):
         if not is_value(expr.first):
-            return Pair(_reduce(heap, expr.first, roots), expr.second)
-        return Pair(expr.first, _reduce(heap, expr.second, roots))
+            return Pair(_reduce(heap, expr.first, whole), expr.second)
+        return Pair(expr.first, _reduce(heap, expr.second, whole))
 
     if isinstance(expr, (Inl, Inr)):
         constructor = type(expr)
-        return constructor(_reduce(heap, expr.body, roots))
+        return constructor(_reduce(heap, expr.body, whole))
 
     if isinstance(expr, Fst):
         if not is_value(expr.body):
-            return Fst(_reduce(heap, expr.body, roots))
+            return Fst(_reduce(heap, expr.body, whole))
         if isinstance(expr.body, Pair):
             return expr.body.first
         raise _type_failure()
 
     if isinstance(expr, Snd):
         if not is_value(expr.body):
-            return Snd(_reduce(heap, expr.body, roots))
+            return Snd(_reduce(heap, expr.body, whole))
         if isinstance(expr.body, Pair):
             return expr.body.second
         raise _type_failure()
 
     if isinstance(expr, If):
         if not is_value(expr.condition):
-            return If(_reduce(heap, expr.condition, roots), expr.then_branch, expr.else_branch)
+            return If(_reduce(heap, expr.condition, whole), expr.then_branch, expr.else_branch)
         scrutinee = _expects_int(expr.condition)
         return expr.then_branch if scrutinee == 0 else expr.else_branch
 
     if isinstance(expr, Match):
         if not is_value(expr.scrutinee):
             return Match(
-                _reduce(heap, expr.scrutinee, roots),
+                _reduce(heap, expr.scrutinee, whole),
                 expr.left_name,
                 expr.left_branch,
                 expr.right_name,
@@ -193,23 +193,23 @@ def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
 
     if isinstance(expr, Let):
         if not is_value(expr.bound):
-            return Let(expr.name, _reduce(heap, expr.bound, roots), expr.body)
+            return Let(expr.name, _reduce(heap, expr.bound, whole), expr.body)
         return substitute(expr.body, expr.name, expr.bound)
 
     if isinstance(expr, App):
         if not is_value(expr.function):
-            return App(_reduce(heap, expr.function, roots), expr.argument)
+            return App(_reduce(heap, expr.function, whole), expr.argument)
         if not is_value(expr.argument):
-            return App(expr.function, _reduce(heap, expr.argument, roots))
+            return App(expr.function, _reduce(heap, expr.argument, whole))
         if isinstance(expr.function, Lam):
             return substitute(expr.function.body, expr.function.parameter, expr.argument)
         raise _type_failure()
 
     if isinstance(expr, BinOp):
         if not is_value(expr.left):
-            return BinOp(expr.op, _reduce(heap, expr.left, roots), expr.right)
+            return BinOp(expr.op, _reduce(heap, expr.left, whole), expr.right)
         if not is_value(expr.right):
-            return BinOp(expr.op, expr.left, _reduce(heap, expr.right, roots))
+            return BinOp(expr.op, expr.left, _reduce(heap, expr.right, whole))
         left, right = _expects_int(expr.left), _expects_int(expr.right)
         if expr.op == "+":
             return Int(left + right)
@@ -223,19 +223,19 @@ def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
 
     if isinstance(expr, NewRef):
         if not is_value(expr.initial):
-            return NewRef(_reduce(heap, expr.initial, roots))
+            return NewRef(_reduce(heap, expr.initial, whole))
         address = heap.allocate(expr.initial, CellKind.GC)
         return Loc(address)
 
     if isinstance(expr, Alloc):
         if not is_value(expr.initial):
-            return Alloc(_reduce(heap, expr.initial, roots))
+            return Alloc(_reduce(heap, expr.initial, whole))
         address = heap.allocate(expr.initial, CellKind.MANUAL)
         return Loc(address)
 
     if isinstance(expr, Deref):
         if not is_value(expr.reference):
-            return Deref(_reduce(heap, expr.reference, roots))
+            return Deref(_reduce(heap, expr.reference, whole))
         if not isinstance(expr.reference, Loc):
             raise _type_failure()
         if not heap.contains(expr.reference.address):
@@ -244,9 +244,9 @@ def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
 
     if isinstance(expr, Assign):
         if not is_value(expr.reference):
-            return Assign(_reduce(heap, expr.reference, roots), expr.value)
+            return Assign(_reduce(heap, expr.reference, whole), expr.value)
         if not is_value(expr.value):
-            return Assign(expr.reference, _reduce(heap, expr.value, roots))
+            return Assign(expr.reference, _reduce(heap, expr.value, whole))
         if not isinstance(expr.reference, Loc):
             raise _type_failure()
         if not heap.contains(expr.reference.address):
@@ -256,7 +256,7 @@ def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
 
     if isinstance(expr, Free):
         if not is_value(expr.reference):
-            return Free(_reduce(heap, expr.reference, roots))
+            return Free(_reduce(heap, expr.reference, whole))
         if not isinstance(expr.reference, Loc):
             raise _type_failure()
         address = expr.reference.address
@@ -267,7 +267,7 @@ def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
 
     if isinstance(expr, GcMov):
         if not is_value(expr.reference):
-            return GcMov(_reduce(heap, expr.reference, roots))
+            return GcMov(_reduce(heap, expr.reference, whole))
         if not isinstance(expr.reference, Loc):
             raise _type_failure()
         address = expr.reference.address
@@ -277,7 +277,10 @@ def _reduce(heap: Heap, expr: Expr, roots: frozenset) -> Expr:
         return expr.reference
 
     if isinstance(expr, CallGc):
-        heap.collect(roots=roots)
+        # Roots of the whole remaining program, computed only now that a
+        # ``callgc`` redex actually fired.  ``callgc`` deep inside a context
+        # still cannot collect cells the surrounding context refers to.
+        heap.collect(roots=mentioned_locations(whole))
         return Unit()
 
     raise StuckError(f"no reduction rule for {expr!r}")
@@ -289,15 +292,75 @@ def run(expr: Expr, heap: Optional[Heap] = None, fuel: int = 100_000) -> Machine
 
 
 def run_config(config: Config, fuel: int = 100_000) -> MachineResult:
-    steps = 0
-    while steps < fuel:
-        if config.failure is not None:
-            return MachineResult(Status.FAIL, config, steps)
-        if is_value(config.expr):
-            return MachineResult(Status.VALUE, config, steps)
-        try:
-            config = step(config)
-        except StuckError:
-            return MachineResult(Status.STUCK, config, steps)
-        steps += 1
-    return MachineResult(Status.OUT_OF_FUEL, config, steps)
+    execution = SubstitutionExecution(config.expr, heap=None, fuel=fuel, config=config)
+    return execution.run()
+
+
+class SubstitutionExecution:
+    """A resumable substitution machine: run in bounded slices.
+
+    The reference machine already steps one redex at a time, so resumability
+    is just a :class:`Config` plus a fuel budget held between slices.
+    ``step_n(limit)`` performs at most ``limit`` reduction steps and returns
+    the final :class:`MachineResult` once the configuration is terminal
+    (value, failure, stuck, or this execution's own fuel exhausted) — or
+    ``None`` while the program still has work and fuel left.  The observable
+    result is identical to an uninterrupted :func:`run` however the steps are
+    sliced, which is what lets the serving layer interleave the paper-faithful
+    oracle next to the compiled machines with bounded per-turn latency.
+    """
+
+    __slots__ = ("config", "fuel", "steps", "result")
+
+    def __init__(
+        self,
+        expr: Expr,
+        heap: Optional[Heap] = None,
+        fuel: int = 100_000,
+        config: Optional[Config] = None,
+    ):
+        self.config = config if config is not None else Config(heap if heap is not None else Heap(), expr)
+        self.fuel = fuel
+        self.steps = 0
+        self.result: Optional[MachineResult] = None
+
+    def step_n(self, limit: int) -> Optional[MachineResult]:
+        """Run at most ``limit`` reduction steps; the result when halted, else None."""
+        if limit < 1:
+            raise ValueError(f"step_n limit must be >= 1, got {limit}")
+        if self.result is not None:
+            return self.result
+        config = self.config
+        steps = self.steps
+        fuel = self.fuel
+        budget = fuel if fuel - steps <= limit else steps + limit
+        while True:
+            # Fuel exhaustion outranks a terminal configuration, exactly as in
+            # the one-shot runner's ``while steps < fuel`` loop.
+            if steps >= fuel:
+                self.result = MachineResult(Status.OUT_OF_FUEL, config, steps)
+                break
+            if config.failure is not None:
+                self.result = MachineResult(Status.FAIL, config, steps)
+                break
+            if is_value(config.expr):
+                self.result = MachineResult(Status.VALUE, config, steps)
+                break
+            if steps >= budget:
+                self.config, self.steps = config, steps
+                return None
+            try:
+                config = step(config)
+            except StuckError:
+                self.result = MachineResult(Status.STUCK, config, steps)
+                break
+            steps += 1
+        self.config, self.steps = config, steps
+        return self.result
+
+    def run(self) -> MachineResult:
+        """Drive the machine to completion in one maximal slice."""
+        result = self.result
+        while result is None:
+            result = self.step_n(max(1, self.fuel))
+        return result

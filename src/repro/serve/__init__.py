@@ -7,10 +7,11 @@ multi-tenant service front:
   its own language, backend choice, fuel budget, and typecheck environments,
   answered with per-request accounting (steps, slices, timings, cache hits);
 * :class:`~repro.serve.driver.StepSlicedDriver` — the async interleaving
-  driver: every admitted program becomes a resumable execution
-  (``step_n``-capable compiled CEK / pc-threaded StackLang machines, or a
-  blocking wrapper for the oracle backends) and many of them advance
-  round-robin on one asyncio event loop;
+  driver: every admitted program becomes a resumable execution (every
+  registered backend is ``step_n``-capable — the substitution oracles and
+  the big-step evaluator included) and many of them advance round-robin on
+  one asyncio event loop, none exceeding ``slice_steps`` transitions per
+  turn;
 * :class:`~repro.serve.scheduler.Scheduler` — admission, language routing
   across the three case-study systems, batch serving (interleaved or
   sequential), and cross-request pipeline-cache warming.

@@ -9,10 +9,16 @@ round-robin on a single OS thread with no shared machine state.  Fuel stays
 per-execution: a request that exhausts its own budget fails alone, in its
 own slice, without disturbing its neighbours.
 
-Three entry points:
+Four entry points:
 
 * :meth:`StepSlicedDriver.run_batch` — the production path: one fresh
-  asyncio event loop interleaving every execution concurrently;
+  asyncio event loop interleaving every execution concurrently.  Safe to
+  call from synchronous code *and* from code already running inside an
+  event loop (an async caller, a notebook): when a loop is already running,
+  the batch runs on a dedicated loop in a helper thread instead of raising
+  ``asyncio.run``'s ``RuntimeError``;
+* :meth:`StepSlicedDriver.run_batch_async` — the same interleaving as an
+  awaitable, for callers that want the batch on *their* event loop;
 * :meth:`StepSlicedDriver.run_sequential` — the differential twin: the same
   slicing, one execution at a time (CI's ``bench_serving.py --check``
   requires the two to produce identical outcomes);
@@ -25,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, NamedTuple, Sequence
 
 
@@ -58,13 +65,27 @@ class StepSlicedDriver:
                 return DrivenResult(result, slices, time.perf_counter() - start)
             await asyncio.sleep(0)
 
+    async def run_batch_async(self, executions: Sequence[Any]) -> List[DrivenResult]:
+        """Interleave all executions on the *caller's* event loop; results in order."""
+        return list(await asyncio.gather(*(self.drive(execution) for execution in executions)))
+
     def run_batch(self, executions: Sequence[Any]) -> List[DrivenResult]:
-        """Interleave all executions on one fresh event loop; results in order."""
+        """Interleave all executions on one fresh event loop; results in order.
 
-        async def _gather() -> List[DrivenResult]:
-            return list(await asyncio.gather(*(self.drive(execution) for execution in executions)))
-
-        return asyncio.run(_gather())
+        Callable from anywhere: plain synchronous code gets ``asyncio.run``
+        on a fresh loop; a caller that is *already* inside a running event
+        loop (driving a batch from a coroutine, a notebook cell) gets the
+        batch on a dedicated loop in a helper thread — ``asyncio.run`` would
+        raise ``RuntimeError`` there, and nesting on the caller's loop would
+        block it.  Async callers that want the batch interleaved with their
+        own tasks should ``await run_batch_async`` instead.
+        """
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.run_batch_async(executions))
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            return pool.submit(asyncio.run, self.run_batch_async(executions)).result()
 
     # -- sequential / deterministic stepping ----------------------------------
 

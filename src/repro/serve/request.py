@@ -56,7 +56,13 @@ class Response:
     #: set, the request never reached a machine and ``result`` is ``None``.
     error: Optional[str] = None
     slices: int = 0
+    #: Frontend pipeline time only (parse → typecheck → compile) — exactly
+    #: the work :meth:`~repro.serve.scheduler.Scheduler.warm_cache` warms.
     compile_seconds: float = 0.0
+    #: Execution setup time (machine-code compilation, initial machine
+    #: state), accounted separately so compile-time savings from a warm
+    #: pipeline cache are not diluted by per-request start-up work.
+    start_seconds: float = 0.0
     #: Wall-clock latency from the request's first slice to its last one.
     #: Under interleaving this includes time spent advancing *other*
     #: requests on the shared loop — i.e. it is the request's latency as a

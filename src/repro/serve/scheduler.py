@@ -18,10 +18,15 @@ Per-request failures are isolated by construction: frontend errors (parse,
 typecheck, convertibility, routing, unknown backend) land in that request's
 :class:`~repro.serve.request.Response` as ``error``; runtime failures
 (including fuel exhaustion of that request's own budget) land in its
-``result``; a backend that *raises* mid-run (an engine bug, the recursive
-bigstep evaluator hitting Python's recursion limit) is caught per execution
-and surfaced as that response's ``error``.  None of them touches any other
-request in the batch.
+``result``; a backend that *raises* mid-run (an engine bug) is caught per
+execution and surfaced as that response's ``error``.  None of them touches
+any other request in the batch.
+
+Bounded per-turn latency: every registered backend in every system — the
+substitution oracles, the iterative big-step evaluator, and both CEK
+lineages — is a genuinely resumable execution, so no request (oracle-backed
+differential requests included) advances more than the driver's
+``slice_steps`` machine transitions per scheduler turn.
 
 Cross-request cache warming: :meth:`Scheduler.warm_cache` pushes a
 hot-program list through the pipelines ahead of traffic, so the first real
@@ -67,12 +72,12 @@ class _RunFailure:
 class _GuardedExecution:
     """Per-request crash isolation for the run phase.
 
-    A backend that raises mid-run (a Python ``RecursionError`` from the
-    recursive bigstep evaluator, an engine bug) must fail *its own* request,
-    not unwind the driver's event loop and lose the whole batch — the same
-    isolation :meth:`Scheduler.prepare` gives frontend errors.  The guard
-    turns any ``Exception`` into a :class:`_RunFailure` outcome that
-    :meth:`Scheduler.serve` surfaces as that response's ``error``.
+    A backend that raises mid-run (an engine bug, a crash in a third-party
+    backend) must fail *its own* request, not unwind the driver's event loop
+    and lose the whole batch — the same isolation :meth:`Scheduler.prepare`
+    gives frontend errors.  The guard turns any ``Exception`` into a
+    :class:`_RunFailure` outcome that :meth:`Scheduler.serve` surfaces as
+    that response's ``error``.
     """
 
     __slots__ = ("_execution",)
@@ -130,7 +135,14 @@ class Scheduler:
     # -- admission ------------------------------------------------------------
 
     def prepare(self, request: Request) -> PreparedRequest:
-        """Route, compile (memoized, timed), and start one request's execution."""
+        """Route, compile (memoized, timed), and start one request's execution.
+
+        ``compile_seconds`` covers exactly the frontend pipeline (parse →
+        typecheck → compile, the part :meth:`warm_cache` warms) and
+        ``start_seconds`` covers execution setup (machine-code compilation,
+        initial machine state) separately — folding setup into compile time
+        would make a warmed cache look like it saved less than it did.
+        """
         response = Response(request=request)
         try:
             system_name, system = self.route(request)
@@ -142,21 +154,27 @@ class Scheduler:
         hits_before = frontend.cache_hits
         start = time.perf_counter()
         try:
-            _unit, execution = system.start_source(
-                request.language,
-                request.source,
-                fuel=request.fuel,
-                backend=request.backend,
-                **dict(request.typecheck_kwargs),
+            unit = system.compile_source(
+                request.language, request.source, **dict(request.typecheck_kwargs)
             )
         except Exception as error:  # a bad request must not take down the batch
             response.compile_seconds = time.perf_counter() - start
             response.error = f"{type(error).__name__}: {error}"
             return PreparedRequest(response)
         response.compile_seconds = time.perf_counter() - start
-        response.backend = request.backend if request.backend is not None else system.target.default_backend
         response.cache_hit = frontend.cache_hits > hits_before
         response.cache_stats = frontend.cache_stats()
+        started = time.perf_counter()
+        try:
+            execution = system.start_compiled(
+                unit.target_code, fuel=request.fuel, backend=request.backend
+            )
+        except Exception as error:  # unknown backend, execution-factory bug
+            response.start_seconds = time.perf_counter() - started
+            response.error = f"{type(error).__name__}: {error}"
+            return PreparedRequest(response)
+        response.start_seconds = time.perf_counter() - started
+        response.backend = request.backend if request.backend is not None else system.target.default_backend
         return PreparedRequest(response, execution)
 
     # -- serving --------------------------------------------------------------
@@ -169,13 +187,34 @@ class Scheduler:
         differential baseline).  Either way each request runs under its own
         backend and fuel budget.
         """
-        prepared = [self.prepare(request) for request in requests]
-        runnable = [entry for entry in prepared if entry.execution is not None]
-        executions = [_GuardedExecution(entry.execution) for entry in runnable]
+        prepared, runnable, executions = self._admit(requests)
         if sequential:
             driven = self.driver.run_sequential(executions)
         else:
             driven = self.driver.run_batch(executions)
+        return self._collect(prepared, runnable, driven)
+
+    async def serve_async(self, requests: Sequence[Request]) -> List[Response]:
+        """Admit a batch and interleave it on the *caller's* event loop.
+
+        Same outcomes as :meth:`serve`, but awaitable — an async caller's own
+        tasks keep running between slices instead of blocking behind the
+        batch (``serve`` from inside a coroutine falls back to a helper
+        thread, which isolates rather than shares the loop).
+        """
+        prepared, runnable, executions = self._admit(requests)
+        driven = await self.driver.run_batch_async(executions)
+        return self._collect(prepared, runnable, driven)
+
+    def _admit(self, requests: Sequence[Request]):
+        """Prepare a batch; ``runnable`` and ``executions`` are index-aligned."""
+        prepared = [self.prepare(request) for request in requests]
+        runnable = [entry for entry in prepared if entry.execution is not None]
+        executions = [_GuardedExecution(entry.execution) for entry in runnable]
+        return prepared, runnable, executions
+
+    @staticmethod
+    def _collect(prepared, runnable, driven) -> List[Response]:
         for entry, outcome in zip(runnable, driven):
             if isinstance(outcome.result, _RunFailure):
                 entry.response.error = outcome.result.message

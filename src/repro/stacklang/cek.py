@@ -29,6 +29,7 @@ __all__ = [
     "ArrV",
     "CThunkV",
     "CompiledExecution",
+    "SegmentExecution",
     "ThunkV",
     "compile_program",
     "compiled_cache_stats",
@@ -127,118 +128,179 @@ def run(
     stack: Optional[List[s.Value]] = None,
     fuel: int = 100_000,
 ) -> MachineResult:
-    """Run ``program`` on the closure machine; mirrors ``machine.run``."""
-    heap_cells: Dict[int, object] = dict(heap or {})
-    next_address = max(heap_cells.keys(), default=-1) + 1
-    values: List[object] = list(stack if stack is not None else [])
-    # Control: a stack of (program, pc, env) entries; the top is executing.
-    control: List[List[object]] = [[tuple(program), 0, None]]
-    steps = 0
-    failure: Optional[ErrorCode] = None
+    """Run ``program`` on the closure machine; mirrors ``machine.run``.
 
-    def fail(code: ErrorCode) -> None:
-        nonlocal failure
-        failure = code
+    One maximal slice of :class:`SegmentExecution`; serving code holding
+    several programs uses the execution object directly and slices the
+    instruction stream itself.
+    """
+    return SegmentExecution(program, heap=heap, stack=stack, fuel=fuel).run()
 
-    while failure is None:
-        while control and control[-1][1] >= len(control[-1][0]):
-            control.pop()
-        if not control:
-            break
-        if steps >= fuel:
-            final = Config(dict(heap_cells), [_reify(v) for v in values], ())
-            return MachineResult(Status.OUT_OF_FUEL, final, steps)
-        steps += 1
 
-        segment = control[-1]
-        instruction = segment[0][segment[1]]
-        segment[1] += 1
-        env: Env = segment[2]
+class SegmentExecution:
+    """A resumable segment machine: run in bounded slices.
 
-        if isinstance(instruction, s.Push):
-            value = _resolve(instruction.operand, env)
-            if value is _MISSING:
-                fail(ErrorCode.TYPE)
-            else:
-                values.append(value)
-        elif isinstance(instruction, s.Add):
-            if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], s.Num):
-                fail(ErrorCode.TYPE)
-            else:
-                top, second = values.pop(), values.pop()
-                values.append(s.Num(top.number + second.number))
-        elif isinstance(instruction, s.Less):
-            if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], s.Num):
-                fail(ErrorCode.TYPE)
-            else:
-                top, second = values.pop(), values.pop()
-                values.append(s.Num(0) if top.number < second.number else s.Num(1))
-        elif isinstance(instruction, s.If0):
-            if not values or not isinstance(values[-1], s.Num):
-                fail(ErrorCode.TYPE)
-            else:
-                scrutinee = values.pop()
-                branch = instruction.then_program if scrutinee.number == 0 else instruction.else_program
-                control.append([branch, 0, env])
-        elif isinstance(instruction, s.Lam):
-            if len(values) < len(instruction.binders):
-                fail(ErrorCode.TYPE)
-            else:
-                extended = env
-                for binder in instruction.binders:
-                    extended = (binder, values.pop(), extended)
-                control.append([instruction.body, 0, extended])
-        elif isinstance(instruction, s.Call):
-            if not values or not isinstance(values[-1], ThunkV):
-                fail(ErrorCode.TYPE)
-            else:
-                thunk = values.pop()
-                control.append([thunk.program, 0, thunk.environment])
-        elif isinstance(instruction, s.Idx):
-            if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], ArrV):
-                fail(ErrorCode.TYPE)
-            else:
-                index, array = values.pop(), values.pop()
-                if not 0 <= index.number < len(array.items):
-                    fail(ErrorCode.IDX)
+    ``step_n(limit)`` advances the machine by at most ``limit`` instructions
+    and returns the final :class:`~repro.stacklang.machine.MachineResult`
+    once the machine halts (or its *per-execution* fuel budget runs out), or
+    ``None`` while there is work and fuel left.  The whole machine state
+    (value stack, control segments, heap, step count) lives on the execution
+    object between slices; the observable result is identical to an
+    uninterrupted :func:`run` regardless of slicing.
+    """
+
+    __slots__ = ("fuel", "steps", "result", "_heap_cells", "_next_address", "_values", "_control")
+
+    def __init__(
+        self,
+        program: s.Program,
+        heap: Optional[Dict[int, s.Value]] = None,
+        stack: Optional[List[s.Value]] = None,
+        fuel: int = 100_000,
+    ):
+        self._heap_cells: Dict[int, object] = dict(heap or {})
+        self._next_address = max(self._heap_cells.keys(), default=-1) + 1
+        self._values: List[object] = list(stack if stack is not None else [])
+        # Control: a stack of (program, pc, env) entries; the top is executing.
+        self._control: List[List[object]] = [[tuple(program), 0, None]]
+        self.fuel = fuel
+        self.steps = 0
+        self.result: Optional[MachineResult] = None
+
+    def step_n(self, limit: int) -> Optional[MachineResult]:
+        """Run at most ``limit`` instructions; the result when halted, else None."""
+        if limit < 1:
+            raise ValueError(f"step_n limit must be >= 1, got {limit}")
+        if self.result is not None:
+            return self.result
+        heap_cells = self._heap_cells
+        values = self._values
+        control = self._control
+        steps = self.steps
+        fuel = self.fuel
+        budget = fuel if fuel - steps <= limit else steps + limit
+        failure: Optional[ErrorCode] = None
+
+        def fail(code: ErrorCode) -> None:
+            nonlocal failure
+            failure = code
+
+        while failure is None:
+            while control and control[-1][1] >= len(control[-1][0]):
+                control.pop()
+            if not control:
+                break
+            if steps >= budget:
+                self.steps = steps
+                if steps < fuel:
+                    return None
+                final = Config(dict(heap_cells), [_reify(v) for v in values], ())
+                self.result = MachineResult(Status.OUT_OF_FUEL, final, steps)
+                return self.result
+            steps += 1
+
+            segment = control[-1]
+            instruction = segment[0][segment[1]]
+            segment[1] += 1
+            env: Env = segment[2]
+
+            if isinstance(instruction, s.Push):
+                value = _resolve(instruction.operand, env)
+                if value is _MISSING:
+                    fail(ErrorCode.TYPE)
                 else:
-                    values.append(array.items[index.number])
-        elif isinstance(instruction, s.Len):
-            if not values or not isinstance(values[-1], ArrV):
-                fail(ErrorCode.TYPE)
+                    values.append(value)
+            elif isinstance(instruction, s.Add):
+                if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], s.Num):
+                    fail(ErrorCode.TYPE)
+                else:
+                    top, second = values.pop(), values.pop()
+                    values.append(s.Num(top.number + second.number))
+            elif isinstance(instruction, s.Less):
+                if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], s.Num):
+                    fail(ErrorCode.TYPE)
+                else:
+                    top, second = values.pop(), values.pop()
+                    values.append(s.Num(0) if top.number < second.number else s.Num(1))
+            elif isinstance(instruction, s.If0):
+                if not values or not isinstance(values[-1], s.Num):
+                    fail(ErrorCode.TYPE)
+                else:
+                    scrutinee = values.pop()
+                    branch = instruction.then_program if scrutinee.number == 0 else instruction.else_program
+                    control.append([branch, 0, env])
+            elif isinstance(instruction, s.Lam):
+                if len(values) < len(instruction.binders):
+                    fail(ErrorCode.TYPE)
+                else:
+                    extended = env
+                    for binder in instruction.binders:
+                        extended = (binder, values.pop(), extended)
+                    control.append([instruction.body, 0, extended])
+            elif isinstance(instruction, s.Call):
+                if not values or not isinstance(values[-1], ThunkV):
+                    fail(ErrorCode.TYPE)
+                else:
+                    thunk = values.pop()
+                    control.append([thunk.program, 0, thunk.environment])
+            elif isinstance(instruction, s.Idx):
+                if len(values) < 2 or not isinstance(values[-1], s.Num) or not isinstance(values[-2], ArrV):
+                    fail(ErrorCode.TYPE)
+                else:
+                    index, array = values.pop(), values.pop()
+                    if not 0 <= index.number < len(array.items):
+                        fail(ErrorCode.IDX)
+                    else:
+                        values.append(array.items[index.number])
+            elif isinstance(instruction, s.Len):
+                if not values or not isinstance(values[-1], ArrV):
+                    fail(ErrorCode.TYPE)
+                else:
+                    values.append(s.Num(len(values.pop().items)))
+            elif isinstance(instruction, s.Alloc):
+                if not values:
+                    fail(ErrorCode.TYPE)
+                else:
+                    address = self._next_address
+                    heap_cells[address] = values.pop()
+                    values.append(s.Loc(address))
+                    self._next_address = address + 1
+            elif isinstance(instruction, s.Read):
+                if not values or not isinstance(values[-1], s.Loc) or values[-1].address not in heap_cells:
+                    fail(ErrorCode.TYPE)
+                else:
+                    values.append(heap_cells[values.pop().address])
+            elif isinstance(instruction, s.Write):
+                if len(values) < 2 or not isinstance(values[-2], s.Loc) or values[-2].address not in heap_cells:
+                    fail(ErrorCode.TYPE)
+                else:
+                    value, location = values.pop(), values.pop()
+                    heap_cells[location.address] = value
+            elif isinstance(instruction, s.Fail):
+                fail(instruction.code)
             else:
-                values.append(s.Num(len(values.pop().items)))
-        elif isinstance(instruction, s.Alloc):
-            if not values:
-                fail(ErrorCode.TYPE)
-            else:
-                heap_cells[next_address] = values.pop()
-                values.append(s.Loc(next_address))
-                next_address += 1
-        elif isinstance(instruction, s.Read):
-            if not values or not isinstance(values[-1], s.Loc) or values[-1].address not in heap_cells:
-                fail(ErrorCode.TYPE)
-            else:
-                values.append(heap_cells[values.pop().address])
-        elif isinstance(instruction, s.Write):
-            if len(values) < 2 or not isinstance(values[-2], s.Loc) or values[-2].address not in heap_cells:
-                fail(ErrorCode.TYPE)
-            else:
-                value, location = values.pop(), values.pop()
-                heap_cells[location.address] = value
-        elif isinstance(instruction, s.Fail):
-            fail(instruction.code)
-        else:
-            final = Config(dict(heap_cells), [_reify(v) for v in values], ())
-            return MachineResult(Status.STUCK, final, steps)
+                self.steps = steps
+                final = Config(dict(heap_cells), [_reify(v) for v in values], ())
+                self.result = MachineResult(Status.STUCK, final, steps)
+                return self.result
 
-    reified_heap = {address: _reify(value) for address, value in heap_cells.items()}
-    if failure is not None:
-        return MachineResult(Status.FAIL, Config(reified_heap, FailStack(failure), ()), steps)
-    reified_stack = [_reify(v) for v in values]
-    final = Config(reified_heap, reified_stack, ())
-    status = Status.VALUE if reified_stack else Status.EMPTY
-    return MachineResult(status, final, steps)
+        self.steps = steps
+        reified_heap = {address: _reify(value) for address, value in heap_cells.items()}
+        if failure is not None:
+            self.result = MachineResult(Status.FAIL, Config(reified_heap, FailStack(failure), ()), steps)
+            return self.result
+        reified_stack = [_reify(v) for v in values]
+        final = Config(reified_heap, reified_stack, ())
+        status = Status.VALUE if reified_stack else Status.EMPTY
+        self.result = MachineResult(status, final, steps)
+        return self.result
+
+    def run(self) -> MachineResult:
+        """Drive the machine to completion in one maximal slice."""
+        result = self.result
+        while result is None:
+            result = self.step_n(max(1, self.fuel))
+        return result
 
 
 # ===========================================================================

@@ -252,17 +252,79 @@ def run(
 
 def run_config(config: Config, fuel: int = 100_000) -> MachineResult:
     """Run an arbitrary configuration for at most ``fuel`` steps."""
-    steps = 0
-    while steps < fuel:
-        if config.failed():
-            return MachineResult(Status.FAIL, config, steps)
-        if config.is_terminal():
-            if isinstance(config.stack, list) and config.stack:
-                return MachineResult(Status.VALUE, config, steps)
-            return MachineResult(Status.EMPTY, config, steps)
-        try:
-            config = step(config)
-        except StuckError:
-            return MachineResult(Status.STUCK, config, steps)
-        steps += 1
-    return MachineResult(Status.OUT_OF_FUEL, config, steps)
+    return SubstitutionExecution(config=config, fuel=fuel).run()
+
+
+class SubstitutionExecution:
+    """A resumable Fig. 2 machine: run in bounded slices.
+
+    The reference machine already steps one instruction at a time, so
+    resumability is just a :class:`Config` plus a fuel budget carried between
+    slices.  ``step_n(limit)`` performs at most ``limit`` steps and returns
+    the final :class:`MachineResult` once the configuration is terminal
+    (value/empty stack, failure, stuck, or this execution's own fuel
+    exhausted) — or ``None`` while the program still has work and fuel left.
+    The observable result is identical to an uninterrupted :func:`run`
+    however the steps are sliced.
+    """
+
+    __slots__ = ("config", "fuel", "steps", "result")
+
+    def __init__(
+        self,
+        program: Optional[Program] = None,
+        heap: Optional[Heap] = None,
+        stack: Optional[List[Value]] = None,
+        fuel: int = 100_000,
+        config: Optional[Config] = None,
+    ):
+        if config is None:
+            config = initial_config(program or (), heap, stack)
+        self.config = config
+        self.fuel = fuel
+        self.steps = 0
+        self.result: Optional[MachineResult] = None
+
+    def step_n(self, limit: int) -> Optional[MachineResult]:
+        """Run at most ``limit`` machine steps; the result when halted, else None."""
+        if limit < 1:
+            raise ValueError(f"step_n limit must be >= 1, got {limit}")
+        if self.result is not None:
+            return self.result
+        config = self.config
+        steps = self.steps
+        fuel = self.fuel
+        budget = fuel if fuel - steps <= limit else steps + limit
+        while True:
+            # Fuel exhaustion outranks a terminal configuration, exactly as in
+            # the one-shot runner's ``while steps < fuel`` loop.
+            if steps >= fuel:
+                self.result = MachineResult(Status.OUT_OF_FUEL, config, steps)
+                break
+            if config.failed():
+                self.result = MachineResult(Status.FAIL, config, steps)
+                break
+            if config.is_terminal():
+                if isinstance(config.stack, list) and config.stack:
+                    self.result = MachineResult(Status.VALUE, config, steps)
+                else:
+                    self.result = MachineResult(Status.EMPTY, config, steps)
+                break
+            if steps >= budget:
+                self.config, self.steps = config, steps
+                return None
+            try:
+                config = step(config)
+            except StuckError:
+                self.result = MachineResult(Status.STUCK, config, steps)
+                break
+            steps += 1
+        self.config, self.steps = config, steps
+        return self.result
+
+    def run(self) -> MachineResult:
+        """Drive the machine to completion in one maximal slice."""
+        result = self.result
+        while result is None:
+            result = self.step_n(max(1, self.fuel))
+        return result

@@ -6,15 +6,17 @@ values, identical error codes, and identical post-GC heap fragment sizes.
 
 Two levels of heap comparison are used:
 
-* the *interpreted* environment machines (``bigstep``, plain ``cek``) root
-  lexically-live bindings, so mid-run collections can be less eager than the
-  substitution machine's syntactic-liveness collections (never more); their
-  heaps are compared address-insensitively after a final result-rooted
-  collection, which erases that (and only that) difference;
-* the *compiled* machine (``cek-compiled``) prunes environments to
-  free-variable sets, restoring the oracle's GC precision exactly — its
-  raw post-``callgc`` heaps (exact addresses, exact cells, exact collection
-  statistics) are compared with **no** normalization.
+* the *interpreted* CEK machine (plain ``cek``) roots lexically-live
+  bindings, so mid-run collections can be less eager than the substitution
+  machine's syntactic-liveness collections (never more); its heaps are
+  compared address-insensitively after a final result-rooted collection,
+  which erases that (and only that) difference;
+* the *free-variable-pruning* machines — ``cek-compiled`` and, since its
+  iterative rewrite, ``bigstep`` — restore the oracle's GC precision
+  exactly: their raw post-``callgc`` heaps (exact addresses, exact cells,
+  exact collection statistics) are compared with **no** result-rooted
+  normalization.  (``bigstep`` used to sit in the first camp and needed the
+  normalization crutch; that crutch is deleted.)
 """
 
 import dataclasses
@@ -194,6 +196,40 @@ def test_four_lcvm_backends_agree(program):
     assert _machine_outcome(cek_result) == expected
     assert _machine_outcome(compiled_result) == expected
     assert _bigstep_outcome(big_result) == expected
+
+
+def _bigstep_raw_cells(result):
+    """The big-step heap's cells reified to syntax, for raw comparison."""
+    return {
+        address: HeapCell(reify(cell.value), cell.kind) for address, cell in result.heap.cells.items()
+    }
+
+
+@given(program=lcvm_programs())
+@settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bigstep_matches_oracle_raw_heaps(program):
+    """``bigstep`` vs substitution with NO result-rooted normalization.
+
+    The iterative big-step machine prunes environments to free variables, so
+    its raw final heaps — exact addresses (shared smallest-first allocator),
+    exact cells, exact collection statistics — must equal the oracle's, on
+    success *and* on failure, with no normalizing collection at the end.
+    """
+    reference = lcvm_machine.run(program, fuel=MACHINE_FUEL)
+    assume(reference.status is not Status.OUT_OF_FUEL)
+    try:
+        big = evaluate(program, fuel=FAST_FUEL)
+    except OutOfFuelError:
+        assume(False)
+
+    if reference.status is Status.FAIL:
+        assert big.failure == reference.failure_code
+    else:
+        assert big.ok
+        assert big.reified_value() == reference.value
+    assert _bigstep_raw_cells(big) == reference.heap.cells  # no normalization
+    assert big.collections == reference.heap.collections
+    assert big.reclaimed == reference.heap.reclaimed
 
 
 @given(program=lcvm_programs())
@@ -409,6 +445,27 @@ def test_compiled_machine_collects_dead_lets_like_oracle(program):
     assert compiled.heap.reclaimed == reference.heap.reclaimed
 
 
+@pytest.mark.parametrize(
+    "program", _DEAD_LET_PROGRAMS, ids=[str(p)[:56] for p in _DEAD_LET_PROGRAMS]
+)
+def test_bigstep_collects_dead_lets_like_oracle(program):
+    """Raw post-``callgc`` heaps equal the oracle's — no result-rooted crutch.
+
+    The recursive big-step evaluator kept dead ``let``-bindings alive until
+    their scope ended and its differential tests normalized heaps with a
+    final result-rooted collection; the iterative machine prunes
+    environments to free variables and matches the oracle's raw fragments
+    exactly, so the normalization is gone.
+    """
+    reference = lcvm_machine.run(program, fuel=MACHINE_FUEL)
+    big = evaluate(program, fuel=FAST_FUEL)
+    assert big.ok
+    assert big.reified_value() == reference.value
+    assert _bigstep_raw_cells(big) == reference.heap.cells  # no normalization
+    assert big.collections == reference.heap.collections
+    assert big.reclaimed == reference.heap.reclaimed
+
+
 def test_compiled_machine_drops_dead_binding_the_interpreted_cek_keeps():
     # The sharpest contrast: on the canonical dead-let program the compiled
     # machine reclaims the dead cell mid-run (like the oracle), while the
@@ -430,9 +487,11 @@ def test_compiled_backend_registered_and_default_in_all_systems():
         assert "substitution" in system.target.backend_names(), factory_name
 
 
-def test_gc_statistics_agree_between_env_backends():
-    # The two environment-based engines share the same notion of GC roots, so
-    # their collection statistics (not just the normalized fragments) match.
+def test_bigstep_drops_dead_binding_the_interpreted_cek_keeps():
+    # The big-step evaluator now sits in the GC-precise camp with the oracle
+    # and the compiled machine: on the canonical dead-let program it reclaims
+    # the dead cell mid-run, while the interpreted CEK machine (lexical
+    # liveness) roots it until its scope ends.
     program = Let(
         "keep",
         NewRef(Int(1)),
@@ -443,3 +502,6 @@ def test_gc_statistics_agree_between_env_backends():
     assert cek_result.value == Int(1)
     assert big_result.reified_value() == Int(1)
     assert cek_result.heap.collections == big_result.collections == 1
+    assert big_result.reclaimed == 1  # `dead` collected at callgc, like the oracle
+    assert set(big_result.heap.cells) == {0}  # only `keep`'s cell survives
+    assert cek_result.heap.reclaimed == 0  # lexical scoping kept it alive

@@ -1,26 +1,39 @@
 """Request isolation and interleaving-order independence for the serving layer.
 
-Three layers of guarantees:
+Four layers of guarantees:
 
-* the resumable machines (``CompiledExecution`` on both the compiled CEK and
-  the pc-threaded StackLang machine) produce *identical* results however
-  their transitions are sliced — including fuel exhaustion landing on the
-  exact same step;
+* the resumable machines — the compiled CEK and pc-threaded StackLang
+  machines *and* every oracle (both substitution machines, the iterative
+  big-step evaluator, the interpreted CEK) — produce *identical* results
+  however their transitions are sliced, including fuel exhaustion landing on
+  the exact same step;
+* **bounded per-turn latency**: no backend advances more than the driver's
+  ``slice_steps`` machine transitions per slice (``steps ≤ slices ×
+  slice_steps`` for every response), so a long oracle request cannot stall
+  its neighbours' turns;
 * a :class:`~repro.serve.scheduler.Scheduler` batch of concurrent requests
   with different backends and different fuel budgets produces exactly the
   results of isolated ``run_source`` runs, with fuel-exhaustion errors
-  landing on the right request;
+  landing on the right request — oracle-backed requests included;
 * a hypothesis property drives the deterministic driver with arbitrary
   interleaving orders (and slice sizes) and requires order-independence.
 """
 
+import asyncio
+import sys
+
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.lcvm import bigstep as lcvm_bigstep
 from repro.lcvm import cek as lcvm_cek
+from repro.lcvm import machine as lcvm_machine
 from repro.lcvm.machine import Status
+from repro.lcvm.syntax import App, Int, Lam, Var
 from repro.serve import Request, StepSlicedDriver, make_default_scheduler
 from repro.stacklang import cek as stack_cek
+from repro.stacklang import machine as stack_machine
 from repro.stacklang.machine import Status as StackStatus
 from repro.util.workloads import (
     nested_ml_affi_boundary as _nested_ml_affi_boundary,
@@ -77,15 +90,39 @@ REQUESTS = [
     ),
     Request(
         language="MiniML",
+        system="l3",
+        source=_nested_ml_l3_boundary(3),
+        backend="bigstep",
+        request_id="l3-bigstep",
+    ),
+    Request(
+        language="MiniML",
         system="affine",
         source=_nested_ml_affi_boundary(5),
         fuel=7,
         request_id="affine-starved",
     ),
     Request(language="RefLL", source=_nested_refll_boundary(5), fuel=9, request_id="refs-starved"),
+    # Oracle backends exhaust *their own* fuel mid-batch too, in a bounded
+    # slice, without touching any neighbour.
+    Request(
+        language="RefLL",
+        source=_nested_refll_boundary(5),
+        backend="substitution",
+        fuel=11,
+        request_id="oracle-starved",
+    ),
+    Request(
+        language="MiniML",
+        system="affine",
+        source=_nested_ml_affi_boundary(5),
+        backend="bigstep",
+        fuel=13,
+        request_id="bigstep-starved",
+    ),
 ]
 
-STARVED = {"affine-starved", "refs-starved"}
+STARVED = {"affine-starved", "refs-starved", "oracle-starved", "bigstep-starved"}
 
 
 def _observe_result(result):
@@ -218,20 +255,71 @@ def test_fuel_exhaustion_lands_on_the_starved_requests_only():
 def test_per_request_accounting():
     responses = SCHEDULER.serve(REQUESTS)
     by_id = {response.request.request_id: response for response in responses}
-    # Deep compiled requests take many 16-step slices; blocking oracle
-    # backends complete in exactly one oversized slice.
+    # Deep requests take many 16-step slices — the oracle backends included,
+    # now that they are genuinely resumable instead of blocking wrappers.
     assert by_id["refs-compiled"].slices > 1
     assert by_id["affine-compiled"].slices > 1
-    assert by_id["refs-oracle"].slices == 1
-    assert by_id["affine-oracle"].slices == 1
+    assert by_id["refs-oracle"].slices > 1  # substitution oracle, sliced
+    assert by_id["refs-segment"].slices > 1  # interpreted segment machine, sliced
+    assert by_id["l3-bigstep"].slices > 1  # big-step evaluator, sliced
     for response in responses:
         assert response.backend is not None
         assert response.slices >= 1
         assert response.compile_seconds >= 0.0
+        assert response.start_seconds >= 0.0
         assert response.run_seconds >= 0.0
         assert response.cache_stats["capacity"] > 0
     # The batch has been served before in this module: every pipeline is hot.
     assert all(response.cache_hit for response in responses)
+
+
+def test_no_backend_exceeds_the_slice_budget():
+    """The bounded-latency guarantee: ≤ slice_steps transitions per turn.
+
+    Each ``step_n`` call may advance at most ``slice_steps`` machine
+    transitions, so every response must satisfy ``steps ≤ slices ×
+    slice_steps`` — a ``BlockingExecution``-style backend (whole program in
+    its first slice) breaks this immediately for any deep request.
+    """
+    responses = SCHEDULER.serve(REQUESTS)
+    for response in responses:
+        assert response.result is not None, response
+        assert response.result.steps <= response.slices * SCHEDULER.driver.slice_steps, (
+            response.request.request_id,
+            response.result.steps,
+            response.slices,
+        )
+
+
+def test_short_compiled_requests_finish_in_few_slices_next_to_a_long_oracle():
+    """A long oracle request cannot inflate its neighbours' turn counts.
+
+    The short compiled requests must complete in the number of slices their
+    own step counts dictate — independent of the long substitution-oracle
+    request interleaved with them (pre-resumability, the oracle's single
+    oversized slice monopolized its turn for the whole program).
+    """
+    slice_steps = 8
+    scheduler = make_default_scheduler(slice_steps=slice_steps)
+    short = [
+        Request(language="RefLL", source=_nested_refll_boundary(2), request_id=f"short-{i}")
+        for i in range(4)
+    ]
+    long_oracle = Request(
+        language="RefLL",
+        source=_nested_refll_boundary(40),
+        backend="substitution",
+        request_id="long-oracle",
+    )
+    responses = scheduler.serve(short + [long_oracle])
+    by_id = {response.request.request_id: response for response in responses}
+    oracle = by_id["long-oracle"]
+    assert oracle.ok and oracle.slices > 10  # genuinely sliced, not blocking
+    for request in short:
+        response = by_id[request.request_id]
+        assert response.ok
+        own_slices_needed = -(-response.result.steps // slice_steps)  # ceil
+        assert response.slices <= own_slices_needed + 1, response.request.request_id
 
 
 def test_rejections_are_isolated_and_admitted_requests_still_run():
@@ -281,11 +369,14 @@ def test_backend_crash_is_isolated_to_its_own_request():
 
 
 def test_step_n_rejects_non_positive_limits():
-    import pytest
-
     for execution in (
         lcvm_cek.CompiledExecution(_lcvm_code(2)),
+        lcvm_cek.InterpretedExecution(_lcvm_code(2)),
+        lcvm_machine.SubstitutionExecution(_lcvm_code(2)),
+        lcvm_bigstep.BigStepExecution(_lcvm_code(2)),
         stack_cek.CompiledExecution(_stacklang_code(2)),
+        stack_cek.SegmentExecution(_stacklang_code(2)),
+        stack_machine.SubstitutionExecution(_stacklang_code(2)),
     ):
         with pytest.raises(ValueError):
             execution.step_n(0)
@@ -295,6 +386,232 @@ def test_step_n_rejects_non_positive_limits():
         assert execution.steps == 0
         result = execution.step_n(1_000_000)
         assert result is not None
+
+
+# ---------------------------------------------------------------------------
+# Resumable oracles: slicing must not change the observable result
+# ---------------------------------------------------------------------------
+
+
+def _drive_sliced(execution, slice_steps):
+    slices = 0
+    result = None
+    while result is None:
+        result = execution.step_n(slice_steps)
+        slices += 1
+    return result, slices
+
+
+def test_lcvm_oracle_executions_match_their_one_shot_runs():
+    code = _lcvm_code(4)
+    cases = [
+        (lambda: lcvm_machine.SubstitutionExecution(code, fuel=100_000), lcvm_machine.run),
+        (lambda: lcvm_cek.InterpretedExecution(code, fuel=100_000), lcvm_cek.run),
+    ]
+    for make_execution, one_shot in cases:
+        full = one_shot(code, fuel=100_000)
+        for slice_steps in (1, 3, 7, 1_000_000):
+            result, slices = _drive_sliced(make_execution(), slice_steps)
+            assert _machine_observe(result) == _machine_observe(full)
+            if slice_steps == 1:
+                assert slices >= full.steps  # genuinely bounded slices
+
+
+def test_bigstep_execution_matches_evaluate_and_is_slice_independent():
+    code = _lcvm_code(4)
+    full = lcvm_bigstep.evaluate(code, fuel=100_000)
+    for slice_steps in (1, 3, 7, 1_000_000):
+        result, _slices = _drive_sliced(lcvm_bigstep.BigStepExecution(code, fuel=100_000), slice_steps)
+        assert result.ok == full.ok
+        assert result.reified_value() == full.reified_value()
+        assert result.steps == full.steps
+        assert result.collections == full.collections
+
+
+def test_stacklang_oracle_executions_match_their_one_shot_runs():
+    code = _stacklang_code(4)
+    cases = [
+        (lambda: stack_machine.SubstitutionExecution(code, fuel=100_000), stack_machine.run),
+        (lambda: stack_cek.SegmentExecution(code, fuel=100_000), stack_cek.run),
+    ]
+    for make_execution, one_shot in cases:
+        full = one_shot(code, fuel=100_000)
+        for slice_steps in (1, 5, 1_000_000):
+            result, _slices = _drive_sliced(make_execution(), slice_steps)
+            assert _machine_observe(result) == _machine_observe(full)
+
+
+def test_oracle_fuel_exhaustion_is_slice_independent():
+    code = _lcvm_code(4)
+    total = lcvm_machine.run(code, fuel=100_000).steps
+    fuel = total // 2
+    full = lcvm_machine.run(code, fuel=fuel)
+    assert full.status is Status.OUT_OF_FUEL and full.steps == fuel
+    result, _slices = _drive_sliced(lcvm_machine.SubstitutionExecution(code, fuel=fuel), 7)
+    assert result.status is Status.OUT_OF_FUEL
+    assert result.steps == fuel
+    assert str(result.config.expr) == str(full.config.expr)
+
+
+def test_bigstep_no_longer_recurses_past_pythons_limit():
+    """The iterative big-step machine survives depths that killed the old one.
+
+    A 5000-deep application chain needs ~2 Python frames per level under the
+    historical recursive evaluator — far past the interpreter's recursion
+    limit — while the explicit-stack machine evaluates it under an
+    artificially *lowered* limit, interleaved with a compiled neighbour whose
+    result is unaffected.
+    """
+    deep = Int(42)
+    for _ in range(5_000):
+        deep = App(Lam("x", Var("x")), deep)
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(500)
+    try:
+        execution = lcvm_bigstep.BigStepExecution(deep, fuel=1_000_000)
+        neighbour = lcvm_cek.CompiledExecution(_lcvm_code(3), fuel=100_000)
+        driver = StepSlicedDriver(slice_steps=64)
+        deep_result, neighbour_result = driver.run_batch([execution, neighbour])
+    finally:
+        sys.setrecursionlimit(limit)
+    assert deep_result.result.ok
+    assert deep_result.result.reified_value() == Int(42)
+    assert deep_result.slices > 100  # bounded slices all the way down
+    assert neighbour_result.result.status is Status.VALUE
+
+
+def test_bigstep_divergence_burns_fuel_not_the_python_stack():
+    # (λx. x x)(λx. x x): the old recursive evaluator grew one Python frame
+    # per β-step and died with RecursionError long before its fuel ran out.
+    omega = App(Lam("x", App(Var("x"), Var("x"))), Lam("x", App(Var("x"), Var("x"))))
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(200)
+    try:
+        result, slices = _drive_sliced(lcvm_bigstep.BigStepExecution(omega, fuel=50_000), 256)
+    finally:
+        sys.setrecursionlimit(limit)
+    assert result.out_of_fuel
+    assert not result.ok
+    assert result.steps == 50_000
+    assert slices >= 50_000 // 256
+
+
+# ---------------------------------------------------------------------------
+# Timing split, async entry points, and the BlockingExecution shim
+# ---------------------------------------------------------------------------
+
+
+def test_prepare_splits_compile_time_from_execution_start_time():
+    scheduler = make_default_scheduler(slice_steps=32)
+    request = Request(language="RefLL", source=_nested_refll_boundary(3))
+    cold = scheduler.submit(request)
+    warm = scheduler.submit(request)
+    # Both phases are timed, separately, on every admission.
+    for response in (cold, warm):
+        assert response.ok
+        assert response.compile_seconds > 0.0
+        assert response.start_seconds > 0.0
+    # The warm request hits the pipeline LRU: its compile phase is exactly
+    # the (tiny) cache lookup — what warm_cache actually warms — while the
+    # start phase still does real per-request setup and is accounted apart.
+    assert not cold.cache_hit
+    assert warm.cache_hit
+
+
+def test_run_batch_works_from_inside_a_running_event_loop():
+    """Regression: ``serve`` used to raise RuntimeError under a running loop."""
+    scheduler = make_default_scheduler(slice_steps=32)
+    requests = [
+        Request(language="RefLL", source=_nested_refll_boundary(3), request_id="a"),
+        Request(
+            language="RefLL",
+            source=_nested_refll_boundary(2),
+            backend="substitution",
+            request_id="b",
+        ),
+    ]
+    expected = [_observe(response) for response in scheduler.serve(requests)]
+
+    async def _from_coroutine():
+        return scheduler.serve(requests)  # sync API, called inside a loop
+
+    responses = asyncio.run(_from_coroutine())
+    assert [_observe(response) for response in responses] == expected
+
+
+def test_serve_async_interleaves_on_the_callers_loop():
+    scheduler = make_default_scheduler(slice_steps=32)
+    requests = [
+        Request(language="RefLL", source=_nested_refll_boundary(3), request_id="a"),
+        Request(
+            language="MiniML",
+            system="affine",
+            source=_nested_ml_affi_boundary(3),
+            backend="bigstep",
+            request_id="b",
+        ),
+    ]
+    expected = [_observe(response) for response in scheduler.serve(requests)]
+
+    async def _serve():
+        ticks = 0
+
+        async def _heartbeat():
+            nonlocal ticks
+            try:
+                while True:
+                    ticks += 1
+                    await asyncio.sleep(0)
+            except asyncio.CancelledError:
+                pass
+
+        beat = asyncio.ensure_future(_heartbeat())
+        responses = await scheduler.serve_async(requests)
+        beat.cancel()
+        await beat
+        return responses, ticks
+
+    responses, ticks = asyncio.run(_serve())
+    assert [_observe(response) for response in responses] == expected
+    # The caller's own task kept running between slices: shared loop, not a
+    # blocking call.
+    assert ticks > 1
+
+
+def test_blocking_execution_shim_still_serves_factoryless_backends():
+    """Third-party backends without an execution factory keep working.
+
+    ``register_backend`` without ``register_execution`` falls back to the
+    ``BlockingExecution`` compatibility shim: one oversized slice, correct
+    result.  (Every built-in backend registers a real factory; the shim is
+    kept for extension code.)
+    """
+    scheduler = make_default_scheduler(slice_steps=16)
+    target = scheduler.systems["refs"].target
+
+    def third_party(target_code, fuel=100_000):
+        return target.backends["substitution"](target_code, fuel=fuel)
+
+    target.register_backend("third-party", third_party)
+    assert "third-party" not in target.executions
+    deep = Request(
+        language="RefLL",
+        source=_nested_refll_boundary(4),
+        backend="third-party",
+        request_id="shim",
+    )
+    oracle = Request(
+        language="RefLL",
+        source=_nested_refll_boundary(4),
+        backend="substitution",
+        request_id="resumable",
+    )
+    responses = scheduler.serve([deep, oracle])
+    by_id = {response.request.request_id: response for response in responses}
+    assert by_id["shim"].ok and by_id["resumable"].ok
+    assert by_id["shim"].result.value == by_id["resumable"].result.value
+    assert by_id["shim"].slices == 1  # the shim ignores the slice budget...
+    assert by_id["resumable"].slices > 1  # ...the registered oracle does not
 
 
 def test_warm_cache_prepopulates_the_pipeline_lru():
