@@ -19,22 +19,33 @@ machine transitions per scheduler turn, so every response must satisfy
 ``BlockingExecution``-style regression — a backend running its whole program
 inside its first slice — fails this gate immediately.
 
+With ``--pool`` a third section exercises the multi-process
+:class:`~repro.serve.pool.WorkerPool`: the same mixed batch sharded across
+worker processes (gated identical to the sequential baseline), plus a
+*repeated-program* batch that pins one program to each worker in turn via
+per-request affinity keys — the first worker compiles and **publishes** the
+artifact to the parent-owned shared store, the second **imports** it instead
+of recompiling, and the gate requires at least one such cross-worker
+pipeline-cache hit with the publish/hit counters reported in the JSON.
+
 The module is runnable as a script: it writes machine-readable
 ``BENCH_serving.json`` (batch timings, throughput, interleaving overhead
-ratio, per-request accounting, slice-budget audit) so the serving-perf
-trajectory is tracked across PRs, and with ``--check`` exits non-zero if
-interleaved results diverge from sequential results anywhere, if the
-interleaved batch takes more than ``2×`` the sequential baseline, or if any
-slice of any backend exceeds the slice budget:
+ratio, per-request accounting, slice-budget audit, pool shard/cache
+metrics) so the serving-perf trajectory is tracked across PRs, and with
+``--check`` exits non-zero if interleaved results diverge from sequential
+results anywhere, if the interleaved batch takes more than ``2×`` the
+sequential baseline, if any slice of any backend exceeds the slice budget,
+or (with ``--pool``) if pooled results diverge or no cross-worker cache
+hit was recorded:
 
-    PYTHONPATH=src python benchmarks/bench_serving.py --check
+    PYTHONPATH=src python benchmarks/bench_serving.py --check --pool
 """
 
 import json
 import sys
 import time
 
-from repro.serve import Request, make_default_scheduler
+from repro.serve import Request, WorkerPool, make_default_scheduler
 from repro.util.workloads import (
     nested_ml_affi_boundary as _nested_ml_affi_boundary,
     nested_ml_l3_boundary as _nested_ml_l3_boundary,
@@ -55,6 +66,7 @@ ORACLE_SLICE_STEPS = 64
 #: backend whose step accounting is slightly coarser than its slicing.
 SLICE_BUDGET_TOLERANCE = 1.05
 JSON_REPORT = "BENCH_serving.json"
+POOL_WORKERS = 2
 
 
 def make_requests(deep: int = DEEP, shallow: int = SHALLOW):
@@ -207,6 +219,82 @@ def _best_of(action, repeats: int = REPEATS) -> float:
     return min(timings)
 
 
+def _affinity_for_shard(pool, shard: int, source: str) -> str:
+    """A per-request affinity key that places ``source`` on ``shard``."""
+    for attempt in range(256):
+        key = f"pin-{shard}-{attempt}"
+        if pool.shard_of(Request(language="RefLL", source=source, affinity=key)) == shard:
+            return key
+    raise AssertionError(f"no affinity key found for shard {shard}")
+
+
+def collect_pool_report() -> dict:
+    """The multi-process section: sharded differential + cross-worker cache hits."""
+    requests = make_requests()
+    with WorkerPool(workers=POOL_WORKERS, slice_steps=SLICE_STEPS) as pool:
+        sequential = pool.run_sequential(requests)
+        pooled = pool.run_batch(requests)
+        mismatches = [
+            request.request_id
+            for request, seq, shard in zip(requests, sequential, pooled)
+            if _observable(seq) != _observable(shard)
+        ]
+        pool_seconds = _best_of(lambda: pool.run_batch(requests))
+        sequential_seconds = _best_of(lambda: pool.run_sequential(requests))
+        mixed_stats = pool.cache_stats()
+        shard_load = {}
+        for response in pooled:
+            shard_load[str(response.shard)] = shard_load.get(str(response.shard), 0) + 1
+
+    # Repeated-program batch: the same hot program deliberately spread across
+    # every worker via affinity keys.  Worker 0 compiles and publishes; every
+    # other worker must import the published artifact instead of recompiling —
+    # the cross-worker pipeline-cache hit this benchmark gates on.
+    hot_source = _nested_refll_boundary(DEEP)
+    with WorkerPool(workers=POOL_WORKERS, slice_steps=SLICE_STEPS) as pool:
+        rounds = []
+        for shard in range(POOL_WORKERS):
+            key = _affinity_for_shard(pool, shard, hot_source)
+            batch = [
+                Request(language="RefLL", source=hot_source, affinity=key, request_id=f"hot-{shard}-{copy}")
+                for copy in range(3)
+            ]
+            rounds.append(pool.run_batch(batch))
+        repeated_stats = pool.cache_stats()
+        repeated_per_request = [
+            {
+                "id": response.request.request_id,
+                "shard": response.shard,
+                "ok": response.ok,
+                "cache_hit": response.cache_hit,
+                "shared_cache_hit": response.shared_cache_hit,
+                "published": response.published,
+                "coalesced": response.coalesced,
+            }
+            for responses in rounds
+            for response in responses
+        ]
+        repeated_mismatches = [
+            response.request.request_id for responses in rounds for response in responses if not response.ok
+        ]
+
+    return {
+        "workers": POOL_WORKERS,
+        "results_match": not mismatches,
+        "mismatches": mismatches,
+        "pool_seconds": pool_seconds,
+        "sequential_seconds": sequential_seconds,
+        "throughput_rps": len(requests) / pool_seconds,
+        "shard_load": shard_load,
+        "mixed_batch_cache": mixed_stats,
+        "repeated_program_cache": repeated_stats,
+        "repeated_program_ok": not repeated_mismatches,
+        "repeated_program_per_request": repeated_per_request,
+        "cross_worker_cache_hits": repeated_stats["cross_worker_hits"],
+        "publishes": repeated_stats["publishes"],
+    }
+
+
 def collect_json_report() -> dict:
     scheduler = make_default_scheduler(slice_steps=SLICE_STEPS)
     requests = make_requests()
@@ -319,10 +407,13 @@ def test_oracle_batch_respects_the_slice_budget():
 
 def main(argv) -> int:
     check = "--check" in argv
+    with_pool = "--pool" in argv
     output = JSON_REPORT
     if "--output" in argv:
         output = argv[argv.index("--output") + 1]
     report = collect_json_report()
+    if with_pool:
+        report["pool"] = collect_pool_report()
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -333,6 +424,15 @@ def main(argv) -> int:
         f"interleaved {report['interleaved_seconds'] * 1e3:.1f}ms "
         f"({report['throughput_rps']:.0f} req/s, overhead ratio {ratio:.2f}x)"
     )
+    if with_pool:
+        pool_report = report["pool"]
+        cache = pool_report["repeated_program_cache"]
+        print(
+            f"pool ({pool_report['workers']} workers): batch {pool_report['pool_seconds'] * 1e3:.1f}ms "
+            f"({pool_report['throughput_rps']:.0f} req/s), shard load {pool_report['shard_load']}, "
+            f"shared cache: {cache['publishes']} published, {cache['hits']} hits "
+            f"({cache['cross_worker_hits']} cross-worker)"
+        )
     print(f"wrote {output}")
 
     failed = False
@@ -367,6 +467,26 @@ def main(argv) -> int:
             file=sys.stderr,
         )
         failed = True
+    if with_pool:
+        pool_report = report["pool"]
+        if pool_report["mismatches"]:
+            print(
+                "MISMATCH: pooled results diverge from sequential on: "
+                + ", ".join(pool_report["mismatches"]),
+                file=sys.stderr,
+            )
+            failed = True
+        if not pool_report["repeated_program_ok"]:
+            print("REGRESSION: repeated-program pool batch had failing requests", file=sys.stderr)
+            failed = True
+        if pool_report["cross_worker_cache_hits"] < 1 or pool_report["publishes"] < 1:
+            print(
+                "REGRESSION: the repeated-program batch recorded no cross-worker "
+                f"pipeline-cache hit (publishes={pool_report['publishes']}, "
+                f"cross_worker_hits={pool_report['cross_worker_cache_hits']})",
+                file=sys.stderr,
+            )
+            failed = True
     return 1 if (check and failed) else 0
 
 

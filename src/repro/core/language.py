@@ -40,6 +40,31 @@ StartFn = Callable[..., Any]
 CacheKey = Tuple[str, str, tuple]
 
 
+def pipeline_cache_key(language: str, source: str, typecheck_kwargs: Optional[Dict[str, Any]] = None) -> Optional[CacheKey]:
+    """The pipeline-cache key for a submission, or ``None`` when unkeyable.
+
+    This is the *protocol-level* key format shared by every
+    :class:`LanguageFrontend` LRU and by the cross-process pipeline-cache
+    store (:mod:`repro.serve.pool`): a parent process can compute the key a
+    worker's frontend will use without holding that frontend.  ``None``
+    means a typecheck argument has no reliable value-equality surrogate, so
+    the submission bypasses every cache (a wrong hit would return code
+    compiled against a different typing context).
+
+    Note the key does **not** name the interoperability *system*: two systems
+    may serve the same language name with different compilers (MiniML lives
+    in both §4 and §5), so any store shared across systems must pair this key
+    with the system name.
+    """
+    if not typecheck_kwargs:
+        return (language, source, ())
+    try:
+        frozen = tuple(sorted((name, _freeze(value)) for name, value in typecheck_kwargs.items()))
+    except TypeError:
+        return None
+    return (language, source, frozen)
+
+
 def _freeze(value: Any) -> Any:
     """Build a hashable *value-equality* surrogate for a typecheck argument.
 
@@ -95,6 +120,7 @@ class LanguageFrontend:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_imports: int = 0
     _cache: "OrderedDict[CacheKey, CompiledUnit]" = field(default_factory=OrderedDict, repr=False)
 
     def pipeline(self, source: str, **typecheck_kwargs: Any) -> "CompiledUnit":
@@ -126,13 +152,42 @@ class LanguageFrontend:
         return unit
 
     def _cache_key(self, source: str, typecheck_kwargs: Dict[str, Any]) -> Optional[CacheKey]:
-        if not typecheck_kwargs:
-            return (self.name, source, ())
-        try:
-            frozen = tuple(sorted((name, _freeze(value)) for name, value in typecheck_kwargs.items()))
-        except TypeError:
-            return None
-        return (self.name, source, frozen)
+        return pipeline_cache_key(self.name, source, typecheck_kwargs)
+
+    # -- cross-process cache sharing hooks ------------------------------------
+
+    def cache_key(self, source: str, typecheck_kwargs: Optional[Dict[str, Any]] = None) -> Optional[CacheKey]:
+        """The LRU key :meth:`pipeline` would use (``None`` = uncacheable)."""
+        return pipeline_cache_key(self.name, source, dict(typecheck_kwargs or {}))
+
+    def export_cache_entry(self, key: CacheKey) -> Optional["CompiledUnit"]:
+        """The cached unit under ``key``, or ``None`` — without touching LRU
+        order or the hit/miss counters (exports are bookkeeping, not use)."""
+        return self._cache.get(key)
+
+    def import_cache_entry(self, key: CacheKey, unit: "CompiledUnit") -> bool:
+        """Insert an externally-compiled unit under ``key``; True if inserted.
+
+        This is the receiving side of cross-process pipeline-cache sharing: a
+        worker imports ``(key, unit)`` pairs another process compiled and
+        published, so its next :meth:`pipeline` call for that key is a hit
+        without re-running parse → typecheck → compile.  A key that is
+        already cached is left alone (the resident unit keeps its identity,
+        which the machine-level compiled memos key on) and refreshed in LRU
+        order.  Imports count in ``cache_imports``, not as hits or misses,
+        and evict past ``cache_capacity`` like any other insertion.
+        """
+        if not self.cache_enabled or key is None:
+            return False
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return False
+        self._cache[key] = unit
+        self.cache_imports += 1
+        while self._cache and self.cache_capacity is not None and len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+            self.cache_evictions += 1
+        return True
 
     def _run_pipeline(self, source: str, **typecheck_kwargs: Any) -> "CompiledUnit":
         term = self.parse_expr(source)
@@ -145,6 +200,7 @@ class LanguageFrontend:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self.cache_imports = 0
 
     def cache_stats(self) -> Dict[str, int]:
         return {
@@ -152,6 +208,7 @@ class LanguageFrontend:
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "evictions": self.cache_evictions,
+            "imports": self.cache_imports,
             "capacity": self.cache_capacity,
         }
 

@@ -22,6 +22,18 @@ Every backend also registers a *resumable execution* factory: all four
 machines support ``step_n(limit)`` bounded slicing, so the serving layer can
 interleave an oracle-backed differential request next to compiled fast-path
 requests with the same bounded per-turn latency for each.
+
+Cross-process contract (what the worker pool relies on): the **picklable
+compiled-program handle** for every LCVM backend is the compiled *syntax*
+(``CompiledUnit.target_code`` — plain frozen dataclasses), never the
+machine-level artifacts.  The compiled-dispatch handler graphs that
+``cek-compiled`` builds are process-local closures, memoized per program
+object (:func:`repro.lcvm.cek.compile_node`); a worker that imports a
+pickled unit from another process runs it by rebuilding the handler graph
+locally on first execution — same semantics, one extra compile per process,
+no closure ever crossing a pipe.  Execution objects mid-run hold runtime
+closures too and are deliberately not shared across processes; requests
+migrate between workers only at batch boundaries.
 """
 
 from __future__ import annotations

@@ -13,11 +13,19 @@ multi-tenant service front:
   one asyncio event loop, none exceeding ``slice_steps`` transitions per
   turn;
 * :class:`~repro.serve.scheduler.Scheduler` — admission, language routing
-  across the three case-study systems, batch serving (interleaved or
-  sequential), and cross-request pipeline-cache warming.
+  across the three case-study systems, batch serving (interleaved,
+  sequential, or batched — identical requests coalesced onto one VM
+  instance), and cross-request pipeline-cache warming;
+* :class:`~repro.serve.pool.WorkerPool` — the multi-*process* layer:
+  request batches sharded across N worker processes (deterministic
+  program-hash placement, per-request ``affinity`` override), with a
+  parent-owned store sharing pickled pipeline artifacts between workers so
+  a program compiled on one worker warms all of them, and per-shard crash
+  isolation.
 """
 
 from repro.serve.driver import DrivenResult, StepSlicedDriver
+from repro.serve.pool import WorkerPool, default_scheduler_factory
 from repro.serve.request import DEFAULT_FUEL, Request, Response
 from repro.serve.scheduler import PreparedRequest, Scheduler, make_default_scheduler
 
@@ -29,5 +37,7 @@ __all__ = [
     "Response",
     "Scheduler",
     "StepSlicedDriver",
+    "WorkerPool",
+    "default_scheduler_factory",
     "make_default_scheduler",
 ]

@@ -9,6 +9,14 @@ round-robin on a single OS thread with no shared machine state.  Fuel stays
 per-execution: a request that exhausts its own budget fails alone, in its
 own slice, without disturbing its neighbours.
 
+The module's contract is the bounded-latency invariant: for every driven
+execution, ``steps ≤ slices × slice_steps`` — a backend can never advance
+more machine transitions than the turns it was granted allow, whatever its
+neighbours do.  The serving tests assert the inequality per response and
+``bench_serving.py --check`` gates it in CI; a backend that runs to
+completion inside one slice (the old ``BlockingExecution`` behaviour)
+violates it on any deep program.
+
 Four entry points:
 
 * :meth:`StepSlicedDriver.run_batch` — the production path: one fresh

@@ -1,0 +1,458 @@
+"""Multi-process serving: a sharded worker pool with cross-process cache sharing.
+
+One :class:`~repro.serve.scheduler.Scheduler` interleaves many resumable
+executions on one asyncio loop — but on one OS process, behind the GIL, with
+backend heaps and pipeline LRUs confined to that process.  The
+:class:`WorkerPool` is the scale-out layer above it: it shards
+:class:`~repro.serve.request.Request` batches across N worker processes,
+each running its own ``Scheduler`` + ``StepSlicedDriver`` loop, and keeps
+the hot-program pipeline cache *shared* between them.
+
+Three mechanisms, all deterministic and all accounted per request:
+
+* **Sharding** — each request lands on ``sha256(system, language, source) %
+  workers`` (process-stable, unlike built-in ``hash``), so repeat
+  submissions of a program return to the same, already-warm worker;
+  ``request.affinity`` overrides the key per request to pin related
+  requests together or spread a hot program deliberately.
+* **Cross-process pipeline-cache sharing** — when a worker's compile is an
+  LRU miss, it *publishes* the pickled
+  :class:`~repro.core.language.CompiledUnit` back to a parent-owned store
+  keyed by ``(system, language, source, frozen typecheck kwargs)``; at every
+  dispatch the parent sends each shard the stored artifacts its batch needs,
+  and the worker imports them into its frontend LRUs
+  (:meth:`~repro.core.language.LanguageFrontend.import_cache_entry`), so a
+  program compiled on one worker warms all of them.  An artifact that fails
+  to pickle (third-party compilers may close over functions) is simply not
+  published — other workers fall back to compiling from source, never to a
+  wrong artifact.  Hits, cross-worker hits, misses, publishes, and
+  unpicklable publishes are counted in :meth:`WorkerPool.cache_stats` and
+  surfaced per request on the :class:`~repro.serve.request.Response`
+  (``shared_cache_hit`` / ``published`` / ``shard``).
+* **Batched boundary crossings** — inside each shard the worker serves its
+  slice of the batch with :meth:`~repro.serve.scheduler.Scheduler.serve_batched`,
+  so identical requests (same program, typecheck environments, backend, and
+  fuel) share one VM instance and pay the pipeline/start/run cost once;
+  ``response.coalesced`` preserves the per-request accounting.
+
+Crash isolation: a worker process that dies mid-batch fails only the
+requests of its own shard (their responses carry an ``error``); the parent
+respawns the worker — which re-warms from the shared store, not from
+scratch — and every other shard's responses are unaffected.
+
+Workers are spawned with the ``spawn`` start method (no inherited state, the
+portable choice), which requires ``scheduler_factory`` to be an importable
+module-level callable; the default builds the stock three-system scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ReproError
+from repro.serve.request import Request, Response
+from repro.serve.scheduler import Scheduler, StoreKey, make_default_scheduler
+
+__all__ = ["WorkerPool", "default_scheduler_factory"]
+
+
+def default_scheduler_factory(slice_steps: int) -> Scheduler:
+    """The stock per-worker scheduler: all three case-study systems."""
+    return make_default_scheduler(slice_steps=slice_steps)
+
+
+def _shard_key(request: Request, router: Optional[Scheduler] = None) -> str:
+    if request.affinity is not None:
+        return request.affinity
+    system = request.system or ""
+    if router is not None:
+        # Hash the *routed* system, not the raw field: a request that spells
+        # the system explicitly and one that routes there implicitly are the
+        # same program and must land on the same warm worker.  Unroutable
+        # requests keep the raw spelling (they fail identically anywhere).
+        try:
+            system, _ = router.route(request)
+        except ReproError:
+            pass
+    return "\x00".join((system, request.language, request.source))
+
+
+def shard_of(request: Request, workers: int, router: Optional[Scheduler] = None) -> int:
+    """The deterministic shard for ``request`` among ``workers`` workers.
+
+    Uses sha256 rather than built-in ``hash`` so the placement is stable
+    across processes and interpreter runs (``PYTHONHASHSEED`` randomizes
+    ``hash`` per process, which would defeat warm-worker affinity).  Pass a
+    routing scheduler to canonicalize the system name before hashing (the
+    pool always does); without one, the raw ``request.system`` spelling is
+    hashed as-is.
+    """
+    digest = hashlib.sha256(_shard_key(request, router).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % workers
+
+
+# -- the worker side ----------------------------------------------------------
+
+
+def _worker_main(connection, slice_steps: int, scheduler_factory, shard: int) -> None:
+    """One worker process: serve shard batches until told to stop.
+
+    Messages in: ``("serve", entries, warm, known, sequential, batched)``
+    with ``entries`` index-tagged requests, ``warm`` the shared-store
+    artifacts this batch can use, and ``known`` the store keys the parent
+    already holds (so the worker never re-publishes them);  ``("stop",)``
+    exits the loop.  Messages out: ``("ok", results, publishes)`` or
+    ``("error", message)`` — an exception escaping one batch fails that
+    batch, not the worker.
+    """
+    scheduler = scheduler_factory(slice_steps)
+    while True:
+        message = connection.recv()
+        if message[0] == "stop":
+            break
+        _tag, entries, warm, known, sequential, batched = message
+        try:
+            reply = _serve_shard(scheduler, shard, entries, warm, known, sequential, batched)
+        except Exception as error:  # noqa: BLE001 — a batch bug must not kill the worker
+            connection.send(("error", f"{type(error).__name__}: {error}"))
+            continue
+        connection.send(reply)
+
+
+def _serve_shard(
+    scheduler: Scheduler,
+    shard: int,
+    entries: Sequence[Tuple[int, Request]],
+    warm: Sequence[Tuple[StoreKey, bytes]],
+    known: Sequence[StoreKey],
+    sequential: bool,
+    batched: bool,
+) -> tuple:
+    """Serve one shard batch and report responses plus publishable artifacts."""
+    imported: Set[StoreKey] = set()
+    for store_key, payload in warm:
+        try:
+            unit = pickle.loads(payload)
+        except Exception:  # a stale/foreign payload falls back to compilation
+            continue
+        if scheduler.import_cache_entry(store_key, unit):
+            imported.add(store_key)
+
+    requests = [request for _index, request in entries]
+    keys = [scheduler.pipeline_key(request) for request in requests]
+    if batched:
+        responses = scheduler.serve_batched(requests, sequential=sequential)
+    else:
+        responses = scheduler.serve(requests, sequential=sequential)
+
+    publishes: List[Tuple[StoreKey, Optional[bytes]]] = []
+    # Keys the store already holds must not be re-exported, re-pickled, or
+    # re-flagged as published — the parent would only discard them.
+    already_published: Set[StoreKey] = set(known)
+    for response, store_key in zip(responses, keys):
+        response.shard = shard
+        if store_key is None:
+            continue
+        if store_key in imported:
+            response.shared_cache_hit = True
+        elif response.error is None and store_key not in already_published:
+            unit = scheduler.export_cache_entry(store_key)
+            if unit is None:
+                continue
+            already_published.add(store_key)
+            try:
+                payload = pickle.dumps(unit)
+            except Exception:  # unpicklable artifact: others recompile from source
+                payload = None
+            publishes.append((store_key, payload))
+            response.published = payload is not None
+    results = [(index, response) for (index, _request), response in zip(entries, responses)]
+    return ("ok", results, publishes)
+
+
+# -- the parent side ----------------------------------------------------------
+
+
+@dataclass
+class _StoreEntry:
+    """One shared-store artifact: the pickled unit plus its publisher shard."""
+
+    payload: bytes
+    publisher: int
+
+
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    __slots__ = ("process", "connection")
+
+    def __init__(self, process, connection):
+        self.process = process
+        self.connection = connection
+
+
+class WorkerPool:
+    """Shards request batches across worker processes, sharing the hot cache.
+
+    ``workers`` fixes the shard count (the sharding function is deterministic
+    in it).  ``scheduler_factory`` must be a picklable module-level callable
+    ``(slice_steps) -> Scheduler``; it runs once in every worker *and* once
+    in the parent, whose scheduler routes requests for sharding/cache keys
+    and doubles as the sequential differential baseline
+    (:meth:`run_sequential`).  Workers start lazily on the first batch and
+    are respawned transparently if they crash.  Use as a context manager or
+    call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        slice_steps: int = 512,
+        scheduler_factory=default_scheduler_factory,
+        batched: bool = True,
+        start_method: str = "spawn",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.slice_steps = slice_steps
+        self.batched = batched
+        self._factory = scheduler_factory
+        self._context = multiprocessing.get_context(start_method)
+        self._router = scheduler_factory(slice_steps)
+        self._pool: List[Optional[_Worker]] = [None] * workers
+        self._store: Dict[StoreKey, _StoreEntry] = {}
+        #: Artifacts already shipped to a shard are not re-sent every batch;
+        #: a respawned worker starts cold, so its deliveries are forgotten on
+        #: crash.  (A worker that *evicted* a delivered entry from its LRU
+        #: simply recompiles — correct, one redundant compile.)
+        self._delivered: Set[Tuple[int, StoreKey]] = set()
+        #: Keys whose artifact failed to pickle are remembered so workers are
+        #: told not to try exporting them again batch after batch; each
+        #: distinct unpicklable artifact counts once in ``unpicklable``.
+        self._unpicklable: Set[StoreKey] = set()
+        self._stats = {
+            "hits": 0,
+            "cross_worker_hits": 0,
+            "misses": 0,
+            "publishes": 0,
+            "unpicklable": 0,
+            "worker_crashes": 0,
+        }
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker; the pool cannot be used afterwards."""
+        self._closed = True
+        for shard, worker in enumerate(self._pool):
+            if worker is None:
+                continue
+            try:
+                worker.connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            worker.connection.close()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            self._pool[shard] = None
+
+    def _worker(self, shard: int) -> _Worker:
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        worker = self._pool[shard]
+        if worker is not None and not worker.process.is_alive():
+            # Died between batches (OOM kill, segfault): same bookkeeping as a
+            # mid-batch crash — close the stale pipe, count it, and forget the
+            # shard's deliveries so the respawn is re-warmed from the store.
+            self._crash(shard)
+            worker = None
+        if worker is None:
+            parent_end, child_end = self._context.Pipe()
+            process = self._context.Process(
+                target=_worker_main,
+                args=(child_end, self.slice_steps, self._factory, shard),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            worker = _Worker(process, parent_end)
+            self._pool[shard] = worker
+        return worker
+
+    def _crash(self, shard: int) -> None:
+        self._stats["worker_crashes"] += 1
+        worker = self._pool[shard]
+        if worker is not None:
+            worker.connection.close()
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(timeout=5)
+        self._pool[shard] = None  # next use respawns, re-warmed from the store
+        self._delivered = {entry for entry in self._delivered if entry[0] != shard}
+
+    # -- sharding -------------------------------------------------------------
+
+    def shard_of(self, request: Request) -> int:
+        """The worker index ``request`` is routed to (deterministic)."""
+        return shard_of(request, self.workers, self._router)
+
+    # -- serving --------------------------------------------------------------
+
+    def run_batch(self, requests: Sequence[Request], sequential_shards: bool = False) -> List[Response]:
+        """Shard a batch across the workers; responses in request order.
+
+        Every shard's slice is dispatched before any reply is collected, so
+        the shards execute in parallel across processes.  Within a shard the
+        worker interleaves its requests on one loop (or serves them
+        sequentially with ``sequential_shards=True`` — the per-shard
+        differential baseline) and coalesces identical requests onto one VM
+        instance when the pool was built with ``batched=True``.
+
+        A worker that crashes mid-batch fails only its own shard: those
+        responses carry an ``error`` naming the crash, every other shard is
+        unaffected, and the worker is respawned for the next batch.
+        """
+        responses: List[Optional[Response]] = [None] * len(requests)
+        shards: Dict[int, List[Tuple[int, Request]]] = {}
+        for index, request in enumerate(requests):
+            shards.setdefault(self.shard_of(request), []).append((index, request))
+
+        keymap: Dict[int, StoreKey] = {}
+        dispatched: Dict[int, List[Tuple[int, Request]]] = {}
+        for shard in sorted(shards):
+            entries = shards[shard]
+            # Obtain the worker first: if the previous incarnation died at
+            # idle, the respawn bookkeeping (forgetting the shard's
+            # deliveries) must run before the warm set is computed, so the
+            # fresh worker is re-warmed from the store in this very batch.
+            worker = self._worker(shard)
+            warm, known = self._warm_entries(shard, entries, keymap)
+            try:
+                worker.connection.send(
+                    ("serve", entries, warm, known, sequential_shards, self.batched)
+                )
+            except (BrokenPipeError, OSError):
+                self._crash(shard)
+                self._fail_shard(responses, shard, entries, "worker rejected the batch")
+                continue
+            self._delivered.update((shard, store_key) for store_key, _payload in warm)
+            dispatched[shard] = entries
+
+        for shard in sorted(dispatched):
+            entries = dispatched[shard]
+            try:
+                reply = self._pool[shard].connection.recv()
+            except (EOFError, OSError):
+                self._crash(shard)
+                self._fail_shard(responses, shard, entries, "worker crashed while serving the batch")
+                continue
+            if reply[0] == "error":
+                self._fail_shard(responses, shard, entries, reply[1])
+                continue
+            _tag, results, publishes = reply
+            self._absorb(shard, publishes)
+            for index, response in results:
+                if response.published:
+                    # First publisher wins: a shard whose publish the store
+                    # discarded (another shard published the same key earlier
+                    # in this batch, or the pickle failed) did not publish.
+                    entry = self._store.get(keymap.get(index))
+                    response.published = entry is not None and entry.publisher == shard
+                if response.shared_cache_hit:
+                    self._stats["hits"] += 1
+                    entry = self._store.get(keymap.get(index))
+                    if entry is not None and entry.publisher != shard:
+                        self._stats["cross_worker_hits"] += 1
+                responses[index] = response
+        return responses  # type: ignore[return-value]
+
+    def run_sequential(self, requests: Sequence[Request]) -> List[Response]:
+        """The single-process differential baseline: the parent's own
+        scheduler drives the whole batch sequentially, no sharding, no
+        cache sharing, no coalescing."""
+        return self._router.serve_sequential(requests)
+
+    def _fail_shard(self, responses, shard: int, entries, message: str) -> None:
+        for index, request in entries:
+            failed = Response(request=request)
+            failed.shard = shard
+            failed.error = f"shard {shard}: {message}"
+            responses[index] = failed
+
+    # -- the shared store -----------------------------------------------------
+
+    def _warm_entries(self, shard: int, entries, keymap: Dict[int, StoreKey]):
+        """``(warm, known)`` for one shard batch, store misses counted.
+
+        ``warm`` carries the payloads the worker is missing; artifacts the
+        shard already received are not re-shipped (the worker holds them in
+        its LRUs).  ``known`` lists every store-resident key the batch
+        touches — payload or not — so the worker never re-publishes an
+        artifact the store already holds.  A store lookup that finds nothing
+        counts as one miss per unique key per batch.
+        """
+        warm: List[Tuple[StoreKey, bytes]] = []
+        known: List[StoreKey] = []
+        seen: Set[StoreKey] = set()
+        for index, request in entries:
+            store_key = self._router.pipeline_key(request)
+            if store_key is None:
+                continue
+            keymap[index] = store_key
+            if store_key in seen:
+                continue
+            seen.add(store_key)
+            entry = self._store.get(store_key)
+            if entry is None:
+                if store_key in self._unpicklable:
+                    # Known-unshareable: the worker recompiles from source and
+                    # must not waste a failing export/pickle attempt on it.
+                    known.append(store_key)
+                else:
+                    self._stats["misses"] += 1
+                continue
+            known.append(store_key)
+            if (shard, store_key) not in self._delivered:
+                warm.append((store_key, entry.payload))
+        return warm, known
+
+    def _absorb(self, shard: int, publishes) -> None:
+        for store_key, payload in publishes:
+            if payload is None:
+                if store_key not in self._unpicklable:
+                    self._unpicklable.add(store_key)
+                    self._stats["unpicklable"] += 1
+                continue
+            if store_key in self._store:
+                continue  # first publisher wins; racing workers agree anyway
+            self._store[store_key] = _StoreEntry(payload, shard)
+            # The publisher compiled it itself; never ship the payload back.
+            self._delivered.add((shard, store_key))
+            self._stats["publishes"] += 1
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Shared pipeline-cache counters, pool-wide.
+
+        ``hits`` counts requests whose compile was served by an artifact from
+        the shared store (``cross_worker_hits``: published by a *different*
+        worker than the one serving — the pure cross-process wins);
+        ``misses`` counts unique store lookups that found nothing,
+        ``publishes`` artifacts accepted into the store, ``unpicklable``
+        publish attempts dropped because the artifact would not pickle, and
+        ``worker_crashes`` shard failures that triggered a respawn.
+        """
+        return {"entries": len(self._store), **self._stats}

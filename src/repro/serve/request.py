@@ -13,6 +13,16 @@ A :class:`Response` pairs the request with its observable outcome and the
 per-request accounting: the resolved system/backend, machine step count,
 scheduler slice count, pipeline/run timings, and the frontend cache's view
 of the compile (hit or miss, plus a stats snapshot taken right after it).
+
+Multi-process serving (:mod:`repro.serve.pool`) adds two knobs and four
+accounting fields.  ``Request.affinity`` overrides the pool's deterministic
+program-hash sharding so a caller can pin related requests to one worker (or
+deliberately spread a hot program across workers).  On the response side,
+``shard`` records the worker that served the request, ``shared_cache_hit`` /
+``published`` record this request's traffic against the cross-process
+pipeline-cache store, and ``coalesced`` records how many identical requests
+shared one VM instance with this one.  All four stay at their defaults for
+single-process serving, so a :class:`Response` reads the same either way.
 """
 
 from __future__ import annotations
@@ -39,6 +49,13 @@ class Request:
     #: system (MiniML appears in both the §4 and §5 case studies).
     system: Optional[str] = None
     request_id: Optional[str] = None
+    #: Worker-pool placement override.  ``None`` shards by a deterministic
+    #: hash of ``(system, language, source)`` — repeat submissions of a
+    #: program land on the same, already-warm worker.  Setting a key reroutes
+    #: by ``hash(affinity)`` instead: give related requests one key to pin
+    #: them together, or distinct keys to spread a hot program across
+    #: workers.  Single-process scheduling ignores it.
+    affinity: Optional[str] = None
 
     def label(self) -> str:
         return self.request_id or f"{self.system or '?'}/{self.language}"
@@ -70,6 +87,22 @@ class Response:
     run_seconds: float = 0.0
     cache_hit: bool = False
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Index of the worker-pool shard that served the request (``None`` when
+    #: served in-process by a :class:`~repro.serve.scheduler.Scheduler`).
+    shard: Optional[int] = None
+    #: True when this request's compile was satisfied by an artifact another
+    #: worker process compiled and published to the pool's shared store (the
+    #: cross-process cache *hit* counter; ``cache_hit`` then reports the
+    #: resulting in-process LRU hit).  False + ``cache_hit`` False = miss.
+    shared_cache_hit: bool = False
+    #: True when this request's compile produced a new artifact that was
+    #: published to the pool's shared store (the *publish* counter).
+    published: bool = False
+    #: Number of identical requests (same system, program, typecheck
+    #: environments, backend, and fuel) served by the one VM instance that
+    #: produced this response — 1 means the request ran alone.  Coalesced
+    #: responses share the representative run's result and accounting.
+    coalesced: int = 1
 
     @property
     def ok(self) -> bool:

@@ -32,18 +32,40 @@ Cross-request cache warming: :meth:`Scheduler.warm_cache` pushes a
 hot-program list through the pipelines ahead of traffic, so the first real
 request for a hot program hits the LRU instead of re-running
 parse → typecheck → compile.
+
+Batched boundary crossings: :meth:`Scheduler.serve_batched` coalesces
+requests that agree on system, program, typecheck environments, backend,
+and fuel onto one VM instance per group — the built-in machines are
+deterministic, so outcomes equal :meth:`Scheduler.serve`'s while duplicates
+skip the pipeline, start, and run cost.
+
+Cross-process sharing hooks: :meth:`Scheduler.pipeline_key` /
+:meth:`Scheduler.export_cache_entry` / :meth:`Scheduler.import_cache_entry`
+address the frontend LRUs by ``(system, frontend cache key)`` — the store
+key format of :class:`repro.serve.pool.WorkerPool`'s parent-owned shared
+cache.  The system name is part of the key on purpose: two systems may
+serve one language name with different compilers, and an artifact must
+never cross that namespace.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.core.interop import InteropSystem
+from repro.core.language import CacheKey, CompiledUnit
 from repro.serve.driver import StepSlicedDriver
 from repro.serve.request import Request, Response
+
+#: A cross-process pipeline-cache store key: the frontend LRU key paired with
+#: the *system* name — two systems may serve the same language name with
+#: different compilers (MiniML lives in both §4 and §5), so the bare frontend
+#: key must never be shared across systems.
+StoreKey = Tuple[str, CacheKey]
 
 #: A warm-list entry: a full request or a bare ``(language, source)`` pair
 #: (optionally ``(language, source, typecheck_kwargs)``).
@@ -226,6 +248,107 @@ class Scheduler:
 
     def serve_sequential(self, requests: Sequence[Request]) -> List[Response]:
         return self.serve(requests, sequential=True)
+
+    # -- batched boundary crossings -------------------------------------------
+
+    def batch_key(self, request: Request) -> Optional[Tuple[StoreKey, Optional[str], int]]:
+        """The coalescing key for ``request``, or ``None`` when it must run alone.
+
+        Two requests may share one VM instance only when *everything* that
+        determines the run is identical: the routed system, the pipeline
+        cache key (language, source, frozen typecheck kwargs), the resolved
+        backend, and the fuel budget.  The backend must also have a
+        registered resumable-execution factory — that marks the built-in
+        deterministic machines, whereas a third-party backend registered
+        without one makes no determinism promise, so its requests never
+        coalesce.
+        """
+        try:
+            system_name, system = self.route(request)
+        except ReproError:
+            return None
+        frontend = system.frontend(request.language)
+        key = frontend.cache_key(request.source, dict(request.typecheck_kwargs))
+        if key is None:
+            return None
+        backend = request.backend if request.backend is not None else system.target.default_backend
+        if backend not in system.target.executions:
+            return None
+        return ((system_name, key), backend, request.fuel)
+
+    def serve_batched(self, requests: Sequence[Request], sequential: bool = False) -> List[Response]:
+        """Serve a batch, running identical requests on one VM instance each.
+
+        Requests that agree on system, program, typecheck environments,
+        backend, and fuel are grouped; one *representative* per group is
+        compiled, started, and driven (interleaved with every other group's
+        representative, or sequentially when ``sequential=True``), and the
+        other members receive a copy of its response — same result object,
+        same step/slice/timing accounting, with ``response.coalesced``
+        recording the group size on every member.  Built-in backends are
+        deterministic machines, so the observable outcomes are identical to
+        :meth:`serve`; what the batch saves is the pipeline, start, and run
+        cost of the duplicates.  Requests with no coalescing key (unroutable,
+        uncacheable typecheck kwargs, factoryless backend) run alone,
+        exactly as under :meth:`serve`.
+        """
+        groups: "OrderedDict[Any, List[int]]" = OrderedDict()
+        for index, request in enumerate(requests):
+            key = self.batch_key(request)
+            groups.setdefault(("solo", index) if key is None else key, []).append(index)
+        representatives = [requests[members[0]] for members in groups.values()]
+        served = self.serve(representatives, sequential=sequential)
+        responses: List[Optional[Response]] = [None] * len(requests)
+        for members, response in zip(groups.values(), served):
+            response.coalesced = len(members)
+            responses[members[0]] = response
+            for member in members[1:]:
+                responses[member] = replace(response, request=requests[member])
+        return responses  # type: ignore[return-value]
+
+    # -- cross-process cache sharing ------------------------------------------
+
+    def pipeline_key(self, request: Request) -> Optional[StoreKey]:
+        """The shared-store key for ``request``'s compile, or ``None``.
+
+        ``None`` means the request cannot participate in cross-process cache
+        sharing — it does not route, or a typecheck argument has no reliable
+        value-equality surrogate — and must be compiled from source wherever
+        it lands.
+        """
+        try:
+            system_name, system = self.route(request)
+        except ReproError:
+            return None
+        frontend = system.frontend(request.language)
+        key = frontend.cache_key(request.source, dict(request.typecheck_kwargs))
+        if key is None:
+            return None
+        return (system_name, key)
+
+    def export_cache_entry(self, store_key: StoreKey) -> Optional[CompiledUnit]:
+        """The cached unit under a shared-store key, or ``None``."""
+        system_name, key = store_key
+        system = self.systems.get(system_name)
+        if system is None:
+            return None
+        try:
+            frontend = system.frontend(key[0])
+        except ReproError:
+            return None
+        return frontend.export_cache_entry(key)
+
+    def import_cache_entry(self, store_key: StoreKey, unit: CompiledUnit) -> bool:
+        """Insert a unit compiled elsewhere into the right frontend LRU."""
+        system_name, key = store_key
+        system = self.systems.get(system_name)
+        if system is None:
+            return False
+        try:
+            frontend = system.frontend(key[0])
+        except ReproError:
+            return False
+        return frontend.import_cache_entry(key, unit)
 
     def submit(self, request: Request) -> Response:
         """Serve a single request (a batch of one)."""

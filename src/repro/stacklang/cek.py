@@ -716,9 +716,17 @@ class CompiledExecution:
     is just ``(pc, op-state, steps)``, so a scheduler can interleave many
     executions on one loop; the observable result is identical to an
     uninterrupted :func:`run_compiled` regardless of slicing.
+
+    Executions are **picklable, mid-run included**: the compiled op array is
+    a graph of process-local closures and never crosses a process boundary —
+    ``__getstate__`` drops it and keeps ``program`` (plain syntax, the
+    picklable handle) plus the op-state, and ``__setstate__`` recompiles.
+    Compilation is deterministic, so the restored op array has the same
+    layout and the saved ``pc`` (and every :class:`CThunkV` entry pc in the
+    state) stays valid; the resumed run is observably identical.
     """
 
-    __slots__ = ("fuel", "steps", "result", "_code", "_heap_cells", "_st", "_pc")
+    __slots__ = ("fuel", "steps", "result", "program", "_code", "_heap_cells", "_st", "_pc")
 
     def __init__(
         self,
@@ -730,7 +738,8 @@ class CompiledExecution:
         # Programs are tuples (repro.stacklang.syntax.Program); only those hit
         # the id-keyed memo.  Other sequences compile uncached — caching a
         # per-call ``tuple(...)`` copy would just churn the LRU with dead keys.
-        self._code = compile_program(program) if isinstance(program, tuple) else _compile(tuple(program))
+        self.program = program if isinstance(program, tuple) else tuple(program)
+        self._code = compile_program(program) if isinstance(program, tuple) else _compile(self.program)
         heap_cells: Dict[int, object] = dict(heap or {})
         self._heap_cells = heap_cells
         self._st: _OpState = [
@@ -747,6 +756,31 @@ class CompiledExecution:
         self.fuel = fuel
         self.steps = 0
         self.result: Optional[MachineResult] = None
+
+    # -- pickling (cross-process migration of a possibly-mid-run machine) -----
+
+    def __getstate__(self) -> dict:
+        # The op array is process-local closures; the program is the handle.
+        return {
+            "program": self.program,
+            "st": self._st,
+            "pc": self._pc,
+            "fuel": self.fuel,
+            "steps": self.steps,
+            "result": self.result,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.program = state["program"]
+        # Unpickling makes a fresh program tuple whose id can never be looked
+        # up again; compile uncached rather than churn the id-keyed memo.
+        self._code = _compile(self.program)
+        self._st = state["st"]
+        self._heap_cells = self._st[_HEAP]  # preserve the __init__ aliasing
+        self._pc = state["pc"]
+        self.fuel = state["fuel"]
+        self.steps = state["steps"]
+        self.result = state["result"]
 
     def step_n(self, limit: int) -> Optional[MachineResult]:
         """Run at most ``limit`` instructions; the result when halted, else None."""

@@ -17,7 +17,7 @@ from repro.core import (
     merge_disjoint,
 )
 from repro.core.errors import ModelError, ReproError
-from repro.core.language import LanguageFrontend, TargetBackend
+from repro.core.language import LanguageFrontend, TargetBackend, pipeline_cache_key
 from repro.core.worlds import USED, affine_extends, fresh_location, world_flags
 
 
@@ -306,6 +306,62 @@ def test_pipeline_cache_can_be_disabled_and_cleared():
     frontend.clear_cache()
     frontend.pipeline("(x)")
     assert frontend.cache_stats()["misses"] == 1  # cleared stats, recompiled
+
+
+# -- cross-process cache export/import hooks ----------------------------------
+
+
+def test_pipeline_cache_key_matches_the_frontend_key():
+    frontend = _make_frontend([])
+    assert frontend.cache_key("(x)") == pipeline_cache_key("Toy", "(x)")
+    assert frontend.cache_key("(x)", {"env": {"a": "int"}}) == pipeline_cache_key(
+        "Toy", "(x)", {"env": {"a": "int"}}
+    )
+
+    class Opaque:
+        __hash__ = None
+
+    # Unkeyable kwargs yield None on both sides: such submissions never share.
+    assert frontend.cache_key("(x)", {"env": Opaque()}) is None
+    assert pipeline_cache_key("Toy", "(x)", {"env": Opaque()}) is None
+
+
+def test_export_and_import_cache_entries_round_trip():
+    calls = []
+    producer = _make_frontend(calls)
+    consumer = _make_frontend(calls)
+    unit = producer.pipeline("(x)")
+    key = producer.cache_key("(x)")
+    assert producer.export_cache_entry(key) is unit
+    assert producer.export_cache_entry(("Toy", "(missing)", ())) is None
+
+    # Importing counts as an import (not a hit or miss) and makes the
+    # consumer's next pipeline call a hit without running parse/typecheck.
+    assert consumer.import_cache_entry(key, unit)
+    calls_before = len(calls)
+    assert consumer.pipeline("(x)") is unit
+    assert len(calls) == calls_before
+    stats = consumer.cache_stats()
+    assert (stats["imports"], stats["hits"], stats["misses"]) == (1, 1, 0)
+
+    # Re-importing an already-resident key is a no-op (the resident unit
+    # keeps its identity, which the machine-level compiled memos key on).
+    assert not consumer.import_cache_entry(key, producer.pipeline("(x)"))
+    assert consumer.cache_stats()["imports"] == 1
+
+
+def test_imports_respect_capacity_and_eviction_accounting():
+    frontend = _make_frontend([])
+    frontend.cache_capacity = 2
+    donor = _make_frontend([])
+    for source in ("(a)", "(b)", "(c)"):
+        unit = donor.pipeline(source)
+        assert frontend.import_cache_entry(donor.cache_key(source), unit)
+    stats = frontend.cache_stats()
+    assert (stats["entries"], stats["imports"], stats["evictions"]) == (2, 3, 1)
+    # The disabled cache refuses imports outright.
+    frontend.cache_enabled = False
+    assert not frontend.import_cache_entry(donor.cache_key("(d)"), donor.pipeline("(d)"))
 
 
 def test_target_backend_registry_dispatch():

@@ -631,6 +631,48 @@ def test_warm_cache_prepopulates_the_pipeline_lru():
     assert all(response.ok for response in responses)
 
 
+def test_warm_cache_accounting_across_warm_serve_evict_sequences():
+    """warm_cache's effect is visible in cache_stats(): misses while warming,
+    hits while serving, evictions once the warm set overflows the LRU."""
+    scheduler = make_default_scheduler(slice_steps=32)
+    frontend = scheduler.systems["refs"].frontend("RefLL")
+    frontend.cache_capacity = 2
+    sources = [_nested_refll_boundary(depth) for depth in (2, 3, 4)]
+
+    # Warming 3 programs through a capacity-2 LRU: 3 misses, 1 eviction, and
+    # only the 2 most recently warmed programs stay resident.
+    assert scheduler.warm_cache([("RefLL", source) for source in sources]) == 3
+    stats = scheduler.cache_stats()["refs"]["RefLL"]
+    assert stats["misses"] == 3
+    assert stats["evictions"] == 1
+    assert stats["entries"] == 2
+    assert stats["hits"] == 0
+
+    # Serving a resident program is the hit warm_cache paid for...
+    warm = scheduler.serve([Request(language="RefLL", source=sources[2])])[0]
+    assert warm.ok and warm.cache_hit
+    assert scheduler.cache_stats()["refs"]["RefLL"]["hits"] == 1
+
+    # ...while the evicted program misses, recompiles, and evicts again.
+    evicted = scheduler.serve([Request(language="RefLL", source=sources[0])])[0]
+    assert evicted.ok and not evicted.cache_hit
+    stats = scheduler.cache_stats()["refs"]["RefLL"]
+    assert stats["misses"] == 4
+    assert stats["evictions"] == 2
+    assert stats["entries"] == 2
+
+    # The per-response snapshot taken at admission matches the live counters.
+    assert evicted.cache_stats["misses"] == 4
+
+
+def test_warm_cache_rejects_malformed_hot_entries():
+    scheduler = make_default_scheduler(slice_steps=32)
+    with pytest.raises(Exception):
+        scheduler.warm_cache([("NoSuchLanguage", "(x)")])
+    with pytest.raises(Exception):
+        scheduler.warm_cache([("RefLL", "(this does not parse")])
+
+
 # ---------------------------------------------------------------------------
 # Hypothesis: results are independent of the interleaving order
 # ---------------------------------------------------------------------------

@@ -1,0 +1,82 @@
+"""Check that relative markdown links in the given files/directories resolve.
+
+Usage:  python tools/check_doc_links.py README.md docs
+
+Walks every ``*.md`` argument (directories recursively), extracts inline
+markdown links ``[text](target)``, and fails (exit 1) if a *relative* target
+does not exist on disk, resolving each target against the file that links
+it.  External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped — this is a docs-drift gate, not a crawler; a
+``path#anchor`` target is checked for the path only.
+
+No dependencies beyond the standard library, so the CI docs job can run it
+on a bare checkout.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links only; reference-style links are not used in this repository.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(arguments: list) -> list:
+    files = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def broken_links(markdown_path: Path) -> list:
+    broken = []
+    text = markdown_path.read_text(encoding="utf-8")
+    # Fenced code blocks show link-like syntax in examples; don't check them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (markdown_path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def main(arguments: list) -> int:
+    if not arguments:
+        print("usage: check_doc_links.py FILE_OR_DIR [...]", file=sys.stderr)
+        return 2
+    files = markdown_files(arguments)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    failures = 0
+    for markdown_path in files:
+        if not markdown_path.exists():
+            print(f"MISSING FILE: {markdown_path}", file=sys.stderr)
+            failures += 1
+            continue
+        for target, resolved in broken_links(markdown_path):
+            print(f"BROKEN LINK: {markdown_path}: ({target}) -> {resolved}", file=sys.stderr)
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
