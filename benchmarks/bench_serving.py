@@ -19,7 +19,18 @@ machine transitions per scheduler turn, so every response must satisfy
 ``BlockingExecution``-style regression — a backend running its whole program
 inside its first slice — fails this gate immediately.
 
-With ``--pool`` a third section exercises the multi-process
+A third, *checkpoint* section measures the snapshot machinery: per-backend
+snapshot/restore overhead (time and pickled size) for every
+snapshot-capable backend in all three systems, and a preempt → resume
+differential — a mixed batch stopped at a slice ceiling by
+``serve_preempting`` and continued by ``resume`` must land on exactly the
+uninterrupted sequential outcomes (results, failures, and total step
+counts).  With ``--pool`` it also demonstrates mid-run **migration**: a
+batch pinned to a shard whose worker dies mid-run must finish on a
+surviving shard from streamed slice-boundary checkpoints, matching the
+undisturbed baseline.
+
+With ``--pool`` a further section exercises the multi-process
 :class:`~repro.serve.pool.WorkerPool`: the same mixed batch sharded across
 worker processes (gated identical to the sequential baseline), plus a
 *repeated-program* batch that pins one program to each worker in turn via
@@ -35,17 +46,21 @@ metrics) so the serving-perf trajectory is tracked across PRs, and with
 ``--check`` exits non-zero if interleaved results diverge from sequential
 results anywhere, if the interleaved batch takes more than ``2×`` the
 sequential baseline, if any slice of any backend exceeds the slice budget,
-or (with ``--pool``) if pooled results diverge or no cross-worker cache
-hit was recorded:
+if any snapshot-capable backend failed the snapshot/restore measurement,
+if the preempt → resume differential diverges (or preempts nothing), or
+(with ``--pool``) if pooled results diverge, no cross-worker cache hit was
+recorded, or the crashed-shard batch failed to migrate:
 
     PYTHONPATH=src python benchmarks/bench_serving.py --check --pool
 """
 
 import json
+import os
+import pickle
 import sys
 import time
 
-from repro.serve import Request, WorkerPool, make_default_scheduler
+from repro.serve import Request, Scheduler, WorkerPool, make_default_scheduler
 from repro.util.workloads import (
     nested_ml_affi_boundary as _nested_ml_affi_boundary,
     nested_ml_l3_boundary as _nested_ml_l3_boundary,
@@ -67,6 +82,19 @@ ORACLE_SLICE_STEPS = 64
 SLICE_BUDGET_TOLERANCE = 1.05
 JSON_REPORT = "BENCH_serving.json"
 POOL_WORKERS = 2
+#: The checkpoint section pauses executions after one slice this long, so
+#: every backend (the shallow-stepping oracles included) is mid-run when
+#: its snapshot is taken.
+CHECKPOINT_PROBE_STEPS = 8
+#: Fuel for the snapshot-overhead probes: ample, the probes pause after one
+#: short slice and the restored runs are never driven to completion.
+CHECKPOINT_PROBE_FUEL = 1_000_000
+#: Preemption ceiling and slice size for the preempt -> resume
+#: differential: a budget of ``PREEMPT_MAX_SLICES x PREEMPT_SLICE_STEPS``
+#: transitions stops the deep requests mid-run while the small ones finish
+#: normally.
+PREEMPT_MAX_SLICES = 2
+PREEMPT_SLICE_STEPS = 8
 
 
 def make_requests(deep: int = DEEP, shallow: int = SHALLOW):
@@ -295,6 +323,183 @@ def collect_pool_report() -> dict:
     }
 
 
+def _exit_hard(code, fuel: int = 100_000):
+    os._exit(13)  # simulate a segfaulting backend: no exception, no cleanup
+
+
+def _crashing_scheduler_factory(slice_steps: int) -> Scheduler:
+    """Default scheduler plus a 'crash' backend that kills its worker."""
+    scheduler = make_default_scheduler(slice_steps=slice_steps)
+    scheduler.systems["refs"].target.register_backend("crash", _exit_hard)
+    return scheduler
+
+
+def collect_migration_report() -> dict:
+    """Mid-run migration: a crashed shard's in-flight requests finish elsewhere.
+
+    Two deep requests are pinned (by affinity) to the same shard as a
+    request whose backend kills the worker process mid-batch.  The parent
+    has been receiving their slice-boundary checkpoints all along, so both
+    must *migrate*: resume on a surviving shard and land on exactly the
+    outcomes of an undisturbed run.
+    """
+    baseline_scheduler = make_default_scheduler(slice_steps=SLICE_STEPS)
+    victims = [
+        Request(language="RefLL", source=_nested_refll_boundary(DEEP), request_id="victim-deep"),
+        Request(
+            language="RefLL",
+            source=_nested_refll_boundary(DEEP - 1),
+            backend="substitution",
+            request_id="victim-oracle",
+        ),
+    ]
+    baseline = {
+        response.request.request_id: _observable(response)
+        for response in baseline_scheduler.serve_sequential(victims)
+    }
+
+    with WorkerPool(
+        workers=POOL_WORKERS, slice_steps=SLICE_STEPS, scheduler_factory=_crashing_scheduler_factory
+    ) as pool:
+        crash_key = _affinity_for_shard(pool, 0, _nested_refll_boundary(DEEP))
+        batch = [
+            Request(
+                language="RefLL",
+                source="(+ 1 2)",
+                backend="crash",
+                affinity=crash_key,
+                request_id="boom",
+            )
+        ] + [
+            Request(
+                language=victim.language,
+                source=victim.source,
+                backend=victim.backend,
+                affinity=crash_key,
+                request_id=victim.request_id,
+            )
+            for victim in victims
+        ]
+        start = time.perf_counter()
+        responses = {response.request.request_id: response for response in pool.run_batch(batch)}
+        seconds = time.perf_counter() - start
+        stats = pool.cache_stats()
+
+    migrated = [
+        response
+        for response in responses.values()
+        if response.migrated_from is not None and response.resumed
+    ]
+    mismatches = [
+        request_id
+        for request_id, expected in baseline.items()
+        if _observable(responses[request_id]) != expected
+    ]
+    ok = (
+        not mismatches
+        and len(migrated) == len(victims)
+        and stats["migrations"] >= 1
+        and responses["boom"].error is not None
+    )
+    return {
+        "ok": ok,
+        "victims": len(victims),
+        "migrated": len(migrated),
+        "migrations": stats["migrations"],
+        "worker_crashes": stats["worker_crashes"],
+        "mismatches": mismatches,
+        "seconds": seconds,
+        "per_request": [
+            {
+                "id": response.request.request_id,
+                "ok": response.ok,
+                "error": response.error,
+                "shard": response.shard,
+                "migrated_from": response.migrated_from,
+                "resumed": response.resumed,
+            }
+            for response in responses.values()
+        ],
+    }
+
+
+def collect_checkpoint_report() -> dict:
+    """The snapshot section: per-backend overhead plus the preempt -> resume gate."""
+    scheduler = make_default_scheduler(slice_steps=SLICE_STEPS)
+
+    # Per-backend snapshot/restore overhead: pause every snapshot-capable
+    # backend mid-run, then time reify -> pickle -> restore round trips.
+    workloads = {
+        "refs": ("RefLL", _nested_refll_boundary(ORACLE_DEEP)),
+        "affine": ("MiniML", _nested_ml_affi_boundary(ORACLE_DEEP)),
+        "l3": ("MiniML", _nested_ml_l3_boundary(ORACLE_DEEP // 2)),
+    }
+    overhead = []
+    expected_backends = 0
+    for system_name, (language, source) in sorted(workloads.items()):
+        system = scheduler.systems[system_name]
+        code = system.compile_source(language, source).target_code
+        expected_backends += len(system.target.restores)
+        for backend in sorted(system.target.restores):
+            probe = system.start_compiled(code, fuel=CHECKPOINT_PROBE_FUEL, backend=backend)
+            if probe.step_n(CHECKPOINT_PROBE_STEPS) is not None:
+                continue  # finished in one probe slice: nothing mid-run to measure
+            snapshot_seconds = _best_of(lambda: probe.snapshot())
+            payload = pickle.dumps(probe.snapshot())
+            restore_seconds = _best_of(
+                lambda: system.restore_execution(pickle.loads(payload))
+            )
+            overhead.append(
+                {
+                    "system": system_name,
+                    "backend": backend,
+                    "snapshot_ms": snapshot_seconds * 1e3,
+                    "restore_ms": restore_seconds * 1e3,
+                    "snapshot_bytes": len(payload),
+                }
+            )
+
+    # Preempt -> resume differential: stop the mixed batch at a slice
+    # ceiling, continue the stopped requests from their checkpoints, and
+    # require the combined outcomes to equal the uninterrupted baseline.
+    requests = make_requests()
+    baseline = {
+        response.request.request_id: _observable(response)
+        for response in scheduler.serve_sequential(requests)
+    }
+    preempt_scheduler = make_default_scheduler(slice_steps=PREEMPT_SLICE_STEPS)
+    start = time.perf_counter()
+    served = preempt_scheduler.serve_preempting(make_requests(), max_slices=PREEMPT_MAX_SLICES)
+    preempted = [response for response in served if response.preempted]
+    resumed = (
+        preempt_scheduler.resume([response.checkpoint for response in preempted])
+        if preempted
+        else []
+    )
+    preempt_resume_seconds = time.perf_counter() - start
+    combined = {
+        response.request.request_id: response for response in served if not response.preempted
+    }
+    combined.update({response.request.request_id: response for response in resumed})
+    preempt_mismatches = [
+        request_id
+        for request_id, expected in baseline.items()
+        if _observable(combined[request_id]) != expected
+    ]
+
+    return {
+        "snapshot_restore": overhead,
+        "snapshot_restore_ok": len(overhead) == expected_backends,
+        "snapshot_backends_expected": expected_backends,
+        "preempt_max_slices": PREEMPT_MAX_SLICES,
+        "preempt_slice_steps": PREEMPT_SLICE_STEPS,
+        "preempted": len(preempted),
+        "preempt_resume_seconds": preempt_resume_seconds,
+        "preempt_resume_ok": bool(preempted) and not preempt_mismatches,
+        "preempt_mismatches": preempt_mismatches,
+    }
+
+
 def collect_json_report() -> dict:
     scheduler = make_default_scheduler(slice_steps=SLICE_STEPS)
     requests = make_requests()
@@ -412,8 +617,10 @@ def main(argv) -> int:
     if "--output" in argv:
         output = argv[argv.index("--output") + 1]
     report = collect_json_report()
+    report["checkpoint"] = collect_checkpoint_report()
     if with_pool:
         report["pool"] = collect_pool_report()
+        report["checkpoint"]["migration"] = collect_migration_report()
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -432,6 +639,31 @@ def main(argv) -> int:
             f"({pool_report['throughput_rps']:.0f} req/s), shard load {pool_report['shard_load']}, "
             f"shared cache: {cache['publishes']} published, {cache['hits']} hits "
             f"({cache['cross_worker_hits']} cross-worker)"
+        )
+    checkpoint_report = report["checkpoint"]
+    worst = max(
+        checkpoint_report["snapshot_restore"],
+        key=lambda row: row["snapshot_ms"] + row["restore_ms"],
+        default=None,
+    )
+    print(
+        f"checkpoint: {len(checkpoint_report['snapshot_restore'])} backends snapshot+restore"
+        + (
+            f" (worst {worst['system']}/{worst['backend']}: "
+            f"{worst['snapshot_ms']:.2f}ms reify, {worst['restore_ms']:.2f}ms restore, "
+            f"{worst['snapshot_bytes']} bytes)"
+            if worst
+            else ""
+        )
+        + f"; {checkpoint_report['preempted']} preempted and resumed in "
+        f"{checkpoint_report['preempt_resume_seconds'] * 1e3:.1f}ms"
+    )
+    if with_pool:
+        migration = checkpoint_report["migration"]
+        print(
+            f"migration: {migration['migrated']}/{migration['victims']} in-flight requests "
+            f"migrated off the crashed shard in {migration['seconds'] * 1e3:.1f}ms "
+            f"({migration['migrations']} migration(s), {migration['worker_crashes']} crash(es))"
         )
     print(f"wrote {output}")
 
@@ -467,7 +699,35 @@ def main(argv) -> int:
             file=sys.stderr,
         )
         failed = True
+    if not checkpoint_report["snapshot_restore_ok"]:
+        print(
+            "REGRESSION: snapshot/restore measured only "
+            f"{len(checkpoint_report['snapshot_restore'])} of "
+            f"{checkpoint_report['snapshot_backends_expected']} snapshot-capable backends",
+            file=sys.stderr,
+        )
+        failed = True
+    if not checkpoint_report["preempt_resume_ok"]:
+        print(
+            "REGRESSION: preempt -> resume diverged from the sequential baseline "
+            f"(preempted={checkpoint_report['preempted']}, mismatches: "
+            + ", ".join(checkpoint_report["preempt_mismatches"])
+            + ")",
+            file=sys.stderr,
+        )
+        failed = True
     if with_pool:
+        migration = checkpoint_report["migration"]
+        if not migration["ok"]:
+            print(
+                "REGRESSION: crashed-shard batch failed to migrate "
+                f"(migrated={migration['migrated']}/{migration['victims']}, "
+                f"migrations={migration['migrations']}, mismatches: "
+                + ", ".join(migration["mismatches"])
+                + ")",
+                file=sys.stderr,
+            )
+            failed = True
         pool_report = report["pool"]
         if pool_report["mismatches"]:
             print(

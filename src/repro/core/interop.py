@@ -118,6 +118,17 @@ class InteropSystem:
         """Start a resumable execution of already-compiled code."""
         return self.target.start(target_code, backend=backend, fuel=fuel)
 
+    def restore_execution(self, snapshot: dict, backend: Optional[str] = None):
+        """Rebuild a paused resumable execution from a machine-state snapshot.
+
+        The snapshot is the versioned plain-data dict a paused execution's
+        ``snapshot()`` produced — possibly in another process or an earlier
+        incarnation of this one.  ``backend`` defaults to the backend the
+        snapshot's ``kind`` tag names; the restored execution continues from
+        exactly the captured slice boundary.
+        """
+        return self.target.restore(snapshot, backend=backend)
+
     # -- caches ---------------------------------------------------------------
 
     def clear_caches(self) -> None:

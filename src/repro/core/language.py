@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ReproError
+from repro.core.snapshots import snapshot_backend_name
 
 ParseFn = Callable[[str], Any]
 TypecheckFn = Callable[..., Any]
@@ -35,6 +36,10 @@ RunFn = Callable[..., Any]
 #: ``start_fn(target_code, fuel=...) -> execution`` where the execution
 #: exposes ``step_n(limit) -> Optional[result]`` (None while still running).
 StartFn = Callable[..., Any]
+#: ``restore_fn(snapshot) -> execution`` rebuilding a paused resumable
+#: execution from a versioned plain-data snapshot (see
+#: :mod:`repro.core.snapshots`), recompiling any machine-level artifacts.
+RestoreFn = Callable[[dict], Any]
 
 #: ``(language, source, frozen typecheck kwargs)``.
 CacheKey = Tuple[str, str, tuple]
@@ -266,6 +271,31 @@ class ResumableExecution:
         self.result = self._normalize(raw)
         return self.result
 
+    # -- snapshots (the serving layer's migration/checkpoint hooks) -----------
+
+    @property
+    def machine(self) -> Any:
+        """The underlying machine-level execution object."""
+        return self._execution
+
+    def can_snapshot(self) -> bool:
+        """True when the wrapped machine reifies its paused state as data."""
+        return hasattr(self._execution, "snapshot")
+
+    def snapshot(self) -> dict:
+        """Reify the paused machine as a versioned, process-portable dict.
+
+        Delegates to the machine's own ``snapshot()`` (every built-in backend
+        has one); restore the result through the owning target's
+        :meth:`TargetBackend.restore`, which re-wraps the rebuilt machine
+        with this backend's normalizer.
+        """
+        if not self.can_snapshot():
+            raise ReproError(
+                f"{type(self._execution).__name__} does not support machine-state snapshots"
+            )
+        return self._execution.snapshot()
+
 
 @dataclass
 class TargetBackend:
@@ -290,6 +320,7 @@ class TargetBackend:
     backends: Dict[str, RunFn] = field(default_factory=dict)
     default_backend: Optional[str] = None
     executions: Dict[str, StartFn] = field(default_factory=dict)
+    restores: Dict[str, RestoreFn] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.run is not None and not self.backends:
@@ -311,6 +342,12 @@ class TargetBackend:
                 f"target {self.name!r} registers executions for unknown backends "
                 f"{sorted(unknown)}; registered: {sorted(self.backends)}"
             )
+        unknown_restores = set(self.restores) - set(self.backends)
+        if unknown_restores:
+            raise ReproError(
+                f"target {self.name!r} registers snapshot restorers for unknown backends "
+                f"{sorted(unknown_restores)}; registered: {sorted(self.backends)}"
+            )
 
     # -- registry -------------------------------------------------------------
 
@@ -326,6 +363,14 @@ class TargetBackend:
                 f"target {self.name!r} has no backend {name!r}; registered: {sorted(self.backends)}"
             )
         self.executions[name] = start_fn
+
+    def register_restore(self, name: str, restore_fn: RestoreFn) -> None:
+        """Register a snapshot restorer for backend ``name``."""
+        if name not in self.backends:
+            raise ReproError(
+                f"target {self.name!r} has no backend {name!r}; registered: {sorted(self.backends)}"
+            )
+        self.restores[name] = restore_fn
 
     def select_backend(self, name: str) -> None:
         """Make ``name`` the default backend (used by ``run`` / ``run_with``)."""
@@ -370,6 +415,27 @@ class TargetBackend:
         if factory is not None:
             return factory(target_code, fuel=fuel)
         return BlockingExecution(run_fn, target_code, fuel)
+
+    def restore(self, snapshot: dict, backend: Optional[str] = None) -> Any:
+        """Rebuild a paused resumable execution from a machine-state snapshot.
+
+        ``backend`` defaults to the backend the snapshot itself names: by
+        convention every snapshot ``kind`` tag ends in the registry name of
+        the backend that wrote it (``"lcvm/cek-compiled"`` → backend
+        ``cek-compiled``), so a bare snapshot dict routes itself.  The
+        restorer recompiles any process-local machine artifacts (compiled
+        handler graphs, op arrays) deterministically, so the resumed run is
+        observably identical — address-for-address — to the uninterrupted
+        one.
+        """
+        resolved = backend if backend is not None else snapshot_backend_name(snapshot)
+        restore_fn = self.restores.get(resolved)
+        if restore_fn is None:
+            raise ReproError(
+                f"target {self.name!r} has no snapshot restorer for backend {resolved!r}; "
+                f"registered: {sorted(self.restores)}"
+            )
+        return restore_fn(snapshot)
 
 
 @dataclass

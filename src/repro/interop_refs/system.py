@@ -142,6 +142,21 @@ def _start_stacklang_compiled(compiled, fuel: int = 100_000) -> ResumableExecuti
     return ResumableExecution(stack_cek.CompiledExecution(compiled, fuel=fuel), _stacklang_result)
 
 
+def _restore_stacklang(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused Fig. 2 reference-machine execution from a snapshot."""
+    return ResumableExecution(stack_machine.SubstitutionExecution.from_snapshot(snapshot), _stacklang_result)
+
+
+def _restore_stacklang_cek(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused segment-machine execution from a snapshot."""
+    return ResumableExecution(stack_cek.SegmentExecution.from_snapshot(snapshot), _stacklang_result)
+
+
+def _restore_stacklang_compiled(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused pc-threaded execution, recompiling the op array."""
+    return ResumableExecution(stack_cek.CompiledExecution.from_snapshot(snapshot), _stacklang_result)
+
+
 def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
     """Build the complete §3 interoperability system."""
     relation = relation or make_convertibility()
@@ -183,6 +198,11 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             "substitution": _start_stacklang,
             "cek": _start_stacklang_cek,
             "cek-compiled": _start_stacklang_compiled,
+        },
+        restores={
+            "substitution": _restore_stacklang,
+            "cek": _restore_stacklang_cek,
+            "cek-compiled": _restore_stacklang_compiled,
         },
     )
 

@@ -31,9 +31,14 @@ machine-level artifacts.  The compiled-dispatch handler graphs that
 object (:func:`repro.lcvm.cek.compile_node`); a worker that imports a
 pickled unit from another process runs it by rebuilding the handler graph
 locally on first execution — same semantics, one extra compile per process,
-no closure ever crossing a pipe.  Execution objects mid-run hold runtime
-closures too and are deliberately not shared across processes; requests
-migrate between workers only at batch boundaries.
+no closure ever crossing a pipe.  Executions *mid-run* cross processes the
+same way: every backend registers a snapshot restorer here, and a paused
+execution's ``snapshot()`` reifies heap, environments, continuation, and
+fuel as versioned plain data in which compiled code is referenced by its
+syntax handle ``(root, node index)``.  Restoring recompiles deterministically
+(:func:`repro.lcvm.cek.compiled_table`), so a request can migrate between
+workers at any slice boundary — not just batch boundaries — and resume
+observably identically, raw post-GC heap included.
 """
 
 from __future__ import annotations
@@ -115,6 +120,26 @@ def start_cek_compiled(compiled, fuel: int = 100_000) -> ResumableExecution:
     return ResumableExecution(cek.CompiledExecution(compiled, fuel=fuel), _normalize)
 
 
+def restore_substitution(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused substitution-machine execution from a snapshot."""
+    return ResumableExecution(lcvm_machine.SubstitutionExecution.from_snapshot(snapshot), _normalize)
+
+
+def restore_bigstep(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused big-step execution from a snapshot."""
+    return ResumableExecution(bigstep.BigStepExecution.from_snapshot(snapshot), _normalize_bigstep)
+
+
+def restore_cek(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused interpreted-CEK execution from a snapshot."""
+    return ResumableExecution(cek.InterpretedExecution.from_snapshot(snapshot), _normalize)
+
+
+def restore_cek_compiled(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused compiled-CEK execution, recompiling the handler graph."""
+    return ResumableExecution(cek.CompiledExecution.from_snapshot(snapshot), _normalize)
+
+
 def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> TargetBackend:
     """The full LCVM backend registry with ``default`` pre-selected."""
     return TargetBackend(
@@ -131,5 +156,11 @@ def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> Targ
             "bigstep": start_bigstep,
             "cek": start_cek,
             "cek-compiled": start_cek_compiled,
+        },
+        restores={
+            "substitution": restore_substitution,
+            "bigstep": restore_bigstep,
+            "cek": restore_cek,
+            "cek-compiled": restore_cek_compiled,
         },
     )

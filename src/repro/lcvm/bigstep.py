@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import ErrorCode, OutOfFuelError
+from repro.core.snapshots import check_snapshot, make_snapshot
 from repro.lcvm import syntax as s
 from repro.lcvm.heap import CellKind, Heap
 from repro.lcvm.values import (
@@ -288,6 +289,7 @@ class Evaluator:
         self._info: NodeInfo = {}
         self._work: List[tuple] = []
         self._values: List[RuntimeValue] = []
+        self._program: Optional[s.Expr] = None
 
     # -- public API ----------------------------------------------------------
 
@@ -306,6 +308,7 @@ class Evaluator:
     def start(self, expr: s.Expr) -> None:
         """Load ``expr``; subsequent ``step_n`` calls advance its evaluation."""
         self._remaining = self.fuel
+        self._program = expr
         self._info = _analyze(expr)
         self._work = [(_EVAL, expr, {})]
         self._values = []
@@ -659,6 +662,10 @@ class BigStepExecution:
 
     __slots__ = ("_evaluator", "result")
 
+    #: The snapshot tag this machine writes and restores (see
+    #: :mod:`repro.core.snapshots` for the format contract).
+    SNAPSHOT_KIND = "lcvm/bigstep"
+
     def __init__(self, expr: s.Expr, fuel: int = 1_000_000):
         self._evaluator = Evaluator(fuel=fuel)
         self._evaluator.start(expr)
@@ -674,6 +681,47 @@ class BigStepExecution:
             return self.result
         self.result = self._evaluator.step_n(limit)
         return self.result
+
+    def snapshot(self) -> dict:
+        """Reify the paused evaluation as a versioned, process-portable dict.
+
+        The work stack, value stack, and heap are plain data; the one derived
+        structure — the id-keyed free-variable/mentioned analysis — is *not*
+        stored but recomputed on restore from the program root.  The whole
+        state pickles in one pass, so every expression a work item or closure
+        holds stays id-shared with the program tree it is a subtree of, which
+        keeps the recomputed analysis valid for all of them.
+        """
+        if self.result is not None:
+            raise ValueError("cannot snapshot a finished execution")
+        evaluator = self._evaluator
+        return make_snapshot(
+            self.SNAPSHOT_KIND,
+            {
+                "program": evaluator._program,
+                "fuel": evaluator.fuel,
+                "remaining": evaluator._remaining,
+                "work": list(evaluator._work),
+                "values": list(evaluator._values),
+                "heap": evaluator._heap,
+            },
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "BigStepExecution":
+        """Rebuild a paused evaluation from :meth:`snapshot` output."""
+        state = check_snapshot(snapshot, cls.SNAPSHOT_KIND)
+        evaluator = Evaluator(fuel=state["fuel"])
+        evaluator._program = state["program"]
+        evaluator._remaining = state["remaining"]
+        evaluator._heap = state["heap"]
+        evaluator._info = _analyze(state["program"])
+        evaluator._work = list(state["work"])
+        evaluator._values = list(state["values"])
+        execution = cls.__new__(cls)
+        execution._evaluator = evaluator
+        execution.result = None
+        return execution
 
 
 def evaluate(expr: s.Expr, fuel: int = 1_000_000) -> EvalResult:

@@ -41,8 +41,9 @@ from sys import intern
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.errors import ErrorCode, StuckError
+from repro.core.snapshots import check_snapshot, make_snapshot
 from repro.lcvm import syntax as s
-from repro.lcvm.heap import CellKind, Heap
+from repro.lcvm.heap import CellKind, Heap, HeapCell
 from repro.lcvm.machine import Config, MachineResult, Status
 from repro.lcvm.syntax import mentioned_locations
 from repro.lcvm.values import (
@@ -65,6 +66,7 @@ __all__ = [
     "InterpretedExecution",
     "compile_node",
     "compiled_cache_stats",
+    "compiled_table",
     "run",
     "run_compiled",
 ]
@@ -191,6 +193,10 @@ class InterpretedExecution:
 
     __slots__ = ("heap", "fuel", "steps", "result", "_control", "_evaluating", "_env", "_kont", "_mentioned_cache")
 
+    #: The snapshot tag this machine writes and restores (see
+    #: :mod:`repro.core.snapshots` for the format contract).
+    SNAPSHOT_KIND = "lcvm/cek"
+
     def __init__(self, expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000):
         if heap is None:
             heap = Heap(trace=locations_of)
@@ -216,6 +222,51 @@ class InterpretedExecution:
         while result is None:
             result = self.step_n(max(1, self.fuel))
         return result
+
+    def snapshot(self) -> dict:
+        """Reify the paused machine as a versioned, process-portable dict.
+
+        Every component of the interpreted machine — syntax control,
+        environment cons cells, continuation frames, the runtime-valued heap
+        — is already plain data, so the state pickles as-is; the copy severs
+        all aliasing with this live execution.
+        """
+        if self.result is not None:
+            raise ValueError("cannot snapshot a finished execution")
+        return make_snapshot(
+            self.SNAPSHOT_KIND,
+            {
+                "fuel": self.fuel,
+                "steps": self.steps,
+                "evaluating": self._evaluating,
+                "control": self._control,
+                "env": self._env,
+                "kont": list(self._kont),
+                "heap": self.heap,
+            },
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "InterpretedExecution":
+        """Rebuild a paused machine from :meth:`snapshot` output.
+
+        The state is copied in again, so one snapshot restores any number of
+        independent executions.  The ``mentioned`` memo is *not* carried: it
+        is keyed by object identity, and ids do not survive the copy — a
+        stale entry could otherwise be revived by id reuse.
+        """
+        state = check_snapshot(snapshot, cls.SNAPSHOT_KIND)
+        execution = cls.__new__(cls)
+        execution.heap = state["heap"]
+        execution.fuel = state["fuel"]
+        execution.steps = state["steps"]
+        execution.result = None
+        execution._control = state["control"]
+        execution._evaluating = state["evaluating"]
+        execution._env = state["env"]
+        execution._kont = list(state["kont"])
+        execution._mentioned_cache = {}
+        return execution
 
     def step_n(self, limit: int) -> Optional[MachineResult]:
         """Run at most ``limit`` transitions; the result when halted, else None."""
@@ -754,11 +805,22 @@ _APPLY = {
 
 # -- the compiler -------------------------------------------------------------
 
+#: The node table of the compile currently in flight.  ``_compile`` is only
+#: ever entered through :func:`compile_node` (which installs a fresh list
+#: around the walk), so every node a compile produces lands in its root's
+#: table, numbered in deterministic post-order.  A node is then addressable
+#: across processes as ``(root syntax, index)`` — the portable reference the
+#: snapshot format uses, resolved on restore by recompiling the root.
+_CURRENT_TABLE: Optional[List[CompiledNode]] = None
+
 
 def _finish(node: CompiledNode, expr: s.Expr, fv: frozenset, mentioned: frozenset) -> CompiledNode:
     node.expr = expr
     node.fv = fv
     node.mentioned = mentioned
+    table = _CURRENT_TABLE
+    node.index = len(table)
+    table.append(node)
     return node
 
 
@@ -985,7 +1047,7 @@ def _compile(e: s.Expr) -> CompiledNode:
 
 # -- compiled-program memo ----------------------------------------------------
 
-_COMPILED_CACHE: "OrderedDict[int, Tuple[s.Expr, CompiledNode]]" = OrderedDict()
+_COMPILED_CACHE: "OrderedDict[int, Tuple[s.Expr, CompiledNode, List[CompiledNode]]]" = OrderedDict()
 _COMPILED_CACHE_CAPACITY = 512
 _compiled_hits = 0
 _compiled_misses = 0
@@ -1000,20 +1062,35 @@ def compile_node(expr: s.Expr) -> CompiledNode:
     repeated submissions, so its hits line up with ours and a program is
     compiled exactly once per cache generation.
     """
-    global _compiled_hits, _compiled_misses
+    global _compiled_hits, _compiled_misses, _CURRENT_TABLE
     key = id(expr)
     entry = _COMPILED_CACHE.get(key)
     if entry is not None and entry[0] is expr:
         _compiled_hits += 1
         _COMPILED_CACHE.move_to_end(key)
         return entry[1]
-    node = _compile(expr)
+    _CURRENT_TABLE = table = []
+    try:
+        node = _compile(expr)
+    finally:
+        _CURRENT_TABLE = None
+    # Every node knows the root it was compiled under: ``(node.root,
+    # node.index)`` is its process-portable address, resolvable anywhere by
+    # recompiling the root (the walk is deterministic, so indexes agree).
+    for compiled in table:
+        compiled.root = expr
     _compiled_misses += 1
-    _COMPILED_CACHE[key] = (expr, node)
+    _COMPILED_CACHE[key] = (expr, node, table)
     _COMPILED_CACHE.move_to_end(key)
     while len(_COMPILED_CACHE) > _COMPILED_CACHE_CAPACITY:
         _COMPILED_CACHE.popitem(last=False)
     return node
+
+
+def compiled_table(expr: s.Expr) -> List[CompiledNode]:
+    """The node table of ``expr``'s compile (compiling it on a memo miss)."""
+    compile_node(expr)
+    return _COMPILED_CACHE[id(expr)][2]
 
 
 def compiled_cache_stats() -> dict:
@@ -1023,6 +1100,153 @@ def compiled_cache_stats() -> dict:
         "misses": _compiled_misses,
         "capacity": _COMPILED_CACHE_CAPACITY,
     }
+
+
+# -- snapshot codec for the compiled machine ----------------------------------
+#
+# Compiled nodes are closures and cannot leave the process.  The codec
+# replaces every node with its portable address ``(root syntax, index)`` and
+# every ``CClosure`` with a tagged tuple carrying its body's address plus a
+# frozen environment; everything else in the state (leaf values, env cons
+# cells, frame tuples, heap cells) is plain data already.  Restoring resolves
+# each address by recompiling the root — ``_compile`` is deterministic, so
+# the node at the same index is the same handler — which is exactly the
+# recompile-on-restore contract ``stacklang.cek.CompiledExecution`` pioneered
+# for mid-run pickling.  Both directions memoize by object identity so shared
+# structure (environment tails, values parked in several frames) stays shared
+# and the codec never re-walks it.
+
+
+def _freeze_env(cell: Env, memo: dict) -> Env:
+    frozen_cells: List[Env] = []
+    while cell is not None and id(cell) not in memo:
+        frozen_cells.append(cell)
+        cell = cell[2]
+    frozen = None if cell is None else memo[id(cell)]
+    for live in reversed(frozen_cells):
+        frozen = (live[0], _freeze_value(live[1], memo), frozen)
+        memo[id(live)] = frozen
+    return frozen
+
+
+def _freeze_value(value: object, memo: dict) -> object:
+    key = id(value)
+    if key in memo:
+        return memo[key]
+    kind = type(value)
+    if kind is CClosure:
+        node = value.node
+        frozen = (
+            "cclosure",
+            value.parameter,
+            value.needs_param,
+            node.root,
+            node.index,
+            _freeze_env(value.environment, memo),
+        )
+    elif kind is PairV:
+        frozen = PairV(_freeze_value(value.first, memo), _freeze_value(value.second, memo))
+    elif kind is InlV:
+        frozen = InlV(_freeze_value(value.body, memo))
+    elif kind is InrV:
+        frozen = InrV(_freeze_value(value.body, memo))
+    else:
+        # IntV / UnitV / LocV / injected closures: immutable plain data.
+        frozen = value
+    memo[key] = frozen
+    return frozen
+
+
+def _freeze_frame(frame: CFrame, memo: dict) -> tuple:
+    tag, names, nodes, env, value = frame
+    return (
+        tag,
+        names,
+        tuple((node.root, node.index) for node in nodes),
+        _freeze_env(env, memo),
+        None if value is None else _freeze_value(value, memo),
+    )
+
+
+def _freeze_heap(heap: Heap, memo: dict) -> dict:
+    return {
+        "cells": {
+            address: (_freeze_value(cell.value, memo), cell.kind)
+            for address, cell in heap.cells.items()
+        },
+        "collections": heap.collections,
+        "reclaimed": heap.reclaimed,
+        # The allocator state rides along verbatim: address-for-address heap
+        # equality after restore needs the exact free list, not a rebuilt one.
+        "free": list(heap._free),
+        "next": heap._next,
+    }
+
+
+def _thaw_env(cell: Env, memo: dict) -> Env:
+    thawed_cells: List[Env] = []
+    while cell is not None and id(cell) not in memo:
+        thawed_cells.append(cell)
+        cell = cell[2]
+    thawed = None if cell is None else memo[id(cell)]
+    for frozen in reversed(thawed_cells):
+        thawed = (frozen[0], _thaw_value(frozen[1], memo), thawed)
+        memo[id(frozen)] = thawed
+    return thawed
+
+
+def _thaw_value(value: object, memo: dict) -> object:
+    key = id(value)
+    if key in memo:
+        return memo[key]
+    kind = type(value)
+    if kind is tuple:  # the only tuples in value position are frozen CClosures
+        _tag, parameter, needs_param, root, index, environment = value
+        body_node = compiled_table(root)[index]
+        thawed = CClosure(
+            parameter,
+            body_node.expr,
+            body_node,
+            _thaw_env(environment, memo),
+            needs_param,
+            tuple(body_node.mentioned),
+        )
+    elif kind is PairV:
+        thawed = PairV(_thaw_value(value.first, memo), _thaw_value(value.second, memo))
+    elif kind is InlV:
+        thawed = InlV(_thaw_value(value.body, memo))
+    elif kind is InrV:
+        thawed = InrV(_thaw_value(value.body, memo))
+    else:
+        thawed = value
+    memo[key] = thawed
+    return thawed
+
+
+def _thaw_frame(frame: tuple, memo: dict) -> CFrame:
+    tag, names, node_refs, env, value = frame
+    return (
+        intern(tag),
+        names,
+        tuple(compiled_table(root)[index] for root, index in node_refs),
+        _thaw_env(env, memo),
+        None if value is None else _thaw_value(value, memo),
+    )
+
+
+def _thaw_heap(state: dict, memo: dict) -> Heap:
+    heap = Heap(
+        cells={
+            address: HeapCell(_thaw_value(value, memo), cell_kind)
+            for address, (value, cell_kind) in state["cells"].items()
+        },
+        collections=state["collections"],
+        reclaimed=state["reclaimed"],
+        trace=locations_of,
+    )
+    heap._free = list(state["free"])
+    heap._next = state["next"]
+    return heap
 
 
 class CompiledExecution:
@@ -1040,6 +1264,10 @@ class CompiledExecution:
     """
 
     __slots__ = ("heap", "fuel", "steps", "result", "_control", "_evaluating", "_env", "_kont")
+
+    #: The snapshot tag this machine writes and restores (see
+    #: :mod:`repro.core.snapshots` for the format contract).
+    SNAPSHOT_KIND = "lcvm/cek-compiled"
 
     def __init__(self, expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000):
         if heap is None:
@@ -1113,6 +1341,58 @@ class CompiledExecution:
         while result is None:
             result = self.step_n(max(1, self.fuel))
         return result
+
+    def snapshot(self) -> dict:
+        """Reify the paused machine as a versioned, process-portable dict.
+
+        Compiled handlers never enter the payload: control, frame nodes, and
+        closure bodies are stored as ``(root syntax, index)`` addresses and
+        resolved on restore by recompiling the root deterministically.  The
+        heap rides along with its exact allocator state, so a restored run's
+        raw post-``callgc`` heap matches the uninterrupted run
+        address-for-address.
+        """
+        if self.result is not None:
+            raise ValueError("cannot snapshot a finished execution")
+        memo: dict = {}
+        control = self._control
+        return make_snapshot(
+            self.SNAPSHOT_KIND,
+            {
+                "fuel": self.fuel,
+                "steps": self.steps,
+                "evaluating": self._evaluating,
+                "control": (
+                    (control.root, control.index)
+                    if self._evaluating
+                    else _freeze_value(control, memo)
+                ),
+                "env": _freeze_env(self._env, memo),
+                "kont": [_freeze_frame(frame, memo) for frame in self._kont],
+                "heap": _freeze_heap(self.heap, memo),
+            },
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "CompiledExecution":
+        """Rebuild a paused machine from :meth:`snapshot` output."""
+        state = check_snapshot(snapshot, cls.SNAPSHOT_KIND)
+        memo: dict = {}
+        execution = cls.__new__(cls)
+        execution.heap = _thaw_heap(state["heap"], memo)
+        execution.fuel = state["fuel"]
+        execution.steps = state["steps"]
+        execution.result = None
+        evaluating = state["evaluating"]
+        if evaluating:
+            root, index = state["control"]
+            execution._control = compiled_table(root)[index]
+        else:
+            execution._control = _thaw_value(state["control"], memo)
+        execution._evaluating = evaluating
+        execution._env = _thaw_env(state["env"], memo)
+        execution._kont = [_thaw_frame(frame, memo) for frame in state["kont"]]
+        return execution
 
 
 def run_compiled(expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000) -> MachineResult:

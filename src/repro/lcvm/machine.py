@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.errors import ErrorCode, StuckError
+from repro.core.snapshots import check_snapshot, make_snapshot
 from repro.lcvm.heap import CellKind, Heap
 from repro.lcvm.syntax import (
     Alloc,
@@ -312,6 +313,10 @@ class SubstitutionExecution:
 
     __slots__ = ("config", "fuel", "steps", "result")
 
+    #: The snapshot tag this machine writes and restores (see
+    #: :mod:`repro.core.snapshots` for the format contract).
+    SNAPSHOT_KIND = "lcvm/substitution"
+
     def __init__(
         self,
         expr: Expr,
@@ -323,6 +328,31 @@ class SubstitutionExecution:
         self.fuel = fuel
         self.steps = 0
         self.result: Optional[MachineResult] = None
+
+    def snapshot(self) -> dict:
+        """Reify the paused machine as a versioned, process-portable dict.
+
+        The substitution machine's whole state is a configuration (heap +
+        value-substituted remaining program, both plain syntax) plus the step
+        count and fuel budget, so the state pickles as-is.
+        """
+        if self.result is not None:
+            raise ValueError("cannot snapshot a finished execution")
+        return make_snapshot(
+            self.SNAPSHOT_KIND,
+            {"config": self.config, "fuel": self.fuel, "steps": self.steps},
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "SubstitutionExecution":
+        """Rebuild a paused machine from :meth:`snapshot` output."""
+        state = check_snapshot(snapshot, cls.SNAPSHOT_KIND)
+        execution = cls.__new__(cls)
+        execution.config = state["config"]
+        execution.fuel = state["fuel"]
+        execution.steps = state["steps"]
+        execution.result = None
+        return execution
 
     def step_n(self, limit: int) -> Optional[MachineResult]:
         """Run at most ``limit`` reduction steps; the result when halted, else None."""

@@ -21,9 +21,17 @@ multi-tenant service front:
   program-hash placement, per-request ``affinity`` override), with a
   parent-owned store sharing pickled pipeline artifacts between workers so
   a program compiled on one worker warms all of them, and per-shard crash
-  isolation.
+  isolation upgraded to mid-run *migration*: workers stream slice-boundary
+  checkpoints, so requests in flight on a crashed shard resume on a
+  surviving one;
+* :class:`~repro.serve.checkpoint.Checkpoint` / ``CheckpointStore`` — a
+  paused request reified as versioned plain data (machine snapshot plus
+  routing context), movable across processes and — via the store's atomic
+  on-disk pickles — across process restarts; the substrate for the
+  scheduler's ``serve_preempting`` / ``resume`` and the pool's migration.
 """
 
+from repro.serve.checkpoint import Checkpoint, CheckpointStore
 from repro.serve.driver import DrivenResult, StepSlicedDriver
 from repro.serve.pool import WorkerPool, default_scheduler_factory
 from repro.serve.request import DEFAULT_FUEL, Request, Response
@@ -31,6 +39,8 @@ from repro.serve.scheduler import PreparedRequest, Scheduler, make_default_sched
 
 __all__ = [
     "DEFAULT_FUEL",
+    "Checkpoint",
+    "CheckpointStore",
     "DrivenResult",
     "PreparedRequest",
     "Request",

@@ -1,0 +1,132 @@
+"""Durable checkpoints: machine-state snapshots plus their serving context.
+
+A machine-level ``snapshot()`` (see :mod:`repro.core.snapshots`) reifies one
+paused execution as versioned plain data, but on its own it does not say how
+to *serve* the continuation: which interop system owns it, which backend's
+restorer rebuilds it, or which request it answers.  A :class:`Checkpoint`
+bundles exactly that context with the snapshot, so the serving layer can
+move a paused run anywhere a scheduler exists — another worker process
+(mid-run migration off a crashed shard), a later scheduler turn (preemption
+under fuel accounting), or a future incarnation of the whole process
+(:class:`CheckpointStore`).
+
+The :class:`CheckpointStore` is the durability layer: a directory of pickled
+checkpoints, written atomically (temp file + ``os.replace``) so a crash
+mid-write can never leave a truncated checkpoint where a loadable one should
+be.  Checkpoints are plain data end to end — the snapshot inside references
+compiled code by its syntax handle and every restorer recompiles
+deterministically — so a store written by one process restores in any other,
+including across interpreter restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import List
+
+from repro.serve.request import Request
+
+__all__ = ["CHECKPOINT_VERSION", "Checkpoint", "CheckpointStore"]
+
+#: Bump when the Checkpoint shape changes incompatibly; the store refuses to
+#: load checkpoints written under a different version (the snapshot inside
+#: carries its own version, checked by the machine-level restorers).
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """One paused request: its snapshot plus everything needed to resume it."""
+
+    #: The original submission (its fuel/typecheck policy already lives in
+    #: the snapshot; kept whole so the resumed Response reads identically).
+    request: Request
+    #: Registered name of the interop system that was serving the request.
+    system: str
+    #: The resolved backend name (never ``None`` — resolution happened at
+    #: admission), routing straight to the target's snapshot restorer.
+    backend: str
+    #: The versioned plain-data machine snapshot from the last slice boundary.
+    snapshot: dict
+    #: Scheduler slices granted before this checkpoint was taken.
+    slices: int = 0
+    version: int = CHECKPOINT_VERSION
+
+    def label(self) -> str:
+        return self.request.label()
+
+
+class CheckpointStore:
+    """A directory of pickled checkpoints with atomic writes.
+
+    ``save`` returns the file path; ``load`` takes one back.  Filenames embed
+    the request label, the writing process id, and a per-store counter, so
+    concurrent stores over one directory never collide.  Use :meth:`paths`
+    to enumerate what survived a process restart.
+    """
+
+    SUFFIX = ".ckpt"
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._counter = 0
+
+    def save(self, checkpoint: Checkpoint) -> str:
+        """Persist one checkpoint atomically; returns its path."""
+        label = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in checkpoint.label()
+        )
+        name = f"{label or 'request'}-{os.getpid()}-{self._counter:06d}{self.SUFFIX}"
+        self._counter += 1
+        path = os.path.join(self.directory, name)
+        payload = pickle.dumps(checkpoint)
+        # Write-then-rename: a reader (or a restarted process) either sees
+        # the complete checkpoint or nothing — never a torn file.
+        descriptor, temporary = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            os.replace(temporary, path)
+        except BaseException:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, path: str) -> Checkpoint:
+        """Read one checkpoint back, validating its shape and version."""
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, Checkpoint):
+            raise ValueError(f"{path} does not hold a Checkpoint")
+        if checkpoint.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"{path} has checkpoint version {checkpoint.version}, "
+                f"this process reads version {CHECKPOINT_VERSION}"
+            )
+        return checkpoint
+
+    def paths(self) -> List[str]:
+        """Every checkpoint file currently in the store, oldest name first."""
+        return sorted(
+            os.path.join(self.directory, name)
+            for name in os.listdir(self.directory)
+            if name.endswith(self.SUFFIX)
+        )
+
+    def load_all(self) -> List[Checkpoint]:
+        """Load every stored checkpoint (in :meth:`paths` order)."""
+        return [self.load(path) for path in self.paths()]
+
+    def delete(self, path: str) -> None:
+        """Remove one checkpoint (missing files are already deleted — no-op)."""
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass

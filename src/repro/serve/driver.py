@@ -32,7 +32,11 @@ Four entry points:
   requires the two to produce identical outcomes);
 * :meth:`StepSlicedDriver.run_schedule` — a deterministic, caller-chosen
   stepping order; the hypothesis tests drive it with arbitrary interleavings
-  to prove results are independent of scheduling.
+  to prove results are independent of scheduling;
+* :meth:`StepSlicedDriver.run_checkpointed` — synchronous round-robin with a
+  hook at slice boundaries (where paused machine state is reifiable as a
+  snapshot) and an optional ``max_slices`` preemption ceiling; the substrate
+  for checkpoint streaming, preemption, and mid-run migration.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, List, NamedTuple, Sequence
+from typing import Any, Callable, List, NamedTuple, Optional, Sequence
 
 
 class DrivenResult(NamedTuple):
@@ -144,4 +148,67 @@ class StepSlicedDriver:
         while any(result is None for result in results):
             for index in range(count):
                 grant(index)
+        return [DrivenResult(results[i], slices[i], elapsed[i]) for i in range(count)]
+
+    # -- checkpointing / preemption -------------------------------------------
+
+    def run_checkpointed(
+        self,
+        executions: Sequence[Any],
+        on_checkpoint: Optional[Callable[[int, int], None]] = None,
+        checkpoint_every: int = 1,
+        max_slices: Optional[int] = None,
+    ) -> List[DrivenResult]:
+        """Round-robin stepping with slice-boundary checkpoint hooks.
+
+        ``on_checkpoint(index, slices)`` fires for every execution *before*
+        its first slice (``slices == 0``) and again after every
+        ``checkpoint_every`` further slices — always at a slice boundary, so
+        the caller can reify that execution's paused machine state.  Results
+        come back in input order, exactly equal to :meth:`run_sequential`'s
+        (the machines are deterministic and slicing is observation-free).
+
+        ``max_slices`` preempts: an execution still running after that many
+        slices is stopped at the boundary — its ``on_checkpoint`` is invoked
+        one final time there (whatever the cadence), so the last checkpoint
+        *is* the preempted state, and its :class:`DrivenResult` carries
+        ``result=None``.  ``None`` means never preempt.
+        """
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if max_slices is not None and max_slices < 1:
+            raise ValueError(f"max_slices must be >= 1, got {max_slices}")
+        count = len(executions)
+        results: List[Any] = [None] * count
+        slices = [0] * count
+        started = [0.0] * count
+        elapsed = [0.0] * count
+        finished = [False] * count  # halted *or* preempted
+        notified = [-1] * count  # slice count of the last checkpoint hook
+
+        def checkpoint(index: int) -> None:
+            if on_checkpoint is not None and notified[index] != slices[index]:
+                notified[index] = slices[index]
+                on_checkpoint(index, slices[index])
+
+        for index in range(count):
+            started[index] = time.perf_counter()
+            checkpoint(index)
+        while not all(finished):
+            for index in range(count):
+                if finished[index]:
+                    continue
+                outcome = executions[index].step_n(self.slice_steps)
+                slices[index] += 1
+                if outcome is not None:
+                    results[index] = outcome
+                    elapsed[index] = time.perf_counter() - started[index]
+                    finished[index] = True
+                    continue
+                if slices[index] % checkpoint_every == 0:
+                    checkpoint(index)
+                if max_slices is not None and slices[index] >= max_slices:
+                    checkpoint(index)  # no-op when the cadence just fired
+                    elapsed[index] = time.perf_counter() - started[index]
+                    finished[index] = True
         return [DrivenResult(results[i], slices[i], elapsed[i]) for i in range(count)]

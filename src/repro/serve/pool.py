@@ -35,10 +35,19 @@ Three mechanisms, all deterministic and all accounted per request:
   fuel) share one VM instance and pay the pipeline/start/run cost once;
   ``response.coalesced`` preserves the per-request accounting.
 
-Crash isolation: a worker process that dies mid-batch fails only the
-requests of its own shard (their responses carry an ``error``); the parent
-respawns the worker — which re-warms from the shared store, not from
-scratch — and every other shard's responses are unaffected.
+Crash isolation — and mid-run migration past it: while a batch runs, each
+worker streams every in-flight request's slice-boundary checkpoint (a
+reified machine-state snapshot, see :mod:`repro.serve.checkpoint`) to the
+parent at the ``checkpoint_every`` cadence.  A worker process that dies
+mid-batch therefore no longer fails its whole shard: the parent resumes
+each checkpointed request from its last slice boundary on a surviving
+shard (``response.migrated_from`` records the crash, ``response.shard`` the
+rescuer; outcomes are identical to the crashed worker having finished).
+Only requests with nothing to resume from — frontend rejections in flight,
+snapshot-incapable third-party backends, unpicklable snapshots — keep the
+old whole-shard failure (``error`` naming the crash).  Either way the
+parent respawns the worker — which re-warms from the shared store, not
+from scratch — and every other shard's responses are unaffected.
 
 Workers are spawned with the ``spawn`` start method (no inherited state, the
 portable choice), which requires ``scheduler_factory`` to be an importable
@@ -50,8 +59,9 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import pickle
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ReproError
 from repro.serve.request import Request, Response
@@ -101,22 +111,37 @@ def shard_of(request: Request, workers: int, router: Optional[Scheduler] = None)
 def _worker_main(connection, slice_steps: int, scheduler_factory, shard: int) -> None:
     """One worker process: serve shard batches until told to stop.
 
-    Messages in: ``("serve", entries, warm, known, sequential, batched)``
-    with ``entries`` index-tagged requests, ``warm`` the shared-store
-    artifacts this batch can use, and ``known`` the store keys the parent
-    already holds (so the worker never re-publishes them);  ``("stop",)``
-    exits the loop.  Messages out: ``("ok", results, publishes)`` or
-    ``("error", message)`` — an exception escaping one batch fails that
-    batch, not the worker.
+    Messages in: ``("serve", entries, warm, known, sequential, batched,
+    checkpoint_every)`` with ``entries`` index-tagged requests, ``warm`` the
+    shared-store artifacts this batch can use, and ``known`` the store keys
+    the parent already holds (so the worker never re-publishes them);
+    ``("resume", items)`` with pickled checkpoints another shard streamed
+    before crashing; ``("stop",)`` exits the loop.  Messages out: while a
+    batch runs, zero or more ``("checkpoint", indices, payload)`` events
+    (one per slice-boundary snapshot), then the terminal ``("ok", results,
+    publishes)`` / ``("resumed", results, failures)`` / ``("error",
+    message)`` — an exception escaping one batch fails that batch, not the
+    worker.
     """
     scheduler = scheduler_factory(slice_steps)
     while True:
         message = connection.recv()
         if message[0] == "stop":
             break
-        _tag, entries, warm, known, sequential, batched = message
+        if message[0] == "resume":
+            _tag, items = message
+            try:
+                reply = _resume_shard(scheduler, shard, items)
+            except Exception as error:  # noqa: BLE001 — a batch bug must not kill the worker
+                connection.send(("error", f"{type(error).__name__}: {error}"))
+                continue
+            connection.send(reply)
+            continue
+        _tag, entries, warm, known, sequential, batched, checkpoint_every = message
         try:
-            reply = _serve_shard(scheduler, shard, entries, warm, known, sequential, batched)
+            reply = _serve_shard(
+                scheduler, shard, entries, warm, known, sequential, batched, checkpoint_every, connection
+            )
         except Exception as error:  # noqa: BLE001 — a batch bug must not kill the worker
             connection.send(("error", f"{type(error).__name__}: {error}"))
             continue
@@ -131,6 +156,8 @@ def _serve_shard(
     known: Sequence[StoreKey],
     sequential: bool,
     batched: bool,
+    checkpoint_every: Optional[int],
+    connection=None,
 ) -> tuple:
     """Serve one shard batch and report responses plus publishable artifacts."""
     imported: Set[StoreKey] = set()
@@ -144,7 +171,11 @@ def _serve_shard(
 
     requests = [request for _index, request in entries]
     keys = [scheduler.pipeline_key(request) for request in requests]
-    if batched:
+    if checkpoint_every is not None and connection is not None and not sequential:
+        responses = _serve_streaming(
+            scheduler, entries, requests, batched, checkpoint_every, connection
+        )
+    elif batched:
         responses = scheduler.serve_batched(requests, sequential=sequential)
     else:
         responses = scheduler.serve(requests, sequential=sequential)
@@ -172,6 +203,91 @@ def _serve_shard(
             response.published = payload is not None
     results = [(index, response) for (index, _request), response in zip(entries, responses)]
     return ("ok", results, publishes)
+
+
+def _serve_streaming(
+    scheduler: Scheduler,
+    entries: Sequence[Tuple[int, Request]],
+    requests: Sequence[Request],
+    batched: bool,
+    checkpoint_every: int,
+    connection,
+) -> List[Response]:
+    """Serve one shard batch, streaming slice-boundary checkpoints upstream.
+
+    The production worker path: requests coalesce exactly as in
+    :meth:`~repro.serve.scheduler.Scheduler.serve_batched`, but the
+    representatives run through
+    :meth:`~repro.serve.scheduler.Scheduler.serve_preempting` (no ceiling)
+    so every snapshot-capable execution's paused state reaches the parent as
+    ``("checkpoint", covered, payload)`` events while the batch is still in
+    flight — ``covered`` listing the original batch indices of the whole
+    coalesced group.  If this worker then dies mid-batch, the parent holds
+    each in-flight request's last slice boundary and can resume it on a
+    surviving shard.  The machines are deterministic, so outcomes are
+    identical to the non-streaming path; a checkpoint that fails to pickle
+    is simply not streamed (those requests fall back to whole-shard failure
+    semantics, never to a wrong resume).
+    """
+    groups: "OrderedDict[Any, List[int]]" = OrderedDict()
+    for position, request in enumerate(requests):
+        key = scheduler.batch_key(request) if batched else None
+        groups.setdefault(("solo", position) if key is None else key, []).append(position)
+    member_lists = list(groups.values())
+    representatives = [requests[members[0]] for members in member_lists]
+    original = [index for index, _request in entries]
+
+    def stream(representative_index: int, checkpoint) -> None:
+        covered = [original[member] for member in member_lists[representative_index]]
+        try:
+            payload = pickle.dumps(checkpoint)
+        except Exception:  # unpicklable snapshot: skip, never stream junk
+            return
+        connection.send(("checkpoint", covered, payload))
+
+    served = scheduler.serve_preempting(
+        representatives, checkpoint_every=checkpoint_every, on_checkpoint=stream
+    )
+    responses: List[Optional[Response]] = [None] * len(requests)
+    for members, response in zip(member_lists, served):
+        response.coalesced = len(members)
+        responses[members[0]] = response
+        for member in members[1:]:
+            responses[member] = replace(response, request=requests[member])
+    return responses  # type: ignore[return-value]
+
+
+def _resume_shard(scheduler: Scheduler, shard: int, items: Sequence[Tuple[List[int], bytes]]) -> tuple:
+    """Resume checkpoints streamed by a crashed shard; report their outcomes.
+
+    ``items`` pairs each coalesced group's original batch indices with its
+    last streamed checkpoint payload.  Every checkpoint restores through the
+    scheduler's registered snapshot restorer — recompiling machine artifacts
+    locally — and runs to completion; outcomes are observably identical to
+    the crashed worker having finished.  A payload that fails to decode or
+    restore fails only its own group, reported in ``failures``.
+    """
+    covered_groups: List[List[int]] = []
+    checkpoints = []
+    failures: List[Tuple[List[int], str]] = []
+    for covered, payload in items:
+        try:
+            checkpoint = pickle.loads(payload)
+        except Exception as error:
+            failures.append((list(covered), f"{type(error).__name__}: {error}"))
+            continue
+        covered_groups.append(list(covered))
+        checkpoints.append(checkpoint)
+    responses = scheduler.resume(checkpoints)
+    results: List[Tuple[List[int], Response]] = []
+    for covered, response in zip(covered_groups, responses):
+        response.shard = shard
+        response.coalesced = len(covered)
+        if response.error is not None:
+            failures.append((covered, response.error))
+            continue
+        results.append((covered, response))
+    return ("resumed", results, failures)
 
 
 # -- the parent side ----------------------------------------------------------
@@ -215,12 +331,20 @@ class WorkerPool:
         scheduler_factory=default_scheduler_factory,
         batched: bool = True,
         start_method: str = "spawn",
+        checkpoint_every: Optional[int] = 1,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1 or None, got {checkpoint_every}")
         self.workers = workers
         self.slice_steps = slice_steps
         self.batched = batched
+        #: Slice-boundary cadence at which workers stream each in-flight
+        #: request's checkpoint to the parent (the migration safety net);
+        #: ``None`` disables streaming and restores whole-shard crash
+        #: failure for every request.
+        self.checkpoint_every = checkpoint_every
         self._factory = scheduler_factory
         self._context = multiprocessing.get_context(start_method)
         self._router = scheduler_factory(slice_steps)
@@ -242,6 +366,7 @@ class WorkerPool:
             "publishes": 0,
             "unpicklable": 0,
             "worker_crashes": 0,
+            "migrations": 0,
         }
         self._closed = False
 
@@ -254,21 +379,30 @@ class WorkerPool:
         self.close()
 
     def close(self) -> None:
-        """Stop every worker; the pool cannot be used afterwards."""
+        """Stop every worker; the pool cannot be used afterwards.
+
+        Idempotent and crash-safe: closing twice is a no-op (the first call
+        leaves no workers behind), and a worker that already died — crashed
+        mid-batch, killed at idle, pipe half-closed — is torn down without
+        raising, so ``close`` always leaves the pool fully stopped.
+        """
         self._closed = True
         for shard, worker in enumerate(self._pool):
             if worker is None:
                 continue
+            self._pool[shard] = None
             try:
                 worker.connection.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-            worker.connection.close()
+            try:
+                worker.connection.close()
+            except OSError:
+                pass
             worker.process.join(timeout=5)
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=5)
-            self._pool[shard] = None
 
     def _worker(self, shard: int) -> _Worker:
         if self._closed:
@@ -322,9 +456,12 @@ class WorkerPool:
         differential baseline) and coalesces identical requests onto one VM
         instance when the pool was built with ``batched=True``.
 
-        A worker that crashes mid-batch fails only its own shard: those
-        responses carry an ``error`` naming the crash, every other shard is
-        unaffected, and the worker is respawned for the next batch.
+        A worker that crashes mid-batch touches only its own shard — and
+        even there, requests whose checkpoints reached the parent are
+        *migrated*: resumed from their last slice boundary on a surviving
+        shard, with ``migrated_from`` recording the crash.  Requests with no
+        usable checkpoint carry an ``error`` naming the crash, every other
+        shard is unaffected, and the worker is respawned for the next batch.
         """
         responses: List[Optional[Response]] = [None] * len(requests)
         shards: Dict[int, List[Tuple[int, Request]]] = {}
@@ -343,7 +480,7 @@ class WorkerPool:
             warm, known = self._warm_entries(shard, entries, keymap)
             try:
                 worker.connection.send(
-                    ("serve", entries, warm, known, sequential_shards, self.batched)
+                    ("serve", entries, warm, known, sequential_shards, self.batched, self.checkpoint_every)
                 )
             except (BrokenPipeError, OSError):
                 self._crash(shard)
@@ -352,13 +489,28 @@ class WorkerPool:
             self._delivered.update((shard, store_key) for store_key, _payload in warm)
             dispatched[shard] = entries
 
+        # Migrations are deferred past the collection loop: the target shard
+        # may still be serving its own slice of this batch, and a "resume"
+        # sent mid-collection would interleave with its pending reply.
+        crashed: List[Tuple[int, List[Tuple[int, Request]], Dict[Tuple[int, ...], bytes]]] = []
         for shard in sorted(dispatched):
             entries = dispatched[shard]
+            # Drain the shard's event stream: zero or more in-flight
+            # checkpoint events (each superseding the last for its group),
+            # then the terminal reply.  Messages a worker wrote before dying
+            # stay readable after its death, so the checkpoints that make a
+            # crashed request migratable survive the crash itself.
+            checkpoints: Dict[Tuple[int, ...], bytes] = {}
             try:
-                reply = self._pool[shard].connection.recv()
+                while True:
+                    reply = self._pool[shard].connection.recv()
+                    if reply[0] != "checkpoint":
+                        break
+                    _tag, covered, payload = reply
+                    checkpoints[tuple(covered)] = payload
             except (EOFError, OSError):
                 self._crash(shard)
-                self._fail_shard(responses, shard, entries, "worker crashed while serving the batch")
+                crashed.append((shard, entries, checkpoints))
                 continue
             if reply[0] == "error":
                 self._fail_shard(responses, shard, entries, reply[1])
@@ -378,6 +530,10 @@ class WorkerPool:
                     if entry is not None and entry.publisher != shard:
                         self._stats["cross_worker_hits"] += 1
                 responses[index] = response
+        for shard, entries, checkpoints in crashed:
+            migrated = self._migrate(responses, shard, entries, checkpoints)
+            remaining = [(index, request) for index, request in entries if index not in migrated]
+            self._fail_shard(responses, shard, remaining, "worker crashed while serving the batch")
         return responses  # type: ignore[return-value]
 
     def run_sequential(self, requests: Sequence[Request]) -> List[Response]:
@@ -392,6 +548,67 @@ class WorkerPool:
             failed.shard = shard
             failed.error = f"shard {shard}: {message}"
             responses[index] = failed
+
+    # -- mid-run migration ----------------------------------------------------
+
+    def _migrate(
+        self,
+        responses,
+        crashed: int,
+        entries: Sequence[Tuple[int, Request]],
+        checkpoints: Dict[Tuple[int, ...], bytes],
+    ) -> Set[int]:
+        """Resume a crashed shard's in-flight checkpoints on a live shard.
+
+        ``checkpoints`` holds, per coalesced group, the last slice-boundary
+        snapshot the dead worker streamed before crashing.  They are sent to
+        a surviving shard (any live worker; with a single-worker pool, a
+        fresh respawn of the crashed shard), restored there, and driven to
+        completion — the built-in machines are deterministic and snapshots
+        are exact, so each migrated request's outcome is identical to the
+        crashed worker having finished it.  Returns the original batch
+        indices that were successfully migrated; everything else falls back
+        to whole-shard failure.  One migration attempt per crash: if the
+        target dies too, its requests fail rather than hop again.
+        """
+        if not checkpoints:
+            return set()
+        target = None
+        for shard, worker in enumerate(self._pool):
+            if shard != crashed and worker is not None and worker.process.is_alive():
+                target = shard
+                break
+        if target is None:
+            # No live worker to migrate to: respawn a shard (the crashed one
+            # when the pool has no other) — still a fresh process that
+            # restores from plain data, exercising the same contract.
+            target = (crashed + 1) % self.workers
+        items = [(list(covered), payload) for covered, payload in checkpoints.items()]
+        try:
+            worker = self._worker(target)
+            worker.connection.send(("resume", items))
+            while True:
+                reply = worker.connection.recv()
+                if reply[0] != "checkpoint":  # resume streams no checkpoints today
+                    break
+        except (BrokenPipeError, EOFError, OSError):
+            self._crash(target)
+            return set()
+        if reply[0] != "resumed":
+            return set()
+        _tag, results, _failures = reply
+        requests = dict(entries)
+        migrated: Set[int] = set()
+        for covered, response in results:
+            response.migrated_from = crashed
+            for index in covered:
+                if index == covered[0]:
+                    responses[index] = response
+                else:
+                    responses[index] = replace(response, request=requests[index])
+                migrated.add(index)
+            self._stats["migrations"] += 1
+        return migrated
 
     # -- the shared store -----------------------------------------------------
 
@@ -452,7 +669,9 @@ class WorkerPool:
         worker than the one serving — the pure cross-process wins);
         ``misses`` counts unique store lookups that found nothing,
         ``publishes`` artifacts accepted into the store, ``unpicklable``
-        publish attempts dropped because the artifact would not pickle, and
-        ``worker_crashes`` shard failures that triggered a respawn.
+        publish attempts dropped because the artifact would not pickle,
+        ``worker_crashes`` shard failures that triggered a respawn, and
+        ``migrations`` coalesced request groups resumed on another shard
+        from a crashed worker's streamed checkpoints.
         """
         return {"entries": len(self._store), **self._stats}

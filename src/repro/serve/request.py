@@ -23,6 +23,12 @@ deliberately spread a hot program across workers).  On the response side,
 pipeline-cache store, and ``coalesced`` records how many identical requests
 shared one VM instance with this one.  All four stay at their defaults for
 single-process serving, so a :class:`Response` reads the same either way.
+
+Machine-state snapshots add four more: ``preempted`` / ``checkpoint`` record
+a run stopped at a slice boundary with its paused state reified for later,
+``resumed`` marks a response produced by continuing such a checkpoint, and
+``migrated_from`` names the crashed shard an in-flight request was moved off
+mid-run.  All four likewise default to the no-snapshot reading.
 """
 
 from __future__ import annotations
@@ -50,11 +56,14 @@ class Request:
     system: Optional[str] = None
     request_id: Optional[str] = None
     #: Worker-pool placement override.  ``None`` shards by a deterministic
-    #: hash of ``(system, language, source)`` — repeat submissions of a
-    #: program land on the same, already-warm worker.  Setting a key reroutes
-    #: by ``hash(affinity)`` instead: give related requests one key to pin
-    #: them together, or distinct keys to spread a hot program across
-    #: workers.  Single-process scheduling ignores it.
+    #: sha256 of ``(system, language, source)`` — repeat submissions of a
+    #: program land on the same, already-warm worker.  Setting a key makes
+    #: :func:`repro.serve.pool.shard_of` hash the sha256 of ``affinity``
+    #: instead (deliberately *not* built-in ``hash``, which
+    #: ``PYTHONHASHSEED`` randomizes per process — placement must be stable
+    #: across interpreter runs): give related requests one key to pin them
+    #: together, or distinct keys to spread a hot program across workers.
+    #: Single-process scheduling ignores it.
     affinity: Optional[str] = None
 
     def label(self) -> str:
@@ -103,6 +112,25 @@ class Response:
     #: produced this response — 1 means the request ran alone.  Coalesced
     #: responses share the representative run's result and accounting.
     coalesced: int = 1
+    #: True when the request was stopped at a slice boundary before it
+    #: finished (:meth:`~repro.serve.scheduler.Scheduler.serve_preempting`'s
+    #: ``max_slices`` ceiling).  ``result`` is then ``None`` and — for
+    #: snapshot-capable backends — ``checkpoint`` holds the paused state.
+    preempted: bool = False
+    #: The :class:`~repro.serve.checkpoint.Checkpoint` reified at the last
+    #: slice boundary of a preempted run (``None`` for finished requests and
+    #: for backends without machine-state snapshots).  Feed it to
+    #: :meth:`~repro.serve.scheduler.Scheduler.resume` — in this process or
+    #: any other — to continue the run where it stopped.
+    checkpoint: Optional[Any] = None
+    #: True when this response continues a checkpoint instead of a fresh
+    #: admission; ``slices`` then counts post-restore slices only (the
+    #: checkpoint's own ``slices`` field holds the pre-preemption count).
+    resumed: bool = False
+    #: The shard whose worker crashed while this request was in flight; the
+    #: pool resumed it from its last streamed checkpoint on ``shard``
+    #: instead of failing it with the rest of the crashed shard.
+    migrated_from: Optional[int] = None
 
     @property
     def ok(self) -> bool:

@@ -58,6 +58,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.errors import ReproError
 from repro.core.interop import InteropSystem
 from repro.core.language import CacheKey, CompiledUnit
+from repro.serve.checkpoint import Checkpoint
 from repro.serve.driver import StepSlicedDriver
 from repro.serve.request import Request, Response
 
@@ -248,6 +249,117 @@ class Scheduler:
 
     def serve_sequential(self, requests: Sequence[Request]) -> List[Response]:
         return self.serve(requests, sequential=True)
+
+    # -- checkpointing / preemption / resume ----------------------------------
+
+    def serve_preempting(
+        self,
+        requests: Sequence[Request],
+        max_slices: Optional[int] = None,
+        checkpoint_every: int = 1,
+        on_checkpoint: Optional[Any] = None,
+    ) -> List[Response]:
+        """Serve a batch with slice-boundary checkpoints and an optional ceiling.
+
+        Admission is identical to :meth:`serve`; the batch then advances
+        round-robin, and at every slice boundary (before the first slice,
+        then every ``checkpoint_every`` slices) each snapshot-capable
+        execution's paused state is reified into a
+        :class:`~repro.serve.checkpoint.Checkpoint`.  ``on_checkpoint(index,
+        checkpoint)`` — ``index`` into ``requests`` — observes each one as it
+        is taken: stream it to another process, persist it through a
+        :class:`~repro.serve.checkpoint.CheckpointStore`, or ignore it.
+
+        With ``max_slices`` set, a request still running at that ceiling is
+        *preempted*: its response carries ``preempted=True``, ``result=None``
+        and — for snapshot-capable backends — ``checkpoint`` holding exactly
+        the stopped state, ready for :meth:`resume` later or elsewhere.
+        Outcomes of requests that finish are identical to :meth:`serve`'s
+        (the machines are deterministic; snapshots copy state out without
+        touching it).  Backends without snapshots run and preempt normally
+        but yield no checkpoint.
+        """
+        prepared, runnable, executions = self._admit(requests)
+        indices = {id(entry): index for index, entry in enumerate(prepared)}
+
+        def hook(runnable_index: int, slices: int) -> None:
+            entry = runnable[runnable_index]
+            execution = entry.execution
+            if not getattr(execution, "can_snapshot", None) or not execution.can_snapshot():
+                return
+            try:
+                snapshot = execution.snapshot()
+            except Exception:  # a snapshot bug must not take down the batch
+                return
+            entry.response.checkpoint = Checkpoint(
+                request=entry.response.request,
+                system=entry.response.system,
+                backend=entry.response.backend,
+                snapshot=snapshot,
+                slices=slices,
+            )
+            if on_checkpoint is not None:
+                on_checkpoint(indices[id(entry)], entry.response.checkpoint)
+
+        driven = self.driver.run_checkpointed(
+            executions,
+            on_checkpoint=hook,
+            checkpoint_every=checkpoint_every,
+            max_slices=max_slices,
+        )
+        responses = self._collect(prepared, runnable, driven)
+        for entry, outcome in zip(runnable, driven):
+            if outcome.result is None and entry.response.error is None:
+                entry.response.preempted = True
+            else:
+                # Finished (or failed): the trailing checkpoint is stale.
+                entry.response.checkpoint = None
+        return responses
+
+    def restore_execution(self, checkpoint: Checkpoint):
+        """Rebuild a checkpoint's paused execution via its system's restorer."""
+        system = self.systems.get(checkpoint.system)
+        if system is None:
+            raise ReproError(
+                f"no registered system {checkpoint.system!r}; registered: {sorted(self.systems)}"
+            )
+        return system.restore_execution(checkpoint.snapshot, backend=checkpoint.backend)
+
+    def resume(self, checkpoints: Sequence[Checkpoint], sequential: bool = False) -> List[Response]:
+        """Continue checkpointed runs to completion; responses in input order.
+
+        Each checkpoint — taken in this process, another worker, or a prior
+        incarnation of the whole server — is restored through its system's
+        snapshot restorer (recompiling machine artifacts deterministically)
+        and driven like a freshly admitted batch.  Responses carry
+        ``resumed=True``; ``slices`` counts post-restore slices only, while
+        the checkpoint's own ``slices`` field preserves the earlier count.
+        The combined outcome is observably identical to never having stopped.
+        A checkpoint that fails to restore (unknown system, version skew)
+        fails alone, as its response's ``error``.
+        """
+        prepared: List[PreparedRequest] = []
+        for checkpoint in checkpoints:
+            response = Response(
+                request=checkpoint.request,
+                system=checkpoint.system,
+                backend=checkpoint.backend,
+                resumed=True,
+            )
+            try:
+                execution = self.restore_execution(checkpoint)
+            except Exception as error:  # a bad checkpoint must not take down the batch
+                response.error = f"{type(error).__name__}: {error}"
+                prepared.append(PreparedRequest(response))
+                continue
+            prepared.append(PreparedRequest(response, execution))
+        runnable = [entry for entry in prepared if entry.execution is not None]
+        executions = [_GuardedExecution(entry.execution) for entry in runnable]
+        if sequential:
+            driven = self.driver.run_sequential(executions)
+        else:
+            driven = self.driver.run_batch(executions)
+        return self._collect(prepared, runnable, driven)
 
     # -- batched boundary crossings -------------------------------------------
 

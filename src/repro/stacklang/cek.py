@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ErrorCode
+from repro.core.snapshots import check_snapshot, make_snapshot
 from repro.stacklang import syntax as s
 from repro.stacklang.machine import Config, FailStack, MachineResult, Status
 
@@ -151,6 +152,10 @@ class SegmentExecution:
 
     __slots__ = ("fuel", "steps", "result", "_heap_cells", "_next_address", "_values", "_control")
 
+    #: The snapshot tag this machine writes and restores (see
+    #: :mod:`repro.core.snapshots` for the format contract).
+    SNAPSHOT_KIND = "stacklang/cek"
+
     def __init__(
         self,
         program: s.Program,
@@ -166,6 +171,41 @@ class SegmentExecution:
         self.fuel = fuel
         self.steps = 0
         self.result: Optional[MachineResult] = None
+
+    def snapshot(self) -> dict:
+        """Reify the paused machine as a versioned, process-portable dict.
+
+        The segment machine's whole state — value stack, control segments
+        (program text, pc, environment cons cells), heap cells — is plain
+        data; the state pickles as-is.
+        """
+        if self.result is not None:
+            raise ValueError("cannot snapshot a finished execution")
+        return make_snapshot(
+            self.SNAPSHOT_KIND,
+            {
+                "fuel": self.fuel,
+                "steps": self.steps,
+                "heap_cells": self._heap_cells,
+                "next_address": self._next_address,
+                "values": self._values,
+                "control": [list(segment) for segment in self._control],
+            },
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "SegmentExecution":
+        """Rebuild a paused machine from :meth:`snapshot` output."""
+        state = check_snapshot(snapshot, cls.SNAPSHOT_KIND)
+        execution = cls.__new__(cls)
+        execution._heap_cells = state["heap_cells"]
+        execution._next_address = state["next_address"]
+        execution._values = state["values"]
+        execution._control = [list(segment) for segment in state["control"]]
+        execution.fuel = state["fuel"]
+        execution.steps = state["steps"]
+        execution.result = None
+        return execution
 
     def step_n(self, limit: int) -> Optional[MachineResult]:
         """Run at most ``limit`` instructions; the result when halted, else None."""
@@ -728,6 +768,10 @@ class CompiledExecution:
 
     __slots__ = ("fuel", "steps", "result", "program", "_code", "_heap_cells", "_st", "_pc")
 
+    #: The snapshot tag this machine writes and restores (see
+    #: :mod:`repro.core.snapshots` for the format contract).
+    SNAPSHOT_KIND = "stacklang/cek-compiled"
+
     def __init__(
         self,
         program: s.Program,
@@ -781,6 +825,29 @@ class CompiledExecution:
         self.fuel = state["fuel"]
         self.steps = state["steps"]
         self.result = state["result"]
+
+    def snapshot(self) -> dict:
+        """Reify the paused machine as a versioned, process-portable dict.
+
+        The mid-run pickling contract above already does the heavy lifting:
+        embedding the execution itself routes through ``__getstate__`` (which
+        drops the process-local op array) and the plain-data copy inside
+        :func:`repro.core.snapshots.make_snapshot` severs every alias with
+        the live machine.  Restoring recompiles deterministically, so the
+        saved ``pc`` and every ``CThunkV`` entry pc stay valid.
+        """
+        if self.result is not None:
+            raise ValueError("cannot snapshot a finished execution")
+        return make_snapshot(self.SNAPSHOT_KIND, {"execution": self})
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "CompiledExecution":
+        """Rebuild a paused machine from :meth:`snapshot` output."""
+        state = check_snapshot(snapshot, cls.SNAPSHOT_KIND)
+        execution = state["execution"]
+        if not isinstance(execution, cls):
+            raise ValueError(f"snapshot does not hold a {cls.__name__}")
+        return execution
 
     def step_n(self, limit: int) -> Optional[MachineResult]:
         """Run at most ``limit`` instructions; the result when halted, else None."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import ErrorCode, StuckError
+from repro.core.snapshots import check_snapshot, make_snapshot
 from repro.stacklang.syntax import (
     Add,
     Alloc,
@@ -270,6 +271,10 @@ class SubstitutionExecution:
 
     __slots__ = ("config", "fuel", "steps", "result")
 
+    #: The snapshot tag this machine writes and restores (see
+    #: :mod:`repro.core.snapshots` for the format contract).
+    SNAPSHOT_KIND = "stacklang/substitution"
+
     def __init__(
         self,
         program: Optional[Program] = None,
@@ -284,6 +289,30 @@ class SubstitutionExecution:
         self.fuel = fuel
         self.steps = 0
         self.result: Optional[MachineResult] = None
+
+    def snapshot(self) -> dict:
+        """Reify the paused machine as a versioned, process-portable dict.
+
+        A Fig. 2 configuration is heap + stack + remaining program, all plain
+        syntax — the state pickles as-is.
+        """
+        if self.result is not None:
+            raise ValueError("cannot snapshot a finished execution")
+        return make_snapshot(
+            self.SNAPSHOT_KIND,
+            {"config": self.config, "fuel": self.fuel, "steps": self.steps},
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "SubstitutionExecution":
+        """Rebuild a paused machine from :meth:`snapshot` output."""
+        state = check_snapshot(snapshot, cls.SNAPSHOT_KIND)
+        execution = cls.__new__(cls)
+        execution.config = state["config"]
+        execution.fuel = state["fuel"]
+        execution.steps = state["steps"]
+        execution.result = None
+        return execution
 
     def step_n(self, limit: int) -> Optional[MachineResult]:
         """Run at most ``limit`` machine steps; the result when halted, else None."""

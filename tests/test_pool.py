@@ -23,6 +23,8 @@ module-level (pickled by reference and re-imported in the child).
 import os
 import pickle
 
+import pytest
+
 from repro.serve import Request, Scheduler, WorkerPool, make_default_scheduler
 from repro.serve.pool import shard_of
 from repro.util.workloads import (
@@ -309,7 +311,7 @@ def _crashing_factory(slice_steps: int) -> Scheduler:
     return scheduler
 
 
-def test_worker_crash_fails_only_its_own_shard_and_respawns():
+def test_worker_crash_migrates_inflight_requests_and_respawns():
     with WorkerPool(workers=2, slice_steps=128, scheduler_factory=_crashing_factory) as pool:
         crash_key = _affinity_for_shard(pool, 0)
         healthy_key = _affinity_for_shard(pool, 1)
@@ -321,17 +323,79 @@ def test_worker_crash_fails_only_its_own_shard_and_respawns():
         ]
         responses = pool.run_batch(requests)
         by_id = {response.request.request_id: response for response in responses}
-        # The crashing shard failed -- both its requests, nobody else's.
+        # The crashing request itself fails: its backend is a factoryless
+        # third-party runner (a BlockingExecution), so there is no snapshot
+        # to resume from -- it keeps the whole-shard-failure semantics.
         assert "crashed" in by_id["boom"].error
-        assert "crashed" in by_id["collateral"].error
+        # But the snapshot-capable request sharing the shard is *migrated*:
+        # resumed from its last streamed checkpoint on the surviving shard,
+        # with the same observable outcome as an undisturbed run.
+        collateral = by_id["collateral"]
+        assert collateral.error is None and collateral.result.ok
+        assert collateral.migrated_from == 0 and collateral.shard == 1
+        assert collateral.resumed
+        baseline = pool.run_sequential([requests[1]])[0]
+        assert str(collateral.result) == str(baseline.result)
+        assert collateral.result.steps == baseline.result.steps
         assert by_id["survivor"].error is None and by_id["survivor"].result.ok
-        assert pool.cache_stats()["worker_crashes"] == 1
+        assert by_id["survivor"].migrated_from is None
+        stats = pool.cache_stats()
+        assert stats["worker_crashes"] == 1
+        assert stats["migrations"] == 1
         # The pool respawned the dead worker: the next batch is served fine.
         retry = pool.run_batch(
             [Request(language="RefLL", source=healthy_source, affinity=crash_key, request_id="retry")]
         )[0]
         assert retry.error is None and retry.result.ok
         assert retry.shard == 0
+
+
+def test_worker_crash_without_checkpoints_still_fails_only_its_shard():
+    # checkpoint_every=None turns streaming off: the pre-migration contract
+    # (whole-shard failure, clean respawn) must still hold exactly.
+    with WorkerPool(
+        workers=2, slice_steps=128, scheduler_factory=_crashing_factory, checkpoint_every=None
+    ) as pool:
+        crash_key = _affinity_for_shard(pool, 0)
+        healthy_key = _affinity_for_shard(pool, 1)
+        healthy_source = nested_refll_boundary(4)
+        requests = [
+            Request(language="RefLL", source="(+ 1 2)", backend="crash", affinity=crash_key, request_id="boom"),
+            Request(language="RefLL", source=healthy_source, affinity=crash_key, request_id="collateral"),
+            Request(language="RefLL", source=healthy_source, affinity=healthy_key, request_id="survivor"),
+        ]
+        responses = pool.run_batch(requests)
+        by_id = {response.request.request_id: response for response in responses}
+        assert "crashed" in by_id["boom"].error
+        assert "crashed" in by_id["collateral"].error
+        assert by_id["survivor"].error is None and by_id["survivor"].result.ok
+        assert pool.cache_stats()["migrations"] == 0
+
+
+def test_close_is_idempotent_and_safe_after_worker_crash():
+    pool = WorkerPool(workers=2, slice_steps=128, scheduler_factory=_crashing_factory)
+    try:
+        crash_key = _affinity_for_shard(pool, 0)
+        healthy_key = _affinity_for_shard(pool, 1)
+        requests = [
+            Request(language="RefLL", source="(+ 1 2)", backend="crash", affinity=crash_key),
+            Request(language="RefLL", source=nested_refll_boundary(3), affinity=healthy_key),
+        ]
+        pool.run_batch(requests)
+        # Kill the surviving worker too, without telling the pool: close()
+        # must cope with a dead process behind a half-broken pipe.
+        survivor = pool._pool[1]
+        assert survivor is not None
+        survivor.process.terminate()
+        survivor.process.join(timeout=5)
+    finally:
+        pool.close()
+    # Every worker slot is torn down, and closing again is a no-op.
+    assert all(worker is None for worker in pool._pool)
+    pool.close()
+    assert all(worker is None for worker in pool._pool)
+    with pytest.raises(RuntimeError):
+        pool.run_batch([Request(language="RefLL", source="1")])
 
 
 def test_worker_death_between_batches_respawns_rewarmed_from_the_store():

@@ -1,0 +1,457 @@
+"""Snapshot/restore invisibility for every resumable backend's paused state.
+
+The contract under test (``repro.core.snapshots`` plus each machine's
+``snapshot()`` / ``from_snapshot``): reifying a paused execution at *any*
+slice boundary and rebuilding it — in this process or a fresh spawn-context
+process — must be observably invisible.  Four layers of guarantees:
+
+* **every boundary, every backend**: for each snapshot-capable backend in
+  all three case-study systems, a run restored from a snapshot taken at
+  every slice boundary produces the uninterrupted run's exact result string
+  and step count (and the probed execution itself finishes unperturbed —
+  snapshots copy state out without touching it);
+* **raw post-``callgc`` heaps**: at the LCVM machine level the restored
+  run's final heap equals the uninterrupted run's address-for-address —
+  exact cells, exact addresses, exact collection statistics, no
+  result-rooted normalization — across the GC-precise dead-``let``
+  programs from the backend-agreement suite;
+* **process portability**: a snapshot pickled in this process and restored
+  in a *fresh spawn-context process* (compiled units rebuilt from scratch —
+  nothing shared but the bytes) finishes with the same result, steps, and
+  (for the compiled LCVM machine) the same raw heap;
+* **format discipline**: version/kind tampering is refused, finished
+  executions refuse to snapshot, one snapshot restores many independent
+  executions, and the scheduler's preempt → ``CheckpointStore`` → restart →
+  ``resume`` round trip matches an uninterrupted sequential serve.
+"""
+
+import multiprocessing
+import pickle
+from functools import lru_cache
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ReproError
+from repro.core.snapshots import SNAPSHOT_VERSION, snapshot_backend_name
+from repro.interop_affine import make_system as make_affine_system
+from repro.interop_l3 import make_system as make_l3_system
+from repro.interop_refs import make_system as make_refs_system
+from repro.lcvm import bigstep as lcvm_bigstep
+from repro.lcvm import cek as lcvm_cek
+from repro.lcvm import machine as lcvm_machine
+from repro.lcvm.heap import HeapCell
+from repro.lcvm.syntax import App, CallGc, Deref, Inl, Int, Lam, Let, Match, NewRef, Pair, Var
+from repro.lcvm.values import reify
+from repro.serve import Checkpoint, CheckpointStore, Request, make_default_scheduler
+from repro.serve.checkpoint import CHECKPOINT_VERSION
+from repro.util.workloads import (
+    nested_ml_affi_boundary,
+    nested_ml_l3_boundary,
+    nested_refll_boundary,
+)
+
+FUEL = 200_000
+MACHINE_FUEL = 500_000
+
+_SYSTEM_BUILDERS = {
+    "refs": make_refs_system,
+    "affine": make_affine_system,
+    "l3": make_l3_system,
+}
+
+_WORKLOADS = {
+    "refs": ("RefLL", nested_refll_boundary(5)),
+    "affine": ("MiniML", nested_ml_affi_boundary(5)),
+    "l3": ("MiniML", nested_ml_l3_boundary(4)),
+}
+
+# One shared instance per system for the whole module (pipeline caches stay
+# warm, like a serving process); every test starts fresh executions.
+_SYSTEMS = {name: build() for name, build in _SYSTEM_BUILDERS.items()}
+
+# Every snapshot-capable backend in every system: the restorer registry *is*
+# the capability list, so a backend gaining snapshots is tested automatically.
+CASES = [
+    pytest.param(system_name, backend, id=f"{system_name}-{backend}")
+    for system_name in sorted(_SYSTEMS)
+    for backend in sorted(_SYSTEMS[system_name].target.restores)
+]
+
+
+@lru_cache(maxsize=None)
+def _target_code(system_name):
+    language, source = _WORKLOADS[system_name]
+    return _SYSTEMS[system_name].compile_source(language, source).target_code
+
+
+def _finish(execution, slice_steps):
+    result = None
+    while result is None:
+        result = execution.step_n(slice_steps)
+    return result
+
+
+@lru_cache(maxsize=None)
+def _baseline(system_name, backend, slice_steps):
+    """The uninterrupted run's observables: (result string, step count)."""
+    system = _SYSTEMS[system_name]
+    execution = system.start_compiled(_target_code(system_name), fuel=FUEL, backend=backend)
+    result = _finish(execution, slice_steps)
+    return str(result), result.steps
+
+
+def _round_trip(snapshot):
+    """Snapshots must survive as bytes — every restore goes through pickle."""
+    return pickle.loads(pickle.dumps(snapshot))
+
+
+# ---------------------------------------------------------------------------
+# Every slice boundary, every backend, all three systems
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("system_name,backend", CASES)
+def test_restore_at_every_slice_boundary_is_invisible(system_name, backend):
+    system = _SYSTEMS[system_name]
+    base_str, base_steps = _baseline(system_name, backend, 3)
+    probe = system.start_compiled(_target_code(system_name), fuel=FUEL, backend=backend)
+    boundaries = 0
+    while True:
+        result = probe.step_n(3)
+        if result is not None:
+            break
+        boundaries += 1
+        snapshot = probe.snapshot()
+        # The kind's tail names the backend, so bare snapshots route themselves.
+        assert snapshot_backend_name(snapshot) == backend
+        restored = system.restore_execution(_round_trip(snapshot))
+        finished = _finish(restored, 3)
+        assert str(finished) == base_str
+        assert finished.steps == base_steps
+    assert boundaries >= 1, "workload too shallow to cross a slice boundary"
+    # Snapshotting copied state out without perturbing the probed execution.
+    assert str(result) == base_str
+    assert result.steps == base_steps
+
+
+@pytest.mark.parametrize("system_name,backend", CASES)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    slice_steps=st.integers(min_value=1, max_value=17),
+    boundary=st.integers(min_value=1, max_value=40),
+)
+def test_restore_at_arbitrary_boundary_matches_uninterrupted(
+    system_name, backend, slice_steps, boundary
+):
+    """Hypothesis: whatever the slice size and whichever boundary is chosen,
+    the restored run and the probed original both match the uninterrupted run."""
+    system = _SYSTEMS[system_name]
+    base_str, base_steps = _baseline(system_name, backend, slice_steps)
+    probe = system.start_compiled(_target_code(system_name), fuel=FUEL, backend=backend)
+    result = None
+    for _ in range(boundary):
+        result = probe.step_n(slice_steps)
+        if result is not None:
+            break
+    if result is not None:
+        assert str(result) == base_str
+        assert result.steps == base_steps
+        return
+    restored = system.restore_execution(_round_trip(probe.snapshot()))
+    finished = _finish(restored, slice_steps)
+    assert str(finished) == base_str
+    assert finished.steps == base_steps
+    original = _finish(probe, slice_steps)
+    assert str(original) == base_str
+    assert original.steps == base_steps
+
+
+# ---------------------------------------------------------------------------
+# Raw post-callgc heap invisibility at the LCVM machine level
+# ---------------------------------------------------------------------------
+
+# The GC-precision programs from the backend-agreement suite: dead let
+# bindings that a mid-run ``callgc`` must collect (or keep) exactly.
+_GC_PROGRAMS = [
+    Let(
+        "keep",
+        NewRef(Int(1)),
+        Let("dead", NewRef(Int(2)), Let("_", CallGc(), Deref(Var("keep")))),
+    ),
+    Let(
+        "dead",
+        NewRef(Int(7)),
+        Let("f", Lam("x", Var("x")), Let("_", CallGc(), App(Var("f"), Int(3)))),
+    ),
+    Let(
+        "live",
+        NewRef(Int(5)),
+        Let("f", Lam("x", Deref(Var("live"))), Let("_", CallGc(), App(Var("f"), Int(0)))),
+    ),
+    Let(
+        "a",
+        NewRef(Int(1)),
+        Match(Inl(Int(0)), "x", Let("_", CallGc(), Int(9)), "y", Deref(Var("a"))),
+    ),
+    Let(
+        "dead",
+        NewRef(Int(2)),
+        Pair(NewRef(Int(3)), Let("_", CallGc(), Int(1))),
+    ),
+    Let(
+        "r",
+        NewRef(Int(1)),
+        Let("r", NewRef(Int(2)), Let("_", CallGc(), Deref(Var("r")))),
+    ),
+]
+
+_LCVM_MACHINES = [
+    pytest.param(lcvm_machine.SubstitutionExecution, id="substitution"),
+    pytest.param(lcvm_bigstep.BigStepExecution, id="bigstep"),
+    pytest.param(lcvm_cek.InterpretedExecution, id="cek"),
+    pytest.param(lcvm_cek.CompiledExecution, id="cek-compiled"),
+]
+
+
+def _raw_observables(result):
+    """Result value, steps, and the raw heap: exact cells, exact addresses,
+    exact collection statistics — no result-rooted normalization."""
+    if isinstance(result, lcvm_bigstep.EvalResult):
+        cells = {
+            address: HeapCell(reify(cell.value), cell.kind)
+            for address, cell in result.heap.cells.items()
+        }
+        return str(result.reified_value()), result.steps, cells, result.collections, result.reclaimed
+    heap = result.heap
+    return str(result.value), result.steps, dict(heap.cells), heap.collections, heap.reclaimed
+
+
+@pytest.mark.parametrize("machine_class", _LCVM_MACHINES)
+@pytest.mark.parametrize(
+    "program", _GC_PROGRAMS, ids=[str(program)[:48] for program in _GC_PROGRAMS]
+)
+def test_lcvm_restore_preserves_raw_postgc_heap(machine_class, program):
+    base = _raw_observables(_finish(machine_class(program, fuel=MACHINE_FUEL), 2))
+    probe = machine_class(program, fuel=MACHINE_FUEL)
+    boundaries = 0
+    while True:
+        result = probe.step_n(2)
+        if result is not None:
+            break
+        boundaries += 1
+        restored = machine_class.from_snapshot(_round_trip(probe.snapshot()))
+        assert _raw_observables(_finish(restored, 2)) == base
+    assert boundaries >= 1, "program too shallow to cross a slice boundary"
+    assert _raw_observables(result) == base
+
+
+# ---------------------------------------------------------------------------
+# Fresh-process restores (spawn context: nothing shared but the bytes)
+# ---------------------------------------------------------------------------
+
+
+def _finish_system_snapshot_in_child(system_name, payload, connection):
+    """Spawn target: rebuild the system from scratch, restore, run to the end."""
+    try:
+        system = _SYSTEM_BUILDERS[system_name]()
+        execution = system.restore_execution(pickle.loads(payload))
+        result = _finish(execution, 64)
+        connection.send(("ok", str(result), result.steps))
+    except BaseException as error:  # report, or the parent hangs on recv
+        connection.send(("error", f"{type(error).__name__}: {error}", None))
+    finally:
+        connection.close()
+
+
+def _finish_lcvm_snapshot_in_child(payload, connection):
+    """Spawn target: restore a compiled LCVM machine and report its raw heap."""
+    try:
+        restored = lcvm_cek.CompiledExecution.from_snapshot(pickle.loads(payload))
+        connection.send(("ok", repr(_raw_observables(_finish(restored, 2)))))
+    except BaseException as error:
+        connection.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        connection.close()
+
+
+def _run_in_spawned_process(target, args):
+    context = multiprocessing.get_context("spawn")
+    parent, child = context.Pipe()
+    process = context.Process(target=target, args=tuple(args) + (child,))
+    process.start()
+    child.close()
+    try:
+        assert parent.poll(120), "spawned restore process sent nothing back"
+        reply = parent.recv()
+    finally:
+        process.join(timeout=30)
+        if process.is_alive():  # pragma: no cover - cleanup path
+            process.terminate()
+        parent.close()
+    assert reply[0] == "ok", f"restore failed in fresh process: {reply[1]}"
+    return reply[1:]
+
+
+@pytest.mark.parametrize("system_name,backend", CASES)
+def test_restore_in_fresh_spawned_process(system_name, backend):
+    system = _SYSTEMS[system_name]
+    base_str, base_steps = _baseline(system_name, backend, 64)
+    probe = system.start_compiled(_target_code(system_name), fuel=FUEL, backend=backend)
+    assert probe.step_n(3) is None, "workload too shallow to snapshot mid-run"
+    payload = pickle.dumps(probe.snapshot())
+    result_str, steps = _run_in_spawned_process(
+        _finish_system_snapshot_in_child, (system_name, payload)
+    )
+    assert result_str == base_str
+    assert steps == base_steps
+
+
+def test_lcvm_raw_heap_survives_fresh_spawned_process():
+    program = _GC_PROGRAMS[0]
+    base = repr(_raw_observables(_finish(lcvm_cek.CompiledExecution(program, fuel=MACHINE_FUEL), 2)))
+    probe = lcvm_cek.CompiledExecution(program, fuel=MACHINE_FUEL)
+    assert probe.step_n(2) is None
+    payload = pickle.dumps(probe.snapshot())
+    (raw,) = _run_in_spawned_process(_finish_lcvm_snapshot_in_child, (payload,))
+    assert raw == base
+
+
+# ---------------------------------------------------------------------------
+# Format discipline
+# ---------------------------------------------------------------------------
+
+
+def _mid_run_snapshot(system_name, backend=None):
+    system = _SYSTEMS[system_name]
+    probe = system.start_compiled(_target_code(system_name), fuel=FUEL, backend=backend)
+    assert probe.step_n(3) is None
+    return probe.snapshot()
+
+
+def test_finished_execution_refuses_to_snapshot():
+    system = _SYSTEMS["refs"]
+    execution = system.start_compiled(_target_code("refs"), fuel=FUEL)
+    _finish(execution, 64)
+    assert execution.can_snapshot()  # the machine supports snapshots...
+    with pytest.raises(ValueError, match="finished"):
+        execution.snapshot()  # ...but there is no paused state to reify
+
+
+def test_version_and_kind_tampering_is_refused():
+    system = _SYSTEMS["refs"]
+    snapshot = _mid_run_snapshot("refs")
+    with pytest.raises(ValueError):
+        system.restore_execution(dict(snapshot, version=SNAPSHOT_VERSION + 1))
+    # A kind whose tail names no registered backend cannot route at all.
+    with pytest.raises(ReproError):
+        system.restore_execution(dict(snapshot, kind="garbage"))
+    # Explicitly routing to the wrong restorer trips the kind check.
+    wrong = [name for name in system.target.restores if name != snapshot_backend_name(snapshot)]
+    with pytest.raises(ValueError):
+        system.target.restore(snapshot, backend=wrong[0])
+    # An unregistered backend name is refused before any restore runs.
+    with pytest.raises(ReproError):
+        system.target.restore(snapshot, backend="no-such-backend")
+
+
+def test_one_snapshot_restores_many_independent_executions():
+    system = _SYSTEMS["affine"]
+    base_str, base_steps = _baseline("affine", "cek-compiled", 5)
+    snapshot = _mid_run_snapshot("affine", backend="cek-compiled")
+    first = system.restore_execution(snapshot)
+    second = system.restore_execution(snapshot)
+    first_result = _finish(first, 5)  # runs (and mutates its heap) to the end...
+    second_result = _finish(second, 5)  # ...without contaminating its sibling
+    assert (str(first_result), first_result.steps) == (base_str, base_steps)
+    assert (str(second_result), second_result.steps) == (base_str, base_steps)
+
+
+# ---------------------------------------------------------------------------
+# Preempt -> persist -> restart -> resume (the durable round trip)
+# ---------------------------------------------------------------------------
+
+
+def _preempt_requests():
+    return [
+        Request(language="RefLL", source=nested_refll_boundary(6), request_id="refs-deep"),
+        Request(
+            language="RefLL",
+            source=nested_refll_boundary(5),
+            backend="substitution",
+            request_id="refs-oracle",
+        ),
+        Request(
+            language="MiniML",
+            system="affine",
+            source=nested_ml_affi_boundary(6),
+            request_id="affine-deep",
+        ),
+        Request(
+            language="MiniML",
+            system="l3",
+            source=nested_ml_l3_boundary(4),
+            backend="bigstep",
+            request_id="l3-bigstep",
+        ),
+    ]
+
+
+def test_preempt_persist_restart_resume_round_trip(tmp_path):
+    scheduler = make_default_scheduler(slice_steps=8)
+    baseline = {
+        response.request.request_id: response
+        for response in scheduler.serve_sequential(_preempt_requests())
+    }
+    served = scheduler.serve_preempting(_preempt_requests(), max_slices=2)
+    preempted = [response for response in served if response.preempted]
+    assert preempted, "ceiling too low to preempt anything"
+    store = CheckpointStore(str(tmp_path))
+    for response in preempted:
+        assert response.result is None
+        assert response.checkpoint is not None
+        assert response.checkpoint.slices == 2  # the final boundary *is* the state
+        store.save(response.checkpoint)
+    for response in served:
+        if not response.preempted:  # finished responses carry no stale checkpoint
+            assert response.checkpoint is None
+
+    # "Restart": a brand-new scheduler over brand-new systems — the durable
+    # pickles are the only thing carried across.
+    restarted = make_default_scheduler(slice_steps=8)
+    reloaded = CheckpointStore(str(tmp_path)).load_all()
+    assert len(reloaded) == len(preempted)
+    resumed = {
+        response.request.request_id: response for response in restarted.resume(reloaded)
+    }
+    finished = {
+        response.request.request_id: response for response in served if not response.preempted
+    }
+    for request_id, base in baseline.items():
+        assert base.error is None
+        final = finished[request_id] if request_id in finished else resumed[request_id]
+        assert final.error is None
+        assert str(final.result) == str(base.result)
+        assert final.result.steps == base.result.steps
+    for response in resumed.values():
+        assert response.resumed
+
+
+def test_checkpoint_store_rejects_version_skew(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    checkpoint = Checkpoint(
+        request=_preempt_requests()[0],
+        system="refs",
+        backend="cek-compiled",
+        snapshot=_mid_run_snapshot("refs"),
+        slices=1,
+        version=CHECKPOINT_VERSION + 1,
+    )
+    path = store.save(checkpoint)
+    with pytest.raises(ValueError, match="version"):
+        store.load(path)
