@@ -52,15 +52,37 @@ if the preempt → resume differential diverges (or preempts nothing), or
 recorded, or the crashed-shard batch failed to migrate:
 
     PYTHONPATH=src python benchmarks/bench_serving.py --check --pool
+
+With ``--chaos`` a further section runs the 12-request mixed batch under a
+seeded :class:`~repro.serve.faults.FaultPlan` injecting three distinct
+fault kinds (a mid-run worker crash, a stalling worker against a request
+deadline, suppressed checkpoint serialization) and gates that every
+response either equals the fault-free sequential baseline or is a
+*structured* policy response (``deadline_exceeded`` with a resumable
+checkpoint, ``rejected_overload``) — no raw exceptions, no lost requests —
+plus overload-shedding and checkpoint-store fault subsections:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --check --pool --chaos
 """
 
 import json
 import os
 import pickle
 import sys
+import tempfile
 import time
+from dataclasses import replace
 
-from repro.serve import Request, Scheduler, WorkerPool, make_default_scheduler
+from repro.serve import (
+    CheckpointCorrupt,
+    CheckpointStore,
+    Fault,
+    FaultPlan,
+    Request,
+    Scheduler,
+    WorkerPool,
+    make_default_scheduler,
+)
 from repro.util.workloads import (
     nested_ml_affi_boundary as _nested_ml_affi_boundary,
     nested_ml_l3_boundary as _nested_ml_l3_boundary,
@@ -95,6 +117,18 @@ CHECKPOINT_PROBE_FUEL = 1_000_000
 #: normally.
 PREEMPT_MAX_SLICES = 2
 PREEMPT_SLICE_STEPS = 8
+#: Chaos section (``--chaos``): a small slice size so the deep requests in
+#: the mixed batch run for several slices — injected crashes and stalls land
+#: *mid-run*, not after the work is already done.
+CHAOS_SLICE_STEPS = 32
+CHAOS_SEED = 20260808
+#: The injected stall (worker.slow) is far past the victim's deadline, so
+#: the deadline verdict is deterministic despite real clocks in the workers.
+CHAOS_DEADLINE_SECONDS = 0.05
+CHAOS_SLOW_SECONDS = 0.3
+#: Overload subsection: admit this many of the 12 mixed requests; the tail
+#: must be shed with structured ``rejected_overload`` responses.
+CHAOS_MAX_BATCH = 8
 
 
 def make_requests(deep: int = DEEP, shallow: int = SHALLOW):
@@ -363,12 +397,15 @@ def collect_migration_report() -> dict:
     ) as pool:
         crash_key = _affinity_for_shard(pool, 0, _nested_refll_boundary(DEEP))
         batch = [
+            # retry_budget=0: the crasher itself must keep the whole-shard
+            # failure (with budget it would crash its redispatch target too).
             Request(
                 language="RefLL",
                 source="(+ 1 2)",
                 backend="crash",
                 affinity=crash_key,
                 request_id="boom",
+                retry_budget=0,
             )
         ] + [
             Request(
@@ -420,6 +457,269 @@ def collect_migration_report() -> dict:
             }
             for response in responses.values()
         ],
+    }
+
+
+def collect_chaos_report() -> dict:
+    """The fault-injection gate: the mixed batch under a seeded FaultPlan.
+
+    Three distinct fault kinds are injected into the 12-request mixed pool
+    batch, each aimed structurally (shard + request id + slice) so the same
+    faults fire at the same boundaries every run:
+
+    * ``worker.crash`` — the shard serving ``refs-deep`` dies when that
+      request finishes its second slice; every in-flight request on the
+      shard must recover (migration from streamed checkpoints, or
+      redispatch) and land on the fault-free baseline;
+    * ``checkpoint.pickle`` — ``affine-deep``'s checkpoints (pinned to the
+      crashing shard) are suppressed, so *its* recovery must come from the
+      from-scratch redispatch path;
+    * ``worker.slow`` — ``l3-deep`` (pinned to the surviving shard, with a
+      deadline) stalls past its budget and must come back as a structured
+      ``deadline_exceeded`` response carrying a resumable checkpoint —
+      which, granted more time, completes identical to the baseline.
+
+    The gate: every response either equals the fault-free sequential
+    baseline or is a structured policy response — no raw exceptions, no
+    lost requests — with the bounded-latency invariant holding on the
+    *cumulative* (retry-inclusive) accounting.  Two subsections exercise
+    the remaining fault kinds and policies: admission overload (the batch
+    tail shed deterministically) and checkpoint-store faults
+    (``store.write``/``restore.tamper``/a torn file on disk).
+    """
+    baseline_scheduler = make_default_scheduler(slice_steps=CHAOS_SLICE_STEPS)
+    requests = make_requests()
+    baseline = {
+        response.request.request_id: _observable(response)
+        for response in baseline_scheduler.serve_sequential(requests)
+    }
+
+    # Aim the faults: the crash follows refs-deep's natural placement; the
+    # deadline victim is pinned *off* that shard (its expiry must not race
+    # the crash) and the checkpoint-suppressed victim *onto* it.
+    probe = WorkerPool(workers=POOL_WORKERS, slice_steps=CHAOS_SLICE_STEPS)
+    try:
+        by_id = {request.request_id: request for request in requests}
+        crash_shard = probe.shard_of(by_id["refs-deep"])
+        other_shard = (crash_shard + 1) % POOL_WORKERS
+        slow_key = _affinity_for_shard(probe, other_shard, by_id["l3-deep"].source)
+        suppress_key = _affinity_for_shard(probe, crash_shard, by_id["affine-deep"].source)
+    finally:
+        probe.close()
+
+    chaos_batch = []
+    for request in requests:
+        if request.request_id == "l3-deep":
+            request = replace(
+                request, affinity=slow_key, deadline_seconds=CHAOS_DEADLINE_SECONDS
+            )
+        elif request.request_id == "affine-deep":
+            request = replace(request, affinity=suppress_key)
+        chaos_batch.append(request)
+
+    plan = FaultPlan(
+        seed=CHAOS_SEED,
+        faults=(
+            Fault(
+                site="worker.crash",
+                request_id="refs-deep",
+                shard=crash_shard,
+                at_slice=2,
+                times=1,
+            ),
+            Fault(
+                site="worker.slow",
+                request_id="l3-deep",
+                shard=other_shard,
+                at_slice=1,
+                delay_seconds=CHAOS_SLOW_SECONDS,
+                times=1,
+            ),
+            Fault(site="checkpoint.pickle", request_id="affine-deep", shard=crash_shard, times=None),
+        ),
+    )
+    with WorkerPool(
+        workers=POOL_WORKERS, slice_steps=CHAOS_SLICE_STEPS, fault_plan=plan
+    ) as pool:
+        start = time.perf_counter()
+        responses = pool.run_batch(chaos_batch)
+        seconds = time.perf_counter() - start
+        stats = pool.cache_stats()
+        health = pool.health_stats()
+
+    served = {response.request.request_id: response for response in responses}
+    policy_stopped = sorted(
+        request_id for request_id, response in served.items() if response.policy_stopped
+    )
+    mismatches = [
+        request_id
+        for request_id, expected in baseline.items()
+        if not served[request_id].policy_stopped and _observable(served[request_id]) != expected
+    ]
+    deadline_rows = [response for response in responses if response.deadline_exceeded]
+    deadline_has_checkpoint = bool(deadline_rows) and all(
+        response.checkpoint is not None for response in deadline_rows
+    )
+    # Granting the expired request more time = resuming its checkpoint: the
+    # continuation (without the injected stall) must land on the baseline.
+    deadline_retry_matches = False
+    if deadline_has_checkpoint:
+        retried = make_default_scheduler(slice_steps=CHAOS_SLICE_STEPS).resume(
+            [response.checkpoint for response in deadline_rows]
+        )
+        deadline_retry_matches = all(
+            _observable(response) == baseline[response.request.request_id]
+            for response in retried
+        )
+    refs_deep = served["refs-deep"]
+    affine_deep = served["affine-deep"]
+    slice_violations = _slice_budget_violations(responses, CHAOS_SLICE_STEPS)
+
+    ok = (
+        not mismatches
+        and policy_stopped == ["l3-deep"]
+        and deadline_has_checkpoint
+        and deadline_retry_matches
+        and stats["worker_crashes"] == 1
+        and stats["migrations"] >= 1
+        and refs_deep.resumed
+        and refs_deep.migrated_from == crash_shard
+        and refs_deep.attempts == 2
+        and stats["redispatches"] >= 1
+        and not affine_deep.resumed
+        and affine_deep.attempts == 2
+        and not slice_violations
+    )
+    chaos = {
+        "seed": CHAOS_SEED,
+        "slice_steps": CHAOS_SLICE_STEPS,
+        "fault_kinds": ["worker.crash", "worker.slow", "checkpoint.pickle"],
+        "crash_shard": crash_shard,
+        "seconds": seconds,
+        "results_match": not mismatches,
+        "mismatches": mismatches,
+        "policy_stopped": policy_stopped,
+        "deadline_exceeded": [response.request.request_id for response in deadline_rows],
+        "deadline_has_checkpoint": deadline_has_checkpoint,
+        "deadline_retry_matches_baseline": deadline_retry_matches,
+        "worker_crashes": stats["worker_crashes"],
+        "migrations": stats["migrations"],
+        "redispatches": stats["redispatches"],
+        "retries": stats["retries"],
+        "slice_budget_ok": not slice_violations,
+        "slice_budget_violations": slice_violations,
+        "breaker_states": {
+            shard: row["state"] for shard, row in health["shards"].items()
+        },
+        "per_request": [
+            {
+                "id": response.request.request_id,
+                "ok": response.ok,
+                "error": response.error,
+                "shard": response.shard,
+                "attempts": response.attempts,
+                "resumed": response.resumed,
+                "migrated_from": response.migrated_from,
+                "deadline_exceeded": response.deadline_exceeded,
+                "rejected_overload": response.rejected_overload,
+            }
+            for response in responses
+        ],
+        "ok": ok,
+    }
+    chaos["overload"] = _collect_overload_report(requests, baseline)
+    chaos["store_faults"] = _collect_store_fault_report()
+    return chaos
+
+
+def _collect_overload_report(requests, baseline) -> dict:
+    """Admission overload: the deterministic tail is shed, the head served."""
+    with WorkerPool(
+        workers=POOL_WORKERS, slice_steps=CHAOS_SLICE_STEPS, max_batch=CHAOS_MAX_BATCH
+    ) as pool:
+        responses = pool.run_batch(requests)
+        shed = pool.cache_stats()["shed"]
+    head, tail = responses[:CHAOS_MAX_BATCH], responses[CHAOS_MAX_BATCH:]
+    head_mismatches = [
+        response.request.request_id
+        for response in head
+        if _observable(response) != baseline[response.request.request_id]
+    ]
+    tail_ok = all(
+        response.rejected_overload and response.result is None and response.error is None
+        for response in tail
+    )
+    return {
+        "max_batch": CHAOS_MAX_BATCH,
+        "admitted": len(head),
+        "shed": shed,
+        "tail_rejected_structurally": tail_ok,
+        "head_mismatches": head_mismatches,
+        "ok": tail_ok and not head_mismatches and shed == len(tail),
+    }
+
+
+def _collect_store_fault_report() -> dict:
+    """Checkpoint-store faults: write failure, tampered read, a torn file."""
+    scheduler = make_default_scheduler(slice_steps=CHAOS_SLICE_STEPS)
+    paused = scheduler.serve_preempting(
+        [Request(language="RefLL", source=_nested_refll_boundary(DEEP), request_id="durable")],
+        max_slices=1,
+    )[0]
+    baseline = _observable(
+        scheduler.serve_sequential(
+            [Request(language="RefLL", source=_nested_refll_boundary(DEEP))]
+        )[0]
+    )
+    directory = tempfile.mkdtemp(prefix="chaos-store-")
+    plan = FaultPlan(
+        seed=CHAOS_SEED,
+        faults=(
+            Fault(site="store.write", times=1),
+            Fault(site="restore.tamper", times=1),
+        ),
+    )
+    store = CheckpointStore(directory, fault_plan=plan)
+    write_failed_structurally = False
+    try:
+        store.save(paused.checkpoint)
+    except OSError:
+        write_failed_structurally = True  # the injected disk failure
+    path = store.save(paused.checkpoint)  # the fault is spent: this one lands
+    tamper_detected = False
+    try:
+        store.load(path)
+    except CheckpointCorrupt:
+        tamper_detected = True  # the injected torn read, structurally reported
+    clean_load_ok = store.load(path).request.request_id == "durable"
+    with open(os.path.join(directory, "torn.ckpt"), "wb") as handle:
+        handle.write(b"half a pickl")  # a write the process never finished
+    responses = make_default_scheduler(slice_steps=CHAOS_SLICE_STEPS).resume_stored(store)
+    finished = [r for r in responses if r.error is None and r.result is not None]
+    corrupt_reported = [r for r in responses if r.error is not None and "torn.ckpt" in r.error]
+    resumed_matches = len(finished) == 1 and _observable(finished[0]) == baseline
+    consumed = path not in store.paths()
+    swept = store.gc(max_age_seconds=0.0)  # age out the torn leftover
+    ok = (
+        write_failed_structurally
+        and tamper_detected
+        and clean_load_ok
+        and resumed_matches
+        and bool(corrupt_reported)
+        and consumed
+        and not store.paths()
+    )
+    return {
+        "fault_kinds": ["store.write", "restore.tamper"],
+        "fired": plan.fired(),
+        "write_failed_structurally": write_failed_structurally,
+        "tamper_detected": tamper_detected,
+        "clean_load_ok": clean_load_ok,
+        "resumed_matches_baseline": resumed_matches,
+        "corrupt_file_reported": bool(corrupt_reported),
+        "consumed_after_resume": consumed,
+        "gc_swept": swept,
+        "ok": ok,
     }
 
 
@@ -613,6 +913,7 @@ def test_oracle_batch_respects_the_slice_budget():
 def main(argv) -> int:
     check = "--check" in argv
     with_pool = "--pool" in argv
+    with_chaos = "--chaos" in argv
     output = JSON_REPORT
     if "--output" in argv:
         output = argv[argv.index("--output") + 1]
@@ -621,6 +922,8 @@ def main(argv) -> int:
     if with_pool:
         report["pool"] = collect_pool_report()
         report["checkpoint"]["migration"] = collect_migration_report()
+    if with_chaos:
+        report["chaos"] = collect_chaos_report()
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -664,6 +967,16 @@ def main(argv) -> int:
             f"migration: {migration['migrated']}/{migration['victims']} in-flight requests "
             f"migrated off the crashed shard in {migration['seconds'] * 1e3:.1f}ms "
             f"({migration['migrations']} migration(s), {migration['worker_crashes']} crash(es))"
+        )
+    if with_chaos:
+        chaos = report["chaos"]
+        print(
+            f"chaos (seed {chaos['seed']}): {len(chaos['fault_kinds'])} fault kinds in "
+            f"{chaos['seconds'] * 1e3:.1f}ms -- {chaos['worker_crashes']} crash(es), "
+            f"{chaos['migrations']} migration(s), {chaos['redispatches']} redispatch(es), "
+            f"deadline_exceeded={chaos['deadline_exceeded']}, "
+            f"overload shed {chaos['overload']['shed']}, "
+            f"store faults fired {chaos['store_faults']['fired']}"
         )
     print(f"wrote {output}")
 
@@ -744,6 +1057,36 @@ def main(argv) -> int:
                 "REGRESSION: the repeated-program batch recorded no cross-worker "
                 f"pipeline-cache hit (publishes={pool_report['publishes']}, "
                 f"cross_worker_hits={pool_report['cross_worker_cache_hits']})",
+                file=sys.stderr,
+            )
+            failed = True
+    if with_chaos:
+        chaos = report["chaos"]
+        if not chaos["ok"]:
+            print(
+                "REGRESSION: the fault-injected batch diverged from the fault-free "
+                f"baseline (mismatches: {', '.join(chaos['mismatches']) or 'none'}; "
+                f"policy_stopped={chaos['policy_stopped']}, "
+                f"migrations={chaos['migrations']}, redispatches={chaos['redispatches']}, "
+                f"deadline_has_checkpoint={chaos['deadline_has_checkpoint']}, "
+                f"deadline_retry_matches_baseline={chaos['deadline_retry_matches_baseline']}, "
+                f"slice_budget_ok={chaos['slice_budget_ok']})",
+                file=sys.stderr,
+            )
+            failed = True
+        if not chaos["overload"]["ok"]:
+            print(
+                "REGRESSION: overload shedding was not structural/deterministic "
+                f"(shed={chaos['overload']['shed']}, "
+                f"tail_rejected_structurally={chaos['overload']['tail_rejected_structurally']}, "
+                f"head_mismatches: {', '.join(chaos['overload']['head_mismatches']) or 'none'})",
+                file=sys.stderr,
+            )
+            failed = True
+        if not chaos["store_faults"]["ok"]:
+            print(
+                "REGRESSION: checkpoint-store faults were not handled structurally: "
+                + json.dumps(chaos["store_faults"]),
                 file=sys.stderr,
             )
             failed = True

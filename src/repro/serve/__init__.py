@@ -29,22 +29,49 @@ multi-tenant service front:
   routing context), movable across processes and — via the store's atomic
   on-disk pickles — across process restarts; the substrate for the
   scheduler's ``serve_preempting`` / ``resume`` and the pool's migration.
+  The store is hardened (structured :class:`CheckpointCorrupt` instead of
+  raw pickle errors) and garbage-collected (age + size eviction);
+* :mod:`~repro.serve.reliability` / :mod:`~repro.serve.faults` — the failure
+  *policy* layer: per-request deadlines checked at slice boundaries
+  (``DeadlineExceeded``), bounded retries with exponential backoff + seeded
+  jitter (``RetryPolicy``), per-shard circuit breakers quarantining
+  crash-looping workers (``CircuitBreaker`` / ``BreakerPolicy``),
+  deterministic load shedding (``AdmissionController``), and the seeded
+  fault-injection harness (``Fault`` / ``FaultPlan``) that exercises every
+  recovery path deterministically in tests and ``bench_serving.py --chaos``.
 """
 
-from repro.serve.checkpoint import Checkpoint, CheckpointStore
+from repro.serve.checkpoint import Checkpoint, CheckpointCorrupt, CheckpointStore
 from repro.serve.driver import DrivenResult, StepSlicedDriver
+from repro.serve.faults import FAULT_SITES, Fault, FaultPlan
 from repro.serve.pool import WorkerPool, default_scheduler_factory
+from repro.serve.reliability import (
+    AdmissionController,
+    BreakerPolicy,
+    CircuitBreaker,
+    DeadlineExceeded,
+    RetryPolicy,
+)
 from repro.serve.request import DEFAULT_FUEL, Request, Response
 from repro.serve.scheduler import PreparedRequest, Scheduler, make_default_scheduler
 
 __all__ = [
     "DEFAULT_FUEL",
+    "FAULT_SITES",
+    "AdmissionController",
+    "BreakerPolicy",
     "Checkpoint",
+    "CheckpointCorrupt",
     "CheckpointStore",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "DrivenResult",
+    "Fault",
+    "FaultPlan",
     "PreparedRequest",
     "Request",
     "Response",
+    "RetryPolicy",
     "Scheduler",
     "StepSlicedDriver",
     "WorkerPool",

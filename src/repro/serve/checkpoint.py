@@ -17,6 +17,17 @@ be.  Checkpoints are plain data end to end — the snapshot inside references
 compiled code by its syntax handle and every restorer recompiles
 deterministically — so a store written by one process restores in any other,
 including across interpreter restarts.
+
+The store is also hardened against the failures a durability layer exists
+for: a truncated, tampered, or wrong-version file raises a structured
+:class:`CheckpointCorrupt` (naming its path) rather than a raw
+``pickle``/``EOFError``, and :meth:`CheckpointStore.scan` /
+:meth:`CheckpointStore.load_all` never let one corrupt file break listing
+the rest.  :meth:`CheckpointStore.gc` ages out stale checkpoints by
+``max_age_seconds`` and bounds the directory by ``max_total_bytes``
+(oldest-first eviction) —
+:meth:`~repro.serve.scheduler.Scheduler.resume_stored` runs it automatically
+after dropping each consumed checkpoint.
 """
 
 from __future__ import annotations
@@ -24,17 +35,35 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
+from repro.core.errors import ReproError
+from repro.serve.faults import FaultPlan
 from repro.serve.request import Request
 
-__all__ = ["CHECKPOINT_VERSION", "Checkpoint", "CheckpointStore"]
+__all__ = ["CHECKPOINT_VERSION", "Checkpoint", "CheckpointCorrupt", "CheckpointStore"]
 
 #: Bump when the Checkpoint shape changes incompatibly; the store refuses to
 #: load checkpoints written under a different version (the snapshot inside
 #: carries its own version, checked by the machine-level restorers).
 CHECKPOINT_VERSION = 1
+
+
+class CheckpointCorrupt(ReproError, ValueError):
+    """A checkpoint file failed to load: truncated, tampered, or wrong version.
+
+    Carries the offending ``path`` and a ``reason`` so callers can log,
+    quarantine, or delete the file — and subclasses ``ValueError`` so
+    pre-hardening callers that caught the store's old raw errors keep
+    working.
+    """
+
+    def __init__(self, path: str, reason: str):
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        self.path = path
+        self.reason = reason
 
 
 @dataclass
@@ -65,14 +94,31 @@ class CheckpointStore:
     ``save`` returns the file path; ``load`` takes one back.  Filenames embed
     the request label, the writing process id, and a per-store counter, so
     concurrent stores over one directory never collide.  Use :meth:`paths`
-    to enumerate what survived a process restart.
+    to enumerate what survived a process restart, :meth:`scan` to load
+    everything loadable without one corrupt file spoiling the rest, and
+    :meth:`gc` to evict by age and total size.
+
+    ``max_age_seconds`` / ``max_total_bytes`` are the store's *default* GC
+    limits, applied by :meth:`gc` when called without arguments (as
+    :meth:`~repro.serve.scheduler.Scheduler.resume_stored` does after a
+    successful resume).  ``fault_plan`` arms the ``store.write`` /
+    ``restore.tamper`` fault sites for the chaos harness.
     """
 
     SUFFIX = ".ckpt"
 
-    def __init__(self, directory: str):
+    def __init__(
+        self,
+        directory: str,
+        max_age_seconds: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
+        self.max_age_seconds = max_age_seconds
+        self.max_total_bytes = max_total_bytes
+        self.fault_plan = fault_plan
         self._counter = 0
 
     def save(self, checkpoint: Checkpoint) -> str:
@@ -83,6 +129,10 @@ class CheckpointStore:
         name = f"{label or 'request'}-{os.getpid()}-{self._counter:06d}{self.SUFFIX}"
         self._counter += 1
         path = os.path.join(self.directory, name)
+        if self.fault_plan is not None and self.fault_plan.fire(
+            "store.write", request_id=checkpoint.request.request_id
+        ):
+            raise OSError(f"injected checkpoint-store write failure: {path}")
         payload = pickle.dumps(checkpoint)
         # Write-then-rename: a reader (or a restarted process) either sees
         # the complete checkpoint or nothing — never a torn file.
@@ -100,15 +150,29 @@ class CheckpointStore:
         return path
 
     def load(self, path: str) -> Checkpoint:
-        """Read one checkpoint back, validating its shape and version."""
+        """Read one checkpoint back, validating its shape and version.
+
+        Anything short of a well-formed, current-version :class:`Checkpoint`
+        — a truncated write from a dying process, bytes that unpickle to the
+        wrong type, a version from a different era — raises
+        :class:`CheckpointCorrupt` naming the path; no raw ``pickle`` or
+        ``EOFError`` escapes.
+        """
         with open(path, "rb") as handle:
-            checkpoint = pickle.load(handle)
+            payload = handle.read()
+        if self.fault_plan is not None and self.fault_plan.fire("restore.tamper"):
+            payload = payload[: len(payload) // 2]
+        try:
+            checkpoint = pickle.loads(payload)
+        except Exception as error:
+            raise CheckpointCorrupt(path, f"{type(error).__name__}: {error}") from error
         if not isinstance(checkpoint, Checkpoint):
-            raise ValueError(f"{path} does not hold a Checkpoint")
+            raise CheckpointCorrupt(path, f"holds {type(checkpoint).__name__}, not a Checkpoint")
         if checkpoint.version != CHECKPOINT_VERSION:
-            raise ValueError(
-                f"{path} has checkpoint version {checkpoint.version}, "
-                f"this process reads version {CHECKPOINT_VERSION}"
+            raise CheckpointCorrupt(
+                path,
+                f"checkpoint version {checkpoint.version}, "
+                f"this process reads version {CHECKPOINT_VERSION}",
             )
         return checkpoint
 
@@ -120,9 +184,34 @@ class CheckpointStore:
             if name.endswith(self.SUFFIX)
         )
 
-    def load_all(self) -> List[Checkpoint]:
-        """Load every stored checkpoint (in :meth:`paths` order)."""
-        return [self.load(path) for path in self.paths()]
+    def scan(self) -> Tuple[List[Tuple[str, Checkpoint]], List[Tuple[str, CheckpointCorrupt]]]:
+        """Everything loadable and everything corrupt, in :meth:`paths` order.
+
+        One corrupt file never hides the healthy ones: it lands in the
+        second list (with its structured error) while the scan continues.
+        """
+        loadable: List[Tuple[str, Checkpoint]] = []
+        corrupt: List[Tuple[str, CheckpointCorrupt]] = []
+        for path in self.paths():
+            try:
+                loadable.append((path, self.load(path)))
+            except CheckpointCorrupt as error:
+                corrupt.append((path, error))
+            except FileNotFoundError:
+                continue  # raced with a concurrent delete/gc: already gone
+        return loadable, corrupt
+
+    def load_all(self, strict: bool = False) -> List[Checkpoint]:
+        """Load every stored checkpoint (in :meth:`paths` order).
+
+        Corrupt files are skipped by default — a restart must be able to
+        resume the healthy majority past one torn file.  ``strict=True``
+        restores the raise-on-first-corruption behaviour.
+        """
+        if strict:
+            return [self.load(path) for path in self.paths()]
+        loadable, _corrupt = self.scan()
+        return [checkpoint for _path, checkpoint in loadable]
 
     def delete(self, path: str) -> None:
         """Remove one checkpoint (missing files are already deleted — no-op)."""
@@ -130,3 +219,59 @@ class CheckpointStore:
             os.unlink(path)
         except FileNotFoundError:
             pass
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by the store's checkpoint files."""
+        total = 0
+        for path in self.paths():
+            try:
+                total += os.stat(path).st_size
+            except OSError:
+                continue
+        return total
+
+    def gc(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Evict stale checkpoints by age, then bound the store by size.
+
+        Age first: every file older than ``max_age_seconds`` (by mtime,
+        against ``now``/wall clock) is removed — corrupt leftovers included;
+        age needs no successful unpickle.  Then size: while the survivors
+        total more than ``max_total_bytes``, the oldest file goes first.
+        Limits default to the store's configured ones; ``None`` disables
+        that dimension.  Returns the paths removed, oldest first.
+        """
+        max_age = max_age_seconds if max_age_seconds is not None else self.max_age_seconds
+        max_bytes = max_total_bytes if max_total_bytes is not None else self.max_total_bytes
+        if max_age is None and max_bytes is None:
+            return []
+        entries: List[Tuple[float, int, str]] = []
+        for path in self.paths():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # raced with a concurrent delete: nothing to evict
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        removed: List[str] = []
+        survivors: List[Tuple[float, int, str]] = []
+        moment = now if now is not None else time.time()
+        for mtime, size, path in entries:
+            if max_age is not None and moment - mtime >= max_age:
+                self.delete(path)
+                removed.append(path)
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            total = sum(size for _mtime, size, _path in survivors)
+            for _mtime, size, path in survivors:
+                if total <= max_bytes:
+                    break
+                self.delete(path)
+                removed.append(path)
+                total -= size
+        return removed

@@ -17,7 +17,18 @@ neighbours do.  The serving tests assert the inequality per response and
 completion inside one slice (the old ``BlockingExecution`` behaviour)
 violates it on any deep program.
 
-Four entry points:
+Deadlines ride on the same invariant: every entry point accepts an optional
+per-execution ``deadline`` (seconds of run time, measured from that
+execution's first slice), checked after every slice — which the bounded
+latency makes both cheap (one clock read per slice) and precise (at most one
+slice of overshoot).  An expired execution stops at the boundary with a
+:class:`~repro.serve.reliability.DeadlineExceeded` result instead of running
+to completion; in :meth:`StepSlicedDriver.run_checkpointed` the checkpoint
+hook fires one final time at that boundary, so the stopped state is exactly
+reifiable.  The clock is injectable (default :func:`time.perf_counter`) so
+tests drive deadlines with fake time.
+
+Five entry points:
 
 * :meth:`StepSlicedDriver.run_batch` — the production path: one fresh
   asyncio event loop interleaving every execution concurrently.  Safe to
@@ -46,6 +57,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, NamedTuple, Optional, Sequence
 
+from repro.serve.reliability import DeadlineExceeded
+
 
 class DrivenResult(NamedTuple):
     """One execution's outcome: final result, slice count, wall-clock latency."""
@@ -55,33 +68,72 @@ class DrivenResult(NamedTuple):
     seconds: float
 
 
+def _deadline_list(
+    deadlines: Optional[Sequence[Optional[float]]], count: int
+) -> List[Optional[float]]:
+    """Normalize a per-execution deadline vector (``None`` = no deadlines)."""
+    if deadlines is None:
+        return [None] * count
+    if len(deadlines) != count:
+        raise ValueError(
+            f"deadlines must match executions: got {len(deadlines)} for {count}"
+        )
+    return list(deadlines)
+
+
 class StepSlicedDriver:
     """Interleaves resumable executions by bounded transition slices."""
 
-    def __init__(self, slice_steps: int = 512):
+    def __init__(self, slice_steps: int = 512, clock: Callable[[], float] = time.perf_counter):
         if slice_steps < 1:
             raise ValueError(f"slice_steps must be >= 1, got {slice_steps}")
         self.slice_steps = slice_steps
+        self.clock = clock
+
+    def _expired(self, deadline: Optional[float], elapsed: float) -> Optional[DeadlineExceeded]:
+        if deadline is not None and elapsed >= deadline:
+            return DeadlineExceeded(deadline, elapsed)
+        return None
 
     # -- async interleaving ---------------------------------------------------
 
-    async def drive(self, execution: Any) -> DrivenResult:
+    async def drive(self, execution: Any, deadline: Optional[float] = None) -> DrivenResult:
         """Advance one execution to completion, yielding between slices."""
         slice_steps = self.slice_steps
         slices = 0
-        start = time.perf_counter()
+        start = self.clock()
         while True:
             result = execution.step_n(slice_steps)
             slices += 1
+            elapsed = self.clock() - start
             if result is not None:
-                return DrivenResult(result, slices, time.perf_counter() - start)
+                return DrivenResult(result, slices, elapsed)
+            expired = self._expired(deadline, elapsed)
+            if expired is not None:
+                return DrivenResult(expired, slices, elapsed)
             await asyncio.sleep(0)
 
-    async def run_batch_async(self, executions: Sequence[Any]) -> List[DrivenResult]:
+    async def run_batch_async(
+        self,
+        executions: Sequence[Any],
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[DrivenResult]:
         """Interleave all executions on the *caller's* event loop; results in order."""
-        return list(await asyncio.gather(*(self.drive(execution) for execution in executions)))
+        per_execution = _deadline_list(deadlines, len(executions))
+        return list(
+            await asyncio.gather(
+                *(
+                    self.drive(execution, deadline)
+                    for execution, deadline in zip(executions, per_execution)
+                )
+            )
+        )
 
-    def run_batch(self, executions: Sequence[Any]) -> List[DrivenResult]:
+    def run_batch(
+        self,
+        executions: Sequence[Any],
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[DrivenResult]:
         """Interleave all executions on one fresh event loop; results in order.
 
         Callable from anywhere: plain synchronous code gets ``asyncio.run``
@@ -95,26 +147,38 @@ class StepSlicedDriver:
         try:
             asyncio.get_running_loop()
         except RuntimeError:
-            return asyncio.run(self.run_batch_async(executions))
+            return asyncio.run(self.run_batch_async(executions, deadlines))
         with ThreadPoolExecutor(max_workers=1) as pool:
-            return pool.submit(asyncio.run, self.run_batch_async(executions)).result()
+            return pool.submit(asyncio.run, self.run_batch_async(executions, deadlines)).result()
 
     # -- sequential / deterministic stepping ----------------------------------
 
-    def run_sequential(self, executions: Sequence[Any]) -> List[DrivenResult]:
+    def run_sequential(
+        self,
+        executions: Sequence[Any],
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[DrivenResult]:
         """Drive each execution to completion before starting the next."""
+        per_execution = _deadline_list(deadlines, len(executions))
         driven = []
-        for execution in executions:
+        for execution, deadline in zip(executions, per_execution):
             slices = 0
-            start = time.perf_counter()
+            start = self.clock()
             result = None
             while result is None:
                 result = execution.step_n(self.slice_steps)
                 slices += 1
-            driven.append(DrivenResult(result, slices, time.perf_counter() - start))
+                if result is None:
+                    result = self._expired(deadline, self.clock() - start)
+            driven.append(DrivenResult(result, slices, self.clock() - start))
         return driven
 
-    def run_schedule(self, executions: Sequence[Any], schedule: Sequence[int]) -> List[DrivenResult]:
+    def run_schedule(
+        self,
+        executions: Sequence[Any],
+        schedule: Sequence[int],
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[DrivenResult]:
         """Step executions in an explicit order, then finish round-robin.
 
         ``schedule`` is a sequence of indices into ``executions``; each entry
@@ -127,6 +191,7 @@ class StepSlicedDriver:
         if not executions:
             return []
         count = len(executions)
+        per_execution = _deadline_list(deadlines, count)
         results: List[Any] = [None] * count
         slices = [0] * count
         started = [0.0] * count
@@ -136,12 +201,14 @@ class StepSlicedDriver:
             if results[index] is not None:
                 return
             if slices[index] == 0:
-                started[index] = time.perf_counter()
+                started[index] = self.clock()
             outcome = executions[index].step_n(self.slice_steps)
             slices[index] += 1
+            if outcome is None:
+                outcome = self._expired(per_execution[index], self.clock() - started[index])
             if outcome is not None:
                 results[index] = outcome
-                elapsed[index] = time.perf_counter() - started[index]
+                elapsed[index] = self.clock() - started[index]
 
         for index in schedule:
             grant(index % count)
@@ -158,6 +225,7 @@ class StepSlicedDriver:
         on_checkpoint: Optional[Callable[[int, int], None]] = None,
         checkpoint_every: int = 1,
         max_slices: Optional[int] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
     ) -> List[DrivenResult]:
         """Round-robin stepping with slice-boundary checkpoint hooks.
 
@@ -173,17 +241,23 @@ class StepSlicedDriver:
         one final time there (whatever the cadence), so the last checkpoint
         *is* the preempted state, and its :class:`DrivenResult` carries
         ``result=None``.  ``None`` means never preempt.
+
+        A per-execution deadline stops an execution the same way — at the
+        boundary, with one final checkpoint hook — but its result is a
+        :class:`~repro.serve.reliability.DeadlineExceeded` rather than
+        ``None``, so callers can tell policy expiry from preemption.
         """
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         if max_slices is not None and max_slices < 1:
             raise ValueError(f"max_slices must be >= 1, got {max_slices}")
         count = len(executions)
+        per_execution = _deadline_list(deadlines, count)
         results: List[Any] = [None] * count
         slices = [0] * count
         started = [0.0] * count
         elapsed = [0.0] * count
-        finished = [False] * count  # halted *or* preempted
+        finished = [False] * count  # halted *or* preempted *or* expired
         notified = [-1] * count  # slice count of the last checkpoint hook
 
         def checkpoint(index: int) -> None:
@@ -192,7 +266,7 @@ class StepSlicedDriver:
                 on_checkpoint(index, slices[index])
 
         for index in range(count):
-            started[index] = time.perf_counter()
+            started[index] = self.clock()
             checkpoint(index)
         while not all(finished):
             for index in range(count):
@@ -202,13 +276,22 @@ class StepSlicedDriver:
                 slices[index] += 1
                 if outcome is not None:
                     results[index] = outcome
-                    elapsed[index] = time.perf_counter() - started[index]
+                    elapsed[index] = self.clock() - started[index]
                     finished[index] = True
                     continue
                 if slices[index] % checkpoint_every == 0:
                     checkpoint(index)
+                expired = self._expired(
+                    per_execution[index], self.clock() - started[index]
+                )
+                if expired is not None:
+                    checkpoint(index)  # the stopped state, whatever the cadence
+                    results[index] = expired
+                    elapsed[index] = self.clock() - started[index]
+                    finished[index] = True
+                    continue
                 if max_slices is not None and slices[index] >= max_slices:
                     checkpoint(index)  # no-op when the cadence just fired
-                    elapsed[index] = time.perf_counter() - started[index]
+                    elapsed[index] = self.clock() - started[index]
                     finished[index] = True
         return [DrivenResult(results[i], slices[i], elapsed[i]) for i in range(count)]

@@ -35,19 +35,35 @@ Three mechanisms, all deterministic and all accounted per request:
   fuel) share one VM instance and pay the pipeline/start/run cost once;
   ``response.coalesced`` preserves the per-request accounting.
 
-Crash isolation — and mid-run migration past it: while a batch runs, each
-worker streams every in-flight request's slice-boundary checkpoint (a
+Crash isolation — and the failure *policy* above it: while a batch runs,
+each worker streams every in-flight request's slice-boundary checkpoint (a
 reified machine-state snapshot, see :mod:`repro.serve.checkpoint`) to the
-parent at the ``checkpoint_every`` cadence.  A worker process that dies
-mid-batch therefore no longer fails its whole shard: the parent resumes
-each checkpointed request from its last slice boundary on a surviving
-shard (``response.migrated_from`` records the crash, ``response.shard`` the
-rescuer; outcomes are identical to the crashed worker having finished).
-Only requests with nothing to resume from — frontend rejections in flight,
-snapshot-incapable third-party backends, unpicklable snapshots — keep the
-old whole-shard failure (``error`` naming the crash).  Either way the
-parent respawns the worker — which re-warms from the shared store, not
-from scratch — and every other shard's responses are unaffected.
+parent at the ``checkpoint_every`` cadence.  A worker that dies mid-batch
+triggers :meth:`WorkerPool._recover`, which spends each affected request's
+:attr:`~repro.serve.request.Request.retry_budget` in two phases: first
+resuming the last streamed checkpoint on a surviving shard (*migration* —
+``migrated_from`` records the crash), then — for requests with no usable
+checkpoint, or whose migration target also died — redispatching from
+scratch, with exponential backoff + seeded jitter between waves
+(:class:`~repro.serve.reliability.RetryPolicy`).  Only requests whose
+budget runs out keep the old whole-shard failure (``error`` naming the
+crash); ``response.attempts`` counts every dispatch either way.
+
+Worker health is tracked per shard by a
+:class:`~repro.serve.reliability.CircuitBreaker` over a sliding crash
+window: a crash-looping shard's breaker *opens* and new traffic for it is
+deterministically re-placed on the nearest healthy shard
+(``response.rerouted_from`` names the quarantined home) instead of
+respawning forever; after the cooldown the breaker goes *half-open* and the
+next dispatch is a probe that respawns the worker — success closes the
+breaker, failure re-quarantines.  ``max_batch`` / ``max_inflight_per_shard``
+bound admission: overflow requests are shed with structured
+``rejected_overload`` responses (always the deterministic tail) rather than
+degrading the whole batch.  :meth:`WorkerPool.health_stats` exposes every
+breaker state, transition history, and shed/retry counter; a
+:class:`~repro.serve.faults.FaultPlan` handed to the pool rides into every
+worker (bound to its shard) so all of the above is exercised
+deterministically by the chaos harness.
 
 Workers are spawned with the ``spawn`` start method (no inherited state, the
 portable choice), which requires ``scheduler_factory`` to be an importable
@@ -59,11 +75,20 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import pickle
+import random
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ReproError
+from repro.serve.faults import FaultPlan
+from repro.serve.reliability import (
+    AdmissionController,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.serve.request import Request, Response
 from repro.serve.scheduler import Scheduler, StoreKey, make_default_scheduler
 
@@ -108,7 +133,7 @@ def shard_of(request: Request, workers: int, router: Optional[Scheduler] = None)
 # -- the worker side ----------------------------------------------------------
 
 
-def _worker_main(connection, slice_steps: int, scheduler_factory, shard: int) -> None:
+def _worker_main(connection, slice_steps: int, scheduler_factory, shard: int, fault_plan=None) -> None:
     """One worker process: serve shard batches until told to stop.
 
     Messages in: ``("serve", entries, warm, known, sequential, batched,
@@ -122,8 +147,14 @@ def _worker_main(connection, slice_steps: int, scheduler_factory, shard: int) ->
     publishes)`` / ``("resumed", results, failures)`` / ``("error",
     message)`` — an exception escaping one batch fails that batch, not the
     worker.
+
+    ``fault_plan`` is this worker's copy of the pool's
+    :class:`~repro.serve.faults.FaultPlan`, bound to ``shard`` so
+    shard-targeted faults (injected crashes included) fire only here.
     """
     scheduler = scheduler_factory(slice_steps)
+    if fault_plan is not None:
+        scheduler.fault_plan = fault_plan.bind(shard)
     while True:
         message = connection.recv()
         if message[0] == "stop":
@@ -225,9 +256,10 @@ def _serve_streaming(
     coalesced group.  If this worker then dies mid-batch, the parent holds
     each in-flight request's last slice boundary and can resume it on a
     surviving shard.  The machines are deterministic, so outcomes are
-    identical to the non-streaming path; a checkpoint that fails to pickle
-    is simply not streamed (those requests fall back to whole-shard failure
-    semantics, never to a wrong resume).
+    identical to the non-streaming path; a checkpoint that fails to pickle —
+    or is suppressed by an injected ``checkpoint.pickle`` fault — is simply
+    not streamed (those requests fall back to retry-from-scratch or
+    whole-shard failure semantics, never to a wrong resume).
     """
     groups: "OrderedDict[Any, List[int]]" = OrderedDict()
     for position, request in enumerate(requests):
@@ -236,9 +268,14 @@ def _serve_streaming(
     member_lists = list(groups.values())
     representatives = [requests[members[0]] for members in member_lists]
     original = [index for index, _request in entries]
+    plan = getattr(scheduler, "fault_plan", None)
 
     def stream(representative_index: int, checkpoint) -> None:
         covered = [original[member] for member in member_lists[representative_index]]
+        if plan is not None and plan.fire(
+            "checkpoint.pickle", request_id=checkpoint.request.request_id
+        ):
+            return  # injected serialization failure: this boundary is lost
         try:
             payload = pickle.dumps(checkpoint)
         except Exception:  # unpicklable snapshot: skip, never stream junk
@@ -266,6 +303,11 @@ def _resume_shard(scheduler: Scheduler, shard: int, items: Sequence[Tuple[List[i
     locally — and runs to completion; outcomes are observably identical to
     the crashed worker having finished.  A payload that fails to decode or
     restore fails only its own group, reported in ``failures``.
+
+    Migrated responses keep *cumulative* slice accounting: the checkpoint's
+    pre-crash slices are folded into ``response.slices``, so the
+    bounded-latency invariant (``steps ≤ slices × slice_steps``) holds for
+    the whole run, not just the post-restore tail.
     """
     covered_groups: List[List[int]] = []
     checkpoints = []
@@ -280,9 +322,10 @@ def _resume_shard(scheduler: Scheduler, shard: int, items: Sequence[Tuple[List[i
         checkpoints.append(checkpoint)
     responses = scheduler.resume(checkpoints)
     results: List[Tuple[List[int], Response]] = []
-    for covered, response in zip(covered_groups, responses):
+    for covered, checkpoint, response in zip(covered_groups, checkpoints, responses):
         response.shard = shard
         response.coalesced = len(covered)
+        response.slices += checkpoint.slices
         if response.error is not None:
             failures.append((covered, response.error))
             continue
@@ -322,6 +365,19 @@ class WorkerPool:
     (:meth:`run_sequential`).  Workers start lazily on the first batch and
     are respawned transparently if they crash.  Use as a context manager or
     call :meth:`close`.
+
+    Reliability knobs (all deterministic under injection):
+
+    * ``retry_policy`` / ``retry_seed`` — backoff schedule and jitter seed
+      for crash recovery (see :meth:`_recover`); ``sleeper`` replaces
+      :func:`time.sleep` in tests so backoff costs no wall clock.
+    * ``breaker_policy`` / ``clock`` — per-shard circuit-breaker tuning and
+      time source (fake time makes quarantine transitions deterministic).
+    * ``max_batch`` / ``max_inflight_per_shard`` — admission limits; the
+      overflow tail of a batch (or of one hot shard's queue) is shed with
+      ``rejected_overload`` responses instead of degrading everyone.
+    * ``fault_plan`` — a :class:`~repro.serve.faults.FaultPlan` copied into
+      every worker (bound to its shard) for deterministic fault injection.
     """
 
     def __init__(
@@ -332,6 +388,14 @@ class WorkerPool:
         batched: bool = True,
         start_method: str = "spawn",
         checkpoint_every: Optional[int] = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        max_batch: Optional[int] = None,
+        max_inflight_per_shard: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleeper: Callable[[float], None] = time.sleep,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -342,9 +406,19 @@ class WorkerPool:
         self.batched = batched
         #: Slice-boundary cadence at which workers stream each in-flight
         #: request's checkpoint to the parent (the migration safety net);
-        #: ``None`` disables streaming and restores whole-shard crash
-        #: failure for every request.
+        #: ``None`` disables streaming — a crashed request then recovers by
+        #: from-scratch redispatch (or fails, at ``retry_budget=0``).
         self.checkpoint_every = checkpoint_every
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_plan = fault_plan
+        self._retry_rng = random.Random(retry_seed)
+        self._sleeper = sleeper
+        self._breakers = [
+            CircuitBreaker(breaker_policy or BreakerPolicy(), clock) for _ in range(workers)
+        ]
+        self._admission = AdmissionController(
+            max_batch=max_batch, max_inflight=max_inflight_per_shard
+        )
         self._factory = scheduler_factory
         self._context = multiprocessing.get_context(start_method)
         self._router = scheduler_factory(slice_steps)
@@ -367,6 +441,9 @@ class WorkerPool:
             "unpicklable": 0,
             "worker_crashes": 0,
             "migrations": 0,
+            "retries": 0,
+            "redispatches": 0,
+            "reroutes": 0,
         }
         self._closed = False
 
@@ -378,13 +455,28 @@ class WorkerPool:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    @staticmethod
+    def _reap(process) -> None:
+        """Join with terminate → kill escalation: a hung worker (blocked in C
+        code, ignoring SIGTERM) must never hang pool shutdown."""
+        process.join(timeout=5)
+        if not process.is_alive():
+            return
+        process.terminate()
+        process.join(timeout=5)
+        if not process.is_alive():
+            return
+        process.kill()
+        process.join(timeout=5)
+
     def close(self) -> None:
         """Stop every worker; the pool cannot be used afterwards.
 
         Idempotent and crash-safe: closing twice is a no-op (the first call
         leaves no workers behind), and a worker that already died — crashed
         mid-batch, killed at idle, pipe half-closed — is torn down without
-        raising, so ``close`` always leaves the pool fully stopped.
+        raising.  A worker that ignores the stop message *and* ``terminate``
+        is ``kill``-ed, so ``close`` always returns with the pool stopped.
         """
         self._closed = True
         for shard, worker in enumerate(self._pool):
@@ -399,10 +491,7 @@ class WorkerPool:
                 worker.connection.close()
             except OSError:
                 pass
-            worker.process.join(timeout=5)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=5)
+            self._reap(worker.process)
 
     def _worker(self, shard: int) -> _Worker:
         if self._closed:
@@ -418,7 +507,7 @@ class WorkerPool:
             parent_end, child_end = self._context.Pipe()
             process = self._context.Process(
                 target=_worker_main,
-                args=(child_end, self.slice_steps, self._factory, shard),
+                args=(child_end, self.slice_steps, self._factory, shard, self.fault_plan),
                 daemon=True,
             )
             process.start()
@@ -429,20 +518,41 @@ class WorkerPool:
 
     def _crash(self, shard: int) -> None:
         self._stats["worker_crashes"] += 1
+        self._breakers[shard].record_failure()
         worker = self._pool[shard]
         if worker is not None:
             worker.connection.close()
             if worker.process.is_alive():
                 worker.process.terminate()
-            worker.process.join(timeout=5)
+            self._reap(worker.process)
         self._pool[shard] = None  # next use respawns, re-warmed from the store
         self._delivered = {entry for entry in self._delivered if entry[0] != shard}
 
-    # -- sharding -------------------------------------------------------------
+    # -- sharding / placement --------------------------------------------------
 
     def shard_of(self, request: Request) -> int:
         """The worker index ``request`` is routed to (deterministic)."""
         return shard_of(request, self.workers, self._router)
+
+    def _place(self, home: int) -> Tuple[int, Optional[int]]:
+        """Quarantine-aware placement: ``(shard, rerouted_from)``.
+
+        A healthy home shard serves its own traffic.  When its breaker is
+        open, the request re-places deterministically on the nearest shard
+        (by index, wrapping) whose breaker admits it — half-open shards
+        admit their bounded probe dispatches here, which is exactly what
+        respawns and re-trials a quarantined worker.  If *every* shard is
+        quarantined the home shard serves anyway: quarantine is load
+        steering, not an outage amplifier.
+        """
+        if self.workers == 1 or self._breakers[home].allow():
+            return home, None
+        for offset in range(1, self.workers):
+            candidate = (home + offset) % self.workers
+            if self._breakers[candidate].allow():
+                self._stats["reroutes"] += 1
+                return candidate, home
+        return home, None
 
     # -- serving --------------------------------------------------------------
 
@@ -456,18 +566,38 @@ class WorkerPool:
         differential baseline) and coalesces identical requests onto one VM
         instance when the pool was built with ``batched=True``.
 
-        A worker that crashes mid-batch touches only its own shard — and
-        even there, requests whose checkpoints reached the parent are
-        *migrated*: resumed from their last slice boundary on a surviving
-        shard, with ``migrated_from`` recording the crash.  Requests with no
-        usable checkpoint carry an ``error`` naming the crash, every other
-        shard is unaffected, and the worker is respawned for the next batch.
+        The failure policy wraps all of it: requests beyond ``max_batch`` /
+        ``max_inflight_per_shard`` are shed up front (``rejected_overload``,
+        deterministic tail), traffic for quarantined shards re-places onto
+        healthy ones (``rerouted_from``), and a worker that crashes mid-batch
+        touches only its own shard — whose requests then spend their
+        ``retry_budget`` on checkpoint migration and from-scratch
+        redispatch (see :meth:`_recover`) before any of them fails with an
+        ``error`` naming the crash.
         """
         responses: List[Optional[Response]] = [None] * len(requests)
-        shards: Dict[int, List[Tuple[int, Request]]] = {}
-        for index, request in enumerate(requests):
-            shards.setdefault(self.shard_of(request), []).append((index, request))
+        admitted = self._admission.batch_cutoff(len(requests))
+        for index in range(admitted, len(requests)):
+            responses[index] = self._reject_overload(requests[index])
 
+        shards: Dict[int, List[Tuple[int, Request]]] = {}
+        rerouted: Dict[int, int] = {}
+        for index, request in enumerate(requests[:admitted]):
+            home = self.shard_of(request)
+            shard, rerouted_from = self._place(home)
+            queue = shards.setdefault(shard, [])
+            if not self._admission.admit_to_shard(len(queue)):
+                responses[index] = self._reject_overload(request)
+                continue
+            if rerouted_from is not None:
+                rerouted[index] = rerouted_from
+            queue.append((index, request))
+
+        # Crashed dispatches are deferred past the collection loop: the
+        # recovery target may still be serving its own slice of this batch,
+        # and a recovery exchange sent mid-collection would interleave with
+        # its pending reply.
+        crashed: List[Tuple[int, List[Tuple[int, Request]], Dict[Tuple[int, ...], bytes]]] = []
         keymap: Dict[int, StoreKey] = {}
         dispatched: Dict[int, List[Tuple[int, Request]]] = {}
         for shard in sorted(shards):
@@ -484,15 +614,11 @@ class WorkerPool:
                 )
             except (BrokenPipeError, OSError):
                 self._crash(shard)
-                self._fail_shard(responses, shard, entries, "worker rejected the batch")
+                crashed.append((shard, entries, {}))
                 continue
             self._delivered.update((shard, store_key) for store_key, _payload in warm)
             dispatched[shard] = entries
 
-        # Migrations are deferred past the collection loop: the target shard
-        # may still be serving its own slice of this batch, and a "resume"
-        # sent mid-collection would interleave with its pending reply.
-        crashed: List[Tuple[int, List[Tuple[int, Request]], Dict[Tuple[int, ...], bytes]]] = []
         for shard in sorted(dispatched):
             entries = dispatched[shard]
             # Drain the shard's event stream: zero or more in-flight
@@ -517,6 +643,7 @@ class WorkerPool:
                 continue
             _tag, results, publishes = reply
             self._absorb(shard, publishes)
+            self._breakers[shard].record_success()
             for index, response in results:
                 if response.published:
                     # First publisher wins: a shard whose publish the store
@@ -531,9 +658,11 @@ class WorkerPool:
                         self._stats["cross_worker_hits"] += 1
                 responses[index] = response
         for shard, entries, checkpoints in crashed:
-            migrated = self._migrate(responses, shard, entries, checkpoints)
-            remaining = [(index, request) for index, request in entries if index not in migrated]
-            self._fail_shard(responses, shard, remaining, "worker crashed while serving the batch")
+            self._recover(responses, shard, entries, checkpoints, {})
+        for index, home in rerouted.items():
+            response = responses[index]
+            if response is not None and response.rerouted_from is None:
+                response.rerouted_from = home
         return responses  # type: ignore[return-value]
 
     def run_sequential(self, requests: Sequence[Request]) -> List[Response]:
@@ -542,6 +671,10 @@ class WorkerPool:
         cache sharing, no coalescing."""
         return self._router.serve_sequential(requests)
 
+    def _reject_overload(self, request: Request) -> Response:
+        self._admission.count_shed()
+        return Response(request=request, rejected_overload=True)
+
     def _fail_shard(self, responses, shard: int, entries, message: str) -> None:
         for index, request in entries:
             failed = Response(request=request)
@@ -549,66 +682,157 @@ class WorkerPool:
             failed.error = f"shard {shard}: {message}"
             responses[index] = failed
 
-    # -- mid-run migration ----------------------------------------------------
+    # -- crash recovery: migration, then redispatch ----------------------------
 
-    def _migrate(
+    def _recovery_target(self, crashed: int) -> int:
+        """The shard recovery work is placed on: a live, breaker-admitted
+        worker off the crashed shard when one exists, else any live worker,
+        else a fresh respawn of the neighbouring shard (which, in a
+        single-worker pool, is the crashed shard itself — still a fresh
+        process restoring from plain data)."""
+        for shard, worker in enumerate(self._pool):
+            if shard == crashed or worker is None or not worker.process.is_alive():
+                continue
+            if self._breakers[shard].allow():
+                return shard
+        for shard, worker in enumerate(self._pool):
+            if shard != crashed and worker is not None and worker.process.is_alive():
+                return shard
+        return (crashed + 1) % self.workers
+
+    def _recover(
         self,
         responses,
         crashed: int,
         entries: Sequence[Tuple[int, Request]],
         checkpoints: Dict[Tuple[int, ...], bytes],
-    ) -> Set[int]:
-        """Resume a crashed shard's in-flight checkpoints on a live shard.
+        attempts: Dict[int, int],
+    ) -> None:
+        """Spend each crashed request's retry budget: migrate, then redispatch.
 
-        ``checkpoints`` holds, per coalesced group, the last slice-boundary
-        snapshot the dead worker streamed before crashing.  They are sent to
-        a surviving shard (any live worker; with a single-worker pool, a
-        fresh respawn of the crashed shard), restored there, and driven to
-        completion — the built-in machines are deterministic and snapshots
-        are exact, so each migrated request's outcome is identical to the
-        crashed worker having finished it.  Returns the original batch
-        indices that were successfully migrated; everything else falls back
-        to whole-shard failure.  One migration attempt per crash: if the
-        target dies too, its requests fail rather than hop again.
+        ``entries`` are the crashed dispatch's requests, ``checkpoints`` the
+        last slice-boundary snapshot streamed per coalesced group before the
+        crash, and ``attempts`` the recovery attempts already consumed per
+        batch index (shared across recursive recoveries, so a request can
+        never exceed its own :attr:`~repro.serve.request.Request.retry_budget`
+        however many workers die under it).
+
+        Phase 1 — *migration*: every checkpointed group with budget left is
+        resumed on :meth:`_recovery_target`; outcomes are identical to the
+        crashed worker having finished (``migrated_from`` records the crash,
+        ``attempts`` the total dispatches).  A target that dies mid-resume is
+        itself crash-accounted and the surviving groups retry (with backoff)
+        while their budgets last.
+
+        Phase 2 — *redispatch*: everything still unresolved (no streamed
+        checkpoint, restore failure, migration budget exhausted mid-phase) is
+        re-served from scratch, one backoff-spaced wave per attempt.  A
+        redispatch target that dies recurses into :meth:`_recover` with
+        whatever checkpoints *it* streamed — partial progress is never
+        thrown away while budget remains.
+
+        Requests whose budget runs out fail with the classic whole-shard
+        crash ``error``; backoff delays come from :attr:`retry_policy` with
+        the pool's seeded jitter RNG (deterministic chaos runs) through the
+        injectable ``sleeper``.
         """
-        if not checkpoints:
-            return set()
-        target = None
-        for shard, worker in enumerate(self._pool):
-            if shard != crashed and worker is not None and worker.process.is_alive():
-                target = shard
+        requests: Dict[int, Request] = dict(entries)
+
+        def budget(index: int) -> int:
+            return requests[index].retry_budget - attempts.get(index, 0)
+
+        # -- phase 1: resume streamed checkpoints on a surviving shard --------
+        eligible = [
+            (tuple(covered), payload)
+            for covered, payload in checkpoints.items()
+            if all(index in requests for index in covered) and budget(covered[0]) >= 1
+        ]
+        while eligible:
+            for covered, _payload in eligible:
+                for index in covered:
+                    attempts[index] = attempts.get(index, 0) + 1
+            self._stats["retries"] += len(eligible)
+            wave = max(attempts[covered[0]] for covered, _payload in eligible)
+            if wave > 1:
+                self._sleeper(self.retry_policy.delay_seconds(wave - 1, self._retry_rng))
+            target = self._recovery_target(crashed)
+            try:
+                worker = self._worker(target)
+                worker.connection.send(("resume", [(list(c), p) for c, p in eligible]))
+                while True:
+                    reply = worker.connection.recv()
+                    if reply[0] != "checkpoint":  # resume streams no checkpoints today
+                        break
+            except (BrokenPipeError, EOFError, OSError):
+                self._crash(target)
+                eligible = [(c, p) for c, p in eligible if budget(c[0]) >= 1]
+                continue
+            if reply[0] != "resumed":
+                break  # a batch-level resume bug: fall through to redispatch
+            _tag, results, _failures = reply
+            self._breakers[target].record_success()
+            for covered, response in results:
+                response.migrated_from = crashed
+                response.attempts = 1 + attempts.get(covered[0], 0)
+                for index in covered:
+                    if index == covered[0]:
+                        responses[index] = response
+                    else:
+                        responses[index] = replace(response, request=requests[index])
+                self._stats["migrations"] += 1
+            break  # groups that failed to restore stay unresolved for phase 2
+
+        # -- phase 2: redispatch everything still unresolved from scratch -----
+        pending = [(index, request) for index, request in entries if responses[index] is None]
+        while pending:
+            retryable = [(index, request) for index, request in pending if budget(index) >= 1]
+            if not retryable:
                 break
-        if target is None:
-            # No live worker to migrate to: respawn a shard (the crashed one
-            # when the pool has no other) — still a fresh process that
-            # restores from plain data, exercising the same contract.
-            target = (crashed + 1) % self.workers
-        items = [(list(covered), payload) for covered, payload in checkpoints.items()]
-        try:
-            worker = self._worker(target)
-            worker.connection.send(("resume", items))
-            while True:
-                reply = worker.connection.recv()
-                if reply[0] != "checkpoint":  # resume streams no checkpoints today
-                    break
-        except (BrokenPipeError, EOFError, OSError):
-            self._crash(target)
-            return set()
-        if reply[0] != "resumed":
-            return set()
-        _tag, results, _failures = reply
-        requests = dict(entries)
-        migrated: Set[int] = set()
-        for covered, response in results:
-            response.migrated_from = crashed
-            for index in covered:
-                if index == covered[0]:
-                    responses[index] = response
-                else:
-                    responses[index] = replace(response, request=requests[index])
-                migrated.add(index)
-            self._stats["migrations"] += 1
-        return migrated
+            for index, _request in retryable:
+                attempts[index] = attempts.get(index, 0) + 1
+            self._stats["retries"] += len(retryable)
+            self._stats["redispatches"] += len(retryable)
+            wave = max(attempts[index] for index, _request in retryable)
+            if wave > 1:
+                self._sleeper(self.retry_policy.delay_seconds(wave - 1, self._retry_rng))
+            target = self._recovery_target(crashed)
+            streamed: Dict[Tuple[int, ...], bytes] = {}
+            try:
+                worker = self._worker(target)
+                warm, known = self._warm_entries(target, retryable, {})
+                worker.connection.send(
+                    ("serve", retryable, warm, known, False, self.batched, self.checkpoint_every)
+                )
+                self._delivered.update((target, store_key) for store_key, _payload in warm)
+                while True:
+                    reply = worker.connection.recv()
+                    if reply[0] != "checkpoint":
+                        break
+                    _tag, covered, payload = reply
+                    streamed[tuple(covered)] = payload
+            except (BrokenPipeError, EOFError, OSError):
+                self._crash(target)
+                # The redispatch target died too: recurse with whatever it
+                # streamed, so its partial progress is not thrown away.
+                self._recover(responses, target, retryable, streamed, attempts)
+                return
+            if reply[0] == "error":
+                self._fail_shard(responses, target, retryable, reply[1])
+                return
+            _tag, results, publishes = reply
+            self._absorb(target, publishes)
+            self._breakers[target].record_success()
+            for index, response in results:
+                response.attempts = 1 + attempts.get(index, 0)
+                responses[index] = response
+            pending = [(index, request) for index, request in pending if responses[index] is None]
+
+        # -- exhausted budgets keep the whole-shard crash semantics ------------
+        remaining = [(index, request) for index, request in entries if responses[index] is None]
+        if remaining:
+            self._fail_shard(
+                responses, crashed, remaining, "worker crashed while serving the batch"
+            )
 
     # -- the shared store -----------------------------------------------------
 
@@ -670,8 +894,37 @@ class WorkerPool:
         ``misses`` counts unique store lookups that found nothing,
         ``publishes`` artifacts accepted into the store, ``unpicklable``
         publish attempts dropped because the artifact would not pickle,
-        ``worker_crashes`` shard failures that triggered a respawn, and
-        ``migrations`` coalesced request groups resumed on another shard
-        from a crashed worker's streamed checkpoints.
+        ``worker_crashes`` shard failures that triggered a respawn or
+        quarantine, ``migrations`` coalesced request groups resumed on
+        another shard from a crashed worker's streamed checkpoints,
+        ``retries`` recovery attempts consumed (``redispatches``: the
+        from-scratch subset), ``reroutes`` placements moved off quarantined
+        shards, and ``shed`` requests rejected by admission control.
         """
-        return {"entries": len(self._store), **self._stats}
+        return {
+            "entries": len(self._store),
+            **self._stats,
+            "shed": self._admission.shed_count,
+        }
+
+    def health_stats(self) -> Dict[str, Any]:
+        """The pool's reliability picture: breakers, admission, counters.
+
+        ``shards`` maps each shard index to its circuit breaker's state,
+        lifetime failure/success counts, current windowed failures, and full
+        transition history (``closed → open → half_open → closed`` is the
+        quarantine round-trip); ``admission`` reports the configured limits
+        and shed count; the top-level counters mirror
+        :meth:`cache_stats`'s reliability subset.
+        """
+        return {
+            "shards": {
+                shard: breaker.stats() for shard, breaker in enumerate(self._breakers)
+            },
+            "admission": self._admission.stats(),
+            "worker_crashes": self._stats["worker_crashes"],
+            "migrations": self._stats["migrations"],
+            "retries": self._stats["retries"],
+            "redispatches": self._stats["redispatches"],
+            "reroutes": self._stats["reroutes"],
+        }

@@ -29,6 +29,17 @@ a run stopped at a slice boundary with its paused state reified for later,
 ``resumed`` marks a response produced by continuing such a checkpoint, and
 ``migrated_from`` names the crashed shard an in-flight request was moved off
 mid-run.  All four likewise default to the no-snapshot reading.
+
+The reliability layer (:mod:`repro.serve.reliability`) adds the failure
+*policy* knobs and their accounting.  On the request: ``deadline_seconds``
+(a per-attempt run budget, checked at every slice boundary) and
+``retry_budget`` (how many recovery attempts a failed or migrated request
+may consume).  On the response: ``deadline_exceeded`` and
+``rejected_overload`` are the two structured policy outcomes — neither is an
+``error``; both mean the *policy* stopped the request, deliberately and
+deterministically — while ``attempts`` counts total dispatches (1 = no
+recovery needed) and ``rerouted_from`` names the quarantined home shard a
+request was placed away from.
 """
 
 from __future__ import annotations
@@ -65,6 +76,21 @@ class Request:
     #: together, or distinct keys to spread a hot program across workers.
     #: Single-process scheduling ignores it.
     affinity: Optional[str] = None
+    #: Per-attempt wall-clock budget for the *run* phase, measured from the
+    #: request's first slice (compile/start time is accounted separately and
+    #: not charged against it).  Checked at every slice boundary — the
+    #: bounded-latency invariant makes that both cheap and precise — and on
+    #: expiry the response carries ``deadline_exceeded=True`` with, for
+    #: snapshot-capable backends, a resumable ``checkpoint`` of exactly the
+    #: stopped state.  Each retry attempt gets the full budget again.
+    #: ``None`` means no deadline.
+    deadline_seconds: Optional[float] = None
+    #: How many *recovery* attempts this request may consume after its first
+    #: dispatch fails out from under it (worker crash, pipe death): each
+    #: checkpoint migration or from-scratch redispatch costs one.  The
+    #: default of 1 preserves the pool's one-migration-attempt behaviour;
+    #: 0 pins the old whole-shard-failure semantics.
+    retry_budget: int = 1
 
     def label(self) -> str:
         return self.request_id or f"{self.system or '?'}/{self.language}"
@@ -131,6 +157,24 @@ class Response:
     #: pool resumed it from its last streamed checkpoint on ``shard``
     #: instead of failing it with the rest of the crashed shard.
     migrated_from: Optional[int] = None
+    #: True when the request ran past its ``deadline_seconds`` budget and was
+    #: stopped at a slice boundary.  ``result`` is then ``None``; for
+    #: snapshot-capable backends ``checkpoint`` holds the paused state, so a
+    #: caller that wants to grant more time resumes instead of restarting.
+    deadline_exceeded: bool = False
+    #: True when admission control shed this request (batch or shard queue
+    #: over its limit) without running it — the structured alternative to
+    #: degrading every request in an overloaded batch.  Deterministic: the
+    #: *tail* of an oversized batch is shed, never a random subset.
+    rejected_overload: bool = False
+    #: Total dispatch attempts this response consumed: 1 for a request that
+    #: never needed recovery, +1 for every checkpoint migration or
+    #: from-scratch redispatch after a worker crash.
+    attempts: int = 1
+    #: The request's *home* shard when quarantine placement moved it to a
+    #: healthy worker instead (its circuit breaker was open).  ``shard``
+    #: records where it actually ran; ``None`` means it ran at home.
+    rerouted_from: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -140,7 +184,21 @@ class Response:
     def steps(self) -> int:
         return self.result.steps if self.result is not None else 0
 
+    @property
+    def policy_stopped(self) -> bool:
+        """True for the two structured policy outcomes (not failures): the
+        request was deliberately stopped by its deadline or shed by admission
+        control, with ``error`` still ``None``."""
+        return self.deadline_exceeded or self.rejected_overload
+
     def __str__(self) -> str:
         if self.error is not None:
             return f"[{self.request.label()}] rejected: {self.error}"
+        if self.rejected_overload:
+            return f"[{self.request.label()}] rejected_overload (load shed)"
+        if self.deadline_exceeded:
+            return (
+                f"[{self.request.label()}] deadline_exceeded after {self.slices} slices"
+                f" ({'resumable' if self.checkpoint is not None else 'no checkpoint'})"
+            )
         return f"[{self.request.label()}] {self.result} ({self.slices} slices, backend {self.backend})"

@@ -58,8 +58,10 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.errors import ReproError
 from repro.core.interop import InteropSystem
 from repro.core.language import CacheKey, CompiledUnit
-from repro.serve.checkpoint import Checkpoint
+from repro.serve.checkpoint import Checkpoint, CheckpointStore
 from repro.serve.driver import StepSlicedDriver
+from repro.serve.faults import FaultPlan
+from repro.serve.reliability import DeadlineExceeded
 from repro.serve.request import Request, Response
 
 #: A cross-process pipeline-cache store key: the frontend LRU key paired with
@@ -116,11 +118,30 @@ class _GuardedExecution:
 
 
 class Scheduler:
-    """Admits batches of requests against a registry of interop systems."""
+    """Admits batches of requests against a registry of interop systems.
 
-    def __init__(self, systems: Dict[str, InteropSystem], driver: Optional[StepSlicedDriver] = None):
+    ``max_inflight`` is this scheduler's admission limit: at most that many
+    requests of one batch are started; the rest come back immediately with
+    ``rejected_overload=True`` (always the batch *tail* — shedding is
+    deterministic).  ``fault_plan`` threads a
+    :class:`~repro.serve.faults.FaultPlan` through admission and resume so
+    the seeded faults fire at this scheduler's slice boundaries; worker
+    processes set it after construction (the attribute is plain).
+    """
+
+    def __init__(
+        self,
+        systems: Dict[str, InteropSystem],
+        driver: Optional[StepSlicedDriver] = None,
+        max_inflight: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1 or None, got {max_inflight}")
         self.systems = dict(systems)
         self.driver = driver or StepSlicedDriver()
+        self.max_inflight = max_inflight
+        self.fault_plan = fault_plan
         self._systems_by_language: Dict[str, List[str]] = {}
         for name, system in self.systems.items():
             for frontend in (system.language_a, system.language_b):
@@ -210,12 +231,14 @@ class Scheduler:
         differential baseline).  Either way each request runs under its own
         backend and fuel budget.
         """
-        prepared, runnable, executions = self._admit(requests)
+        prepared, runnable, executions, deadlines = self._admit(requests)
         if sequential:
-            driven = self.driver.run_sequential(executions)
+            driven = self.driver.run_sequential(executions, deadlines)
         else:
-            driven = self.driver.run_batch(executions)
-        return self._collect(prepared, runnable, driven)
+            driven = self.driver.run_batch(executions, deadlines)
+        responses = self._collect(prepared, runnable, driven)
+        self._attach_deadline_checkpoints(runnable, driven)
+        return responses
 
     async def serve_async(self, requests: Sequence[Request]) -> List[Response]:
         """Admit a batch and interleave it on the *caller's* event loop.
@@ -225,27 +248,88 @@ class Scheduler:
         batch (``serve`` from inside a coroutine falls back to a helper
         thread, which isolates rather than shares the loop).
         """
-        prepared, runnable, executions = self._admit(requests)
-        driven = await self.driver.run_batch_async(executions)
-        return self._collect(prepared, runnable, driven)
+        prepared, runnable, executions, deadlines = self._admit(requests)
+        driven = await self.driver.run_batch_async(executions, deadlines)
+        responses = self._collect(prepared, runnable, driven)
+        self._attach_deadline_checkpoints(runnable, driven)
+        return responses
 
     def _admit(self, requests: Sequence[Request]):
-        """Prepare a batch; ``runnable`` and ``executions`` are index-aligned."""
-        prepared = [self.prepare(request) for request in requests]
+        """Prepare a batch; ``runnable``/``executions``/``deadlines`` align.
+
+        Requests past the ``max_inflight`` admission limit are shed with
+        ``rejected_overload`` (never prepared, never run).  The fault plan,
+        when set, instruments each admitted execution *inside* the crash
+        guard, so injected worker faults fire at slice boundaries while
+        ``entry.execution`` stays the raw execution for snapshotting.
+        """
+        prepared = []
+        admitted = 0
+        for request in requests:
+            if self.max_inflight is not None and admitted >= self.max_inflight:
+                prepared.append(
+                    PreparedRequest(Response(request=request, rejected_overload=True))
+                )
+                continue
+            entry = self.prepare(request)
+            if entry.execution is not None:
+                admitted += 1
+            prepared.append(entry)
         runnable = [entry for entry in prepared if entry.execution is not None]
-        executions = [_GuardedExecution(entry.execution) for entry in runnable]
-        return prepared, runnable, executions
+        executions = []
+        for entry in runnable:
+            execution = entry.execution
+            if self.fault_plan is not None:
+                execution = self.fault_plan.instrument(
+                    execution, request_id=entry.response.request.request_id
+                )
+            executions.append(_GuardedExecution(execution))
+        deadlines = [entry.response.request.deadline_seconds for entry in runnable]
+        return prepared, runnable, executions, deadlines
 
     @staticmethod
     def _collect(prepared, runnable, driven) -> List[Response]:
         for entry, outcome in zip(runnable, driven):
             if isinstance(outcome.result, _RunFailure):
                 entry.response.error = outcome.result.message
+            elif isinstance(outcome.result, DeadlineExceeded):
+                entry.response.deadline_exceeded = True
             else:
                 entry.response.result = outcome.result
             entry.response.slices = outcome.slices
             entry.response.run_seconds = outcome.seconds
         return [entry.response for entry in prepared]
+
+    def _reify_checkpoint(self, entry: PreparedRequest, slices: int) -> Optional[Checkpoint]:
+        """The entry's paused state as a checkpoint, or ``None`` when the
+        backend has no snapshots (or the snapshot itself fails)."""
+        execution = entry.execution
+        if not getattr(execution, "can_snapshot", None) or not execution.can_snapshot():
+            return None
+        try:
+            snapshot = execution.snapshot()
+        except Exception:  # a snapshot bug must not take down the batch
+            return None
+        return Checkpoint(
+            request=entry.response.request,
+            system=entry.response.system,
+            backend=entry.response.backend,
+            snapshot=snapshot,
+            slices=slices,
+        )
+
+    def _attach_deadline_checkpoints(self, runnable, driven) -> None:
+        """Give every deadline-stopped response its resumable checkpoint.
+
+        The driver stops expired executions at a slice boundary, so the
+        paused state is exactly reifiable here — a caller that wants to
+        grant more time feeds the checkpoint to :meth:`resume` instead of
+        re-running the work.  Backends without snapshots simply carry no
+        checkpoint (the flag still reports the expiry).
+        """
+        for entry, outcome in zip(runnable, driven):
+            if entry.response.deadline_exceeded and entry.response.checkpoint is None:
+                entry.response.checkpoint = self._reify_checkpoint(entry, outcome.slices)
 
     def serve_sequential(self, requests: Sequence[Request]) -> List[Response]:
         return self.serve(requests, sequential=True)
@@ -279,25 +363,15 @@ class Scheduler:
         touching it).  Backends without snapshots run and preempt normally
         but yield no checkpoint.
         """
-        prepared, runnable, executions = self._admit(requests)
+        prepared, runnable, executions, deadlines = self._admit(requests)
         indices = {id(entry): index for index, entry in enumerate(prepared)}
 
         def hook(runnable_index: int, slices: int) -> None:
             entry = runnable[runnable_index]
-            execution = entry.execution
-            if not getattr(execution, "can_snapshot", None) or not execution.can_snapshot():
+            checkpoint = self._reify_checkpoint(entry, slices)
+            if checkpoint is None:
                 return
-            try:
-                snapshot = execution.snapshot()
-            except Exception:  # a snapshot bug must not take down the batch
-                return
-            entry.response.checkpoint = Checkpoint(
-                request=entry.response.request,
-                system=entry.response.system,
-                backend=entry.response.backend,
-                snapshot=snapshot,
-                slices=slices,
-            )
+            entry.response.checkpoint = checkpoint
             if on_checkpoint is not None:
                 on_checkpoint(indices[id(entry)], entry.response.checkpoint)
 
@@ -306,9 +380,12 @@ class Scheduler:
             on_checkpoint=hook,
             checkpoint_every=checkpoint_every,
             max_slices=max_slices,
+            deadlines=deadlines,
         )
         responses = self._collect(prepared, runnable, driven)
         for entry, outcome in zip(runnable, driven):
+            if entry.response.deadline_exceeded:
+                continue  # the final hook's checkpoint is the stopped state
             if outcome.result is None and entry.response.error is None:
                 entry.response.preempted = True
             else:
@@ -335,8 +412,13 @@ class Scheduler:
         ``resumed=True``; ``slices`` counts post-restore slices only, while
         the checkpoint's own ``slices`` field preserves the earlier count.
         The combined outcome is observably identical to never having stopped.
-        A checkpoint that fails to restore (unknown system, version skew)
-        fails alone, as its response's ``error``.
+        A checkpoint that fails to restore (unknown system, version skew,
+        tampered snapshot) fails alone, as its response's ``error``.
+
+        A resumed request's ``deadline_seconds`` applies afresh to this
+        attempt — the per-attempt reading, so granting a retry means
+        granting its full budget — and an attempt that expires again carries
+        a *new* checkpoint from where it stopped this time.
         """
         prepared: List[PreparedRequest] = []
         for checkpoint in checkpoints:
@@ -346,6 +428,12 @@ class Scheduler:
                 backend=checkpoint.backend,
                 resumed=True,
             )
+            if self.fault_plan is not None and self.fault_plan.fire(
+                "restore.tamper", request_id=checkpoint.request.request_id
+            ):
+                tampered = dict(checkpoint.snapshot)
+                tampered["version"] = -1
+                checkpoint = replace(checkpoint, snapshot=tampered)
             try:
                 execution = self.restore_execution(checkpoint)
             except Exception as error:  # a bad checkpoint must not take down the batch
@@ -354,12 +442,50 @@ class Scheduler:
                 continue
             prepared.append(PreparedRequest(response, execution))
         runnable = [entry for entry in prepared if entry.execution is not None]
-        executions = [_GuardedExecution(entry.execution) for entry in runnable]
+        executions = []
+        for entry in runnable:
+            execution = entry.execution
+            if self.fault_plan is not None:
+                execution = self.fault_plan.instrument(
+                    execution, request_id=entry.response.request.request_id
+                )
+            executions.append(_GuardedExecution(execution))
+        deadlines = [entry.response.request.deadline_seconds for entry in runnable]
         if sequential:
-            driven = self.driver.run_sequential(executions)
+            driven = self.driver.run_sequential(executions, deadlines)
         else:
-            driven = self.driver.run_batch(executions)
-        return self._collect(prepared, runnable, driven)
+            driven = self.driver.run_batch(executions, deadlines)
+        responses = self._collect(prepared, runnable, driven)
+        self._attach_deadline_checkpoints(runnable, driven)
+        return responses
+
+    def resume_stored(
+        self, store: CheckpointStore, sequential: bool = False, gc: bool = True
+    ) -> List[Response]:
+        """Resume every loadable checkpoint in ``store``; responses in path order.
+
+        The durable-restart entry point: scan the store (corrupt files are
+        skipped, never fatal — each shows up as a response with a structured
+        ``error`` naming its path), resume what loads, and *consume* each
+        checkpoint whose request ran to completion by deleting its file — a
+        finished run must not be resumed twice by the next restart.  With
+        ``gc=True`` the store's age/size eviction then runs under the
+        store's configured limits, so stale checkpoints (crashed runs nobody
+        will resume, corrupt leftovers) age out instead of accumulating
+        forever.
+        """
+        loadable, corrupt = store.scan()
+        responses = self.resume([checkpoint for _path, checkpoint in loadable], sequential=sequential)
+        for (path, _checkpoint), response in zip(loadable, responses):
+            if response.error is None and response.result is not None:
+                store.delete(path)
+        for path, error in corrupt:
+            failed = Response(request=Request(language="?", source=""), resumed=True)
+            failed.error = str(error)
+            responses.append(failed)
+        if gc:
+            store.gc()
+        return responses
 
     # -- batched boundary crossings -------------------------------------------
 
@@ -500,7 +626,10 @@ class Scheduler:
 
 
 def make_default_scheduler(
-    slice_steps: int = 512, driver: Optional[StepSlicedDriver] = None
+    slice_steps: int = 512,
+    driver: Optional[StepSlicedDriver] = None,
+    max_inflight: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Scheduler:
     """A scheduler over all three case-study systems (§3 refs, §4 affine, §5 l3)."""
     from repro.interop_affine import make_system as make_affine_system
@@ -512,4 +641,9 @@ def make_default_scheduler(
         "affine": make_affine_system(),
         "l3": make_l3_system(),
     }
-    return Scheduler(systems, driver=driver or StepSlicedDriver(slice_steps))
+    return Scheduler(
+        systems,
+        driver=driver or StepSlicedDriver(slice_steps),
+        max_inflight=max_inflight,
+        fault_plan=fault_plan,
+    )

@@ -317,7 +317,13 @@ def test_worker_crash_migrates_inflight_requests_and_respawns():
         healthy_key = _affinity_for_shard(pool, 1)
         healthy_source = nested_refll_boundary(4)
         requests = [
-            Request(language="RefLL", source="(+ 1 2)", backend="crash", affinity=crash_key, request_id="boom"),
+            # retry_budget=0 pins the crasher to the classic whole-shard
+            # failure; with budget it would be redispatched from scratch and
+            # crash its recovery target too (covered by the retry tests).
+            Request(
+                language="RefLL", source="(+ 1 2)", backend="crash",
+                affinity=crash_key, request_id="boom", retry_budget=0,
+            ),
             Request(language="RefLL", source=healthy_source, affinity=crash_key, request_id="collateral"),
             Request(language="RefLL", source=healthy_source, affinity=healthy_key, request_id="survivor"),
         ]
@@ -325,7 +331,7 @@ def test_worker_crash_migrates_inflight_requests_and_respawns():
         by_id = {response.request.request_id: response for response in responses}
         # The crashing request itself fails: its backend is a factoryless
         # third-party runner (a BlockingExecution), so there is no snapshot
-        # to resume from -- it keeps the whole-shard-failure semantics.
+        # to resume from -- and its budget is zero, so no redispatch either.
         assert "crashed" in by_id["boom"].error
         # But the snapshot-capable request sharing the shard is *migrated*:
         # resumed from its last streamed checkpoint on the surviving shard,
@@ -351,8 +357,9 @@ def test_worker_crash_migrates_inflight_requests_and_respawns():
 
 
 def test_worker_crash_without_checkpoints_still_fails_only_its_shard():
-    # checkpoint_every=None turns streaming off: the pre-migration contract
-    # (whole-shard failure, clean respawn) must still hold exactly.
+    # checkpoint_every=None turns streaming off, and retry_budget=0 turns
+    # redispatch off: the pre-reliability contract (whole-shard failure,
+    # clean respawn) must still hold exactly.
     with WorkerPool(
         workers=2, slice_steps=128, scheduler_factory=_crashing_factory, checkpoint_every=None
     ) as pool:
@@ -360,8 +367,14 @@ def test_worker_crash_without_checkpoints_still_fails_only_its_shard():
         healthy_key = _affinity_for_shard(pool, 1)
         healthy_source = nested_refll_boundary(4)
         requests = [
-            Request(language="RefLL", source="(+ 1 2)", backend="crash", affinity=crash_key, request_id="boom"),
-            Request(language="RefLL", source=healthy_source, affinity=crash_key, request_id="collateral"),
+            Request(
+                language="RefLL", source="(+ 1 2)", backend="crash",
+                affinity=crash_key, request_id="boom", retry_budget=0,
+            ),
+            Request(
+                language="RefLL", source=healthy_source, affinity=crash_key,
+                request_id="collateral", retry_budget=0,
+            ),
             Request(language="RefLL", source=healthy_source, affinity=healthy_key, request_id="survivor"),
         ]
         responses = pool.run_batch(requests)
@@ -378,7 +391,10 @@ def test_close_is_idempotent_and_safe_after_worker_crash():
         crash_key = _affinity_for_shard(pool, 0)
         healthy_key = _affinity_for_shard(pool, 1)
         requests = [
-            Request(language="RefLL", source="(+ 1 2)", backend="crash", affinity=crash_key),
+            Request(
+                language="RefLL", source="(+ 1 2)", backend="crash",
+                affinity=crash_key, retry_budget=0,
+            ),
             Request(language="RefLL", source=nested_refll_boundary(3), affinity=healthy_key),
         ]
         pool.run_batch(requests)
