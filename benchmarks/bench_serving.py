@@ -63,6 +63,21 @@ checkpoint, ``rejected_overload``) — no raw exceptions, no lost requests —
 plus overload-shedding and checkpoint-store fault subsections:
 
     PYTHONPATH=src python benchmarks/bench_serving.py --check --pool --chaos
+
+With ``--net`` a network-tier section serves the same mixed batch through a
+:class:`~repro.serve.net.NetRouter` fronting TCP worker endpoints (gated
+identical to the sequential baseline), probes elastic membership — a third
+endpoint joins and only a bounded fraction of placements may move, all onto
+the joiner, which must warm from the shared store instead of recompiling —
+and gates *rebalance under skew*: a hot-program batch on three endpoints
+must land a strictly smaller max/min shard-load imbalance under top-2
+load-aware dispatch than under the old static sha256-modulo placement.
+Combined with ``--chaos`` it also injects connection drops (recovered by
+checkpoint migration onto the surviving endpoint) and slow links (converted
+into structured drops by the per-attempt frame deadline):
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --check --pool --net
+    PYTHONPATH=src python benchmarks/bench_serving.py --check --net --chaos
 """
 
 import json
@@ -76,12 +91,17 @@ from dataclasses import replace
 from repro.serve import (
     CheckpointCorrupt,
     CheckpointStore,
+    DispatchPolicy,
     Fault,
     FaultPlan,
+    HashRing,
+    NetRouter,
+    NetWorker,
     Request,
     Scheduler,
     WorkerPool,
     make_default_scheduler,
+    static_shard_of,
 )
 from repro.util.workloads import (
     nested_ml_affi_boundary as _nested_ml_affi_boundary,
@@ -129,6 +149,24 @@ CHAOS_SLOW_SECONDS = 0.3
 #: Overload subsection: admit this many of the 12 mixed requests; the tail
 #: must be shed with structured ``rejected_overload`` responses.
 CHAOS_MAX_BATCH = 8
+#: Network section (``--net``): fleet sizes and gates.  The join probe maps
+#: this many distinct affinity keys before and after a third endpoint joins;
+#: consistent hashing must move a *nonzero, bounded* fraction of them
+#: (expected ~1/3 — static modulo placement would move ~2/3) and move them
+#: only onto the joiner.
+NET_WORKERS = POOL_WORKERS
+NET_PROBE_KEYS = 48
+NET_REMAP_BOUND = 0.65
+#: Rebalance-under-skew: this many copies of one hot program against two
+#: singleton programs on a 3-endpoint fleet.  Static sha256 placement piles
+#: every copy on one endpoint; top-2 load-aware dispatch must split them.
+NET_SKEW_COPIES = 10
+#: Slow-link chaos: the injected pre-RESPONSE stall must dwarf the router's
+#: per-attempt frame deadline so the timeout verdict is deterministic, and
+#: the deadline must comfortably exceed any honest inter-frame gap (one
+#: 32-step slice, or a cold compile) so healthy endpoints never trip it.
+NET_ATTEMPT_TIMEOUT_SECONDS = 0.25
+NET_SLOW_SECONDS = 1.0
 
 
 def make_requests(deep: int = DEEP, shallow: int = SHALLOW):
@@ -355,6 +393,285 @@ def collect_pool_report() -> dict:
         "cross_worker_cache_hits": repeated_stats["cross_worker_hits"],
         "publishes": repeated_stats["publishes"],
     }
+
+
+def _start_fleet(worker_count, slice_steps, fault_plans=None, dispatch=None, **router_kwargs):
+    """A router wired to ``worker_count`` in-process network workers."""
+    workers = []
+    for endpoint_id in range(worker_count):
+        worker = NetWorker(
+            endpoint_id=endpoint_id,
+            slice_steps=slice_steps,
+            fault_plan=(fault_plans or {}).get(endpoint_id),
+        )
+        worker.start()
+        workers.append(worker)
+    router = NetRouter(slice_steps=slice_steps, dispatch=dispatch, **router_kwargs)
+    router.start()
+    for worker in workers:
+        router.add_worker(worker.address)
+    return router, workers
+
+
+def _stop_fleet(router, workers):
+    router.stop()
+    for worker in workers:
+        worker.stop()
+
+
+def _net_affinity_for(router, endpoint_id: int, source: str) -> str:
+    """A per-request affinity key the router's ring places on ``endpoint_id``."""
+    for attempt in range(256):
+        key = f"pin-{endpoint_id}-{attempt}"
+        probe = Request(language="RefLL", source=source, affinity=key)
+        if router.endpoint_for(probe) == endpoint_id:
+            return key
+    raise AssertionError(f"no affinity key found for endpoint {endpoint_id}")
+
+
+def collect_net_report() -> dict:
+    """The network-tier section: framed differential, elastic join, skew rebalance.
+
+    Three gated subsections:
+
+    * **differential** — the mixed batch through router + TCP workers equals
+      the router's own sequential baseline, with timings;
+    * **join** — a third endpoint joins a warm 2-endpoint fleet: a nonzero
+      but bounded fraction of placements remap (all onto the joiner), and
+      the joiner's first serving of an already-published program warms from
+      the shared store instead of recompiling (``shared_cache_hit``);
+    * **rebalance-under-skew** — ``NET_SKEW_COPIES`` copies of one hot
+      program against two singletons on 3 endpoints: static sha256-modulo
+      placement (the pool's original scheme, kept as
+      :func:`~repro.serve.pool.static_shard_of`) piles every copy onto one
+      endpoint, top-2 load-aware dispatch must land a strictly smaller
+      max/min shard-load imbalance while still matching the sequential
+      baseline.
+    """
+    requests = make_requests()
+    hot_source = _nested_refll_boundary(DEEP)
+    router, workers = _start_fleet(NET_WORKERS, SLICE_STEPS)
+    try:
+        sequential = router.run_sequential(requests)
+        served = router.run_batch(requests)
+        mismatches = [
+            request.request_id
+            for request, seq, net in zip(requests, sequential, served)
+            if _observable(seq) != _observable(net)
+        ]
+        net_seconds = _best_of(lambda: router.run_batch(requests))
+        sequential_seconds = _best_of(lambda: router.run_sequential(requests))
+        endpoint_load = {}
+        for response in served:
+            endpoint_load[str(response.shard)] = endpoint_load.get(str(response.shard), 0) + 1
+
+        # Publish the hot program before the join so the joiner can warm.
+        seed = router.run_batch(
+            [Request(language="RefLL", source=hot_source, request_id="hot-seed")]
+        )[0]
+
+        # -- elastic join ------------------------------------------------------
+        probes = [
+            Request(language="Affi", source="(if (boundary bool 7) 1 2)", affinity=f"key-{index}")
+            for index in range(NET_PROBE_KEYS)
+        ]
+        before = [router.endpoint_for(probe) for probe in probes]
+        joiner = NetWorker(endpoint_id=NET_WORKERS, slice_steps=SLICE_STEPS)
+        joiner.start()
+        workers.append(joiner)
+        joiner_id = router.add_worker(joiner.address)
+        after = [router.endpoint_for(probe) for probe in probes]
+        moved = [index for index in range(len(probes)) if before[index] != after[index]]
+        remap_fraction = len(moved) / len(probes)
+        moved_only_to_joiner = all(after[index] == joiner_id for index in moved)
+
+        pin = _net_affinity_for(router, joiner_id, hot_source)
+        warmed = router.run_batch(
+            [Request(language="RefLL", source=hot_source, affinity=pin, request_id="hot-join")]
+        )[0]
+        new_member_warm = bool(
+            warmed.ok and warmed.shard == joiner_id and warmed.shared_cache_hit
+        )
+        store = router.stats()["store"]
+    finally:
+        _stop_fleet(router, workers)
+
+    # -- rebalance under skew --------------------------------------------------
+    skewed = [
+        Request(language="RefLL", source=hot_source, request_id=f"hot-{index}")
+        for index in range(NET_SKEW_COPIES)
+    ] + [
+        Request(language="Affi", source="(if (boundary bool 7) 1 2)", request_id="cold-affi"),
+        Request(
+            language="MiniML",
+            system="l3",
+            source="(! (boundary (ref int) (new true)))",
+            request_id="cold-l3",
+        ),
+    ]
+    skew_fleet = NET_WORKERS + 1
+
+    def _imbalance(counts: dict) -> float:
+        loads = [counts.get(str(endpoint), 0) for endpoint in range(skew_fleet)]
+        return max(loads) / max(1, min(loads))
+
+    static_counts: dict = {}
+    for request in skewed:
+        shard = str(static_shard_of(request, skew_fleet))
+        static_counts[shard] = static_counts.get(shard, 0) + 1
+
+    router, workers = _start_fleet(
+        skew_fleet, SLICE_STEPS, dispatch=DispatchPolicy(top_k=2, balance_load=True)
+    )
+    try:
+        skew_baseline = router.run_sequential(skewed)
+        skew_served = router.run_batch(skewed)
+        skew_mismatches = [
+            request.request_id
+            for request, seq, net in zip(skewed, skew_baseline, skew_served)
+            if _observable(seq) != _observable(net)
+        ]
+        balanced_counts: dict = {}
+        for response in skew_served:
+            balanced_counts[str(response.shard)] = balanced_counts.get(str(response.shard), 0) + 1
+        diverted = router.stats()["counters"]["diverted"]
+    finally:
+        _stop_fleet(router, workers)
+
+    static_imbalance = _imbalance(static_counts)
+    balanced_imbalance = _imbalance(balanced_counts)
+    return {
+        "workers": NET_WORKERS,
+        "results_match": not mismatches,
+        "mismatches": mismatches,
+        "net_seconds": net_seconds,
+        "sequential_seconds": sequential_seconds,
+        "throughput_rps": len(requests) / net_seconds,
+        "endpoint_load": endpoint_load,
+        "store": store,
+        "hot_seed_published": bool(seed.published),
+        "join": {
+            "probe_keys": NET_PROBE_KEYS,
+            "joiner": joiner_id,
+            "moved": len(moved),
+            "remap_fraction": remap_fraction,
+            "remap_bound": NET_REMAP_BOUND,
+            "moved_only_to_joiner": moved_only_to_joiner,
+            "new_member_warm": new_member_warm,
+            "ok": bool(moved) and remap_fraction <= NET_REMAP_BOUND and moved_only_to_joiner,
+        },
+        "rebalance": {
+            "fleet": skew_fleet,
+            "skew_copies": NET_SKEW_COPIES,
+            "results_match": not skew_mismatches,
+            "mismatches": skew_mismatches,
+            "static_shard_load": static_counts,
+            "balanced_shard_load": balanced_counts,
+            "static_imbalance": static_imbalance,
+            "balanced_imbalance": balanced_imbalance,
+            "diverted": diverted,
+            "ok": not skew_mismatches and balanced_imbalance < static_imbalance,
+        },
+    }
+
+
+def collect_net_chaos_report() -> dict:
+    """Network chaos: injected connection drops and slow links, gated == baseline.
+
+    Two subsections, each on a fresh 2-endpoint fleet at the chaos slice
+    size (so the deep requests are genuinely mid-run when faults land):
+
+    * **drop** — the victim endpoint (wherever the ring places ``refs-deep``)
+      severs its connection abruptly at that request's second slice boundary,
+      *after* streaming the boundary's checkpoint frame; the router must see
+      the drop, account it on the endpoint's breaker, and finish the whole
+      group by checkpoint migration on the survivor — results identical to
+      the fault-free sequential baseline;
+    * **slow link** — the victim stalls ``NET_SLOW_SECONDS`` before its
+      terminal RESPONSE; the router's ``attempt_timeout_seconds`` per-frame
+      deadline must convert the wedge into a structured drop and recover the
+      same way.
+    """
+    requests = make_requests()
+    scheduler = make_default_scheduler(slice_steps=CHAOS_SLICE_STEPS)
+    victim = HashRing(range(NET_WORKERS)).node_for(scheduler.placement_key(requests[0]))
+
+    drop_plan = FaultPlan(
+        [Fault(site="net.drop", request_id="refs-deep", at_slice=2, times=1, shard=victim)],
+        seed=CHAOS_SEED,
+    )
+    router, workers = _start_fleet(
+        NET_WORKERS,
+        CHAOS_SLICE_STEPS,
+        fault_plans={victim: drop_plan},
+        dispatch=DispatchPolicy(top_k=1, balance_load=False),
+    )
+    try:
+        baseline = router.run_sequential(requests)
+        start = time.perf_counter()
+        served = router.run_batch(requests)
+        drop_seconds = time.perf_counter() - start
+        drop_mismatches = [
+            request.request_id
+            for request, seq, net in zip(requests, baseline, served)
+            if _observable(seq) != _observable(net)
+        ]
+        migrated = [r.request.request_id for r in served if r.migrated_from is not None]
+        counters = router.stats()["counters"]
+        drop = {
+            "victim": victim,
+            "seconds": drop_seconds,
+            "results_match": not drop_mismatches,
+            "mismatches": drop_mismatches,
+            "drops": counters["drops"],
+            "migrations": counters["migrations"],
+            "redispatches": counters["redispatches"],
+            "migrated_requests": migrated,
+            "ok": not drop_mismatches and counters["drops"] >= 1 and counters["migrations"] >= 1,
+        }
+    finally:
+        _stop_fleet(router, workers)
+
+    slow_plan = FaultPlan(
+        [Fault(site="net.slow", times=1, delay_seconds=NET_SLOW_SECONDS, shard=victim)],
+        seed=CHAOS_SEED,
+    )
+    router, workers = _start_fleet(
+        NET_WORKERS,
+        CHAOS_SLICE_STEPS,
+        fault_plans={victim: slow_plan},
+        dispatch=DispatchPolicy(
+            top_k=1, balance_load=False, attempt_timeout_seconds=NET_ATTEMPT_TIMEOUT_SECONDS
+        ),
+    )
+    try:
+        baseline = router.run_sequential(requests)
+        served = router.run_batch(requests)
+        slow_mismatches = [
+            request.request_id
+            for request, seq, net in zip(requests, baseline, served)
+            if _observable(seq) != _observable(net)
+        ]
+        counters = router.stats()["counters"]
+        slow = {
+            "victim": victim,
+            "attempt_timeout_seconds": NET_ATTEMPT_TIMEOUT_SECONDS,
+            "stall_seconds": NET_SLOW_SECONDS,
+            "results_match": not slow_mismatches,
+            "mismatches": slow_mismatches,
+            "timeouts": counters["timeouts"],
+            "migrations": counters["migrations"],
+            "redispatches": counters["redispatches"],
+            "ok": (
+                not slow_mismatches
+                and counters["timeouts"] >= 1
+                and counters["migrations"] + counters["redispatches"] >= 1
+            ),
+        }
+    finally:
+        _stop_fleet(router, workers)
+
+    return {"seed": CHAOS_SEED, "drop": drop, "slow": slow, "ok": drop["ok"] and slow["ok"]}
 
 
 def _exit_hard(code, fuel: int = 100_000):
@@ -914,6 +1231,7 @@ def main(argv) -> int:
     check = "--check" in argv
     with_pool = "--pool" in argv
     with_chaos = "--chaos" in argv
+    with_net = "--net" in argv
     output = JSON_REPORT
     if "--output" in argv:
         output = argv[argv.index("--output") + 1]
@@ -924,6 +1242,10 @@ def main(argv) -> int:
         report["checkpoint"]["migration"] = collect_migration_report()
     if with_chaos:
         report["chaos"] = collect_chaos_report()
+    if with_net:
+        report["net"] = collect_net_report()
+        if with_chaos:
+            report["net"]["chaos"] = collect_net_chaos_report()
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -968,6 +1290,29 @@ def main(argv) -> int:
             f"migrated off the crashed shard in {migration['seconds'] * 1e3:.1f}ms "
             f"({migration['migrations']} migration(s), {migration['worker_crashes']} crash(es))"
         )
+    if with_net:
+        net = report["net"]
+        join = net["join"]
+        rebalance = net["rebalance"]
+        print(
+            f"net ({net['workers']} endpoints): batch {net['net_seconds'] * 1e3:.1f}ms "
+            f"({net['throughput_rps']:.0f} req/s), endpoint load {net['endpoint_load']}; "
+            f"join moved {join['moved']}/{join['probe_keys']} keys "
+            f"({join['remap_fraction']:.2f}, bound {join['remap_bound']:.2f}), "
+            f"new member warm={join['new_member_warm']}; "
+            f"skew imbalance {rebalance['balanced_imbalance']:.1f}x balanced vs "
+            f"{rebalance['static_imbalance']:.1f}x static ({rebalance['diverted']} diverted)"
+        )
+        if with_chaos:
+            net_chaos = net["chaos"]
+            print(
+                f"net chaos (seed {net_chaos['seed']}): drop on endpoint "
+                f"{net_chaos['drop']['victim']} -> {net_chaos['drop']['drops']} drop(s), "
+                f"{net_chaos['drop']['migrations']} migration(s) in "
+                f"{net_chaos['drop']['seconds'] * 1e3:.1f}ms; slow link -> "
+                f"{net_chaos['slow']['timeouts']} timeout(s), "
+                f"{net_chaos['slow']['migrations'] + net_chaos['slow']['redispatches']} recovered"
+            )
     if with_chaos:
         chaos = report["chaos"]
         print(
@@ -1057,6 +1402,50 @@ def main(argv) -> int:
                 "REGRESSION: the repeated-program batch recorded no cross-worker "
                 f"pipeline-cache hit (publishes={pool_report['publishes']}, "
                 f"cross_worker_hits={pool_report['cross_worker_cache_hits']})",
+                file=sys.stderr,
+            )
+            failed = True
+    if with_net:
+        net = report["net"]
+        if net["mismatches"]:
+            print(
+                "MISMATCH: network-served results diverge from sequential on: "
+                + ", ".join(net["mismatches"]),
+                file=sys.stderr,
+            )
+            failed = True
+        if not net["join"]["ok"]:
+            print(
+                "REGRESSION: the worker join remapped placements badly "
+                f"(moved={net['join']['moved']}/{net['join']['probe_keys']}, "
+                f"fraction={net['join']['remap_fraction']:.2f} "
+                f"(bound {net['join']['remap_bound']:.2f}), "
+                f"moved_only_to_joiner={net['join']['moved_only_to_joiner']})",
+                file=sys.stderr,
+            )
+            failed = True
+        if not net["join"]["new_member_warm"]:
+            print(
+                "REGRESSION: the joining endpoint recompiled a published program "
+                "instead of warming from the shared store",
+                file=sys.stderr,
+            )
+            failed = True
+        if not net["rebalance"]["ok"]:
+            print(
+                "REGRESSION: load-aware dispatch did not beat static placement under skew "
+                f"(balanced={net['rebalance']['balanced_imbalance']:.1f}x, "
+                f"static={net['rebalance']['static_imbalance']:.1f}x, mismatches: "
+                + (", ".join(net["rebalance"]["mismatches"]) or "none")
+                + ")",
+                file=sys.stderr,
+            )
+            failed = True
+        if with_chaos and not net["chaos"]["ok"]:
+            print(
+                "REGRESSION: the network chaos section failed "
+                f"(drop: {json.dumps(net['chaos']['drop'])}; "
+                f"slow: {json.dumps(net['chaos']['slow'])})",
                 file=sys.stderr,
             )
             failed = True

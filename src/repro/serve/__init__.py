@@ -38,43 +38,75 @@ multi-tenant service front:
   crash-looping workers (``CircuitBreaker`` / ``BreakerPolicy``),
   deterministic load shedding (``AdmissionController``), and the seeded
   fault-injection harness (``Fault`` / ``FaultPlan``) that exercises every
-  recovery path deterministically in tests and ``bench_serving.py --chaos``.
+  recovery path deterministically in tests and ``bench_serving.py --chaos``;
+* :mod:`~repro.serve.net` / :mod:`~repro.serve.wire` /
+  :mod:`~repro.serve.ring` — the network tier: a length-prefixed, versioned
+  framed wire protocol carrying the pool's worker conversation over TCP, a
+  consistent-hash ring with virtual nodes for placement
+  (:class:`~repro.serve.ring.HashRing`), and the router/worker/client trio
+  (:class:`~repro.serve.net.NetRouter` /
+  :class:`~repro.serve.net.NetWorker` /
+  :class:`~repro.serve.net.NetClient`) with load-aware top-k dispatch
+  (:class:`~repro.serve.reliability.DispatchPolicy`), breaker quarantine
+  for dead connections, checkpoint migration across machines, and the
+  shared artifact store exposed as a FETCH/PUBLISH network service.
 """
 
 from repro.serve.checkpoint import Checkpoint, CheckpointCorrupt, CheckpointStore
 from repro.serve.driver import DrivenResult, StepSlicedDriver
 from repro.serve.faults import FAULT_SITES, Fault, FaultPlan
-from repro.serve.pool import WorkerPool, default_scheduler_factory
+from repro.serve.net import NetClient, NetRouter, NetWorker
+from repro.serve.pool import (
+    WorkerPool,
+    default_scheduler_factory,
+    shard_of,
+    static_shard_of,
+)
 from repro.serve.reliability import (
     AdmissionController,
     BreakerPolicy,
     CircuitBreaker,
     DeadlineExceeded,
+    DispatchPolicy,
     RetryPolicy,
 )
 from repro.serve.request import DEFAULT_FUEL, Request, Response
+from repro.serve.ring import DEFAULT_VIRTUAL_NODES, HashRing
 from repro.serve.scheduler import PreparedRequest, Scheduler, make_default_scheduler
+from repro.serve.wire import WIRE_VERSION, ConnectionDropped, ProtocolError, WireError
 
 __all__ = [
     "DEFAULT_FUEL",
+    "DEFAULT_VIRTUAL_NODES",
     "FAULT_SITES",
+    "WIRE_VERSION",
     "AdmissionController",
     "BreakerPolicy",
     "Checkpoint",
     "CheckpointCorrupt",
     "CheckpointStore",
     "CircuitBreaker",
+    "ConnectionDropped",
     "DeadlineExceeded",
+    "DispatchPolicy",
     "DrivenResult",
     "Fault",
     "FaultPlan",
+    "HashRing",
+    "NetClient",
+    "NetRouter",
+    "NetWorker",
     "PreparedRequest",
+    "ProtocolError",
     "Request",
     "Response",
     "RetryPolicy",
     "Scheduler",
     "StepSlicedDriver",
+    "WireError",
     "WorkerPool",
     "default_scheduler_factory",
     "make_default_scheduler",
+    "shard_of",
+    "static_shard_of",
 ]

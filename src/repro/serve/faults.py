@@ -32,6 +32,16 @@ site                      effect when it fires
                           handed to ``resume`` — are corrupted before
                           restore, exercising the ``CheckpointCorrupt`` /
                           version-check rejection paths
+``net.drop``              a network worker's connection dies abruptly at the
+                          targeted slice boundary, *after* that boundary's
+                          checkpoint frame was written — the router sees EOF
+                          mid-batch and must recover by checkpoint migration
+                          (breaker quarantine included); in a pipe-based
+                          worker the site degrades to a whole-batch error
+``net.slow``              a network worker stalls ``delay_seconds`` before
+                          writing its terminal RESPONSE frame (a slow link /
+                          wedged peer; pairs with the router's
+                          ``attempt_timeout_seconds`` per-attempt deadline)
 ========================  =====================================================
 
 Faults are matched *structurally*, not probabilistically: a fault with
@@ -59,6 +69,8 @@ FAULT_SITES = (
     "checkpoint.pickle",
     "store.write",
     "restore.tamper",
+    "net.drop",
+    "net.slow",
 )
 
 

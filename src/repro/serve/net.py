@@ -1,0 +1,1313 @@
+"""The network serving tier: framed router, worker endpoints, client.
+
+:class:`~repro.serve.pool.WorkerPool` scales serving across processes on one
+host; this module lifts the same protocol onto TCP so it scales across
+machines.  Three pieces, one wire format (:mod:`repro.serve.wire`):
+
+* :class:`NetWorker` — one serving endpoint: a blocking-socket server
+  wrapping a per-host :class:`~repro.serve.scheduler.Scheduler`.  It speaks
+  the exact worker protocol the pool's pipe workers speak — ``("serve",
+  ...)`` / ``("resume", ...)`` work tuples in ``REQUEST`` frames,
+  slice-boundary ``CHECKPOINT`` frames streamed while a batch runs, one
+  terminal ``RESPONSE`` — by running the pool's own battle-tested shard
+  helpers (:func:`~repro.serve.pool._serve_shard` /
+  :func:`~repro.serve.pool._resume_shard`) over a
+  :class:`~repro.serve.wire.FrameConnection`.  Blocking sockets are a
+  deliberate choice here: ``sendall`` puts every checkpoint frame on the
+  wire *before* the next slice runs, so the router holds each in-flight
+  request's last boundary even if this worker dies abruptly mid-batch.
+
+* :class:`NetRouter` — the asyncio-streams front end.  Placement is a
+  consistent-hash ring over endpoint ids (:mod:`repro.serve.ring`) layered
+  with load-aware dispatch per the
+  :class:`~repro.serve.reliability.DispatchPolicy`: least-loaded among the
+  top-k ring candidates, fed by router-tracked inflight counts plus
+  heartbeat-reported queue depths, with ``Request.affinity`` demoted to a
+  locality hint (it picks the candidate *set*, not the final endpoint).
+  Workers join and leave at runtime (``add_worker`` / ``remove_worker``)
+  and only the ring arcs they own move.  The pool's reliability policy
+  carries over the wire: per-endpoint circuit breakers (a dead connection
+  is a breaker failure ⇒ quarantine), per-attempt frame deadlines
+  (``attempt_timeout_seconds`` turns a slow link into a structured drop),
+  and two-phase crash recovery — resume the victim's streamed checkpoints
+  on a surviving endpoint (*migration*), then redispatch the rest from
+  scratch, all bounded by each request's ``retry_budget``.  The shared
+  artifact store lives here too, warming every endpoint's pipeline LRU and
+  answering ``FETCH``/``PUBLISH`` frames from clients, so new fleet members
+  skip compilation.  With no endpoints registered the router serves batches
+  locally on its own scheduler — a router is never less capable than the
+  single-process tier it fronts.
+
+* :class:`NetClient` — a small blocking client: ``HELLO``/``WELCOME``
+  version negotiation, ``run_batch`` over one ``REQUEST``/``RESPONSE``
+  exchange, artifact-store access, stats.
+
+Determinism: placement is pure sha256 ring math; load-aware choice uses
+only router-tracked queue depths built while the batch is being placed (and
+idle-time heartbeat reports), so the same batch against the same fleet
+places the same way every run — which is what lets
+``bench_serving.py --check --net`` gate net results == the sequential
+baseline, and ``--net --chaos`` gate recovery under injected ``net.drop`` /
+``net.slow`` faults (:mod:`repro.serve.faults`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.serve.faults import FaultPlan
+from repro.serve.pool import (
+    _resume_shard,
+    _serve_shard,
+    _StoreEntry,
+    default_scheduler_factory,
+)
+from repro.serve.reliability import (
+    AdmissionController,
+    BreakerPolicy,
+    CircuitBreaker,
+    DispatchPolicy,
+    RetryPolicy,
+)
+from repro.serve.request import Request, Response
+from repro.serve.ring import DEFAULT_VIRTUAL_NODES, HashRing
+from repro.serve.scheduler import Scheduler, StoreKey
+from repro.serve.wire import (
+    BYE,
+    CHECKPOINT,
+    ERROR,
+    FETCH,
+    FRAME_NAMES,
+    HEARTBEAT,
+    HELLO,
+    PUBLISH,
+    REQUEST,
+    RESPONSE,
+    STATS,
+    WELCOME,
+    WIRE_VERSION,
+    ConnectionDropped,
+    FrameConnection,
+    ProtocolError,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+
+__all__ = ["NetWorker", "NetRouter", "NetClient"]
+
+#: Store publisher id for artifacts pushed by external ``PUBLISH`` frames
+#: (no serving endpoint compiled them).
+EXTERNAL_PUBLISHER = -1
+
+
+# -- the worker endpoint -------------------------------------------------------
+
+
+class NetWorker:
+    """One network serving endpoint: a scheduler behind a framed TCP server.
+
+    ``endpoint_id`` is this worker's identity on the router's ring (and the
+    ``Response.shard`` value its responses carry); the worker reports it in
+    ``WELCOME`` so a router learns ids from the workers themselves.  A
+    ``fault_plan`` is bound to the endpoint id exactly as pool workers bind
+    theirs to a shard index, so endpoint-targeted chaos faults (including
+    the ``net.*`` sites) fire only here.
+
+    One connection is served at a time — the router keeps one persistent
+    connection per endpoint, and a reconnect after a drop simply queues in
+    the listen backlog until the current (dead) conversation unwinds.  Use
+    :meth:`start` for an in-process background thread (tests, benches) or
+    :meth:`serve_forever` as a worker process's main loop; ``stop`` /
+    context-manager exit shut the listener down.
+    """
+
+    def __init__(
+        self,
+        endpoint_id: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slice_steps: int = 512,
+        scheduler_factory: Callable[[int], Scheduler] = default_scheduler_factory,
+        checkpoint_every_default: Optional[int] = 1,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        self.endpoint_id = endpoint_id
+        self.slice_steps = slice_steps
+        self.fault_plan = fault_plan
+        self.checkpoint_every_default = checkpoint_every_default
+        self._factory = scheduler_factory
+        self._host = host
+        self._port = port
+        self._listener: Optional[socket.socket] = None
+        self._active: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._served = 0
+        self._inflight = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` once listening (port 0 resolves at bind time)."""
+        return (self._host, self._port)
+
+    def _listen(self) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(8)
+        # A short accept timeout keeps the loop responsive to stop() without
+        # burning CPU; it never affects an accepted conversation.
+        listener.settimeout(0.2)
+        self._host, self._port = listener.getsockname()
+        self._listener = listener
+
+    def start(self) -> Tuple[str, int]:
+        """Serve on a daemon thread; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise RuntimeError("NetWorker is already running")
+        self._listen()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"net-worker-{self.endpoint_id}", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread (a worker process's main)."""
+        self._listen()
+        self._accept_loop()
+
+    def stop(self) -> None:
+        """Stop accepting, sever any live conversation, join; idempotent."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        active = self._active
+        if active is not None:
+            # shutdown() wakes a recv blocked on this conversation with EOF;
+            # close() alone would leave the serving thread hung.
+            try:
+                active.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "NetWorker":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- serving --------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        scheduler = self._factory(self.slice_steps)
+        if self.fault_plan is not None:
+            scheduler.fault_plan = self.fault_plan.bind(self.endpoint_id)
+        while not self._stopping.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed by stop()
+                break
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._active = sock
+            try:
+                self._serve_connection(sock, scheduler)
+            finally:
+                self._active = None
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _load_stats(self) -> Dict[str, Any]:
+        """The heartbeat body: who this is and how loaded it is."""
+        return {
+            "endpoint": self.endpoint_id,
+            "inflight": self._inflight,
+            "queue_depth": self._inflight,
+            "served": self._served,
+        }
+
+    def _serve_connection(self, sock: socket.socket, scheduler: Scheduler) -> None:
+        try:
+            frame_type, body = recv_frame(sock)
+            if frame_type != HELLO:
+                send_frame(
+                    sock,
+                    ERROR,
+                    {"code": "protocol", "message": "first frame must be HELLO"},
+                )
+                return
+            version = body.get("version") if isinstance(body, dict) else None
+            if version != WIRE_VERSION:
+                send_frame(
+                    sock,
+                    ERROR,
+                    {
+                        "code": "version",
+                        "message": (
+                            f"endpoint {self.endpoint_id} speaks wire version "
+                            f"{WIRE_VERSION}, peer offered {version!r}"
+                        ),
+                    },
+                )
+                return
+            send_frame(
+                sock,
+                WELCOME,
+                {
+                    "version": WIRE_VERSION,
+                    "endpoint": self.endpoint_id,
+                    "stats": self._load_stats(),
+                },
+            )
+            connection = FrameConnection(sock)
+            while True:
+                frame_type, body = recv_frame(sock)
+                if frame_type == BYE:
+                    return
+                if frame_type in (HEARTBEAT, STATS):
+                    send_frame(sock, frame_type, self._load_stats())
+                    continue
+                if frame_type != REQUEST:
+                    send_frame(
+                        sock,
+                        ERROR,
+                        {
+                            "code": "protocol",
+                            "message": f"unexpected {FRAME_NAMES.get(frame_type, frame_type)}",
+                        },
+                    )
+                    return
+                self._handle_work(body, scheduler, connection)
+        except ConnectionDropped:
+            # Peer gone — or an injected net.drop unwound the batch.  Either
+            # way the conversation is over; the accept loop takes the next.
+            return
+        except ProtocolError:
+            try:
+                send_frame(sock, ERROR, {"code": "protocol", "message": "malformed frame"})
+            except ConnectionDropped:
+                pass
+            return
+
+    def _handle_work(self, message: tuple, scheduler: Scheduler, connection: FrameConnection) -> None:
+        tag = message[0]
+        try:
+            if tag == "resume":
+                self._inflight = len(message[1])
+                reply = _resume_shard(scheduler, self.endpoint_id, message[1])
+            elif tag == "serve":
+                _tag, entries, warm, known, sequential, batched, checkpoint_every = message
+                self._inflight = len(entries)
+                reply = _serve_shard(
+                    scheduler,
+                    self.endpoint_id,
+                    entries,
+                    warm,
+                    known,
+                    sequential,
+                    batched,
+                    checkpoint_every,
+                    connection,
+                )
+            else:
+                reply = ("error", f"unknown work tag {tag!r}")
+        except ConnectionDropped:
+            self._inflight = 0
+            raise  # injected net.drop / router gone: abandon the connection
+        except Exception as error:  # noqa: BLE001 — a batch bug must not kill the worker
+            reply = ("error", f"{type(error).__name__}: {error}")
+        self._inflight = 0
+        plan = getattr(scheduler, "fault_plan", None)
+        if plan is not None:
+            slow = plan.fire("net.slow")
+            if slow is not None:
+                # The slow link: the batch is done but its terminal RESPONSE
+                # dawdles — exactly what attempt_timeout_seconds exists for.
+                time.sleep(slow.delay_seconds)
+        connection.send(reply)
+        if reply[0] in ("ok", "resumed"):
+            self._served += len(reply[1])
+
+
+# -- the router ----------------------------------------------------------------
+
+
+class _Endpoint:
+    """Router-side state for one worker endpoint."""
+
+    __slots__ = (
+        "endpoint_id",
+        "host",
+        "port",
+        "reader",
+        "writer",
+        "breaker",
+        "inflight",
+        "queue_depth",
+        "served",
+        "dispatches",
+        "delivered",
+    )
+
+    def __init__(self, endpoint_id: int, host: str, port: int, breaker: CircuitBreaker):
+        self.endpoint_id = endpoint_id
+        self.host = host
+        self.port = port
+        self.reader = None
+        self.writer = None
+        self.breaker = breaker
+        #: Requests this router has in flight on the endpoint right now —
+        #: the primary load signal for least-loaded dispatch.
+        self.inflight = 0
+        #: The endpoint's own last heartbeat-reported queue depth (work this
+        #: router does not know about: other routers, local submissions).
+        self.queue_depth = 0
+        self.served = 0
+        self.dispatches = 0
+        #: Store keys already shipped to this endpoint (cleared on drop —
+        #: after a reconnect the worker's cache state is unknown, so the
+        #: router conservatively re-ships).
+        self.delivered: Set[StoreKey] = set()
+
+
+class _AttemptTimeout(Exception):
+    """Internal: a frame read exceeded the per-attempt deadline."""
+
+
+class NetRouter:
+    """The serving fleet's front end: framed TCP in, placed dispatches out.
+
+    Runs its asyncio machinery on a dedicated daemon thread so the public
+    surface stays synchronous (``start`` / ``add_worker`` / ``run_batch`` /
+    ``stats`` / ``stop``) and composes with the rest of the repo's blocking
+    test and bench code.  See the module docstring for the architecture;
+    constructor knobs mirror :class:`~repro.serve.pool.WorkerPool` where
+    the concept carries over (retry/breaker/admission policy, checkpoint
+    cadence, scheduler factory) and add the network-tier
+    :class:`~repro.serve.reliability.DispatchPolicy` plus ring geometry.
+    """
+
+    def __init__(
+        self,
+        slice_steps: int = 512,
+        scheduler_factory: Callable[[int], Scheduler] = default_scheduler_factory,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batched: bool = True,
+        checkpoint_every: Optional[int] = 1,
+        dispatch: Optional[DispatchPolicy] = None,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        max_batch: Optional[int] = None,
+        max_inflight_per_endpoint: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.slice_steps = slice_steps
+        self.batched = batched
+        self.checkpoint_every = checkpoint_every
+        self.dispatch = dispatch or DispatchPolicy()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._retry_rng = random.Random(retry_seed)
+        self._breaker_policy = breaker_policy or BreakerPolicy()
+        self._clock = clock
+        self._admission = AdmissionController(
+            max_batch=max_batch, max_inflight=max_inflight_per_endpoint
+        )
+        self._scheduler = scheduler_factory(slice_steps)
+        self._ring: HashRing[int] = HashRing(virtual_nodes=virtual_nodes)
+        self._endpoints: Dict[int, _Endpoint] = {}
+        self._store: Dict[StoreKey, _StoreEntry] = {}
+        self._unpicklable: Set[StoreKey] = set()
+        self._stats = {
+            "hits": 0,
+            "cross_worker_hits": 0,
+            "misses": 0,
+            "publishes": 0,
+            "unpicklable": 0,
+            "drops": 0,
+            "timeouts": 0,
+            "migrations": 0,
+            "retries": 0,
+            "redispatches": 0,
+            "reroutes": 0,
+            "diverted": 0,
+            "served_locally": 0,
+        }
+        self._host = host
+        self._requested_port = port
+        self._port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._dispatch_lock: Optional[asyncio.Lock] = None
+        self._server = None
+        self._heartbeat_task = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The client-facing ``(host, port)`` once started."""
+        return (self._host, self._port)
+
+    def start(self) -> Tuple[str, int]:
+        """Bring the router loop up; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise RuntimeError("NetRouter is already running")
+        self._thread = threading.Thread(target=self._thread_main, name="net-router", daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(f"router failed to start: {self._startup_error}")
+        return self.address
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._dispatch_lock = asyncio.Lock()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_client, self._host, self._requested_port
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        self._port = self._server.sockets[0].getsockname()[1]
+        if self.dispatch.heartbeat_interval_seconds is not None:
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+        self._started.set()
+        await self._stop_event.wait()
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+        self._server.close()
+        await self._server.wait_closed()
+        for endpoint in self._endpoints.values():
+            await self._close_endpoint(endpoint, farewell=True)
+
+    def stop(self) -> None:
+        """Shut the router down (server, worker connections, loop thread)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def __enter__(self) -> "NetRouter":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def _call(self, coro):
+        """Run a coroutine on the router loop from the calling thread."""
+        if self._loop is None:
+            raise RuntimeError("NetRouter is not running (call start())")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # -- membership (sync facade) ----------------------------------------------
+
+    def add_worker(self, address: Tuple[str, int]) -> int:
+        """Register a worker endpoint; returns the id it reported in WELCOME.
+
+        Only the ring arcs the new endpoint's virtual nodes own move to it —
+        every other program keeps its warm home (bench-gated remap bound).
+        """
+        host, port = address
+        return self._call(self._add_worker(host, port))
+
+    def remove_worker(self, endpoint_id: int) -> None:
+        """Deregister an endpoint; its ring arcs fall to their next owners."""
+        self._call(self._remove_worker(endpoint_id))
+
+    def endpoint_ids(self) -> List[int]:
+        return self._call(self._endpoint_ids())
+
+    async def _endpoint_ids(self) -> List[int]:
+        return sorted(self._endpoints)
+
+    async def _add_worker(self, host: str, port: int) -> int:
+        for endpoint in self._endpoints.values():
+            if (endpoint.host, endpoint.port) == (host, port):
+                # Checked before dialing: a registered worker's only
+                # conversation slot is busy serving us, so a duplicate dial
+                # would wait forever for its WELCOME.
+                raise ValueError(
+                    f"endpoint {endpoint.endpoint_id} already serves {host}:{port}"
+                )
+        probe = _Endpoint(-1, host, port, CircuitBreaker(self._breaker_policy, self._clock))
+        await self._ensure_connection(probe)
+        endpoint_id = probe.endpoint_id
+        if endpoint_id in self._endpoints:
+            await self._close_endpoint(probe, farewell=True)
+            raise ValueError(f"endpoint {endpoint_id} is already registered")
+        self._endpoints[endpoint_id] = probe
+        self._ring.add(endpoint_id)
+        return endpoint_id
+
+    async def _remove_worker(self, endpoint_id: int) -> None:
+        endpoint = self._endpoints.pop(endpoint_id, None)
+        self._ring.remove(endpoint_id)
+        if endpoint is not None:
+            await self._close_endpoint(endpoint, farewell=True)
+
+    async def _close_endpoint(self, endpoint: _Endpoint, farewell: bool = False) -> None:
+        if endpoint.writer is None:
+            return
+        if farewell:
+            try:
+                await write_frame(endpoint.writer, BYE, None)
+            except ConnectionDropped:
+                pass
+        try:
+            endpoint.writer.close()
+        except Exception:  # noqa: BLE001 — closing a dead transport is fine
+            pass
+        endpoint.reader = endpoint.writer = None
+
+    # -- worker connections ----------------------------------------------------
+
+    async def _ensure_connection(self, endpoint: _Endpoint):
+        """The endpoint's live connection, dialing + handshaking if needed."""
+        if endpoint.writer is not None:
+            return endpoint.reader, endpoint.writer
+        reader, writer = await asyncio.open_connection(endpoint.host, endpoint.port)
+        try:
+            await write_frame(writer, HELLO, {"version": WIRE_VERSION, "role": "router"})
+            frame_type, body = await self._timed_read(reader)
+            if frame_type == ERROR:
+                raise ProtocolError(
+                    f"endpoint {endpoint.host}:{endpoint.port} rejected us: "
+                    f"{body.get('code')}: {body.get('message')}"
+                )
+            if frame_type != WELCOME or body.get("version") != WIRE_VERSION:
+                raise ProtocolError(
+                    f"endpoint {endpoint.host}:{endpoint.port} sent a bad WELCOME"
+                )
+        except (_AttemptTimeout, ConnectionDropped, ProtocolError):
+            writer.close()
+            raise
+        endpoint.endpoint_id = body.get("endpoint", endpoint.endpoint_id)
+        stats = body.get("stats") or {}
+        endpoint.queue_depth = stats.get("queue_depth", 0)
+        endpoint.reader, endpoint.writer = reader, writer
+        return reader, writer
+
+    async def _timed_read(self, reader):
+        """One frame, bounded by the per-attempt deadline when configured."""
+        timeout = self.dispatch.attempt_timeout_seconds
+        if timeout is None:
+            return await read_frame(reader)
+        try:
+            return await asyncio.wait_for(read_frame(reader), timeout)
+        except asyncio.TimeoutError as error:
+            raise _AttemptTimeout() from error
+
+    def _drop(self, endpoint: _Endpoint, timed_out: bool = False) -> None:
+        """Account one dead/abandoned worker connection: breaker + reconnect."""
+        self._stats["drops"] += 1
+        if timed_out:
+            self._stats["timeouts"] += 1
+        endpoint.breaker.record_failure()
+        if endpoint.writer is not None:
+            try:
+                endpoint.writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+        endpoint.reader = endpoint.writer = None
+        endpoint.delivered.clear()
+
+    async def _exchange(self, endpoint: _Endpoint, work: tuple):
+        """One work round-trip: send, drain checkpoints, terminal reply.
+
+        Returns ``("reply", reply_tuple, checkpoints)`` or ``("crashed",
+        checkpoints)`` — where ``checkpoints`` maps covered index tuples to
+        the *last* streamed checkpoint payload per group, exactly the shape
+        :meth:`_recover` consumes.  Every failure mode (dial refused, EOF
+        mid-stream, per-attempt deadline, protocol garbage) lands in
+        ``"crashed"`` after breaker accounting; callers never see transport
+        exceptions.
+        """
+        checkpoints: Dict[Tuple[int, ...], bytes] = {}
+        try:
+            reader, writer = await self._ensure_connection(endpoint)
+        except (ConnectionDropped, ProtocolError, OSError):
+            self._drop(endpoint)
+            return ("crashed", checkpoints)
+        except _AttemptTimeout:
+            self._drop(endpoint, timed_out=True)
+            return ("crashed", checkpoints)
+        endpoint.dispatches += 1
+        try:
+            await write_frame(writer, REQUEST, work)
+        except ConnectionDropped:
+            self._drop(endpoint)
+            return ("crashed", checkpoints)
+        while True:
+            try:
+                frame_type, body = await self._timed_read(reader)
+            except (ConnectionDropped, ProtocolError):
+                self._drop(endpoint)
+                return ("crashed", checkpoints)
+            except _AttemptTimeout:
+                self._drop(endpoint, timed_out=True)
+                return ("crashed", checkpoints)
+            if frame_type == CHECKPOINT:
+                covered, payload = body
+                checkpoints[tuple(covered)] = payload
+                continue
+            if frame_type == RESPONSE:
+                return ("reply", body, checkpoints)
+            self._drop(endpoint)
+            return ("crashed", checkpoints)
+
+    # -- placement -------------------------------------------------------------
+
+    def endpoint_for(self, request: Request) -> int:
+        """Pure ring placement preview (no load, no quarantine, no dispatch)."""
+        key = self._scheduler.placement_key(request)
+        return self._call(self._preview(key))
+
+    async def _preview(self, key: str) -> int:
+        return self._ring.node_for(key)
+
+    def _load(self, endpoint_id: int) -> int:
+        endpoint = self._endpoints[endpoint_id]
+        return endpoint.inflight + endpoint.queue_depth
+
+    def _place(self, request: Request) -> Tuple[int, Optional[int]]:
+        """``(endpoint_id, rerouted_from)`` for one request.
+
+        Mirrors :meth:`WorkerPool._place` over ring candidates: breaker-
+        quarantined endpoints are skipped (``rerouted_from`` names a home
+        that was), and with ``balance_load`` the least-loaded of the first
+        ``top_k`` admitted candidates wins, ties toward the home end.
+        """
+        order = self._ring.candidates(self._scheduler.placement_key(request))
+        home = order[0]
+        if len(order) == 1:
+            return home, None
+        k = self.dispatch.top_k if self.dispatch.balance_load else 1
+        admitted = [eid for eid in order[:k] if self._endpoints[eid].breaker.allow()]
+        if not admitted:
+            for eid in order[k:]:
+                if self._endpoints[eid].breaker.allow():
+                    self._stats["reroutes"] += 1
+                    return eid, home
+            return home, None
+        if len(admitted) == 1:
+            chosen = admitted[0]
+        else:
+            chosen = min(admitted, key=lambda eid: (self._load(eid), order.index(eid)))
+        if chosen == home:
+            return home, None
+        if home not in admitted:
+            self._stats["reroutes"] += 1
+            return chosen, home
+        self._stats["diverted"] += 1
+        return chosen, None
+
+    # -- dispatch --------------------------------------------------------------
+
+    def run_batch(self, requests: Sequence[Request]) -> List[Response]:
+        """Serve a batch through the fleet; responses in request order."""
+        return self._call(self._dispatch(list(requests)))
+
+    def run_sequential(self, requests: Sequence[Request]) -> List[Response]:
+        """The differential baseline: the router's own scheduler, no network."""
+        return self._scheduler.serve_sequential(requests)
+
+    def _reject_overload(self, request: Request) -> Response:
+        self._admission.count_shed()
+        return Response(request=request, rejected_overload=True)
+
+    def _fail_group(self, responses, endpoint_id: int, entries, message: str) -> None:
+        for index, request in entries:
+            failed = Response(request=request)
+            failed.shard = endpoint_id
+            failed.error = f"endpoint {endpoint_id}: {message}"
+            responses[index] = failed
+
+    async def _serve_local(self, responses, entries) -> None:
+        """No endpoints registered: the router's scheduler serves directly.
+
+        Runs on an executor thread — the scheduler's driver owns its own
+        event loop and must not nest inside the router's.
+        """
+        requests = [request for _index, request in entries]
+        self._stats["served_locally"] += len(requests)
+        loop = asyncio.get_event_loop()
+        served = await loop.run_in_executor(None, lambda: self._scheduler.serve(requests))
+        for (index, _request), response in zip(entries, served):
+            responses[index] = response
+
+    async def _dispatch(self, requests: List[Request]) -> List[Response]:
+        async with self._dispatch_lock:
+            responses: List[Optional[Response]] = [None] * len(requests)
+            admitted = self._admission.batch_cutoff(len(requests))
+            for index in range(admitted, len(requests)):
+                responses[index] = self._reject_overload(requests[index])
+            head = list(enumerate(requests[:admitted]))
+            if not self._endpoints:
+                await self._serve_local(responses, head)
+                return responses  # type: ignore[return-value]
+
+            groups: Dict[int, List[Tuple[int, Request]]] = {}
+            rerouted: Dict[int, int] = {}
+            for index, request in head:
+                endpoint_id, rerouted_from = self._place(request)
+                queue = groups.setdefault(endpoint_id, [])
+                if not self._admission.admit_to_shard(len(queue)):
+                    responses[index] = self._reject_overload(request)
+                    continue
+                if rerouted_from is not None:
+                    rerouted[index] = rerouted_from
+                queue.append((index, request))
+                self._endpoints[endpoint_id].inflight += 1
+
+            keymap: Dict[int, StoreKey] = {}
+            ordered = sorted(groups)
+            tasks = []
+            for endpoint_id in ordered:
+                endpoint = self._endpoints[endpoint_id]
+                entries = groups[endpoint_id]
+                warm, known = self._warm_entries(endpoint, entries, keymap)
+                endpoint.delivered.update(store_key for store_key, _payload in warm)
+                work = (
+                    "serve",
+                    entries,
+                    warm,
+                    known,
+                    False,
+                    self.batched,
+                    self.checkpoint_every,
+                )
+                tasks.append(asyncio.ensure_future(self._exchange(endpoint, work)))
+            outcomes = await asyncio.gather(*tasks)
+
+            crashed: List[Tuple[int, List[Tuple[int, Request]], Dict[Tuple[int, ...], bytes]]] = []
+            for endpoint_id, outcome in zip(ordered, outcomes):
+                endpoint = self._endpoints.get(endpoint_id)
+                entries = groups[endpoint_id]
+                if endpoint is not None:
+                    endpoint.inflight = max(0, endpoint.inflight - len(entries))
+                if outcome[0] == "crashed":
+                    crashed.append((endpoint_id, entries, outcome[1]))
+                    continue
+                reply = outcome[1]
+                if reply[0] == "error":
+                    self._fail_group(responses, endpoint_id, entries, reply[1])
+                    continue
+                _tag, results, publishes = reply
+                self._absorb(endpoint_id, publishes)
+                if endpoint is not None:
+                    endpoint.breaker.record_success()
+                    endpoint.served += len(results)
+                for index, response in results:
+                    self._account_store_hit(response, endpoint_id, keymap.get(index))
+                    responses[index] = response
+            for endpoint_id, entries, checkpoints in crashed:
+                await self._recover(responses, endpoint_id, entries, checkpoints, {})
+            for index, home in rerouted.items():
+                response = responses[index]
+                if response is not None and response.rerouted_from is None:
+                    response.rerouted_from = home
+            return responses  # type: ignore[return-value]
+
+    def _account_store_hit(
+        self, response: Response, endpoint_id: int, store_key: Optional[StoreKey]
+    ) -> None:
+        if response.published:
+            entry = self._store.get(store_key) if store_key is not None else None
+            response.published = entry is not None and entry.publisher == endpoint_id
+        if response.shared_cache_hit:
+            self._stats["hits"] += 1
+            entry = self._store.get(store_key) if store_key is not None else None
+            if entry is not None and entry.publisher != endpoint_id:
+                self._stats["cross_worker_hits"] += 1
+
+    # -- crash recovery: migration, then redispatch ----------------------------
+
+    def _recovery_target(self, crashed_id: int) -> Optional[int]:
+        """The endpoint recovery work lands on: a connected, breaker-admitted
+        survivor when one exists, else any other endpoint (a fresh dial),
+        else the crashed endpoint itself — a reconnect is the network analog
+        of the pool's respawn."""
+        others = [eid for eid in sorted(self._endpoints) if eid != crashed_id]
+        for eid in others:
+            endpoint = self._endpoints[eid]
+            if endpoint.writer is not None and endpoint.breaker.allow():
+                return eid
+        for eid in others:
+            if self._endpoints[eid].breaker.allow():
+                return eid
+        if others:
+            return others[0]
+        return crashed_id if crashed_id in self._endpoints else None
+
+    async def _recover(
+        self,
+        responses,
+        crashed_id: int,
+        entries: Sequence[Tuple[int, Request]],
+        checkpoints: Dict[Tuple[int, ...], bytes],
+        attempts: Dict[int, int],
+    ) -> None:
+        """The pool's two-phase recovery, over the wire.
+
+        Phase 1 resumes the crashed dispatch's streamed checkpoints on a
+        surviving endpoint (*migration*; cumulative slice accounting and
+        ``migrated_from`` exactly as in-process).  Phase 2 redispatches
+        everything still unresolved from scratch, one backoff-spaced wave
+        per attempt; a redispatch target that drops recurses with whatever
+        *it* streamed.  Both phases spend the per-request ``retry_budget``
+        through the shared ``attempts`` map; exhausted budgets keep the
+        whole-group failure semantics (a structured ``error``).
+        """
+        requests: Dict[int, Request] = dict(entries)
+
+        def budget(index: int) -> int:
+            return requests[index].retry_budget - attempts.get(index, 0)
+
+        # -- phase 1: resume streamed checkpoints elsewhere --------------------
+        eligible = [
+            (tuple(covered), payload)
+            for covered, payload in checkpoints.items()
+            if all(index in requests for index in covered) and budget(covered[0]) >= 1
+        ]
+        while eligible:
+            for covered, _payload in eligible:
+                for index in covered:
+                    attempts[index] = attempts.get(index, 0) + 1
+            self._stats["retries"] += len(eligible)
+            wave = max(attempts[covered[0]] for covered, _payload in eligible)
+            if wave > 1:
+                await asyncio.sleep(self.retry_policy.delay_seconds(wave - 1, self._retry_rng))
+            target = self._recovery_target(crashed_id)
+            if target is None:
+                break
+            endpoint = self._endpoints[target]
+            outcome = await self._exchange(
+                endpoint, ("resume", [(list(c), p) for c, p in eligible])
+            )
+            if outcome[0] == "crashed":
+                eligible = [(c, p) for c, p in eligible if budget(c[0]) >= 1]
+                continue
+            reply = outcome[1]
+            if reply[0] != "resumed":
+                break  # a batch-level resume bug: fall through to redispatch
+            _tag, results, _failures = reply
+            endpoint.breaker.record_success()
+            endpoint.served += len(results)
+            for covered, response in results:
+                response.migrated_from = crashed_id
+                response.attempts = 1 + attempts.get(covered[0], 0)
+                for index in covered:
+                    if index == covered[0]:
+                        responses[index] = response
+                    else:
+                        responses[index] = replace(response, request=requests[index])
+                self._stats["migrations"] += 1
+            break  # groups that failed to restore stay unresolved for phase 2
+
+        # -- phase 2: redispatch everything still unresolved from scratch ------
+        pending = [(index, request) for index, request in entries if responses[index] is None]
+        while pending:
+            retryable = [(index, request) for index, request in pending if budget(index) >= 1]
+            if not retryable:
+                break
+            for index, _request in retryable:
+                attempts[index] = attempts.get(index, 0) + 1
+            self._stats["retries"] += len(retryable)
+            self._stats["redispatches"] += len(retryable)
+            wave = max(attempts[index] for index, _request in retryable)
+            if wave > 1:
+                await asyncio.sleep(self.retry_policy.delay_seconds(wave - 1, self._retry_rng))
+            target = self._recovery_target(crashed_id)
+            if target is None:
+                break
+            endpoint = self._endpoints[target]
+            keymap: Dict[int, StoreKey] = {}
+            warm, known = self._warm_entries(endpoint, retryable, keymap)
+            endpoint.delivered.update(store_key for store_key, _payload in warm)
+            outcome = await self._exchange(
+                endpoint,
+                ("serve", retryable, warm, known, False, self.batched, self.checkpoint_every),
+            )
+            if outcome[0] == "crashed":
+                # The redispatch target dropped too: recurse with whatever it
+                # streamed, so its partial progress is not thrown away.
+                await self._recover(responses, target, retryable, outcome[1], attempts)
+                return
+            reply = outcome[1]
+            if reply[0] == "error":
+                self._fail_group(responses, target, retryable, reply[1])
+                return
+            _tag, results, publishes = reply
+            self._absorb(target, publishes)
+            endpoint.breaker.record_success()
+            endpoint.served += len(results)
+            for index, response in results:
+                response.attempts = 1 + attempts.get(index, 0)
+                self._account_store_hit(response, target, keymap.get(index))
+                responses[index] = response
+            pending = [(index, request) for index, request in pending if responses[index] is None]
+
+        # -- exhausted budgets keep the whole-group failure semantics ----------
+        remaining = [(index, request) for index, request in entries if responses[index] is None]
+        if remaining:
+            self._fail_group(
+                responses, crashed_id, remaining, "connection lost while serving the batch"
+            )
+
+    # -- the shared artifact store ---------------------------------------------
+
+    def _warm_entries(self, endpoint: _Endpoint, entries, keymap: Dict[int, StoreKey]):
+        """``(warm, known)`` for one endpoint dispatch; mirrors the pool."""
+        warm: List[Tuple[StoreKey, bytes]] = []
+        known: List[StoreKey] = []
+        seen: Set[StoreKey] = set()
+        for index, request in entries:
+            store_key = self._scheduler.pipeline_key(request)
+            if store_key is None:
+                continue
+            keymap[index] = store_key
+            if store_key in seen:
+                continue
+            seen.add(store_key)
+            entry = self._store.get(store_key)
+            if entry is None:
+                if store_key in self._unpicklable:
+                    known.append(store_key)
+                else:
+                    self._stats["misses"] += 1
+                continue
+            known.append(store_key)
+            if store_key not in endpoint.delivered:
+                warm.append((store_key, entry.payload))
+        return warm, known
+
+    def _absorb(self, endpoint_id: int, publishes) -> None:
+        for store_key, payload in publishes:
+            if payload is None:
+                if store_key not in self._unpicklable:
+                    self._unpicklable.add(store_key)
+                    self._stats["unpicklable"] += 1
+                continue
+            if store_key in self._store:
+                continue  # first publisher wins
+            self._store[store_key] = _StoreEntry(payload, endpoint_id)
+            self._stats["publishes"] += 1
+
+    # -- heartbeats ------------------------------------------------------------
+
+    def poll_workers(self) -> Dict[int, bool]:
+        """One synchronous heartbeat sweep: ``{endpoint_id: alive}``.
+
+        Pings every *connected* endpoint (idle ones — never mid-dispatch),
+        refreshes its load report, and counts a dead connection as a breaker
+        failure.  The background sweep (``heartbeat_interval_seconds``) runs
+        exactly this; tests and operators call it directly for a
+        deterministic health probe.
+        """
+        return self._call(self._poll_workers())
+
+    async def _poll_workers(self) -> Dict[int, bool]:
+        async with self._dispatch_lock:
+            alive: Dict[int, bool] = {}
+            for endpoint_id in sorted(self._endpoints):
+                endpoint = self._endpoints[endpoint_id]
+                if endpoint.writer is None:
+                    continue  # not connected: nothing to probe
+                try:
+                    await write_frame(endpoint.writer, HEARTBEAT, {"role": "router"})
+                    frame_type, body = await self._timed_read(endpoint.reader)
+                except (ConnectionDropped, ProtocolError):
+                    self._drop(endpoint)
+                    alive[endpoint_id] = False
+                    continue
+                except _AttemptTimeout:
+                    self._drop(endpoint, timed_out=True)
+                    alive[endpoint_id] = False
+                    continue
+                if frame_type == HEARTBEAT and isinstance(body, dict):
+                    endpoint.queue_depth = body.get("queue_depth", 0)
+                    endpoint.served = body.get("served", endpoint.served)
+                    alive[endpoint_id] = True
+                else:
+                    self._drop(endpoint)
+                    alive[endpoint_id] = False
+            return alive
+
+    async def _heartbeat_loop(self) -> None:
+        interval = self.dispatch.heartbeat_interval_seconds
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                await self._poll_workers()
+            except Exception:  # noqa: BLE001 — the sweep must never die
+                continue
+
+    # -- stats / the client-facing server --------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The full operator snapshot (documented in docs/operations.md)."""
+        return self._call(self._snapshot())
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Shared-store counters, pool-compatible field names."""
+        snapshot = self.stats()
+        return {**snapshot["store"], "shed": snapshot["admission"]["shed"]}
+
+    def health_stats(self) -> Dict[str, Any]:
+        """Breakers, admission, and reliability counters, pool-shaped."""
+        snapshot = self.stats()
+        return {
+            "endpoints": {
+                eid: info["breaker"] for eid, info in snapshot["endpoints"].items()
+            },
+            "admission": snapshot["admission"],
+            **snapshot["counters"],
+        }
+
+    async def _snapshot(self) -> Dict[str, Any]:
+        return {
+            "endpoints": {
+                endpoint_id: {
+                    "address": f"{endpoint.host}:{endpoint.port}",
+                    "connected": endpoint.writer is not None,
+                    "breaker": endpoint.breaker.stats(),
+                    "inflight": endpoint.inflight,
+                    "queue_depth": endpoint.queue_depth,
+                    "served": endpoint.served,
+                    "dispatches": endpoint.dispatches,
+                }
+                for endpoint_id, endpoint in sorted(self._endpoints.items())
+            },
+            "ring": {
+                "virtual_nodes": self._ring.virtual_nodes,
+                "members": self._ring.nodes(),
+            },
+            "placement": {
+                "top_k": self.dispatch.top_k,
+                "balance_load": self.dispatch.balance_load,
+                "attempt_timeout_seconds": self.dispatch.attempt_timeout_seconds,
+            },
+            "store": {
+                "entries": len(self._store),
+                "hits": self._stats["hits"],
+                "cross_worker_hits": self._stats["cross_worker_hits"],
+                "misses": self._stats["misses"],
+                "publishes": self._stats["publishes"],
+                "unpicklable": self._stats["unpicklable"],
+            },
+            "counters": {
+                key: self._stats[key]
+                for key in (
+                    "drops",
+                    "timeouts",
+                    "migrations",
+                    "retries",
+                    "redispatches",
+                    "reroutes",
+                    "diverted",
+                    "served_locally",
+                )
+            },
+            "admission": self._admission.stats(),
+        }
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            frame_type, body = await read_frame(reader)
+            if frame_type != HELLO:
+                await write_frame(
+                    writer, ERROR, {"code": "protocol", "message": "first frame must be HELLO"}
+                )
+                return
+            version = body.get("version") if isinstance(body, dict) else None
+            if version != WIRE_VERSION:
+                await write_frame(
+                    writer,
+                    ERROR,
+                    {
+                        "code": "version",
+                        "message": (
+                            f"router speaks wire version {WIRE_VERSION}, "
+                            f"peer offered {version!r}"
+                        ),
+                    },
+                )
+                return
+            await write_frame(
+                writer, WELCOME, {"version": WIRE_VERSION, "endpoint": "router", "stats": {}}
+            )
+            while True:
+                frame_type, body = await read_frame(reader)
+                if frame_type == BYE:
+                    return
+                if frame_type == REQUEST:
+                    responses = await self._dispatch(list(body))
+                    await write_frame(writer, RESPONSE, responses)
+                elif frame_type == STATS:
+                    await write_frame(writer, STATS, await self._snapshot())
+                elif frame_type == HEARTBEAT:
+                    await write_frame(
+                        writer, HEARTBEAT, {"role": "router", "endpoints": len(self._endpoints)}
+                    )
+                elif frame_type == FETCH:
+                    entry = self._store.get(body)
+                    await write_frame(
+                        writer, PUBLISH, (body, entry.payload if entry is not None else None)
+                    )
+                elif frame_type == PUBLISH:
+                    store_key, payload = body
+                    stored = False
+                    if payload is not None and store_key not in self._store:
+                        self._store[store_key] = _StoreEntry(payload, EXTERNAL_PUBLISHER)
+                        self._stats["publishes"] += 1
+                        stored = True
+                    await write_frame(writer, PUBLISH, (store_key, stored))
+                else:
+                    await write_frame(
+                        writer,
+                        ERROR,
+                        {
+                            "code": "protocol",
+                            "message": f"unexpected {FRAME_NAMES.get(frame_type, frame_type)}",
+                        },
+                    )
+                    return
+        except (ConnectionDropped, ProtocolError):
+            return
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+# -- the client ----------------------------------------------------------------
+
+
+class NetClient:
+    """A blocking client for a :class:`NetRouter`.
+
+    Performs ``HELLO``/``WELCOME`` version negotiation on connect (a
+    mismatch raises :class:`~repro.serve.wire.ProtocolError` carrying the
+    router's structured reason), then exposes the four client verbs:
+    :meth:`run_batch`, :meth:`fetch` / :meth:`publish` (the artifact store
+    as a network service), and :meth:`stats`.  Use as a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        version: int = WIRE_VERSION,
+        connect_timeout: float = 10.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            send_frame(self._sock, HELLO, {"version": version, "role": "client"})
+            frame_type, body = recv_frame(self._sock)
+            if frame_type == ERROR:
+                raise ProtocolError(f"{body.get('code')}: {body.get('message')}")
+            if frame_type != WELCOME:
+                raise ProtocolError(
+                    f"expected WELCOME, got {FRAME_NAMES.get(frame_type, frame_type)}"
+                )
+        except BaseException:
+            self._sock.close()
+            raise
+        # Batches may legitimately run long; only the handshake is timed.
+        self._sock.settimeout(None)
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            send_frame(self._sock, BYE, None)
+        except ConnectionDropped:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _roundtrip(self, frame_type: int, body: Any, expected: int) -> Any:
+        send_frame(self._sock, frame_type, body)
+        got, reply = recv_frame(self._sock)
+        if got == ERROR:
+            raise ProtocolError(f"{reply.get('code')}: {reply.get('message')}")
+        if got != expected:
+            raise ProtocolError(
+                f"expected {FRAME_NAMES[expected]}, got {FRAME_NAMES.get(got, got)}"
+            )
+        return reply
+
+    def run_batch(self, requests: Sequence[Request]) -> List[Response]:
+        """Serve a batch through the router; responses in request order."""
+        return self._roundtrip(REQUEST, list(requests), RESPONSE)
+
+    def fetch(self, store_key: StoreKey) -> Optional[bytes]:
+        """The pickled artifact under ``store_key``, or ``None``."""
+        _key, payload = self._roundtrip(FETCH, store_key, PUBLISH)
+        return payload
+
+    def publish(self, store_key: StoreKey, payload: bytes) -> bool:
+        """Offer an artifact to the router's store; True if it was accepted
+        (False: the store already holds the key — first publisher wins)."""
+        _key, stored = self._roundtrip(PUBLISH, (store_key, payload), PUBLISH)
+        return stored
+
+    def stats(self) -> Dict[str, Any]:
+        """The router's full stats snapshot."""
+        return self._roundtrip(STATS, None, STATS)
+
+    def heartbeat(self) -> Dict[str, Any]:
+        """Liveness ping; the router's heartbeat body."""
+        return self._roundtrip(HEARTBEAT, {"role": "client"}, HEARTBEAT)

@@ -10,11 +10,16 @@ the hot-program pipeline cache *shared* between them.
 
 Three mechanisms, all deterministic and all accounted per request:
 
-* **Sharding** — each request lands on ``sha256(system, language, source) %
-  workers`` (process-stable, unlike built-in ``hash``), so repeat
-  submissions of a program return to the same, already-warm worker;
-  ``request.affinity`` overrides the key per request to pin related
-  requests together or spread a hot program deliberately.
+* **Sharding** — each request lands on a consistent-hash ring over the
+  worker indices (:mod:`repro.serve.ring`: sha256 virtual nodes,
+  process-stable unlike built-in ``hash``), keyed by the routed ``(system,
+  language, source)`` triple, so repeat submissions of a program return to
+  the same, already-warm worker — and a changed worker count remaps only
+  the keys the new/removed worker touches.  ``request.affinity`` overrides
+  the key per request to pin related requests together or spread a hot
+  program deliberately; with the ``balance_load``/``top_k`` knobs on, the
+  least-loaded of a request's first ``top_k`` ring candidates serves it
+  instead (the network router's default — see :mod:`repro.serve.net`).
 * **Cross-process pipeline-cache sharing** — when a worker's compile is an
   LRU miss, it *publishes* the pickled
   :class:`~repro.core.language.CompiledUnit` back to a parent-owned store
@@ -79,6 +84,7 @@ import random
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ReproError
@@ -90,9 +96,11 @@ from repro.serve.reliability import (
     RetryPolicy,
 )
 from repro.serve.request import Request, Response
+from repro.serve.ring import DEFAULT_VIRTUAL_NODES, HashRing
 from repro.serve.scheduler import Scheduler, StoreKey, make_default_scheduler
+from repro.serve.wire import ConnectionDropped
 
-__all__ = ["WorkerPool", "default_scheduler_factory"]
+__all__ = ["WorkerPool", "default_scheduler_factory", "shard_of", "static_shard_of"]
 
 
 def default_scheduler_factory(slice_steps: int) -> Scheduler:
@@ -103,28 +111,47 @@ def default_scheduler_factory(slice_steps: int) -> Scheduler:
 def _shard_key(request: Request, router: Optional[Scheduler] = None) -> str:
     if request.affinity is not None:
         return request.affinity
-    system = request.system or ""
     if router is not None:
         # Hash the *routed* system, not the raw field: a request that spells
         # the system explicitly and one that routes there implicitly are the
         # same program and must land on the same warm worker.  Unroutable
         # requests keep the raw spelling (they fail identically anywhere).
-        try:
-            system, _ = router.route(request)
-        except ReproError:
-            pass
-    return "\x00".join((system, request.language, request.source))
+        return router.placement_key(request)
+    return "\x00".join((request.system or "", request.language, request.source))
 
 
-def shard_of(request: Request, workers: int, router: Optional[Scheduler] = None) -> int:
+@lru_cache(maxsize=32)
+def _ring_for(workers: int, virtual_nodes: int) -> "HashRing[int]":
+    """The shared read-only ring for a fixed worker count (rings are pure)."""
+    return HashRing(range(workers), virtual_nodes=virtual_nodes)
+
+
+def shard_of(
+    request: Request,
+    workers: int,
+    router: Optional[Scheduler] = None,
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+) -> int:
     """The deterministic shard for ``request`` among ``workers`` workers.
 
-    Uses sha256 rather than built-in ``hash`` so the placement is stable
-    across processes and interpreter runs (``PYTHONHASHSEED`` randomizes
-    ``hash`` per process, which would defeat warm-worker affinity).  Pass a
-    routing scheduler to canonicalize the system name before hashing (the
-    pool always does); without one, the raw ``request.system`` spelling is
-    hashed as-is.
+    Placement is consistent hashing over a :class:`~repro.serve.ring.HashRing`
+    of the worker indices (sha256 virtual nodes, never built-in ``hash`` —
+    ``PYTHONHASHSEED`` randomizes ``hash`` per process, which would defeat
+    warm-worker affinity): growing the pool moves only the keys the new
+    worker inherits, not everything, and the same ring drives the network
+    router's endpoint placement.  Pass a routing scheduler to canonicalize
+    the system name before hashing (the pool always does); without one, the
+    raw ``request.system`` spelling is hashed as-is.
+    """
+    return _ring_for(workers, virtual_nodes).node_for(_shard_key(request, router))
+
+
+def static_shard_of(request: Request, workers: int, router: Optional[Scheduler] = None) -> int:
+    """The pre-ring placement: ``sha256(placement key) % workers``.
+
+    Kept as the rebalance benchmark's baseline — it is what consistent
+    hashing and load-aware dispatch are measured against (full remap on any
+    fleet-size change; a hot program pinned to exactly one worker).
     """
     digest = hashlib.sha256(_shard_key(request, router).encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % workers
@@ -281,6 +308,15 @@ def _serve_streaming(
         except Exception:  # unpicklable snapshot: skip, never stream junk
             return
         connection.send(("checkpoint", covered, payload))
+        if plan is not None and plan.fire(
+            "net.drop", request_id=checkpoint.request.request_id, slices=checkpoint.slices
+        ):
+            # The connection dies *after* this boundary's checkpoint frame is
+            # on the wire: the parent/router holds exactly the state it needs
+            # to migrate this group.  On a network worker the exception
+            # abandons the connection abruptly (the router sees EOF); on a
+            # pipe worker it degrades to a whole-batch error reply.
+            raise ConnectionDropped("injected net.drop fault")
 
     served = scheduler.serve_preempting(
         representatives, checkpoint_every=checkpoint_every, on_checkpoint=stream
@@ -396,14 +432,30 @@ class WorkerPool:
         fault_plan: Optional[FaultPlan] = None,
         clock: Callable[[], float] = time.monotonic,
         sleeper: Callable[[float], None] = time.sleep,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        top_k: int = 1,
+        balance_load: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1 or None, got {checkpoint_every}")
         self.workers = workers
         self.slice_steps = slice_steps
         self.batched = batched
+        #: Consistent-hash placement ring over the shard indices; the same
+        #: structure the network router uses over endpoint ids, so placement
+        #: math is shared and tested once (see :mod:`repro.serve.ring`).
+        self._ring: HashRing[int] = HashRing(range(workers), virtual_nodes=virtual_nodes)
+        #: Load-aware dispatch knobs: with ``balance_load`` on, a request may
+        #: land on the least-loaded (shallowest batch queue) of its first
+        #: ``top_k`` ring candidates instead of strictly its home shard.
+        #: Off by default in-process — the pool's differential gates pin pure
+        #: consistent hashing; the network router defaults it on.
+        self.top_k = top_k
+        self.balance_load = balance_load
         #: Slice-boundary cadence at which workers stream each in-flight
         #: request's checkpoint to the parent (the migration safety net);
         #: ``None`` disables streaming — a crashed request then recovers by
@@ -444,6 +496,7 @@ class WorkerPool:
             "retries": 0,
             "redispatches": 0,
             "reroutes": 0,
+            "diverted": 0,
         }
         self._closed = False
 
@@ -532,27 +585,51 @@ class WorkerPool:
 
     def shard_of(self, request: Request) -> int:
         """The worker index ``request`` is routed to (deterministic)."""
-        return shard_of(request, self.workers, self._router)
+        return self._ring.node_for(_shard_key(request, self._router))
 
-    def _place(self, home: int) -> Tuple[int, Optional[int]]:
-        """Quarantine-aware placement: ``(shard, rerouted_from)``.
+    def _place(
+        self, order: Sequence[int], depths: Optional[Dict[int, int]] = None
+    ) -> Tuple[int, Optional[int]]:
+        """Quarantine- and load-aware placement: ``(shard, rerouted_from)``.
 
-        A healthy home shard serves its own traffic.  When its breaker is
-        open, the request re-places deterministically on the nearest shard
-        (by index, wrapping) whose breaker admits it — half-open shards
-        admit their bounded probe dispatches here, which is exactly what
-        respawns and re-trials a quarantined worker.  If *every* shard is
-        quarantined the home shard serves anyway: quarantine is load
-        steering, not an outage amplifier.
+        ``order`` is the request's consistent-hash ring preference order
+        (home first, then the shards that would inherit its key).  A healthy
+        home serves its own traffic; with ``balance_load`` on, the
+        least-loaded (shallowest ``depths`` queue) of the first ``top_k``
+        admitted candidates serves instead, ties broken toward the home end
+        of the order (``diverted`` counts load moves; they are not
+        quarantine reroutes).  When the whole head of the order is
+        breaker-quarantined, the request re-places on the nearest admitted
+        shard further along the ring — half-open shards admit their bounded
+        probe dispatches here, which is exactly what respawns and re-trials
+        a quarantined worker (``reroutes`` counts these,
+        ``response.rerouted_from`` names the home).  If *every* shard is
+        quarantined the home serves anyway: quarantine is load steering,
+        not an outage amplifier.
         """
-        if self.workers == 1 or self._breakers[home].allow():
+        home = order[0]
+        if self.workers == 1:
             return home, None
-        for offset in range(1, self.workers):
-            candidate = (home + offset) % self.workers
-            if self._breakers[candidate].allow():
-                self._stats["reroutes"] += 1
-                return candidate, home
-        return home, None
+        k = self.top_k if self.balance_load else 1
+        admitted = [shard for shard in order[:k] if self._breakers[shard].allow()]
+        if not admitted:
+            for shard in order[k:]:
+                if self._breakers[shard].allow():
+                    self._stats["reroutes"] += 1
+                    return shard, home
+            return home, None
+        if len(admitted) == 1:
+            chosen = admitted[0]
+        else:
+            load = depths or {}
+            chosen = min(admitted, key=lambda shard: (load.get(shard, 0), order.index(shard)))
+        if chosen == home:
+            return home, None
+        if home not in admitted:  # quarantined home inside the balanced head
+            self._stats["reroutes"] += 1
+            return chosen, home
+        self._stats["diverted"] += 1
+        return chosen, None
 
     # -- serving --------------------------------------------------------------
 
@@ -583,8 +660,10 @@ class WorkerPool:
         shards: Dict[int, List[Tuple[int, Request]]] = {}
         rerouted: Dict[int, int] = {}
         for index, request in enumerate(requests[:admitted]):
-            home = self.shard_of(request)
-            shard, rerouted_from = self._place(home)
+            order = self._ring.candidates(_shard_key(request, self._router))
+            shard, rerouted_from = self._place(
+                order, {shard: len(queue) for shard, queue in shards.items()}
+            )
             queue = shards.setdefault(shard, [])
             if not self._admission.admit_to_shard(len(queue)):
                 responses[index] = self._reject_overload(request)
@@ -899,7 +978,9 @@ class WorkerPool:
         another shard from a crashed worker's streamed checkpoints,
         ``retries`` recovery attempts consumed (``redispatches``: the
         from-scratch subset), ``reroutes`` placements moved off quarantined
-        shards, and ``shed`` requests rejected by admission control.
+        shards, ``diverted`` placements moved to a less-loaded ring
+        candidate by load-aware dispatch, and ``shed`` requests rejected by
+        admission control.
         """
         return {
             "entries": len(self._store),
@@ -927,4 +1008,5 @@ class WorkerPool:
             "retries": self._stats["retries"],
             "redispatches": self._stats["redispatches"],
             "reroutes": self._stats["reroutes"],
+            "diverted": self._stats["diverted"],
         }

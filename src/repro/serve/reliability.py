@@ -19,6 +19,10 @@ supplies the *policy* that decides when to use it:
 * :class:`AdmissionController` — queue-depth/inflight load shedding, so an
   oversized batch degrades *some* requests deterministically
   (``rejected_overload``) instead of degrading everyone.
+* :class:`DispatchPolicy` — the network router's placement/liveness knobs:
+  how many consistent-hash candidates load-aware dispatch may choose among,
+  the per-attempt frame timeout that turns a slow link into a structured
+  drop, and the heartbeat cadence that feeds load reports back.
 
 Everything here is deterministic under injection: the breaker takes a clock,
 the retry policy takes an RNG, and nothing reads ambient global state — the
@@ -34,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "DeadlineExceeded",
+    "DispatchPolicy",
     "RetryPolicy",
     "BreakerPolicy",
     "CircuitBreaker",
@@ -246,6 +251,57 @@ class CircuitBreaker:
             "window_failures": len(self._failures),
             "transitions": [name for name, _when in self.transitions],
         }
+
+
+@dataclass(frozen=True)
+class DispatchPolicy:
+    """Placement and liveness knobs for the network router.
+
+    ``top_k`` / ``balance_load`` shape placement: a request's consistent-hash
+    ring order is computed as always, but with ``balance_load`` on the router
+    picks the *least-loaded* (router-tracked inflight plus heartbeat-reported
+    queue depth) among the first ``top_k`` ring candidates, so a hot program
+    spreads over exactly ``k`` warm-ish endpoints instead of queueing on one
+    — ``Request.affinity`` still chooses the candidate *set* (it is the
+    placement key), which is what demotes it from a pin to a locality hint.
+    With ``balance_load`` off (or ``top_k=1``) placement is pure consistent
+    hashing, the differential-friendly mode.
+
+    ``attempt_timeout_seconds`` is the per-attempt deadline on every frame
+    read from a worker during a dispatch: a link that stalls longer — slow
+    network, wedged worker — is treated exactly like a dropped connection
+    (breaker failure, checkpoint migration / redispatch against the retry
+    budget) instead of stalling the whole batch.  ``None`` waits forever.
+
+    ``heartbeat_interval_seconds`` enables the router's background heartbeat
+    sweep at that cadence: each connected endpoint is pinged, its load
+    report refreshed, and a dead connection discovered at *idle* (not just
+    mid-dispatch) is counted as a breaker failure — quarantine without
+    waiting for a victim request.  ``None`` disables the sweep (tests drive
+    :meth:`~repro.serve.net.NetRouter.poll_workers` deterministically
+    instead).
+    """
+
+    top_k: int = 2
+    balance_load: bool = True
+    attempt_timeout_seconds: Optional[float] = None
+    heartbeat_interval_seconds: Optional[float] = None
+
+    def __post_init__(self):
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.attempt_timeout_seconds is not None and self.attempt_timeout_seconds <= 0:
+            raise ValueError(
+                f"attempt_timeout_seconds must be > 0 or None, got {self.attempt_timeout_seconds}"
+            )
+        if (
+            self.heartbeat_interval_seconds is not None
+            and self.heartbeat_interval_seconds <= 0
+        ):
+            raise ValueError(
+                f"heartbeat_interval_seconds must be > 0 or None, "
+                f"got {self.heartbeat_interval_seconds}"
+            )
 
 
 class AdmissionController:

@@ -1,0 +1,136 @@
+"""Consistent-hash placement: a ring of virtual nodes over worker endpoints.
+
+Static ``sha256(program) % workers`` placement (the pool's original scheme)
+remaps *every* program whenever the worker count changes: growing a fleet
+from N to N+1 workers moves ~N/(N+1) of all keys, throwing away almost every
+warm pipeline cache at exactly the moment capacity was added.  A consistent-
+hash ring fixes that: each node is hashed onto a circle at
+``virtual_nodes`` pseudo-random points, a key is owned by the first node
+point at or after the key's own hash (wrapping), and adding or removing a
+node only moves the keys that fall inside the arcs it gains or gives up —
+an expected ``1/(N+1)`` fraction, and *only* onto the new node (a join
+never reshuffles keys between existing members).
+
+Virtual nodes smooth the arc lengths: with one point per node the largest
+arc is unbounded in expectation; with 64+ points per node the per-node load
+of uniformly hashed keys concentrates near ``1/N``.  All hashing is
+sha256-based, never built-in ``hash`` — placement must be identical across
+processes and interpreter runs (``PYTHONHASHSEED`` randomizes ``hash``).
+
+:meth:`HashRing.candidates` is the load-aware-dispatch hook: the first ``k``
+*distinct* nodes clockwise from a key's hash are its preference order — the
+home node first, then the nodes that would inherit the key if earlier
+candidates left or were quarantined.  A dispatcher that picks the
+least-loaded among ``candidates(key, k)`` degrades gracefully: under
+uniform load it behaves like plain consistent hashing, under skew the hot
+key's traffic spreads over exactly ``k`` warm-ish nodes instead of one.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+__all__ = ["DEFAULT_VIRTUAL_NODES", "HashRing"]
+
+Node = TypeVar("Node")
+
+#: Virtual-node points per member: enough to bound per-node load skew of
+#: uniform keys to a few percent at small fleet sizes, cheap to rebuild.
+DEFAULT_VIRTUAL_NODES = 64
+
+
+def _hash64(data: str) -> int:
+    """The first 8 bytes of sha256, as an int — process-stable, uniform."""
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing(Generic[Node]):
+    """A consistent-hash ring with virtual nodes.
+
+    Nodes may be any hashable value with a stable ``str()`` (worker indices,
+    ``"host:port"`` endpoint names); the ring hashes ``str(node)``.  The
+    structure is deterministic in its inputs only — two rings built from the
+    same members and ``virtual_nodes`` agree on every key, in any process.
+    """
+
+    def __init__(self, nodes: Iterable[Node] = (), virtual_nodes: int = DEFAULT_VIRTUAL_NODES):
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._members: Dict[Node, Tuple[int, ...]] = {}
+        #: Sorted virtual-node points; ``_owners[i]`` owns ``_points[i]``.
+        self._points: List[int] = []
+        self._owners: List[Node] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._members
+
+    def nodes(self) -> List[Node]:
+        """Current members, sorted by their string form (deterministic)."""
+        return sorted(self._members, key=str)
+
+    def add(self, node: Node) -> None:
+        """Add ``node``; idempotent.  Existing keys move only *to* it."""
+        if node in self._members:
+            return
+        points = tuple(
+            _hash64(f"{node}\x00{replica}") for replica in range(self.virtual_nodes)
+        )
+        self._members[node] = points
+        for point in points:
+            index = bisect.bisect_left(self._points, point)
+            # sha256 point collisions between distinct nodes are beyond
+            # unlikely; ties resolve by insertion order and stay stable.
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: Node) -> None:
+        """Remove ``node``; idempotent.  Its keys move to their next owners."""
+        if node not in self._members:
+            return
+        del self._members[node]
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def node_for(self, key: str) -> Node:
+        """The member owning ``key``: first node point clockwise of its hash."""
+        if not self._points:
+            raise KeyError("HashRing is empty")
+        index = bisect.bisect_right(self._points, _hash64(key)) % len(self._points)
+        return self._owners[index]
+
+    def candidates(self, key: str, k: Optional[int] = None) -> List[Node]:
+        """The first ``k`` distinct members clockwise of ``key``'s hash.
+
+        ``candidates(key, 1)[0] == node_for(key)``; the remainder is the
+        deterministic failover/spread order — the nodes that would inherit
+        the key if earlier candidates left the ring.  ``k`` is clamped to
+        the member count; ``None`` returns every member in preference order.
+        """
+        if not self._points:
+            raise KeyError("HashRing is empty")
+        limit = len(self._members) if k is None else min(k, len(self._members))
+        start = bisect.bisect_right(self._points, _hash64(key))
+        order: List[Node] = []
+        seen = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            order.append(owner)
+            if len(order) >= limit:
+                break
+        return order

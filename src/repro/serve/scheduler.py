@@ -176,6 +176,28 @@ class Scheduler:
             )
         return serving[0], self.systems[serving[0]]
 
+    def placement_key(self, request: Request) -> str:
+        """The canonical placement string the sharding/ring layers hash.
+
+        ``request.affinity`` wins outright (the caller's placement override,
+        demoted to a locality *hint* by load-aware dispatch); otherwise the
+        key is the *routed* ``(system, language, source)`` triple — a request
+        that spells its system explicitly and one that routes there
+        implicitly are the same program and must land on the same warm
+        worker.  Unroutable requests keep the raw spelling (they fail
+        identically anywhere).  Both :func:`repro.serve.pool.shard_of` and
+        the network router's :class:`~repro.serve.ring.HashRing` hash this
+        exact string, so in-process and over-the-wire placement agree.
+        """
+        if request.affinity is not None:
+            return request.affinity
+        system = request.system or ""
+        try:
+            system, _ = self.route(request)
+        except ReproError:
+            pass
+        return "\x00".join((system, request.language, request.source))
+
     # -- admission ------------------------------------------------------------
 
     def prepare(self, request: Request) -> PreparedRequest:

@@ -1,0 +1,280 @@
+"""The network serving tier's framed wire protocol.
+
+Every message on a serving connection — router ⇄ worker and client ⇄
+router — is one *frame*: a fixed 5-byte header (4-byte big-endian body
+length + 1-byte frame type) followed by a pickled body.  Length-prefixing
+makes framing trivial over both blocking sockets (workers) and asyncio
+streams (the router); pickle is the payload codec because every value that
+crosses the wire is already a picklable serving-layer object — this is
+exactly the bytes the :class:`~repro.serve.pool.WorkerPool` has moved over
+``multiprocessing`` pipes since PR 5, lifted onto TCP.
+
+Frame catalog (full spec with per-type body schemas in
+``docs/networking.md``):
+
+==============  ====  =======================================================
+frame           type  body / purpose
+==============  ====  =======================================================
+``HELLO``       0x01  ``{"version", "role"}`` — first frame on every
+                      connection, sent by the dialing side
+``WELCOME``     0x02  ``{"version", "endpoint", "stats"}`` — the accepting
+                      side's half of version negotiation
+``ERROR``       0x03  ``{"code", "message"}`` — structured rejection (e.g.
+                      version mismatch); the connection closes after it
+``REQUEST``     0x04  a pool work message: ``("serve", ...)`` /
+                      ``("resume", ...)`` on router→worker hops, a list of
+                      :class:`~repro.serve.request.Request` on client→router
+``RESPONSE``    0x05  the terminal reply to a ``REQUEST``
+``CHECKPOINT``  0x06  ``(covered, payload)`` — one streamed slice-boundary
+                      checkpoint, sent while a ``REQUEST`` is in flight
+``HEARTBEAT``   0x07  load report: ``{"endpoint", "inflight",
+                      "queue_depth", "served"}``; request and reply share
+                      the type
+``STATS``       0x08  full stats snapshot request/reply
+``FETCH``       0x09  artifact-store read: body is a store key
+``PUBLISH``     0x0a  artifact-store write / ``FETCH`` reply:
+                      ``(store_key, payload_or_None)``
+``BYE``         0x0b  orderly close
+==============  ====  =======================================================
+
+Version negotiation: the dialer's ``HELLO`` carries :data:`WIRE_VERSION`;
+an accepter that cannot speak it answers ``ERROR {"code": "version"}`` and
+closes, so incompatible peers fail fast with a structured reason instead of
+a mid-stream unpickling error.  Oversized frames (> :data:`MAX_FRAME_BYTES`)
+are a protocol error on both send and receive — a corrupt length prefix
+must not look like a 4 GiB allocation.
+
+Two exception families: :class:`ProtocolError` means the peer spoke the
+protocol wrong (bad magic, bad version, oversized frame) — not retryable;
+:class:`ConnectionDropped` means the peer went away (EOF, reset, or an
+injected ``net.drop`` fault) — exactly the event the router's breaker
+quarantine and checkpoint-migration recovery consume.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "HELLO",
+    "WELCOME",
+    "ERROR",
+    "REQUEST",
+    "RESPONSE",
+    "CHECKPOINT",
+    "HEARTBEAT",
+    "STATS",
+    "FETCH",
+    "PUBLISH",
+    "BYE",
+    "FRAME_NAMES",
+    "WireError",
+    "ProtocolError",
+    "ConnectionDropped",
+    "encode_frame",
+    "decode_header",
+    "send_frame",
+    "recv_frame",
+    "read_frame",
+    "write_frame",
+    "FrameConnection",
+]
+
+#: The protocol version this build speaks.  Bump on any incompatible frame
+#: or body-schema change; negotiation happens in HELLO/WELCOME.
+WIRE_VERSION = 1
+
+#: Ceiling on one frame's body size.  Large enough for any realistic batch
+#: (bodies are compiled units, checkpoints, and request lists), small enough
+#: that a corrupted length prefix cannot demand a multi-GiB allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">IB")
+
+HELLO = 0x01
+WELCOME = 0x02
+ERROR = 0x03
+REQUEST = 0x04
+RESPONSE = 0x05
+CHECKPOINT = 0x06
+HEARTBEAT = 0x07
+STATS = 0x08
+FETCH = 0x09
+PUBLISH = 0x0A
+BYE = 0x0B
+
+#: Human-readable names for logs, errors, and the docs.
+FRAME_NAMES = {
+    HELLO: "HELLO",
+    WELCOME: "WELCOME",
+    ERROR: "ERROR",
+    REQUEST: "REQUEST",
+    RESPONSE: "RESPONSE",
+    CHECKPOINT: "CHECKPOINT",
+    HEARTBEAT: "HEARTBEAT",
+    STATS: "STATS",
+    FETCH: "FETCH",
+    PUBLISH: "PUBLISH",
+    BYE: "BYE",
+}
+
+
+class WireError(ReproError):
+    """Base for everything that can go wrong on a serving connection."""
+
+
+class ProtocolError(WireError):
+    """The peer violated the framing/negotiation rules; not retryable."""
+
+
+class ConnectionDropped(WireError):
+    """The peer went away mid-conversation (EOF, reset, injected drop)."""
+
+
+# -- encoding ------------------------------------------------------------------
+
+
+def encode_frame(frame_type: int, body: Any) -> bytes:
+    """One wire frame: 5-byte header + pickled body."""
+    if frame_type not in FRAME_NAMES:
+        raise ProtocolError(f"unknown frame type 0x{frame_type:02x}")
+    payload = pickle.dumps(body)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"{FRAME_NAMES[frame_type]} body is {len(payload)} bytes "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(payload), frame_type) + payload
+
+
+def decode_header(header: bytes) -> Tuple[int, int]:
+    """``(body_length, frame_type)`` from a 5-byte header, bounds-checked."""
+    length, frame_type = _HEADER.unpack(header)
+    if frame_type not in FRAME_NAMES:
+        raise ProtocolError(f"unknown frame type 0x{frame_type:02x}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"{FRAME_NAMES[frame_type]} frame claims {length} bytes "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    return length, frame_type
+
+
+def _decode_body(frame_type: int, payload: bytes) -> Any:
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise ProtocolError(
+            f"undecodable {FRAME_NAMES[frame_type]} body: "
+            f"{type(error).__name__}: {error}"
+        ) from error
+
+
+# -- blocking-socket transport (workers, simple clients) -----------------------
+
+
+def send_frame(sock: socket.socket, frame_type: int, body: Any) -> None:
+    """Write one frame; raises :class:`ConnectionDropped` if the peer is gone."""
+    try:
+        sock.sendall(encode_frame(frame_type, body))
+    except (BrokenPipeError, ConnectionResetError, OSError) as error:
+        raise ConnectionDropped(f"peer gone while sending: {error}") from error
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except (ConnectionResetError, OSError) as error:
+            raise ConnectionDropped(f"peer gone while receiving: {error}") from error
+        if not chunk:
+            raise ConnectionDropped(
+                f"peer closed with {remaining} of {count} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, Any]:
+    """Read one frame as ``(frame_type, body)``; blocks until complete."""
+    length, frame_type = decode_header(_recv_exact(sock, _HEADER.size))
+    payload = _recv_exact(sock, length) if length else b""
+    return frame_type, _decode_body(frame_type, payload)
+
+
+# -- asyncio-streams transport (the router) ------------------------------------
+
+
+async def read_frame(reader) -> Tuple[int, Any]:
+    """Async twin of :func:`recv_frame` over an :class:`asyncio.StreamReader`."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+        length, frame_type = decode_header(header)
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionDropped(
+            f"peer closed mid-frame ({len(error.partial)} bytes partial)"
+        ) from error
+    except (ConnectionResetError, OSError) as error:
+        raise ConnectionDropped(f"peer gone while receiving: {error}") from error
+    return frame_type, _decode_body(frame_type, payload)
+
+
+async def write_frame(writer, frame_type: int, body: Any) -> None:
+    """Async twin of :func:`send_frame` over an :class:`asyncio.StreamWriter`."""
+    try:
+        writer.write(encode_frame(frame_type, body))
+        await writer.drain()
+    except (BrokenPipeError, ConnectionResetError, OSError) as error:
+        raise ConnectionDropped(f"peer gone while sending: {error}") from error
+
+
+# -- the pipe-shaped adapter ---------------------------------------------------
+
+
+class FrameConnection:
+    """A blocking socket wearing the worker pipe's ``send``/``recv`` surface.
+
+    The pool's worker helpers (:func:`~repro.serve.pool._serve_shard` and
+    friends) talk to the parent through ``connection.send(message_tuple)`` /
+    ``connection.recv()`` — the ``multiprocessing.Pipe`` surface.  This
+    adapter maps those same message tuples onto wire frames, so the exact
+    battle-tested shard-serving code runs unchanged inside a network worker:
+    ``("checkpoint", covered, payload)`` becomes a ``CHECKPOINT`` frame with
+    body ``(covered, payload)``; every terminal reply tuple (``("ok", ...)``
+    / ``("resumed", ...)`` / ``("error", ...)``) becomes a ``RESPONSE``
+    frame carrying the tuple verbatim; inbound ``REQUEST`` bodies are
+    already pool work tuples and pass straight through.
+    """
+
+    __slots__ = ("sock",)
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+
+    def send(self, message: tuple) -> None:
+        if message[0] == "checkpoint":
+            _tag, covered, payload = message
+            send_frame(self.sock, CHECKPOINT, (covered, payload))
+        else:
+            send_frame(self.sock, RESPONSE, message)
+
+    def recv(self) -> tuple:
+        frame_type, body = recv_frame(self.sock)
+        if frame_type != REQUEST:
+            raise ProtocolError(
+                f"expected REQUEST, got {FRAME_NAMES.get(frame_type, frame_type)}"
+            )
+        return body

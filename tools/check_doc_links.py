@@ -1,13 +1,20 @@
-"""Check that relative markdown links in the given files/directories resolve.
+"""Check that relative markdown links — paths *and* anchors — resolve.
 
 Usage:  python tools/check_doc_links.py README.md docs
 
 Walks every ``*.md`` argument (directories recursively), extracts inline
-markdown links ``[text](target)``, and fails (exit 1) if a *relative* target
-does not exist on disk, resolving each target against the file that links
-it.  External links (``http(s)://``, ``mailto:``) and pure in-page anchors
-(``#section``) are skipped — this is a docs-drift gate, not a crawler; a
-``path#anchor`` target is checked for the path only.
+markdown links ``[text](target)``, and fails (exit 1) if:
+
+* a *relative* path target does not exist on disk (resolved against the
+  file that links it), or
+* a ``#fragment`` — in-page (``#section``) or cross-file
+  (``path.md#section``) — does not match any heading in the target
+  markdown file, using GitHub's slugification (lowercase, spaces to
+  dashes, punctuation stripped, duplicate slugs suffixed ``-1``, ``-2``…).
+
+External links (``http(s)://``, ``mailto:``) are skipped — this is a
+docs-drift gate, not a crawler.  Fragments pointing into non-markdown files
+are checked for the path only.
 
 No dependencies beyond the standard library, so the CI docs job can run it
 on a bare checkout.
@@ -21,6 +28,7 @@ from pathlib import Path
 
 #: Inline links only; reference-style links are not used in this repository.
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
 SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
@@ -35,21 +43,77 @@ def markdown_files(arguments: list) -> list:
     return files
 
 
-def broken_links(markdown_path: Path) -> list:
+def _strip_fences(text: str) -> str:
+    # Fenced code blocks show link-like syntax (and ``# comments`` that look
+    # like headings) in examples; don't check them.
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for one heading (sans duplicate suffixes).
+
+    Inline markup is unwrapped (``**bold**``, ``*em*``, `` `code` ``, and
+    link text keeps only the text), then: lowercase, spaces and dashes
+    survive as dashes, everything else non-alphanumeric is dropped.
+    """
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [text](url) -> text
+    text = re.sub(r"[*_`]", "", text)
+    text = text.strip().lower()
+    slug = []
+    for char in text:
+        if char.isalnum():
+            slug.append(char)
+        elif char in (" ", "-"):
+            slug.append("-")
+        # other punctuation is dropped entirely
+    return "".join(slug)
+
+
+def anchors_of(text: str) -> set:
+    """Every anchor the rendered page exposes, duplicate-suffixed like GitHub."""
+    seen: dict = {}
+    anchors = set()
+    for line in _strip_fences(text).splitlines():
+        match = HEADING.match(line)
+        if match is None:
+            continue
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    # Explicit HTML anchors (<a name="..."> / id="...") also resolve.
+    for match in re.finditer(r"<a\s+(?:name|id)=\"([^\"]+)\"", text):
+        anchors.add(match.group(1))
+    return anchors
+
+
+def broken_links(markdown_path: Path, anchor_cache: dict) -> list:
     broken = []
     text = markdown_path.read_text(encoding="utf-8")
-    # Fenced code blocks show link-like syntax in examples; don't check them.
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    for match in LINK.finditer(text):
+    stripped = _strip_fences(text)
+
+    def page_anchors(path: Path) -> set:
+        resolved = path.resolve()
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = anchors_of(resolved.read_text(encoding="utf-8"))
+        return anchor_cache[resolved]
+
+    for match in LINK.finditer(stripped):
         target = match.group(1)
-        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+        if target.startswith(SKIP_PREFIXES):
             continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        resolved = (markdown_path.parent / relative).resolve()
-        if not resolved.exists():
-            broken.append((target, resolved))
+        relative, _sep, fragment = target.partition("#")
+        if relative:
+            resolved = (markdown_path.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append((target, f"missing file {resolved}"))
+                continue
+            anchor_page = resolved if resolved.suffix == ".md" else None
+        else:
+            anchor_page = markdown_path  # pure in-page anchor
+        if fragment and anchor_page is not None:
+            if fragment not in page_anchors(anchor_page):
+                broken.append((target, f"no heading for #{fragment} in {anchor_page}"))
     return broken
 
 
@@ -62,19 +126,20 @@ def main(arguments: list) -> int:
         print("no markdown files found", file=sys.stderr)
         return 2
     failures = 0
+    anchor_cache: dict = {}
     for markdown_path in files:
         if not markdown_path.exists():
             print(f"MISSING FILE: {markdown_path}", file=sys.stderr)
             failures += 1
             continue
-        for target, resolved in broken_links(markdown_path):
-            print(f"BROKEN LINK: {markdown_path}: ({target}) -> {resolved}", file=sys.stderr)
+        for target, reason in broken_links(markdown_path, anchor_cache):
+            print(f"BROKEN LINK: {markdown_path}: ({target}) -> {reason}", file=sys.stderr)
             failures += 1
     checked = len(files)
     if failures:
         print(f"{failures} broken link(s) across {checked} file(s)", file=sys.stderr)
         return 1
-    print(f"all relative links resolve across {checked} markdown file(s)")
+    print(f"all relative links and anchors resolve across {checked} markdown file(s)")
     return 0
 
 
