@@ -13,7 +13,10 @@ script: it times every registered backend on the deep-crossing workloads,
 writes machine-readable ``BENCH_boundary_crossing.json`` (per-backend
 timings plus speedup ratios) so the perf trajectory is tracked across PRs,
 and with ``--check`` exits non-zero if ``cek-compiled`` regresses below the
-interpreted ``cek`` backend on any workload:
+interpreted ``cek`` backend on any workload, if the optimizing ``cek-opt``
+backend fails to improve on ``cek-compiled`` on at least one deep-crossing
+workload, or if the glue pre-resolution counters show the compile phase
+still performing per-crossing dynamic convertibility lookups:
 
     PYTHONPATH=src python benchmarks/bench_boundary_crossing.py --check
 
@@ -184,13 +187,47 @@ def collect_json_report() -> dict:
                 backend: substitution_time / timings[backend] for backend in backends
             },
             "compiled_vs_cek": timings["cek"] / timings["cek-compiled"],
+            "opt_vs_cek": timings["cek"] / timings["cek-opt"],
+            "opt_vs_compiled": timings["cek-compiled"] / timings["cek-opt"],
         }
     return {
         "benchmark": "boundary_crossing",
         "fuel": RUN_FUEL,
         "repeats": _JSON_REPEATS,
         "workloads": workloads,
+        "glue_preresolution": collect_glue_report(),
     }
+
+
+def collect_glue_report() -> dict:
+    """Convertibility-counter differential: glue pre-resolution on vs off.
+
+    For every deep-crossing workload the program is parsed and typechecked
+    once, the relation's counters are reset, and then *compilation alone*
+    runs — so ``compile_lookups`` counts exactly the per-crossing dynamic
+    relation lookups the compile phase performs.  With pre-resolution on the
+    typechecker already captured each boundary's oriented glue closure, so
+    the compile phase does zero dynamic lookups and ``preresolved`` counts
+    every crossing site instead; with it off, every crossing pays a dynamic
+    ``require`` lookup at compile time (the pre-PR behaviour).
+    """
+    report = {}
+    for name, (factory, language, source) in _DEEP_WORKLOADS.items():
+        section = {}
+        for mode, preresolve in (("on", True), ("off", False)):
+            system = factory(preresolve=preresolve)
+            frontend = system.frontend(language)
+            term = frontend.parse_expr(source)
+            frontend.typecheck(term)
+            system.convertibility.reset_stats()
+            frontend.compile(term)
+            stats = system.convertibility.stats()
+            section[mode] = {
+                "compile_lookups": stats["lookups"],
+                "preresolved": stats["preresolved"],
+            }
+        report[name] = section
+    return report
 
 
 def main(argv) -> int:
@@ -204,19 +241,50 @@ def main(argv) -> int:
         handle.write("\n")
 
     failed = []
+    opt_improved = []
     for name, workload in sorted(report["workloads"].items()):
         ratios = workload["speedup_vs_substitution"]
         summary = ", ".join(f"{backend} {ratio:.1f}x" for backend, ratio in sorted(ratios.items()))
-        print(f"{name}: vs substitution: {summary}; compiled vs cek {workload['compiled_vs_cek']:.2f}x")
+        print(
+            f"{name}: vs substitution: {summary}; compiled vs cek "
+            f"{workload['compiled_vs_cek']:.2f}x; opt vs cek {workload['opt_vs_cek']:.2f}x"
+        )
         if workload["compiled_vs_cek"] < 1.0:
             failed.append(name)
-    print(f"wrote {output}")
-    if check and failed:
+        if workload["opt_vs_cek"] > workload["compiled_vs_cek"]:
+            opt_improved.append(name)
+    glue_failed = []
+    for name, section in sorted(report["glue_preresolution"].items()):
+        on, off = section["on"], section["off"]
         print(
-            "REGRESSION: cek-compiled slower than interpreted cek on: " + ", ".join(failed),
-            file=sys.stderr,
+            f"{name}: glue pre-resolution on: {on['compile_lookups']} compile-phase lookups, "
+            f"{on['preresolved']} preresolved; off: {off['compile_lookups']} lookups"
         )
-        return 1
+        # The pre-resolution contract: the compile phase performs *zero*
+        # dynamic relation lookups (every crossing consumes its baked glue
+        # closure), while the dynamic baseline pays one lookup per crossing.
+        if on["compile_lookups"] != 0 or on["preresolved"] == 0 or off["compile_lookups"] == 0:
+            glue_failed.append(name)
+    print(f"wrote {output}")
+    if check:
+        if failed:
+            print(
+                "REGRESSION: cek-compiled slower than interpreted cek on: " + ", ".join(failed),
+                file=sys.stderr,
+            )
+            return 1
+        if not opt_improved:
+            print(
+                "REGRESSION: cek-opt improves over cek-compiled on no deep-crossing workload",
+                file=sys.stderr,
+            )
+            return 1
+        if glue_failed:
+            print(
+                "REGRESSION: glue pre-resolution counters wrong on: " + ", ".join(glue_failed),
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -1059,7 +1059,11 @@ def collect_checkpoint_report() -> dict:
         expected_backends += len(system.target.restores)
         for backend in sorted(system.target.restores):
             probe = system.start_compiled(code, fuel=CHECKPOINT_PROBE_FUEL, backend=backend)
-            if probe.step_n(CHECKPOINT_PROBE_STEPS) is not None:
+            # The optimizing backend can fold a deep-crossing workload down to
+            # a couple of transitions; pause it after a single step so there
+            # is still mid-run state to snapshot.
+            probe_steps = 1 if backend == "cek-opt" else CHECKPOINT_PROBE_STEPS
+            if probe.step_n(probe_steps) is not None:
                 continue  # finished in one probe slice: nothing mid-run to measure
             snapshot_seconds = _best_of(lambda: probe.snapshot())
             payload = pickle.dumps(probe.snapshot())

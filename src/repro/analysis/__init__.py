@@ -1,0 +1,142 @@
+"""The unified per-node static-analysis framework (run at pipeline time).
+
+One entry point, :func:`analyze_unit`, runs every analysis over a freshly
+compiled :class:`~repro.core.language.CompiledUnit` and returns an
+:class:`AnalysisReport` of plain data:
+
+* crossing-site enumeration (:mod:`repro.analysis.crossings`) joined with
+  the boundary hooks' typecheck records, so each site carries its type pair
+  and — when glue pre-resolution is on — the convertibility rule that was
+  statically baked into the compiled handler;
+* effect/purity facts and node counts (:mod:`repro.analysis.effects`);
+* the StackLang stack-effect/arity verifier
+  (:mod:`repro.analysis.stack_effects`), whose definite-underflow findings
+  abort the pipeline with a structured :class:`StaticVerificationError`
+  instead of letting the machine crash at runtime;
+* the LCVM optimizer's projected node count (:mod:`repro.analysis.optimize`)
+  — the same transform the ``cek-opt`` backend executes.
+
+The systems install :func:`make_analyzer` closures as their frontends'
+``analyze`` hooks, so reports ride the pipeline LRU and the cross-process
+artifact store for free, and the serving layer's ``analyze_only`` mode is a
+cache lookup plus ``report.to_dict()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Tuple
+
+from repro.analysis.crossings import crossing_histogram, enumerate_crossings
+from repro.analysis.effects import (
+    lcvm_effects,
+    lcvm_node_count,
+    stack_effects,
+    stack_instruction_count,
+    summarize,
+)
+from repro.analysis.optimize import optimize, optimize_expr
+from repro.analysis.report import AnalysisReport, CrossingSite, EffectSummary, StackIssue
+from repro.analysis.stack_effects import (
+    StackVerification,
+    StaticVerificationError,
+    require_verified,
+    verify_program,
+)
+
+#: Per-crossing step surcharge in the cost estimate: glue evaluation plus the
+#: converted value's extra traversal, a small constant per site.
+CROSSING_STEP_COST = 4
+
+__all__ = [
+    "AnalysisReport",
+    "CrossingSite",
+    "EffectSummary",
+    "StackIssue",
+    "StackVerification",
+    "StaticVerificationError",
+    "CROSSING_STEP_COST",
+    "analyze_unit",
+    "make_analyzer",
+    "crossing_histogram",
+    "enumerate_crossings",
+    "lcvm_effects",
+    "lcvm_node_count",
+    "stack_effects",
+    "stack_instruction_count",
+    "summarize",
+    "optimize",
+    "optimize_expr",
+    "require_verified",
+    "verify_program",
+]
+
+
+def analyze_unit(
+    unit: Any,
+    target: str,
+    languages: Tuple[str, str],
+    boundary_types: Optional[Mapping[int, Any]] = None,
+    resolved_rules: Optional[Mapping[int, str]] = None,
+) -> AnalysisReport:
+    """Analyze one compiled unit; raises on fatal verification findings.
+
+    ``target`` is ``"stacklang"`` or ``"lcvm"``; ``languages`` is the
+    system's ``(language_a, language_b)`` name pair.  The maps come from the
+    system's boundary hooks (both keyed by ``id(boundary)``).
+    """
+    sites = enumerate_crossings(
+        unit.term,
+        host_language=unit.language,
+        languages=languages,
+        boundary_types=boundary_types,
+        resolved_rules=resolved_rules,
+    )
+    effects, node_count = summarize(target, unit.target_code)
+    if target == "stacklang":
+        verification = verify_program(unit.target_code)
+        if not verification.ok:
+            raise StaticVerificationError(verification.errors)
+        # StackLang's cek-opt is a length-preserving superinstruction fusion,
+        # so the static node count is unchanged (only dispatches shrink).
+        optimized_count = node_count
+        warnings = verification.warnings
+    else:
+        optimized_count = lcvm_node_count(optimize(unit.target_code))
+        warnings = ()
+    return AnalysisReport(
+        language=unit.language,
+        target=target,
+        node_count=node_count,
+        crossings=sites,
+        effects=effects,
+        estimated_steps=node_count + CROSSING_STEP_COST * len(sites),
+        verified=True,
+        errors=(),
+        warnings=warnings,
+        optimized_node_count=optimized_count,
+    )
+
+
+def make_analyzer(
+    target: str,
+    languages: Tuple[str, str],
+    boundary_types: Mapping[int, Any],
+    resolved_rules: Mapping[int, str],
+) -> Callable[[Any], AnalysisReport]:
+    """An ``analyze`` hook for a :class:`LanguageFrontend`.
+
+    The returned closure captures the hooks' *live* record maps, so analysis
+    sees exactly the boundary types and pre-resolved rules the typechecker
+    just recorded for the unit being analyzed.
+    """
+
+    def analyze(unit: Any) -> AnalysisReport:
+        return analyze_unit(
+            unit,
+            target=target,
+            languages=languages,
+            boundary_types=boundary_types,
+            resolved_rules=resolved_rules,
+        )
+
+    return analyze

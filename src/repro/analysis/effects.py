@@ -1,0 +1,138 @@
+"""Effect/purity analysis over compiled target code (LCVM and StackLang).
+
+One linear walk per compiled unit computes conservative *may*-facts: does the
+program allocate, touch references, invoke the collector, reach a ``fail``
+instruction, or possibly diverge?  The walk runs over the **target** code, so
+boundary glue inserted by the compilers is analyzed exactly like hand-written
+code — a crossing whose conversion can raise ``fail Conv`` shows up as
+``may_fail`` without any special-casing.
+
+The same walk counts nodes, which doubles as the conservative step-cost lower
+bound the serving layer uses for placement (every compiled node costs at
+least one machine transition to consume).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from repro.analysis.report import EffectSummary
+from repro.lcvm import syntax as lcvm_syntax
+from repro.stacklang import syntax as stack_syntax
+
+
+def _lcvm_children(expr: Any) -> Iterator[Any]:
+    """The sub-expressions of one LCVM node (leaves yield nothing)."""
+    for attribute in (
+        "first", "second", "body", "condition", "then_branch", "else_branch",
+        "scrutinee", "left_branch", "right_branch", "bound", "function",
+        "argument", "initial", "reference", "value", "left", "right",
+    ):
+        child = getattr(expr, attribute, None)
+        if child is not None and not isinstance(child, (str, int)):
+            yield child
+
+
+def _iter_lcvm(expr: Any) -> Iterator[Any]:
+    """Every node of an LCVM expression tree, iteratively (no recursion cap)."""
+    todo = [expr]
+    while todo:
+        node = todo.pop()
+        yield node
+        todo.extend(_lcvm_children(node))
+
+
+def lcvm_node_count(expr: Any) -> int:
+    """Number of syntax nodes in an LCVM expression."""
+    return sum(1 for _node in _iter_lcvm(expr))
+
+
+def lcvm_effects(expr: Any) -> EffectSummary:
+    """Conservative effect summary of an LCVM expression."""
+    allocates = reads = writes = gc = may_fail = diverge = False
+    for node in _iter_lcvm(expr):
+        if isinstance(node, (lcvm_syntax.NewRef, lcvm_syntax.Alloc)):
+            allocates = True
+        elif isinstance(node, lcvm_syntax.Deref):
+            reads = True
+        elif isinstance(node, lcvm_syntax.Assign):
+            writes = True
+        elif isinstance(node, (lcvm_syntax.Free, lcvm_syntax.GcMov)):
+            # Manual-memory bookkeeping mutates the heap and can fail (Ptr).
+            writes = True
+            may_fail = True
+        elif isinstance(node, lcvm_syntax.CallGc):
+            gc = True
+        elif isinstance(node, lcvm_syntax.Fail):
+            may_fail = True
+        elif isinstance(node, lcvm_syntax.App):
+            # Any application can, in principle, loop (the target is untyped).
+            diverge = True
+    return EffectSummary(
+        allocates=allocates,
+        reads_refs=reads,
+        writes_refs=writes,
+        calls_gc=gc,
+        may_fail=may_fail,
+        may_diverge=diverge,
+    )
+
+
+def _iter_stack(program: stack_syntax.Program) -> Iterator[Any]:
+    """Every instruction of a StackLang program, including nested programs
+    (branch arms, ``lam`` bodies, and thunk literals)."""
+    todo: List[Any] = [program]
+    while todo:
+        item = todo.pop()
+        if isinstance(item, tuple):
+            todo.extend(item)
+            continue
+        yield item
+        if isinstance(item, stack_syntax.If0):
+            todo.append(item.then_program)
+            todo.append(item.else_program)
+        elif isinstance(item, stack_syntax.Lam):
+            todo.append(item.body)
+        elif isinstance(item, stack_syntax.Push) and isinstance(item.operand, stack_syntax.Thunk):
+            todo.append(item.operand.program)
+
+
+def stack_instruction_count(program: stack_syntax.Program) -> int:
+    """Number of instructions, counting nested branch/lambda/thunk bodies."""
+    return sum(1 for _instruction in _iter_stack(program))
+
+
+def stack_effects(program: stack_syntax.Program) -> EffectSummary:
+    """Conservative effect summary of a StackLang program."""
+    allocates = reads = writes = may_fail = diverge = False
+    for instruction in _iter_stack(program):
+        if isinstance(instruction, stack_syntax.Alloc):
+            allocates = True
+        elif isinstance(instruction, (stack_syntax.Read, stack_syntax.Idx, stack_syntax.Len)):
+            reads = True
+            if isinstance(instruction, stack_syntax.Idx):
+                # ``idx`` can fail with code Idx even in well-typed programs.
+                may_fail = True
+        elif isinstance(instruction, stack_syntax.Write):
+            writes = True
+        elif isinstance(instruction, stack_syntax.Fail):
+            may_fail = True
+        elif isinstance(instruction, stack_syntax.Call):
+            # Thunks can re-enter themselves; only call-free programs are
+            # certified terminating.
+            diverge = True
+    return EffectSummary(
+        allocates=allocates,
+        reads_refs=reads,
+        writes_refs=writes,
+        calls_gc=False,
+        may_fail=may_fail,
+        may_diverge=diverge,
+    )
+
+
+def summarize(target: str, target_code: Any) -> Tuple[EffectSummary, int]:
+    """Dispatch on the target kind; returns ``(effects, node_count)``."""
+    if target == "stacklang":
+        return stack_effects(target_code), stack_instruction_count(target_code)
+    return lcvm_effects(target_code), lcvm_node_count(target_code)

@@ -1,0 +1,162 @@
+"""Static stack-effect/arity verification for StackLang programs.
+
+The verifier threads an abstract stack depth through a program: an exact
+integer while every instruction's effect is statically known, ``None`` (any
+depth) after a ``call`` or at the entry of a thunk body.  Only a *definite*
+underflow — an instruction that pops more values than the exactly-known depth
+holds — is an error; anything the abstraction cannot decide passes.  That
+asymmetry is deliberate: the verifier runs inside the compile pipeline, so a
+false positive would reject a working program.  The CI smoke gate
+(``tools/analyze.py --check-corpus``) holds it to zero false positives over
+every serving workload.
+
+Two finding kinds (:class:`~repro.analysis.report.StackIssue`):
+
+* ``underflow`` — fatal; the pipeline raises
+  :class:`StaticVerificationError`, a structured *frontend* error, instead of
+  letting the machine crash at runtime;
+* ``branch-mismatch`` — a warning; the two arms of an ``if0`` provably leave
+  different stack depths, which is legal but almost always a bug in
+  hand-written code (the merged depth becomes unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.report import StackIssue
+from repro.core.errors import SourceError
+from repro.stacklang import syntax as stack_syntax
+
+Depth = Optional[int]
+
+
+class StaticVerificationError(SourceError):
+    """A target program was statically rejected by the stack-effect verifier."""
+
+    def __init__(self, issues: Tuple[StackIssue, ...]) -> None:
+        self.issues = issues
+        details = "; ".join(str(issue) for issue in issues)
+        super().__init__(f"stack-effect verification failed: {details}")
+
+
+@dataclass(frozen=True)
+class StackVerification:
+    """The verifier's verdict for one program."""
+
+    errors: Tuple[StackIssue, ...]
+    warnings: Tuple[StackIssue, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _pop(depth: Depth, needed: int) -> Depth:
+    """Abstractly pop ``needed`` values (caller has already checked underflow)."""
+    if depth is None:
+        return None
+    return depth - needed
+
+
+def _check(
+    program: stack_syntax.Program,
+    depth: Depth,
+    location: str,
+    errors: List[StackIssue],
+    warnings: List[StackIssue],
+) -> Depth:
+    """Thread the abstract depth through ``program``; return the exit depth."""
+    for index, instruction in enumerate(program):
+        here = f"{location}{index}"
+        needed = 0
+        produced = 0
+        if isinstance(instruction, (stack_syntax.Push, stack_syntax.Var)):
+            produced = 1
+            if isinstance(instruction, stack_syntax.Push) and isinstance(
+                instruction.operand, stack_syntax.Thunk
+            ):
+                # A thunk literal runs later, under an unknown caller stack.
+                _check(instruction.operand.program, None, f"{here}.thunk.", errors, warnings)
+        elif isinstance(instruction, (stack_syntax.Add, stack_syntax.Less, stack_syntax.Idx)):
+            needed, produced = 2, 1
+        elif isinstance(instruction, (stack_syntax.Len, stack_syntax.Alloc, stack_syntax.Read)):
+            needed, produced = 1, 1
+        elif isinstance(instruction, stack_syntax.Write):
+            needed, produced = 2, 0
+        elif isinstance(instruction, stack_syntax.Lam):
+            needed, produced = len(instruction.binders), 0
+        elif isinstance(instruction, stack_syntax.If0):
+            needed = 1
+        elif isinstance(instruction, stack_syntax.Call):
+            needed = 1
+        elif isinstance(instruction, stack_syntax.Fail):
+            # Execution aborts here; whatever follows is unreachable, so its
+            # stack demands are vacuous.
+            return None
+        if depth is not None and depth < needed:
+            errors.append(
+                StackIssue(
+                    kind="underflow",
+                    location=here,
+                    needed=needed,
+                    available=depth,
+                    message=(
+                        f"`{instruction}` pops {needed} value(s) but the stack "
+                        f"holds exactly {depth}"
+                    ),
+                )
+            )
+            # Continue with an unknown depth so one underflow does not cascade
+            # into spurious reports for the rest of the program.
+            depth = None
+            continue
+        if isinstance(instruction, stack_syntax.If0):
+            branch_entry = _pop(depth, 1)
+            then_exit = _check(instruction.then_program, branch_entry, f"{here}.then.", errors, warnings)
+            else_exit = _check(instruction.else_program, branch_entry, f"{here}.else.", errors, warnings)
+            if then_exit is not None and else_exit is not None and then_exit != else_exit:
+                warnings.append(
+                    StackIssue(
+                        kind="branch-mismatch",
+                        location=here,
+                        needed=then_exit,
+                        available=else_exit,
+                        message=(
+                            f"`if0` arms leave different stack depths "
+                            f"({then_exit} vs {else_exit})"
+                        ),
+                    )
+                )
+                depth = None
+            else:
+                depth = then_exit if then_exit == else_exit else None
+        elif isinstance(instruction, stack_syntax.Lam):
+            depth = _pop(depth, needed)
+            depth = _check(instruction.body, depth, f"{here}.body.", errors, warnings)
+        elif isinstance(instruction, stack_syntax.Call):
+            # The callee's program runs on the current stack and may push or
+            # pop arbitrarily many values.
+            depth = None
+        else:
+            depth = _pop(depth, needed)
+            if depth is not None:
+                depth += produced
+    return depth
+
+
+def verify_program(program: stack_syntax.Program) -> StackVerification:
+    """Verify one StackLang program; never raises."""
+    errors: List[StackIssue] = []
+    warnings: List[StackIssue] = []
+    _check(program, 0, "", errors, warnings)
+    return StackVerification(errors=tuple(errors), warnings=tuple(warnings))
+
+
+def require_verified(program: stack_syntax.Program) -> StackVerification:
+    """Verify and raise :class:`StaticVerificationError` on any fatal issue."""
+    verification = verify_program(program)
+    if not verification.ok:
+        raise StaticVerificationError(verification.errors)
+    return verification

@@ -15,7 +15,7 @@ compilers to process boundaries uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any
 
 from repro.core.convertibility import Conversion, ConvertibilityRelation
 from repro.core.errors import ConvertibilityError

@@ -81,11 +81,23 @@ class ConvertibilityRule:
 
 @dataclass
 class ConvertibilityRelation:
-    """The extensible judgment ``τ_A ∼ τ_B`` for a fixed pair of languages."""
+    """The extensible judgment ``τ_A ∼ τ_B`` for a fixed pair of languages.
+
+    Every :meth:`query` is a *dynamic glue lookup* — the per-crossing cost
+    the static-analysis tier's glue pre-resolution eliminates — so the
+    relation counts them: ``hits`` (memo dict hits), ``misses`` (full rule
+    derivations), and ``preresolved`` (boundary compilations served from a
+    statically baked conversion with **no** query at all, reported by the
+    boundary hooks via :meth:`count_preresolved`).  :meth:`stats` surfaces
+    the counters through ``InteropSystem.cache_stats()``.
+    """
 
     language_a: str
     language_b: str
     rules: List[ConvertibilityRule] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+    preresolved: int = 0
     _memo: Dict[Tuple[Any, Any], Optional[Conversion]] = field(default_factory=dict, repr=False)
     _in_progress: set = field(default_factory=set, repr=False)
     #: Queries whose evaluation hit a cycle cutoff in some premise.  Their
@@ -122,6 +134,7 @@ class ConvertibilityRelation:
         """Return a conversion witnessing ``type_a ∼ type_b``, or None."""
         key = (type_a, type_b)
         if key in self._memo:
+            self.hits += 1
             return self._memo[key]
         if key in self._in_progress:
             # A recursive premise loops back on itself; treat as not derivable
@@ -132,6 +145,7 @@ class ConvertibilityRelation:
             self._tainted.update(self._in_progress)
             return None
         self._in_progress.add(key)
+        self.misses += 1
         try:
             found: Optional[Conversion] = None
             for rule in reversed(self.rules):
@@ -165,3 +179,31 @@ class ConvertibilityRelation:
     def known_pairs(self) -> List[Tuple[Any, Any]]:
         """Return the concrete pairs successfully queried so far (for reports)."""
         return [pair for pair, conv in self._memo.items() if conv is not None]
+
+    # -- glue-lookup accounting (the static pre-resolution differential) ------
+
+    def count_preresolved(self) -> None:
+        """Record one boundary compiled from a statically pre-resolved glue.
+
+        Called by the boundary hooks when a crossing site's conversion was
+        baked in at typecheck time, so compiling the site performed **zero**
+        dynamic :meth:`query` lookups.  The bench gate compares this counter
+        against ``hits``/``misses`` to prove per-crossing lookups are gone.
+        """
+        self.preresolved += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Glue-lookup counters: dynamic queries vs. statically served sites."""
+        return {
+            "entries": len(self._memo),
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.hits + self.misses,
+            "preresolved": self.preresolved,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the lookup counters (the memo itself is left intact)."""
+        self.hits = 0
+        self.misses = 0
+        self.preresolved = 0

@@ -137,10 +137,18 @@ class InteropSystem:
         self.language_b.clear_cache()
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Pipeline-cache statistics per frontend (for benchmarks/diagnostics)."""
+        """Pipeline-cache statistics per frontend (for benchmarks/diagnostics).
+
+        The extra ``convertibility`` entry reports the glue-lookup counters
+        of the shared :class:`ConvertibilityRelation`: dynamic ``lookups``
+        (memo ``hits`` + rule-derivation ``misses``) versus boundary sites
+        compiled from statically ``preresolved`` glue — the measurable
+        differential behind the analysis tier's crossing pre-resolution.
+        """
         return {
             self.language_a.name: self.language_a.cache_stats(),
             self.language_b.name: self.language_b.cache_stats(),
+            "convertibility": self.convertibility.stats(),
         }
 
     # -- soundness ------------------------------------------------------------

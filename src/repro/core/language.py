@@ -120,6 +120,13 @@ class LanguageFrontend:
     parse_type: ParseFn
     typecheck: TypecheckFn
     compile: CompileFn
+    #: Optional static-analysis pass run once per pipeline execution, after
+    #: compile: ``analyze(unit) -> report`` attaches its (picklable) result to
+    #: ``CompiledUnit.analysis``, so the report rides the pipeline LRU and the
+    #: cross-process artifact store exactly like the compiled code it
+    #: describes.  An analyzer that raises fails the pipeline — analysis
+    #: errors are frontend errors, surfaced the same way typecheck errors are.
+    analyze: Optional[Callable[["CompiledUnit"], Any]] = None
     cache_enabled: bool = True
     cache_capacity: int = 256
     cache_hits: int = 0
@@ -198,7 +205,10 @@ class LanguageFrontend:
         term = self.parse_expr(source)
         inferred = self.typecheck(term, **typecheck_kwargs)
         compiled = self.compile(term)
-        return CompiledUnit(language=self.name, term=term, type=inferred, target_code=compiled)
+        unit = CompiledUnit(language=self.name, term=term, type=inferred, target_code=compiled)
+        if self.analyze is not None:
+            unit.analysis = self.analyze(unit)
+        return unit
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -440,9 +450,17 @@ class TargetBackend:
 
 @dataclass
 class CompiledUnit:
-    """The result of pushing one source term through a frontend."""
+    """The result of pushing one source term through a frontend.
+
+    ``analysis`` holds the frontend's static-analysis report when the
+    frontend registered an analyzer (``None`` otherwise).  It is plain data
+    (see :mod:`repro.analysis.report`), so a unit exported through the
+    cross-process cache hooks carries its analysis with it — pool and net
+    workers never re-analyze a program another process already analyzed.
+    """
 
     language: str
     term: Any
     type: Any
     target_code: Any
+    analysis: Any = None

@@ -19,7 +19,7 @@ bounded checkers, and helpers for enumerating small sample values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.errors import ModelError
 from repro.core.worlds import World

@@ -19,7 +19,7 @@ when testing step-indexed logical relations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional
 
 from repro.core.errors import ModelError
 

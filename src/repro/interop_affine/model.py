@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.affi import types as affi_ty
-from repro.affi.compiler import is_static_name, thunk_guard
+from repro.affi.compiler import thunk_guard
 from repro.core.errors import ErrorCode, ModelError
 from repro.core.worlds import TypeTag, World
 from repro.interop_affine.phantom import phantom_run

@@ -16,8 +16,9 @@ and applies the conversion wrapper for the appropriate direction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro import analysis
 from repro.affi import compiler as affi_compiler
 from repro.affi import parser as affi_parser
 from repro.affi import syntax as affi_syntax
@@ -44,6 +45,12 @@ class AffineBoundaryHooks:
     relation: ConvertibilityRelation
     annotations: affi_typechecker.Annotations = field(default_factory=affi_typechecker.Annotations)
     boundary_types: Dict[int, object] = field(default_factory=dict)
+    #: Static glue pre-resolution (see :class:`BoundaryHooks` in §3): when on,
+    #: typechecking captures the oriented conversion closure per boundary and
+    #: compilation bakes it in without a dynamic relation lookup.
+    preresolve: bool = True
+    resolved_glue: Dict[int, Callable] = field(default_factory=dict)
+    resolved_rules: Dict[int, str] = field(default_factory=dict)
 
     # -- typechecking ---------------------------------------------------------
 
@@ -66,12 +73,16 @@ class AffineBoundaryHooks:
                 "an Affi term embedded in MiniML may not consume static affine variables "
                 f"(no•(Ω) in Fig. 7): {sorted(static_usage)}"
             )
-        if not self.relation.convertible(affi_type, boundary.annotation):
+        conversion = self.relation.query(affi_type, boundary.annotation)
+        if conversion is None:
             raise ConvertibilityError(
                 f"MiniML boundary at type {boundary.annotation} embeds an Affi term of type "
                 f"{affi_type}, but {affi_type} ~ {boundary.annotation} is not derivable"
             )
         self.boundary_types[id(boundary)] = affi_type
+        if self.preresolve:
+            self.resolved_glue[id(boundary)] = conversion.apply_a_to_b
+            self.resolved_rules[id(boundary)] = conversion.rule_name
         return boundary.annotation, usage
 
     def affi_boundary_type(self, boundary: affi_syntax.Boundary, unrestricted, affine, foreign_env):
@@ -82,17 +93,28 @@ class AffineBoundaryHooks:
             foreign_env=affine,
             boundary_hook=self.ml_boundary_type,
         )
-        if not self.relation.convertible(boundary.annotation, ml_type):
+        conversion = self.relation.query(boundary.annotation, ml_type)
+        if conversion is None:
             raise ConvertibilityError(
                 f"Affi boundary at type {boundary.annotation} embeds a MiniML term of type "
                 f"{ml_type}, but {boundary.annotation} ~ {ml_type} is not derivable"
             )
         self.boundary_types[id(boundary)] = ml_type
+        if self.preresolve:
+            self.resolved_glue[id(boundary)] = conversion.apply_b_to_a
+            self.resolved_rules[id(boundary)] = conversion.rule_name
         return boundary.annotation, usage
 
     # -- compilation ----------------------------------------------------------
 
     def ml_compile_boundary(self, boundary: ml_syntax.Boundary):
+        compiled = affi_compiler.compile_expr(
+            boundary.foreign_term, annotations=self.annotations, boundary_hook=self.affi_compile_boundary
+        )
+        glue = self.resolved_glue.get(id(boundary))
+        if glue is not None:
+            self.relation.count_preresolved()
+            return glue(compiled)
         affi_type = self.boundary_types.get(id(boundary))
         if affi_type is None:
             affi_type, _usage = affi_typechecker.check_with_usage(
@@ -100,25 +122,38 @@ class AffineBoundaryHooks:
                 boundary_hook=self.affi_boundary_type,
                 annotations=self.annotations,
             )
-        compiled = affi_compiler.compile_expr(
-            boundary.foreign_term, annotations=self.annotations, boundary_hook=self.affi_compile_boundary
-        )
         conversion = self.relation.require(affi_type, boundary.annotation)
         return conversion.apply_a_to_b(compiled)
 
     def affi_compile_boundary(self, boundary: affi_syntax.Boundary):
+        compiled = ml_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.ml_compile_boundary)
+        glue = self.resolved_glue.get(id(boundary))
+        if glue is not None:
+            self.relation.count_preresolved()
+            return glue(compiled)
         ml_type = self.boundary_types.get(id(boundary))
         if ml_type is None:
             ml_type = ml_typechecker.typecheck(boundary.foreign_term, boundary_hook=self.ml_boundary_type)
-        compiled = ml_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.ml_compile_boundary)
         conversion = self.relation.require(boundary.annotation, ml_type)
         return conversion.apply_b_to_a(compiled)
 
 
-def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
-    """Build the complete §4 interoperability system."""
+def make_system(
+    relation: Optional[ConvertibilityRelation] = None, preresolve: bool = True
+) -> InteropSystem:
+    """Build the complete §4 interoperability system.
+
+    ``preresolve=False`` disables static glue pre-resolution (the benchmark's
+    counter/wall-clock differential baseline).
+    """
     relation = relation or make_convertibility()
-    hooks = AffineBoundaryHooks(relation)
+    hooks = AffineBoundaryHooks(relation, preresolve=preresolve)
+    analyzer = analysis.make_analyzer(
+        target="lcvm",
+        languages=(LANGUAGE_A, LANGUAGE_B),
+        boundary_types=hooks.boundary_types,
+        resolved_rules=hooks.resolved_rules,
+    )
 
     # Mutually recursive boundary parsers: an Affi boundary embeds a MiniML
     # term whose own boundaries embed Affi terms, and so on.
@@ -143,6 +178,7 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
         compile=lambda term: affi_compiler.compile_expr(
             term, annotations=hooks.annotations, boundary_hook=hooks.affi_compile_boundary
         ),
+        analyze=analyzer,
     )
     ml_frontend = LanguageFrontend(
         name=LANGUAGE_B,
@@ -156,6 +192,7 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             boundary_hook=hooks.ml_boundary_type,
         ),
         compile=lambda term: ml_compiler.compile_expr(term, boundary_hook=hooks.ml_compile_boundary),
+        analyze=analyzer,
     )
     # All four LCVM evaluator backends; the compiled-dispatch CEK machine is
     # the default, with the substitution machine (and the interpreted CEK

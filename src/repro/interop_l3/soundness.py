@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 from repro.core.errors import ConvertibilityError
 from repro.core.interop import InteropSystem
 from repro.core.realizability import CheckReport, Counterexample
-from repro.interop_l3.conversions import LANGUAGE_A, LANGUAGE_B, make_convertibility
+from repro.interop_l3.conversions import LANGUAGE_A, LANGUAGE_B
 from repro.l3 import types as l3_ty
 from repro.lcvm import CellKind, machine as lcvm_machine
 from repro.lcvm import syntax as t

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro import analysis
 from repro.core.convertibility import ConvertibilityRelation
 from repro.core.errors import ConvertibilityError
 from repro.core.interop import InteropSystem
@@ -29,6 +30,12 @@ class L3BoundaryHooks:
 
     relation: ConvertibilityRelation
     boundary_types: Dict[int, object] = field(default_factory=dict)
+    #: Static glue pre-resolution (see :class:`BoundaryHooks` in §3): when on,
+    #: typechecking captures the oriented conversion closure per boundary and
+    #: compilation bakes it in without a dynamic relation lookup.
+    preresolve: bool = True
+    resolved_glue: Dict[int, Callable] = field(default_factory=dict)
+    resolved_rules: Dict[int, str] = field(default_factory=dict)
 
     # -- typechecking ---------------------------------------------------------
 
@@ -40,12 +47,16 @@ class L3BoundaryHooks:
             foreign_env=env,
             boundary_hook=self.l3_boundary_type,
         )
-        if not self.relation.convertible(boundary.annotation, l3_type):
+        conversion = self.relation.query(boundary.annotation, l3_type)
+        if conversion is None:
             raise ConvertibilityError(
                 f"MiniML boundary at type {boundary.annotation} embeds an L3 term of type "
                 f"{l3_type}, but {boundary.annotation} ~ {l3_type} is not derivable"
             )
         self.boundary_types[id(boundary)] = l3_type
+        if self.preresolve:
+            self.resolved_glue[id(boundary)] = conversion.apply_b_to_a
+            self.resolved_rules[id(boundary)] = conversion.rule_name
         return boundary.annotation, usage
 
     def l3_boundary_type(self, boundary: l3_syntax.Boundary, linear, unrestricted, locations, foreign_env):
@@ -56,39 +67,63 @@ class L3BoundaryHooks:
             foreign_env=linear,
             boundary_hook=self.ml_boundary_type,
         )
-        if not self.relation.convertible(ml_type, boundary.annotation):
+        conversion = self.relation.query(ml_type, boundary.annotation)
+        if conversion is None:
             raise ConvertibilityError(
                 f"L3 boundary at type {boundary.annotation} embeds a MiniML term of type "
                 f"{ml_type}, but {ml_type} ~ {boundary.annotation} is not derivable"
             )
         self.boundary_types[id(boundary)] = ml_type
+        if self.preresolve:
+            self.resolved_glue[id(boundary)] = conversion.apply_a_to_b
+            self.resolved_rules[id(boundary)] = conversion.rule_name
         return boundary.annotation, usage
 
     # -- compilation ----------------------------------------------------------
 
     def ml_compile_boundary(self, boundary: ml_syntax.Boundary):
+        compiled = l3_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.l3_compile_boundary)
+        glue = self.resolved_glue.get(id(boundary))
+        if glue is not None:
+            self.relation.count_preresolved()
+            return glue(compiled)
         l3_type = self.boundary_types.get(id(boundary))
         if l3_type is None:
             l3_type, _usage = l3_typechecker.check_with_usage(
                 boundary.foreign_term, boundary_hook=self.l3_boundary_type
             )
-        compiled = l3_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.l3_compile_boundary)
         conversion = self.relation.require(boundary.annotation, l3_type)
         return conversion.apply_b_to_a(compiled)
 
     def l3_compile_boundary(self, boundary: l3_syntax.Boundary):
+        compiled = ml_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.ml_compile_boundary)
+        glue = self.resolved_glue.get(id(boundary))
+        if glue is not None:
+            self.relation.count_preresolved()
+            return glue(compiled)
         ml_type = self.boundary_types.get(id(boundary))
         if ml_type is None:
             ml_type = ml_typechecker.typecheck(boundary.foreign_term, boundary_hook=self.ml_boundary_type)
-        compiled = ml_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.ml_compile_boundary)
         conversion = self.relation.require(ml_type, boundary.annotation)
         return conversion.apply_a_to_b(compiled)
 
 
-def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
-    """Build the complete §5 interoperability system."""
+def make_system(
+    relation: Optional[ConvertibilityRelation] = None, preresolve: bool = True
+) -> InteropSystem:
+    """Build the complete §5 interoperability system.
+
+    ``preresolve=False`` disables static glue pre-resolution (the benchmark's
+    counter/wall-clock differential baseline).
+    """
     relation = relation or make_convertibility()
-    hooks = L3BoundaryHooks(relation)
+    hooks = L3BoundaryHooks(relation, preresolve=preresolve)
+    analyzer = analysis.make_analyzer(
+        target="lcvm",
+        languages=(LANGUAGE_A, LANGUAGE_B),
+        boundary_types=hooks.boundary_types,
+        resolved_rules=hooks.resolved_rules,
+    )
 
     def _parse_l3_inside_ml(sexpr):
         return l3_parser.parse_expr_sexpr(sexpr, _parse_ml_inside_l3)
@@ -108,6 +143,7 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             boundary_hook=hooks.ml_boundary_type,
         ),
         compile=lambda term: ml_compiler.compile_expr(term, boundary_hook=hooks.ml_compile_boundary),
+        analyze=analyzer,
     )
     l3_frontend = LanguageFrontend(
         name=LANGUAGE_B,
@@ -122,6 +158,7 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             boundary_hook=hooks.l3_boundary_type,
         ),
         compile=lambda term: l3_compiler.compile_expr(term, boundary_hook=hooks.l3_compile_boundary),
+        analyze=analyzer,
     )
     # All four LCVM evaluator backends; the compiled-dispatch CEK machine is
     # the default, with the substitution machine (and the interpreted CEK

@@ -24,14 +24,14 @@ test suite widens the sampling.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ModelError
 from repro.core.worlds import TypeTag, World
 from repro.refhl import types as hl
 from repro.refll import types as ll
-from repro.stacklang.machine import FailStack, MachineResult, Status, initial_config, run_config
+from repro.stacklang.machine import MachineResult, Status, initial_config, run_config
 from repro.stacklang.syntax import (
     Alloc,
     Arr,
@@ -42,7 +42,6 @@ from repro.stacklang.syntax import (
     Push,
     Thunk,
     Value,
-    Var,
     program,
 )
 from repro.core.errors import ErrorCode

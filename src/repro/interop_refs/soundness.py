@@ -24,7 +24,7 @@ from repro.core.convertibility import ConvertibilityRelation
 from repro.core.errors import ErrorCode
 from repro.core.interop import InteropSystem
 from repro.core.realizability import CheckReport, Counterexample
-from repro.core.worlds import TypeTag, World
+from repro.core.worlds import World
 from repro.interop_refs.conversions import LANGUAGE_A, LANGUAGE_B, StackConversion, make_convertibility
 from repro.interop_refs.model import RefsModel, hl_tag, ll_tag
 from repro.refhl import parse_type as parse_hl_type

@@ -22,7 +22,7 @@ measure the trade-off the paper argues qualitatively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Dict
 
 from repro.stacklang.machine import MachineResult, run
 from repro.stacklang.macros import drop, dup, swap

@@ -15,8 +15,9 @@ The boundary hooks implement the two non-standard rules of the system:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro import analysis
 from repro.core.convertibility import ConvertibilityRelation
 from repro.core.errors import ConvertibilityError
 from repro.core.interop import InteropSystem, RunResult
@@ -39,10 +40,23 @@ from repro.stacklang.machine import Status
 
 @dataclass
 class BoundaryHooks:
-    """Mutually recursive typecheck/compile hooks for the two languages."""
+    """Mutually recursive typecheck/compile hooks for the two languages.
+
+    With ``preresolve`` on (the default), typechecking a boundary — which
+    already derives the conversion to validate ``τ ∼ τ̄`` — also *captures*
+    the correctly oriented glue closure, keyed by the boundary node.  The
+    compile hooks then bake that closure straight into the compiled handler
+    with **zero** dynamic relation lookups; the relation's ``preresolved``
+    counter (vs. ``hits``/``misses``) makes the elimination measurable.
+    """
 
     relation: ConvertibilityRelation
     boundary_types: Dict[int, object] = field(default_factory=dict)
+    preresolve: bool = True
+    #: Oriented glue per boundary site (foreign compiled term → host term).
+    resolved_glue: Dict[int, Callable] = field(default_factory=dict)
+    #: Name of the convertibility rule behind each pre-resolved site.
+    resolved_rules: Dict[int, str] = field(default_factory=dict)
 
     # -- typechecking ---------------------------------------------------------
 
@@ -53,12 +67,16 @@ class BoundaryHooks:
             foreign_env=env,
             boundary_hook=self.refll_boundary_type,
         )
-        if not self.relation.convertible(boundary.annotation, foreign_type):
+        conversion = self.relation.query(boundary.annotation, foreign_type)
+        if conversion is None:
             raise ConvertibilityError(
                 f"RefHL boundary at type {boundary.annotation} embeds a RefLL term of type "
                 f"{foreign_type}, but {boundary.annotation} ~ {foreign_type} is not derivable"
             )
         self.boundary_types[id(boundary)] = foreign_type
+        if self.preresolve:
+            self.resolved_glue[id(boundary)] = conversion.apply_b_to_a
+            self.resolved_rules[id(boundary)] = conversion.rule_name
         return boundary.annotation
 
     def refll_boundary_type(self, boundary: ll_syntax.Boundary, env, foreign_env) -> ll_types.Type:
@@ -68,12 +86,16 @@ class BoundaryHooks:
             foreign_env=env,
             boundary_hook=self.refhl_boundary_type,
         )
-        if not self.relation.convertible(foreign_type, boundary.annotation):
+        conversion = self.relation.query(foreign_type, boundary.annotation)
+        if conversion is None:
             raise ConvertibilityError(
                 f"RefLL boundary at type {boundary.annotation} embeds a RefHL term of type "
                 f"{foreign_type}, but {foreign_type} ~ {boundary.annotation} is not derivable"
             )
         self.boundary_types[id(boundary)] = foreign_type
+        if self.preresolve:
+            self.resolved_glue[id(boundary)] = conversion.apply_a_to_b
+            self.resolved_rules[id(boundary)] = conversion.rule_name
         return boundary.annotation
 
     # -- compilation ----------------------------------------------------------
@@ -86,20 +108,28 @@ class BoundaryHooks:
         return foreign_type
 
     def refhl_compile_boundary(self, boundary: hl_syntax.Boundary):
+        compiled = ll_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.refll_compile_boundary)
+        glue = self.resolved_glue.get(id(boundary))
+        if glue is not None:
+            self.relation.count_preresolved()
+            return glue(compiled)
         foreign_type = self._foreign_type_for(
             boundary,
             lambda term: ll_typechecker.typecheck(term, boundary_hook=self.refll_boundary_type),
         )
-        compiled = ll_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.refll_compile_boundary)
         conversion = self.relation.require(boundary.annotation, foreign_type)
         return conversion.apply_b_to_a(compiled)
 
     def refll_compile_boundary(self, boundary: ll_syntax.Boundary):
+        compiled = hl_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.refhl_compile_boundary)
+        glue = self.resolved_glue.get(id(boundary))
+        if glue is not None:
+            self.relation.count_preresolved()
+            return glue(compiled)
         foreign_type = self._foreign_type_for(
             boundary,
             lambda term: hl_typechecker.typecheck(term, boundary_hook=self.refhl_boundary_type),
         )
-        compiled = hl_compiler.compile_expr(boundary.foreign_term, boundary_hook=self.refhl_compile_boundary)
         conversion = self.relation.require(foreign_type, boundary.annotation)
         return conversion.apply_a_to_b(compiled)
 
@@ -127,6 +157,11 @@ def _run_stacklang_compiled(compiled, fuel: int = 100_000) -> RunResult:
     return _stacklang_result(stack_cek.run_compiled(compiled, fuel=fuel))
 
 
+def _run_stacklang_opt(compiled, fuel: int = 100_000) -> RunResult:
+    """The pc-threaded machine over superinstruction-fused code (``cek-opt``)."""
+    return _stacklang_result(stack_cek.run_optimized(compiled, fuel=fuel))
+
+
 def _start_stacklang(compiled, fuel: int = 100_000) -> ResumableExecution:
     """Start a resumable Fig. 2 reference-machine execution (oracle, sliced)."""
     return ResumableExecution(stack_machine.SubstitutionExecution(compiled, fuel=fuel), _stacklang_result)
@@ -140,6 +175,11 @@ def _start_stacklang_cek(compiled, fuel: int = 100_000) -> ResumableExecution:
 def _start_stacklang_compiled(compiled, fuel: int = 100_000) -> ResumableExecution:
     """Start a resumable pc-threaded execution (RunResult-normalized slices)."""
     return ResumableExecution(stack_cek.CompiledExecution(compiled, fuel=fuel), _stacklang_result)
+
+
+def _start_stacklang_opt(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable fused-superinstruction execution."""
+    return ResumableExecution(stack_cek.OptimizedExecution(compiled, fuel=fuel), _stacklang_result)
 
 
 def _restore_stacklang(snapshot: dict) -> ResumableExecution:
@@ -157,10 +197,28 @@ def _restore_stacklang_compiled(snapshot: dict) -> ResumableExecution:
     return ResumableExecution(stack_cek.CompiledExecution.from_snapshot(snapshot), _stacklang_result)
 
 
-def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSystem:
-    """Build the complete §3 interoperability system."""
+def _restore_stacklang_opt(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused fused execution, re-fusing the op array."""
+    return ResumableExecution(stack_cek.OptimizedExecution.from_snapshot(snapshot), _stacklang_result)
+
+
+def make_system(
+    relation: Optional[ConvertibilityRelation] = None, preresolve: bool = True
+) -> InteropSystem:
+    """Build the complete §3 interoperability system.
+
+    ``preresolve=False`` disables static glue pre-resolution (every boundary
+    compilation performs its dynamic relation lookup again) — the benchmark
+    uses it to measure the counter and wall-clock differential.
+    """
     relation = relation or make_convertibility()
-    hooks = BoundaryHooks(relation)
+    hooks = BoundaryHooks(relation, preresolve=preresolve)
+    analyzer = analysis.make_analyzer(
+        target="stacklang",
+        languages=(LANGUAGE_A, LANGUAGE_B),
+        boundary_types=hooks.boundary_types,
+        resolved_rules=hooks.resolved_rules,
+    )
 
     refhl_frontend = LanguageFrontend(
         name=LANGUAGE_A,
@@ -170,6 +228,7 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             term, env=env, foreign_env=foreign_env, boundary_hook=hooks.refhl_boundary_type
         ),
         compile=lambda term: hl_compiler.compile_expr(term, boundary_hook=hooks.refhl_compile_boundary),
+        analyze=analyzer,
     )
     refll_frontend = LanguageFrontend(
         name=LANGUAGE_B,
@@ -179,11 +238,13 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             term, env=env, foreign_env=foreign_env, boundary_hook=hooks.refll_boundary_type
         ),
         compile=lambda term: ll_compiler.compile_expr(term, boundary_hook=hooks.refll_compile_boundary),
+        analyze=analyzer,
     )
-    # StackLang has three evaluator backends (there is no separate big-step
+    # StackLang has four evaluator backends (there is no separate big-step
     # engine for a stack language); the pc-threaded compiled machine is the
     # default, with the substitution machine and the segment machine kept as
-    # differential-testing oracles.  Every backend registers a
+    # differential-testing oracles and the superinstruction-fused machine
+    # (`cek-opt`) as the analysis-driven fast path.  Every backend registers a
     # resumable-execution factory, so the serving layer step-slices the
     # oracles with the same bounded per-turn latency as the compiled machine.
     backend = TargetBackend(
@@ -192,17 +253,20 @@ def make_system(relation: Optional[ConvertibilityRelation] = None) -> InteropSys
             "substitution": _run_stacklang,
             "cek": _run_stacklang_cek,
             "cek-compiled": _run_stacklang_compiled,
+            "cek-opt": _run_stacklang_opt,
         },
         default_backend="cek-compiled",
         executions={
             "substitution": _start_stacklang,
             "cek": _start_stacklang_cek,
             "cek-compiled": _start_stacklang_compiled,
+            "cek-opt": _start_stacklang_opt,
         },
         restores={
             "substitution": _restore_stacklang,
             "cek": _restore_stacklang_cek,
             "cek-compiled": _restore_stacklang_compiled,
+            "cek-opt": _restore_stacklang_opt,
         },
     )
 

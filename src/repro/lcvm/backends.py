@@ -1,7 +1,7 @@
 """The LCVM evaluator backends, packaged for the interop framework.
 
 Both LCVM-targeting case studies (§4 affine, §5 L3/memory) run compiled
-programs through one of four observably-equivalent engines:
+programs through one of five observably-equivalent engines:
 
 * ``substitution`` — the paper-faithful small-step reference machine
   (:mod:`repro.lcvm.machine`); quadratic, kept as the differential-testing
@@ -11,7 +11,10 @@ programs through one of four observably-equivalent engines:
 * ``cek`` — the interpreted CEK machine (:mod:`repro.lcvm.cek`); kept as a
   second oracle for the compiled machine;
 * ``cek-compiled`` — the compiled-dispatch CEK machine with pruned
-  environments (:func:`repro.lcvm.cek.run_compiled`); the default.
+  environments (:func:`repro.lcvm.cek.run_compiled`); the default;
+* ``cek-opt`` — the same machine over code first rewritten by the static
+  optimizer (:mod:`repro.analysis.optimize`): constants folded/propagated,
+  dead value-bindings dropped.  Observably identical, fewer transitions.
 
 Each wrapper normalizes the engine's native result into the framework's
 :class:`~repro.core.interop.RunResult` (reifying runtime values back to
@@ -91,6 +94,21 @@ def run_cek_compiled(compiled, fuel: int = 100_000) -> RunResult:
     return _normalize(cek.run_compiled(compiled, fuel=fuel))
 
 
+def run_cek_opt(compiled, fuel: int = 100_000) -> RunResult:
+    """Run on the compiled-dispatch machine over statically optimized code.
+
+    The ``cek-opt`` backend first applies the analysis tier's source-to-source
+    optimizer (:func:`repro.analysis.optimize` — constant propagation/folding
+    and dead-value-binding elimination, each mirroring a machine transition)
+    and then executes with the ordinary compiled-dispatch engine.  Results are
+    observation-equivalent to every other backend, raw post-GC heap included;
+    only the step count shrinks.
+    """
+    from repro.analysis import optimize
+
+    return _normalize(cek.run_compiled(optimize(compiled), fuel=fuel))
+
+
 def start_substitution(compiled, fuel: int = 100_000) -> ResumableExecution:
     """Start a resumable substitution-machine execution (oracle, sliced)."""
     return ResumableExecution(lcvm_machine.SubstitutionExecution(compiled, fuel=fuel), _normalize)
@@ -120,6 +138,19 @@ def start_cek_compiled(compiled, fuel: int = 100_000) -> ResumableExecution:
     return ResumableExecution(cek.CompiledExecution(compiled, fuel=fuel), _normalize)
 
 
+def start_cek_opt(compiled, fuel: int = 100_000) -> ResumableExecution:
+    """Start a resumable compiled-CEK execution of the optimized program.
+
+    The execution (and therefore its snapshots) carries the *optimized* root
+    as its syntax handle — optimization happens strictly before execution
+    starts, never at restore time — and snapshots are tagged ``cek-opt`` so
+    they route back to this backend's restorer on any worker.
+    """
+    from repro.analysis import optimize
+
+    return ResumableExecution(cek.OptimizedExecution(optimize(compiled), fuel=fuel), _normalize)
+
+
 def restore_substitution(snapshot: dict) -> ResumableExecution:
     """Rebuild a paused substitution-machine execution from a snapshot."""
     return ResumableExecution(lcvm_machine.SubstitutionExecution.from_snapshot(snapshot), _normalize)
@@ -140,6 +171,12 @@ def restore_cek_compiled(snapshot: dict) -> ResumableExecution:
     return ResumableExecution(cek.CompiledExecution.from_snapshot(snapshot), _normalize)
 
 
+def restore_cek_opt(snapshot: dict) -> ResumableExecution:
+    """Rebuild a paused cek-opt execution (the snapshot's handle is already
+    the optimized root, so no re-optimization happens at restore time)."""
+    return ResumableExecution(cek.OptimizedExecution.from_snapshot(snapshot), _normalize)
+
+
 def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> TargetBackend:
     """The full LCVM backend registry with ``default`` pre-selected."""
     return TargetBackend(
@@ -149,6 +186,7 @@ def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> Targ
             "bigstep": run_bigstep,
             "cek": run_cek,
             "cek-compiled": run_cek_compiled,
+            "cek-opt": run_cek_opt,
         },
         default_backend=default,
         executions={
@@ -156,11 +194,13 @@ def make_lcvm_backend(name: str = "LCVM", default: str = "cek-compiled") -> Targ
             "bigstep": start_bigstep,
             "cek": start_cek,
             "cek-compiled": start_cek_compiled,
+            "cek-opt": start_cek_opt,
         },
         restores={
             "substitution": restore_substitution,
             "bigstep": restore_bigstep,
             "cek": restore_cek,
             "cek-compiled": restore_cek_compiled,
+            "cek-opt": restore_cek_opt,
         },
     )

@@ -1395,6 +1395,22 @@ class CompiledExecution:
         return execution
 
 
+class OptimizedExecution(CompiledExecution):
+    """A compiled-dispatch execution whose snapshots are tagged ``cek-opt``.
+
+    The machine is byte-for-byte :class:`CompiledExecution` — callers hand it
+    the *already optimized* root (:func:`repro.analysis.optimize` runs
+    strictly before execution starts) and the snapshot carries that optimized
+    root as its syntax handle.  The distinct kind tag exists so bare
+    snapshots route back to the ``cek-opt`` restorer, keeping the backend
+    name observable across a migration.
+    """
+
+    __slots__ = ()
+
+    SNAPSHOT_KIND = "lcvm/cek-opt"
+
+
 def run_compiled(expr: s.Expr, heap: Optional[Heap] = None, fuel: int = 100_000) -> MachineResult:
     """Run a closed LCVM expression on the compiled-dispatch CEK machine.
 

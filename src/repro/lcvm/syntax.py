@@ -17,7 +17,7 @@ of Fig. 8/Fig. 10 and the boolean conversions of Fig. 9.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Union
 
 from repro.core.errors import ErrorCode
 

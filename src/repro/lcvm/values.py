@@ -21,7 +21,7 @@ is treated as a closure over ``parameter``/``body``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Tuple, Union
+from typing import Iterator, List, Tuple, Union
 
 from repro.lcvm import syntax as s
 

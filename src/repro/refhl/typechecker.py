@@ -40,7 +40,7 @@ from repro.refhl.syntax import (
     UnitLit,
     Var,
 )
-from repro.refhl.types import BOOL, UNIT, BoolType, FunType, ProdType, RefType, SumType, Type, UnitType
+from repro.refhl.types import BOOL, UNIT, BoolType, FunType, ProdType, RefType, SumType, Type
 
 Env = Dict[str, Type]
 ForeignEnv = Dict[str, object]

@@ -58,7 +58,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 __all__ = ["FAULT_SITES", "Fault", "FaultPlan"]
 

@@ -87,7 +87,6 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.errors import ReproError
 from repro.serve.faults import FaultPlan
 from repro.serve.reliability import (
     AdmissionController,
@@ -587,6 +586,21 @@ class WorkerPool:
         """The worker index ``request`` is routed to (deterministic)."""
         return self._ring.node_for(_shard_key(request, self._router))
 
+    def _weight(self, request: Request) -> int:
+        """The load a queued request contributes for placement purposes.
+
+        Without a hint every request weighs 1 (pure queue depth — the old
+        behaviour).  With :attr:`~repro.serve.request.Request.cost_hint` set
+        (typically the analysis tier's ``estimated_steps``, fed back from an
+        analyze-only response), the weight grows with the number of scheduler
+        slices the run is expected to occupy, capped so one huge estimate
+        cannot starve a shard of all traffic.  Deterministic by construction:
+        same batch + same hints → same placement.
+        """
+        if request.cost_hint is None or request.cost_hint <= 0:
+            return 1
+        return 1 + min(8, request.cost_hint // max(1, self.slice_steps))
+
     def _place(
         self, order: Sequence[int], depths: Optional[Dict[int, int]] = None
     ) -> Tuple[int, Optional[int]]:
@@ -659,11 +673,14 @@ class WorkerPool:
 
         shards: Dict[int, List[Tuple[int, Request]]] = {}
         rerouted: Dict[int, int] = {}
+        # Load-aware placement weighs each queued request by its cost hint
+        # (see :meth:`_weight`), so an expensive run loads its shard more
+        # than a cheap one and the balancer spreads estimated *work*, not
+        # just request counts.  Admission stays count-based.
+        loads: Dict[int, int] = {}
         for index, request in enumerate(requests[:admitted]):
             order = self._ring.candidates(_shard_key(request, self._router))
-            shard, rerouted_from = self._place(
-                order, {shard: len(queue) for shard, queue in shards.items()}
-            )
+            shard, rerouted_from = self._place(order, loads)
             queue = shards.setdefault(shard, [])
             if not self._admission.admit_to_shard(len(queue)):
                 responses[index] = self._reject_overload(request)
@@ -671,6 +688,7 @@ class WorkerPool:
             if rerouted_from is not None:
                 rerouted[index] = rerouted_from
             queue.append((index, request))
+            loads[shard] = loads.get(shard, 0) + self._weight(request)
 
         # Crashed dispatches are deferred past the collection loop: the
         # recovery target may still be serving its own slice of this batch,

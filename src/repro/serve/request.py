@@ -91,6 +91,19 @@ class Request:
     #: default of 1 preserves the pool's one-migration-attempt behaviour;
     #: 0 pins the old whole-shard-failure semantics.
     retry_budget: int = 1
+    #: Run the frontend pipeline (parse → typecheck → compile → analyze) and
+    #: return the static-analysis report on ``Response.report`` *without ever
+    #: starting an execution*.  Analyze-only requests do not count against
+    #: the scheduler's ``max_inflight`` admission limit (there is nothing in
+    #: flight) and never coalesce (there is no VM instance to share).
+    analyze_only: bool = False
+    #: Estimated machine-step cost of this request, used by the worker pool's
+    #: load-aware placement as a queue-depth *weight* (an expensive request
+    #: loads its shard more than a cheap one).  Callers typically feed back
+    #: ``estimated_steps`` from an earlier analyze-only response for the same
+    #: program.  ``None`` weighs the request as 1; the hint never changes
+    #: *where* a request may run, only how loaded its candidates look.
+    cost_hint: Optional[int] = None
 
     def label(self) -> str:
         return self.request_id or f"{self.system or '?'}/{self.language}"
@@ -175,6 +188,11 @@ class Response:
     #: healthy worker instead (its circuit breaker was open).  ``shard``
     #: records where it actually ran; ``None`` means it ran at home.
     rerouted_from: Optional[int] = None
+    #: The static-analysis report for an ``analyze_only`` request (the
+    #: plain-dict form of :class:`repro.analysis.AnalysisReport`: crossing
+    #: sites, effect summary, divergence possibility, estimated step cost).
+    #: ``result`` is then ``None`` — the program was analyzed, never run.
+    report: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -200,5 +218,10 @@ class Response:
             return (
                 f"[{self.request.label()}] deadline_exceeded after {self.slices} slices"
                 f" ({'resumable' if self.checkpoint is not None else 'no checkpoint'})"
+            )
+        if self.report is not None:
+            return (
+                f"[{self.request.label()}] analyzed: {self.report.get('crossing_count', 0)}"
+                f" crossings, ~{self.report.get('estimated_steps', 0)} steps"
             )
         return f"[{self.request.label()}] {self.result} ({self.slices} slices, backend {self.backend})"

@@ -55,7 +55,9 @@ class HashRing(Generic[Node]):
     same members and ``virtual_nodes`` agree on every key, in any process.
     """
 
-    def __init__(self, nodes: Iterable[Node] = (), virtual_nodes: int = DEFAULT_VIRTUAL_NODES):
+    def __init__(
+        self, nodes: Iterable[Node] = (), virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    ) -> None:
         if virtual_nodes < 1:
             raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
         self.virtual_nodes = virtual_nodes

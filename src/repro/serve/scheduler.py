@@ -230,6 +230,21 @@ class Scheduler:
         response.compile_seconds = time.perf_counter() - start
         response.cache_hit = frontend.cache_hits > hits_before
         response.cache_stats = frontend.cache_stats()
+        if request.analyze_only:
+            # The report was computed once per pipeline execution and rides
+            # the LRU with the compiled code — an analyze-only request for a
+            # cached program touches no frontend stage at all.
+            analysis = getattr(unit, "analysis", None)
+            if analysis is None:
+                response.error = (
+                    f"system {system_name!r} registered no analyzer for "
+                    f"language {request.language!r}"
+                )
+            else:
+                response.report = (
+                    analysis.to_dict() if hasattr(analysis, "to_dict") else dict(analysis)
+                )
+            return PreparedRequest(response)
         started = time.perf_counter()
         try:
             execution = system.start_compiled(
@@ -521,8 +536,12 @@ class Scheduler:
         registered resumable-execution factory — that marks the built-in
         deterministic machines, whereas a third-party backend registered
         without one makes no determinism promise, so its requests never
-        coalesce.
+        coalesce.  Analyze-only requests never coalesce either: they start
+        no VM instance, so there is nothing to share (and their compiles
+        already dedupe through the pipeline LRU).
         """
+        if request.analyze_only:
+            return None
         try:
             system_name, system = self.route(request)
         except ReproError:

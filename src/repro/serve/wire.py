@@ -56,9 +56,12 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
-from typing import Any, Tuple
+from typing import TYPE_CHECKING, Any, Tuple
 
 from repro.core.errors import ReproError
+
+if TYPE_CHECKING:
+    import asyncio
 
 __all__ = [
     "WIRE_VERSION",
@@ -215,7 +218,7 @@ def recv_frame(sock: socket.socket) -> Tuple[int, Any]:
 # -- asyncio-streams transport (the router) ------------------------------------
 
 
-async def read_frame(reader) -> Tuple[int, Any]:
+async def read_frame(reader: "asyncio.StreamReader") -> Tuple[int, Any]:
     """Async twin of :func:`recv_frame` over an :class:`asyncio.StreamReader`."""
     import asyncio
 
@@ -232,7 +235,7 @@ async def read_frame(reader) -> Tuple[int, Any]:
     return frame_type, _decode_body(frame_type, payload)
 
 
-async def write_frame(writer, frame_type: int, body: Any) -> None:
+async def write_frame(writer: "asyncio.StreamWriter", frame_type: int, body: Any) -> None:
     """Async twin of :func:`send_frame` over an :class:`asyncio.StreamWriter`."""
     try:
         writer.write(encode_frame(frame_type, body))
@@ -261,17 +264,17 @@ class FrameConnection:
 
     __slots__ = ("sock",)
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
 
-    def send(self, message: tuple) -> None:
+    def send(self, message: Tuple[Any, ...]) -> None:
         if message[0] == "checkpoint":
             _tag, covered, payload = message
             send_frame(self.sock, CHECKPOINT, (covered, payload))
         else:
             send_frame(self.sock, RESPONSE, message)
 
-    def recv(self) -> tuple:
+    def recv(self) -> Tuple[Any, ...]:
         frame_type, body = recv_frame(self.sock)
         if frame_type != REQUEST:
             raise ProtocolError(

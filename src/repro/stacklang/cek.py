@@ -597,6 +597,137 @@ def _make_stuck() -> Op:
     return op
 
 
+# -- fused superinstructions (the cek-opt backend) -----------------------------
+#
+# Each fused op implements the exact semantics of TWO consecutive ops and
+# returns ``pc + 1``, skipping its successor.  Fusion is length-preserving:
+# the successor op stays in the array untouched, so every branch/jump/thunk
+# entry that targets it directly still lands on correct code.  Failure
+# behavior is bit-identical to the unfused pair — the machine discards the
+# value stack on failure (``FailStack``), so the only observables are the
+# failure code, the heap, and the non-failure stack, all of which the fused
+# forms reproduce.  Only the step *count* differs: one transition where the
+# unfused machine takes two (fuel granularity is backend-specific throughout
+# this codebase, like segment- vs. pc-threaded machines).
+
+
+def _make_add_const(number: int) -> Op:
+    """``push n; add`` — pop one number, push ``n + it``."""
+
+    def op(pc: int, st: _OpState) -> int:
+        values = st[_V]
+        if not values or type(values[-1]) is not s.Num:
+            st[_FAILURE] = ErrorCode.TYPE
+            return -1
+        values.append(s.Num(number + values.pop().number))
+        return pc + 1
+
+    return op
+
+
+def _make_less_const(number: int) -> Op:
+    """``push n; less?`` — pop one number ``m``, push 0 if ``n < m`` else 1."""
+
+    def op(pc: int, st: _OpState) -> int:
+        values = st[_V]
+        if not values or type(values[-1]) is not s.Num:
+            st[_FAILURE] = ErrorCode.TYPE
+            return -1
+        values.append(s.Num(0) if number < values.pop().number else s.Num(1))
+        return pc + 1
+
+    return op
+
+
+def _make_const_branch(number: int, else_entry: int) -> Op:
+    """``push n; if0`` — branch statically on ``n``, no stack traffic at all."""
+
+    def op(pc: int, st: _OpState) -> int:
+        return pc + 1 if number == 0 else else_entry
+
+    return op
+
+
+def _make_var_branch(name: str, else_entry: int) -> Op:
+    """``push x; if0`` — one environment lookup feeding the branch directly."""
+
+    def op(pc: int, st: _OpState) -> int:
+        cell = st[_ENV]
+        while cell is not None:
+            if cell[0] == name:
+                value = cell[1]
+                if type(value) is not s.Num:
+                    st[_FAILURE] = ErrorCode.TYPE
+                    return -1
+                return pc + 1 if value.number == 0 else else_entry
+            cell = cell[2]
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+
+    return op
+
+
+def _make_var_call(name: str) -> Op:
+    """``push x; call`` — lookup and apply without staging through the stack.
+
+    The return address is ``pc + 1`` — the op *after* the skipped ``call`` —
+    exactly where the unfused pair would resume.
+    """
+
+    def op(pc: int, st: _OpState) -> int:
+        cell = st[_ENV]
+        while cell is not None:
+            if cell[0] == name:
+                thunk = cell[1]
+                if type(thunk) is not CThunkV:
+                    st[_FAILURE] = ErrorCode.TYPE
+                    return -1
+                st[_RSTACK].append((pc + 1, st[_ENV]))
+                st[_ENV] = thunk.environment
+                return thunk.entry
+            cell = cell[2]
+        st[_FAILURE] = ErrorCode.TYPE
+        return -1
+
+    return op
+
+
+def _fuse(ops: List[Op], trace: List[Tuple]) -> int:
+    """Rewrite hot op pairs into superinstructions; returns the pair count.
+
+    Pattern starts (``push_const``/``push_var``) and pattern seconds
+    (``add``/``less``/``if0``/``call``) are disjoint sets, so a single
+    left-to-right pass cannot double-consume an index; and because each
+    fused op bakes its semantics from the *trace* (not from neighboring op
+    objects), overlapping rewrites compose correctly.
+    """
+    fused = 0
+    for index in range(len(ops) - 1):
+        first = trace[index]
+        second = trace[index + 1]
+        if first[0] == "push_const":
+            value = first[1]
+            if type(value) is not s.Num:
+                continue
+            if second[0] == "add":
+                ops[index] = _make_add_const(value.number)
+                fused += 1
+            elif second[0] == "less":
+                ops[index] = _make_less_const(value.number)
+                fused += 1
+            elif second[0] == "if0":
+                ops[index] = _make_const_branch(value.number, second[1])
+                fused += 1
+        elif first[0] == "push_var":
+            if second[0] == "if0":
+                ops[index] = _make_var_branch(first[1], second[1])
+                fused += 1
+            elif second[0] == "call":
+                ops[index] = _make_var_call(first[1])
+                fused += 1
+    return fused
+
+
 # -- the compiler -------------------------------------------------------------
 
 
@@ -644,74 +775,136 @@ def _env_dependent(operand: object) -> bool:
     return False
 
 
-def _emit(program: s.Program, ops: List[Op], pending: List[Tuple[s.Program, List[int]]]) -> None:
+def _emit(
+    program: s.Program,
+    ops: List[Op],
+    pending: List[Tuple[s.Program, List[int]]],
+    trace: List[Tuple],
+) -> None:
+    """Append ops for ``program``, mirroring each into ``trace``.
+
+    ``trace`` records one descriptor per emitted op — what the op *is*, in
+    plain data — which is what the superinstruction fuser pattern-matches
+    over (closures are opaque).  It stays aligned with ``ops`` index for
+    index, including the backpatched ``if0``/``jump`` slots.
+    """
     for instruction in program:
         kind = type(instruction)
         if kind is s.Push:
             operand = instruction.operand
             if isinstance(operand, s.Var):
                 ops.append(_make_push_var(operand.name))
+                trace.append(("push_var", operand.name))
             elif not _env_dependent(operand):
                 # Constants (numbers, locations, var/thunk-free arrays) are
                 # resolved once at compile time.
                 resolver = _operand_resolver(operand, pending)
-                ops.append(_make_push_const(resolver(None)))
+                value = resolver(None)
+                ops.append(_make_push_const(value))
+                trace.append(("push_const", value))
             else:
                 ops.append(_make_push_resolved(_operand_resolver(operand, pending)))
+                trace.append(("push_resolved",))
         elif kind is s.Add:
             ops.append(_op_add)
+            trace.append(("add",))
         elif kind is s.Less:
             ops.append(_op_less)
+            trace.append(("less",))
         elif kind is s.If0:
             if0_index = len(ops)
             ops.append(_op_halt)  # placeholder
-            _emit(instruction.then_program, ops, pending)
+            trace.append(("halt",))  # placeholder, rewritten below
+            _emit(instruction.then_program, ops, pending, trace)
             jump_index = len(ops)
             ops.append(_op_halt)  # placeholder
+            trace.append(("halt",))  # placeholder, rewritten below
             else_entry = len(ops)
-            _emit(instruction.else_program, ops, pending)
+            _emit(instruction.else_program, ops, pending, trace)
             ops[if0_index] = _make_if0(else_entry)
+            trace[if0_index] = ("if0", else_entry)
             ops[jump_index] = _make_jump(len(ops))
+            trace[jump_index] = ("jump", len(ops))
         elif kind is s.Lam:
             ops.append(_make_lam_enter(instruction.binders))
-            _emit(instruction.body, ops, pending)
+            trace.append(("lam", instruction.binders))
+            _emit(instruction.body, ops, pending, trace)
             ops.append(_op_env_exit)
+            trace.append(("env_exit",))
         elif kind is s.Call:
             ops.append(_op_call)
+            trace.append(("call",))
         elif kind is s.Idx:
             ops.append(_op_idx)
+            trace.append(("idx",))
         elif kind is s.Len:
             ops.append(_op_len)
+            trace.append(("len",))
         elif kind is s.Alloc:
             ops.append(_op_alloc)
+            trace.append(("alloc",))
         elif kind is s.Read:
             ops.append(_op_read)
+            trace.append(("read",))
         elif kind is s.Write:
             ops.append(_op_write)
+            trace.append(("write",))
         elif kind is s.Fail:
             ops.append(_make_fail(instruction.code))
+            trace.append(("fail", instruction.code))
         else:
             # Unknown instructions are stuck at runtime, like the oracle.
             ops.append(_make_stuck())
+            trace.append(("stuck",))
 
 
 _COMPILED_CACHE: "OrderedDict[int, Tuple[s.Program, List[Op]]]" = OrderedDict()
+_FUSED_CACHE: "OrderedDict[int, Tuple[s.Program, List[Op]]]" = OrderedDict()
 _COMPILED_CACHE_CAPACITY = 512
 _compiled_hits = 0
 _compiled_misses = 0
+_fused_hits = 0
+_fused_misses = 0
+_fused_pairs = 0
 
 
-def _compile(program: s.Program) -> List[Op]:
+def _compile(program: s.Program, fuse: bool = False) -> List[Op]:
     ops: List[Op] = []
+    trace: List[Tuple] = []
     pending: List[Tuple[s.Program, List[int]]] = []
-    _emit(tuple(program), ops, pending)
+    _emit(tuple(program), ops, pending, trace)
     ops.append(_op_halt)
+    trace.append(("halt",))
     while pending:
         thunk_program, entry_cell = pending.pop()
         entry_cell[0] = len(ops)
-        _emit(thunk_program, ops, pending)
+        _emit(thunk_program, ops, pending, trace)
         ops.append(_op_return)
+        trace.append(("return",))
+    if fuse:
+        global _fused_pairs
+        _fused_pairs += _fuse(ops, trace)
     return ops
+
+
+def _compile_fused(program: s.Program) -> List[Op]:
+    """Compile with superinstruction fusion (the ``cek-opt`` op array)."""
+    return _compile(program, fuse=True)
+
+
+def _memoized_compile(program: s.Program, cache, fuse: bool) -> Tuple[List[Op], bool]:
+    """Shared id-keyed LRU lookup; returns ``(ops, was_hit)``."""
+    key = id(program)
+    entry = cache.get(key)
+    if entry is not None and entry[0] is program:
+        cache.move_to_end(key)
+        return entry[1], True
+    ops = _compile(program, fuse=fuse)
+    cache[key] = (program, ops)
+    cache.move_to_end(key)
+    while len(cache) > _COMPILED_CACHE_CAPACITY:
+        cache.popitem(last=False)
+    return ops, False
 
 
 def compile_program(program: s.Program) -> List[Op]:
@@ -722,18 +915,27 @@ def compile_program(program: s.Program) -> List[Op]:
     with ours: a program is compiled once per cache generation.
     """
     global _compiled_hits, _compiled_misses
-    key = id(program)
-    entry = _COMPILED_CACHE.get(key)
-    if entry is not None and entry[0] is program:
+    ops, hit = _memoized_compile(program, _COMPILED_CACHE, fuse=False)
+    if hit:
         _compiled_hits += 1
-        _COMPILED_CACHE.move_to_end(key)
-        return entry[1]
-    ops = _compile(program)
-    _compiled_misses += 1
-    _COMPILED_CACHE[key] = (program, ops)
-    _COMPILED_CACHE.move_to_end(key)
-    while len(_COMPILED_CACHE) > _COMPILED_CACHE_CAPACITY:
-        _COMPILED_CACHE.popitem(last=False)
+    else:
+        _compiled_misses += 1
+    return ops
+
+
+def compile_program_fused(program: s.Program) -> List[Op]:
+    """Like :func:`compile_program` with superinstruction fusion (own memo).
+
+    Separate memo, same keying discipline: the fused and unfused arrays of
+    one program coexist, so a request served by ``cek-opt`` never degrades
+    the ``cek-compiled`` cache and vice versa.
+    """
+    global _fused_hits, _fused_misses
+    ops, hit = _memoized_compile(program, _FUSED_CACHE, fuse=True)
+    if hit:
+        _fused_hits += 1
+    else:
+        _fused_misses += 1
     return ops
 
 
@@ -743,6 +945,17 @@ def compiled_cache_stats() -> Dict[str, int]:
         "hits": _compiled_hits,
         "misses": _compiled_misses,
         "capacity": _COMPILED_CACHE_CAPACITY,
+    }
+
+
+def fused_cache_stats() -> Dict[str, int]:
+    """Fused-compile memo counters plus the total superinstructions formed."""
+    return {
+        "entries": len(_FUSED_CACHE),
+        "hits": _fused_hits,
+        "misses": _fused_misses,
+        "capacity": _COMPILED_CACHE_CAPACITY,
+        "fused_pairs": _fused_pairs,
     }
 
 
@@ -772,6 +985,13 @@ class CompiledExecution:
     #: :mod:`repro.core.snapshots` for the format contract).
     SNAPSHOT_KIND = "stacklang/cek-compiled"
 
+    #: The compile paths (memoized / fresh).  :class:`OptimizedExecution`
+    #: overrides both with the fusing compiler; everything else — slicing,
+    #: snapshots, pickling — is inherited unchanged, because the fused op
+    #: array is length-preserving (every pc and thunk entry stays valid).
+    _COMPILE_CACHED = staticmethod(compile_program)
+    _COMPILE_FRESH = staticmethod(_compile)
+
     def __init__(
         self,
         program: s.Program,
@@ -783,7 +1003,9 @@ class CompiledExecution:
         # the id-keyed memo.  Other sequences compile uncached — caching a
         # per-call ``tuple(...)`` copy would just churn the LRU with dead keys.
         self.program = program if isinstance(program, tuple) else tuple(program)
-        self._code = compile_program(program) if isinstance(program, tuple) else _compile(self.program)
+        self._code = (
+            self._COMPILE_CACHED(program) if isinstance(program, tuple) else self._COMPILE_FRESH(self.program)
+        )
         heap_cells: Dict[int, object] = dict(heap or {})
         self._heap_cells = heap_cells
         self._st: _OpState = [
@@ -818,7 +1040,7 @@ class CompiledExecution:
         self.program = state["program"]
         # Unpickling makes a fresh program tuple whose id can never be looked
         # up again; compile uncached rather than churn the id-keyed memo.
-        self._code = _compile(self.program)
+        self._code = self._COMPILE_FRESH(self.program)
         self._st = state["st"]
         self._heap_cells = self._st[_HEAP]  # preserve the __init__ aliasing
         self._pc = state["pc"]
@@ -896,6 +1118,40 @@ class CompiledExecution:
         while result is None:
             result = self.step_n(max(1, self.fuel))
         return result
+
+
+class OptimizedExecution(CompiledExecution):
+    """The ``cek-opt`` machine: pc-threaded execution of *fused* op arrays.
+
+    Identical to :class:`CompiledExecution` except both compile paths run the
+    superinstruction fuser (:func:`_fuse`), so hot pairs — constant feeding
+    an ``add``/``less?``/``if0``, a variable lookup feeding an ``if0`` or a
+    ``call`` — dispatch once instead of twice.  Fusion never changes the op
+    array's length, so snapshots interoperate freely with the base machine's
+    layout assumptions; the distinct ``SNAPSHOT_KIND`` routes a snapshot back
+    to this class (and its fusing recompile) on restore.
+    """
+
+    __slots__ = ()
+
+    SNAPSHOT_KIND = "stacklang/cek-opt"
+
+    _COMPILE_CACHED = staticmethod(compile_program_fused)
+    _COMPILE_FRESH = staticmethod(_compile_fused)
+
+
+def run_optimized(
+    program: s.Program,
+    heap: Optional[Dict[int, s.Value]] = None,
+    stack: Optional[List[s.Value]] = None,
+    fuel: int = 100_000,
+) -> MachineResult:
+    """Run ``program`` on the superinstruction-fused machine (``cek-opt``).
+
+    Observables (status, error code, stack, heap) match every other backend;
+    each fused pair consumes one fuel step instead of two.
+    """
+    return OptimizedExecution(program, heap=heap, stack=stack, fuel=fuel).run()
 
 
 def run_compiled(

@@ -10,8 +10,8 @@ unreachable from compiled well-typed programs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.errors import ErrorCode, StuckError
 from repro.core.snapshots import check_snapshot, make_snapshot
@@ -23,7 +23,6 @@ from repro.stacklang.syntax import (
     Fail,
     Idx,
     If0,
-    Instruction,
     Lam,
     Len,
     Less,

@@ -1,0 +1,503 @@
+"""The static-analysis tier: analyses, verified optimizing backend, serving.
+
+Four layers of guarantees:
+
+* **analyses** — crossing-site enumeration matches the workload generators'
+  known boundary counts (with types, rules, and depths attached), effect
+  summaries report exactly the operations a program can perform, and reports
+  are plain data that survive pickling;
+* **verification** — the StackLang stack-effect verifier statically rejects
+  definite underflow with a structured error (and that rejection surfaces as
+  a *frontend* error through the pipeline, like a typecheck failure), while
+  never rejecting any known-good corpus program (no false positives);
+* **the optimizing backend** — ``cek-opt`` agrees with the substitution
+  oracle on values, failures, *and* fuel exhaustion (hypothesis-driven over
+  random programs in all three systems), and the LCVM source-to-source
+  optimizer is raw-heap-preserving: the optimized program's post-``callgc``
+  heap equals the original's address-for-address on the GC-precision suite;
+* **glue pre-resolution + serving** — the compile phase performs zero
+  dynamic convertibility lookups when pre-resolution is on (counter
+  differential against the ``preresolve=False`` baseline), ``analyze_only``
+  requests return the cached report without starting an execution (and
+  without consuming admission slots), and cost hints weigh the pool's
+  load-aware placement deterministically.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import analysis
+from repro.analysis import (
+    CROSSING_STEP_COST,
+    StaticVerificationError,
+    enumerate_crossings,
+    lcvm_effects,
+    optimize,
+    verify_program,
+)
+from repro.core.errors import SourceError
+from repro.interop_affine import make_system as make_affine_system
+from repro.interop_l3 import make_system as make_l3_system
+from repro.interop_refs import make_system as make_refs_system
+from repro.lcvm import cek as lcvm_cek
+from repro.lcvm import machine as lcvm_machine
+from repro.lcvm.machine import Status
+from repro.lcvm.syntax import (
+    App,
+    Assign,
+    BinOp,
+    CallGc,
+    Deref,
+    Fst,
+    If,
+    Inl,
+    Int,
+    Lam,
+    Let,
+    Match,
+    NewRef,
+    Pair,
+    Var,
+)
+from repro.serve import Request, make_default_scheduler
+from repro.serve.pool import WorkerPool
+from repro.stacklang import cek as stack_cek
+from repro.stacklang.syntax import Add, Idx, Push, program
+from repro.util.workloads import (
+    nested_ml_affi_boundary,
+    nested_ml_l3_boundary,
+    nested_refll_boundary,
+)
+
+_SYSTEMS = {
+    "refs": make_refs_system(),
+    "affine": make_affine_system(),
+    "l3": make_l3_system(),
+}
+
+#: Per system: workload generator, host language, crossings per depth unit.
+_WORKLOADS = {
+    "refs": (nested_refll_boundary, "RefLL", 2),
+    "affine": (nested_ml_affi_boundary, "MiniML", 2),
+    "l3": (nested_ml_l3_boundary, "MiniML", 1),
+}
+
+
+# ---------------------------------------------------------------------------
+# Analyses: crossings, effects, reports
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("system_name", sorted(_WORKLOADS))
+@pytest.mark.parametrize("depth", [1, 3, 7])
+def test_crossing_enumeration_matches_workload_shape(system_name, depth):
+    generator, language, per_depth = _WORKLOADS[system_name]
+    system = _SYSTEMS[system_name]
+    unit = system.compile_source(language, generator(depth))
+    report = unit.analysis
+    assert report is not None
+    assert report.crossing_count == depth * per_depth
+    # Crossings alternate host languages and record the embedded type pair.
+    languages = {system.language_a.name, system.language_b.name}
+    for site in report.crossings:
+        assert site.host_language in languages
+        assert site.host_type
+        assert site.foreign_type
+    # Pre-resolution is on by default, so every site carries its glue rule.
+    assert all(site.rule for site in report.crossings)
+    # refs/affine truly nest (each level wraps the previous source inside a
+    # boundary pair, so depth climbs); l3 chains sibling crossings at depth 0.
+    max_depth = max(site.depth for site in report.crossings)
+    if system_name == "l3":
+        assert max_depth == 0
+    else:
+        assert max_depth >= depth
+    assert report.estimated_steps == report.node_count + CROSSING_STEP_COST * report.crossing_count
+
+
+def test_pure_program_reports_no_crossings_and_no_effects():
+    system = _SYSTEMS["affine"]
+    report = system.compile_source("MiniML", "(+ 1 (+ 2 3))").analysis
+    assert report.crossing_count == 0
+    assert not report.effects.allocates
+    assert not report.effects.may_diverge
+    assert report.verified
+    # Constant folding collapses pure arithmetic to a single literal.
+    assert report.optimized_node_count < report.node_count
+
+
+def test_lcvm_effect_summary_flags_each_operation():
+    assert not lcvm_effects(BinOp("+", Int(1), Int(2))).allocates
+    assert lcvm_effects(NewRef(Int(1))).allocates
+    assert lcvm_effects(Deref(NewRef(Int(1)))).reads_refs
+    assert lcvm_effects(Assign(NewRef(Int(1)), Int(2))).writes_refs
+    assert lcvm_effects(CallGc()).calls_gc
+    assert lcvm_effects(App(Lam("x", Var("x")), Int(1))).may_diverge
+    assert not lcvm_effects(Int(1)).may_fail
+
+
+def test_reports_are_plain_picklable_data():
+    system = _SYSTEMS["l3"]
+    report = system.compile_source("MiniML", nested_ml_l3_boundary(2)).analysis
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone.to_dict() == report.to_dict()
+    payload = report.to_dict()
+    assert payload["crossing_count"] == 2
+    assert isinstance(payload["effects"], dict)
+    assert "ref" in payload["crossings"][0]["host_type"]
+
+
+def test_enumerate_crossings_nests_depths():
+    unit = _SYSTEMS["refs"].compile_source("RefLL", nested_refll_boundary(3))
+    sites = enumerate_crossings(
+        unit.term, host_language="RefLL", languages=("RefHL", "RefLL")
+    )
+    assert [site.depth for site in sites] == sorted(site.depth for site in sites)
+
+
+# ---------------------------------------------------------------------------
+# StackLang stack-effect verification
+# ---------------------------------------------------------------------------
+
+
+def test_verifier_rejects_crafted_underflow_with_structured_issue():
+    verification = verify_program(program(Add()))
+    assert not verification.ok
+    (issue,) = verification.errors
+    assert issue.kind == "underflow"
+    assert issue.needed == 2
+    assert issue.available == 0
+    assert "underflow" in str(issue)
+
+
+def test_verifier_accepts_all_compiled_corpus_programs():
+    for system_name, (generator, language, _per_depth) in _WORKLOADS.items():
+        unit = _SYSTEMS[system_name].compile_source(language, generator(4))
+        if system_name == "refs":  # the stacklang-targeting system
+            assert verify_program(unit.target_code).ok
+
+
+def test_underflow_is_a_structured_frontend_error_through_the_pipeline():
+    """A compiler emitting an underflowing program is rejected *statically*
+    by the analyzer hook — the machine never runs it — and the rejection is
+    a SourceError like any parse/typecheck failure."""
+    system = make_refs_system()  # fresh: we sabotage its compiler
+    frontend = system.frontend("RefLL")
+    frontend.compile = lambda term: program(Idx(), Push(Int(0) if False else 0))
+    frontend.clear_cache()
+    with pytest.raises(StaticVerificationError) as excinfo:
+        system.compile_source("RefLL", "1")
+    assert isinstance(excinfo.value, SourceError)
+    assert excinfo.value.issues
+    assert excinfo.value.issues[0].kind == "underflow"
+
+
+def test_verifier_handles_branches_and_thunks():
+    from repro.stacklang.syntax import If0, Lam as StackLam
+
+    # Balanced branches from a known depth verify cleanly.
+    ok = verify_program(program(Push(1), If0((Push(2),), (Push(3),))))
+    assert ok.ok
+    # A thunk body underflowing is caught inside the lambda.
+    bad = verify_program(program(Push(1), StackLam(("x",), (Add(),))))
+    assert not bad.ok
+    assert any("thunk" in issue.location or issue.kind == "underflow" for issue in bad.errors)
+
+
+# ---------------------------------------------------------------------------
+# cek-opt == substitution oracle (values, failures, fuel exhaustion)
+# ---------------------------------------------------------------------------
+
+
+def _sources(system_name):
+    generator, _language, _per_depth = _WORKLOADS[system_name]
+    leaves = st.integers(0, 5).map(str)
+
+    def extend(child):
+        return st.one_of(
+            st.builds("(+ {} {})".format, child, child),
+            st.builds(lambda inner, d: generator(d).replace("1", inner, 1), child, st.integers(1, 3)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=5)
+
+
+@pytest.mark.parametrize("system_name", sorted(_WORKLOADS))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_cek_opt_matches_substitution_oracle(system_name, data):
+    system = _SYSTEMS[system_name]
+    _generator, language, _per_depth = _WORKLOADS[system_name]
+    source = data.draw(_sources(system_name))
+    try:
+        unit = system.compile_source(language, source)
+    except SourceError:
+        return  # frontend rejection is backend-independent by construction
+    oracle = system.run_compiled(unit.target_code, fuel=500_000, backend="substitution")
+    opt = system.run_compiled(unit.target_code, fuel=500_000, backend="cek-opt")
+    assert opt.value == oracle.value, source
+    assert opt.failure == oracle.failure, source
+
+
+@pytest.mark.parametrize("system_name", sorted(_WORKLOADS))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(fuel=st.integers(min_value=1, max_value=40))
+def test_cek_opt_fuel_exhaustion_is_structured(system_name, fuel):
+    """Starved of fuel, cek-opt either finishes with the oracle's exact
+    outcome or reports structured fuel exhaustion — never a wrong answer."""
+    generator, language, _per_depth = _WORKLOADS[system_name]
+    system = _SYSTEMS[system_name]
+    unit = system.compile_source(language, generator(6))
+    oracle = system.run_compiled(unit.target_code, fuel=500_000, backend="substitution")
+    opt = system.run_compiled(unit.target_code, fuel=fuel, backend="cek-opt")
+    if opt.failure == Status.OUT_OF_FUEL.value:
+        assert opt.steps <= fuel
+    else:
+        assert (opt.value, opt.failure) == (oracle.value, oracle.failure)
+
+
+def test_cek_opt_registered_in_all_three_systems_without_changing_default():
+    for system in _SYSTEMS.values():
+        assert "cek-opt" in system.target.backend_names()
+        assert "cek-opt" in system.target.executions
+        assert "cek-opt" in system.target.restores
+        assert system.target.default_backend == "cek-compiled"
+
+
+def test_typecheck_failure_path_is_backend_independent():
+    system = _SYSTEMS["affine"]
+    with pytest.raises(SourceError):
+        system.run_source("MiniML", "(boundary int (ref 1))", backend="cek-opt")
+    with pytest.raises(SourceError):
+        system.run_source("MiniML", "(boundary int (ref 1))", backend="substitution")
+
+
+# ---------------------------------------------------------------------------
+# The LCVM optimizer is raw-heap-preserving
+# ---------------------------------------------------------------------------
+
+_GC_PROGRAMS = [
+    Let(
+        "keep",
+        NewRef(Int(1)),
+        Let("dead", NewRef(Int(2)), Let("_", CallGc(), Deref(Var("keep")))),
+    ),
+    Let(
+        "dead",
+        NewRef(Int(7)),
+        Let("f", Lam("x", Var("x")), Let("_", CallGc(), App(Var("f"), Int(3)))),
+    ),
+    Let(
+        "a",
+        NewRef(Int(1)),
+        Match(Inl(Int(0)), "x", Let("_", CallGc(), Int(9)), "y", Deref(Var("a"))),
+    ),
+    Let("p", Pair(NewRef(Int(4)), Int(0)), Let("_", CallGc(), Deref(Fst(Var("p"))))),
+    Let("c", If(Int(0), NewRef(Int(5)), NewRef(Int(6))), Let("_", CallGc(), Deref(Var("c")))),
+]
+
+
+@pytest.mark.parametrize(
+    "expr", _GC_PROGRAMS, ids=[str(expr)[:48] for expr in _GC_PROGRAMS]
+)
+def test_optimizer_preserves_raw_postgc_heaps(expr):
+    base = lcvm_machine.run(expr, fuel=500_000)
+    opt = lcvm_machine.run(optimize(expr), fuel=500_000)
+    assert opt.value == base.value
+    assert dict(opt.heap.cells) == dict(base.heap.cells)
+    assert opt.heap.collections == base.heap.collections
+    assert opt.heap.reclaimed == base.heap.reclaimed
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        (BinOp("+", Int(2), Int(3)), Int(5)),
+        (BinOp("<", Int(1), Int(2)), Int(0)),
+        (If(Int(0), Int(7), Int(8)), Int(7)),
+        (Let("x", Int(4), BinOp("*", Var("x"), Var("x"))), Int(16)),
+        (Match(Inl(Int(3)), "x", Var("x"), "y", Int(0)), Int(3)),
+    ],
+)
+def test_optimizer_folds_closed_constants(expr, expected):
+    assert optimize(expr) == expected
+
+
+def test_optimizer_keeps_effectful_bindings():
+    expr = Let("dead", NewRef(Int(1)), Int(2))
+    assert optimize(expr) == expr  # the allocation is observable (heap shape)
+
+
+def test_optimizer_declines_open_scrutinee_match_fold():
+    open_match = Match(Inl(Lam("x", Var("free"))), "l", Var("l"), "r", Int(0))
+    optimized = optimize(open_match)
+    assert isinstance(optimized, Match)  # capture-unsafe fold must not fire
+
+
+# ---------------------------------------------------------------------------
+# StackLang superinstruction fusion
+# ---------------------------------------------------------------------------
+
+
+def test_fused_compile_is_length_preserving_and_counted():
+    system = _SYSTEMS["refs"]
+    unit = system.compile_source("RefLL", nested_refll_boundary(4))
+    before = stack_cek.fused_cache_stats()["fused_pairs"]
+    plain = stack_cek._compile(unit.target_code)
+    fused = stack_cek._compile_fused(unit.target_code)
+    assert len(plain) == len(fused)
+    assert stack_cek.fused_cache_stats()["fused_pairs"] > before
+
+
+def test_run_optimized_agrees_on_values_and_failures():
+    system = _SYSTEMS["refs"]
+    for source in ["(+ 1 2)", nested_refll_boundary(5), "(! (ref 9))"]:
+        unit = system.compile_source("RefLL", source)
+        base = system.run_compiled(unit.target_code, backend="cek-compiled")
+        opt = system.run_compiled(unit.target_code, backend="cek-opt")
+        assert (opt.value, opt.failure) == (base.value, base.failure)
+        assert opt.steps <= base.steps
+
+
+# ---------------------------------------------------------------------------
+# Glue pre-resolution counters
+# ---------------------------------------------------------------------------
+
+_FACTORIES = {
+    "refs": make_refs_system,
+    "affine": make_affine_system,
+    "l3": make_l3_system,
+}
+
+
+@pytest.mark.parametrize("system_name", sorted(_FACTORIES))
+def test_preresolution_eliminates_compile_phase_lookups(system_name):
+    generator, language, per_depth = _WORKLOADS[system_name]
+    depth = 4
+    source = generator(depth)
+
+    def compile_phase_stats(preresolve):
+        system = _FACTORIES[system_name](preresolve=preresolve)
+        frontend = system.frontend(language)
+        term = frontend.parse_expr(source)
+        frontend.typecheck(term)
+        system.convertibility.reset_stats()
+        frontend.compile(term)
+        return system.convertibility.stats()
+
+    on = compile_phase_stats(True)
+    off = compile_phase_stats(False)
+    crossings = depth * per_depth
+    assert on["lookups"] == 0  # zero per-crossing dynamic lookups
+    assert on["preresolved"] == crossings
+    assert off["preresolved"] == 0
+    assert off["lookups"] == crossings  # the dynamic baseline pays per site
+
+
+@pytest.mark.parametrize("system_name", sorted(_FACTORIES))
+def test_cache_stats_surface_convertibility_counters(system_name):
+    system = _FACTORIES[system_name]()
+    generator, language, _per_depth = _WORKLOADS[system_name]
+    system.compile_source(language, generator(2))
+    stats = system.cache_stats()["convertibility"]
+    for key in ("entries", "hits", "misses", "lookups", "preresolved"):
+        assert key in stats
+    assert stats["preresolved"] > 0
+
+
+@pytest.mark.parametrize("system_name", sorted(_FACTORIES))
+def test_preresolve_off_is_observation_equivalent(system_name):
+    generator, language, _per_depth = _WORKLOADS[system_name]
+    source = generator(3)
+    on = _FACTORIES[system_name]().run_source(language, source)
+    off = _FACTORIES[system_name](preresolve=False).run_source(language, source)
+    assert (on.value, on.failure, on.steps) == (off.value, off.failure, off.steps)
+
+
+# ---------------------------------------------------------------------------
+# Serving integration: analyze_only, admission, cost-weighted placement
+# ---------------------------------------------------------------------------
+
+
+def test_analyze_only_returns_report_without_executing():
+    scheduler = make_default_scheduler(slice_steps=16)
+    response = scheduler.submit(
+        Request(language="MiniML", system="affine", source=nested_ml_affi_boundary(3), analyze_only=True)
+    )
+    assert response.error is None
+    assert response.result is None  # nothing ran
+    assert response.slices == 0
+    assert response.report is not None
+    assert response.report["crossing_count"] == 6
+    assert response.report["estimated_steps"] > 0
+    assert response.report["effects"]["may_diverge"] is False
+    assert "analyzed" in str(response)
+    # The report is exactly the pipeline-cached unit's analysis.
+    unit = scheduler.systems["affine"].compile_source("MiniML", nested_ml_affi_boundary(3))
+    assert response.report == unit.analysis.to_dict()
+
+
+def test_analyze_only_requests_do_not_consume_admission_slots():
+    scheduler = make_default_scheduler(slice_steps=16, max_inflight=1)
+    responses = scheduler.serve(
+        [
+            Request(language="RefLL", source="(+ 1 1)", analyze_only=True),
+            Request(language="RefLL", source="(+ 1 2)"),
+            Request(language="RefLL", source="(+ 1 3)"),
+        ]
+    )
+    assert responses[0].report is not None and not responses[0].rejected_overload
+    assert responses[1].result is not None  # the single inflight slot
+    assert responses[2].rejected_overload  # the true overflow tail
+
+
+def test_analyze_only_never_coalesces_and_frontend_errors_stay_structured():
+    scheduler = make_default_scheduler(slice_steps=16)
+    good = Request(language="RefLL", source="(+ 1 1)", analyze_only=True)
+    assert scheduler.batch_key(good) is None
+    responses = scheduler.serve_batched([good, good])
+    assert all(response.report is not None for response in responses)
+    bad = scheduler.submit(
+        Request(language="MiniML", system="affine", source="(boundary int (ref 1))", analyze_only=True)
+    )
+    assert bad.error is not None and bad.report is None
+
+
+def test_analysis_rides_the_cross_process_artifact_hooks():
+    scheduler = make_default_scheduler(slice_steps=16)
+    request = Request(language="RefLL", source=nested_refll_boundary(2))
+    store_key = scheduler.pipeline_key(request)
+    scheduler.systems["refs"].compile_source("RefLL", request.source)
+    unit = scheduler.export_cache_entry(store_key)
+    assert unit is not None and unit.analysis is not None
+    clone = pickle.loads(pickle.dumps(unit))  # what the pool actually ships
+    assert clone.analysis.to_dict() == unit.analysis.to_dict()
+
+
+def test_cost_hint_weighs_load_aware_placement():
+    pool = WorkerPool(workers=2, slice_steps=64, balance_load=True, top_k=2)
+    try:
+        cheap = Request(language="RefLL", source="(+ 1 1)")
+        costly = Request(language="RefLL", source="(+ 1 1)", cost_hint=64 * 64)
+        assert pool._weight(cheap) == 1
+        assert pool._weight(costly) == 1 + min(8, (64 * 64) // 64)
+        assert pool._weight(Request(language="RefLL", source="1", cost_hint=0)) == 1
+        # Deterministic: same hint, same weight, same placement inputs.
+        assert pool._weight(costly) == pool._weight(costly)
+    finally:
+        pool.close()
+
+
+def test_estimated_steps_track_actual_cost_ordering():
+    """The admission hint's ordering matches reality: a deeper crossing
+    workload gets a larger estimate *and* really takes more steps."""
+    system = _SYSTEMS["l3"]
+    shallow = system.compile_source("MiniML", nested_ml_l3_boundary(2))
+    deep = system.compile_source("MiniML", nested_ml_l3_boundary(8))
+    assert deep.analysis.estimated_steps > shallow.analysis.estimated_steps
+    shallow_run = system.run_compiled(shallow.target_code)
+    deep_run = system.run_compiled(deep.target_code)
+    assert deep_run.steps > shallow_run.steps
