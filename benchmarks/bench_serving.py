@@ -78,9 +78,21 @@ into structured drops by the per-attempt frame deadline):
 
     PYTHONPATH=src python benchmarks/bench_serving.py --check --pool --net
     PYTHONPATH=src python benchmarks/bench_serving.py --check --net --chaos
+
+With ``--qos`` a multi-tenant load section drives a *generated* mixed-tenant
+batch (the differential fuzzer's seeded well-typed programs plus the
+promoted legacy corpus entries, identical workload mix per priority class)
+through the weighted driver at a small slice size and reports p50/p99
+latency per priority class.  The gate requires high-priority p99 strictly
+below best-effort p99 under contention, identical results to the sequential
+baseline (weights shape latency, never outcomes), and the slice budget
+intact under weighted scheduling:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --check --qos
 """
 
 import json
+import math
 import os
 import pickle
 import sys
@@ -89,6 +101,7 @@ import time
 from dataclasses import replace
 
 from repro.serve import (
+    PRIORITY_WEIGHTS,
     CheckpointCorrupt,
     CheckpointStore,
     DispatchPolicy,
@@ -167,6 +180,27 @@ NET_SKEW_COPIES = 10
 #: 32-step slice, or a cold compile) so healthy endpoints never trip it.
 NET_ATTEMPT_TIMEOUT_SECONDS = 0.25
 NET_SLOW_SECONDS = 1.0
+#: QoS section (``--qos``): the generated mixed-tenant batch.  A small slice
+#: size keeps every tenant mid-run for many turns, so the weighted driver
+#: actually arbitrates contention; the seed pins the fuzz generator's
+#: contribution so the batch is identical across runs and machines.
+QOS_SLICE_STEPS = 32
+QOS_SEED = 20260808
+QOS_CLASSES = ("high", "standard", "best-effort")
+#: Generated well-typed programs per priority class (every class gets the
+#: *same* programs, so per-class latency is comparable).
+QOS_GENERATED_PER_CLASS = 8
+#: Legacy corpus depths folded into each class's workload mix.
+QOS_LEGACY_DEPTHS = (12, 24)
+#: One deliberately long-running tenant per class: the refs Landin's knot at
+#: this fuel is ~375 slices of ballast at QOS_SLICE_STEPS, the contention
+#: that separates the classes' p99s (the knot dominates each class's p99, and
+#: a weight-8 tenant clears it ~8x sooner in scheduler turns than a weight-1
+#: tenant, so the gate's margin is structural, not timing luck).
+QOS_BALLAST_FUEL = 12_000
+#: Latency passes; per-class percentiles are the median across passes so a
+#: single noisy pass cannot flip the gate.
+QOS_REPEATS = 3
 
 
 def make_requests(deep: int = DEEP, shallow: int = SHALLOW):
@@ -1121,6 +1155,126 @@ def collect_checkpoint_report() -> dict:
     }
 
 
+def _percentile(values, q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _qos_case_pool():
+    """The per-class workload mix: generated fuzz cases + legacy corpus.
+
+    Every priority class runs the *same* programs, so class latency
+    distributions differ only by scheduling weight.  The generated slice is
+    the fuzzer's first ``QOS_GENERATED_PER_CLASS`` well-typed ``ok`` cases
+    under the pinned seed; the legacy slice is the promoted
+    ``util.workloads`` corpus entries at two depths; the ballast is one
+    genuinely divergent knot per class, fuel-bounded to ~125 slices — the
+    long-running tenant whose neighbours' p99 the weights protect.
+    """
+    from repro.fuzz import DIVERGENT_SOURCES, FuzzGenerator, legacy_corpus_entries
+
+    generator = FuzzGenerator(seed=QOS_SEED)
+    generated = []
+    while len(generated) < QOS_GENERATED_PER_CLASS:
+        case = generator.next_case()
+        if case.kind == "ok":
+            generated.append(case)
+    pool = [(case.system, case.language, case.source, case.fuel) for case in generated]
+    for case in legacy_corpus_entries(depths=QOS_LEGACY_DEPTHS):
+        pool.append((case.system, case.language, case.source, case.fuel))
+    knot_language, knot_source = DIVERGENT_SOURCES["refs"]
+    pool.append(("refs", knot_language, knot_source, QOS_BALLAST_FUEL))
+    return pool
+
+
+def make_qos_requests():
+    """The mixed-tenant batch: one request per (case, priority class).
+
+    Classes are interleaved case-by-case (not block-by-block) so no class
+    gets a positional head start on the event loop.
+    """
+    requests = []
+    for index, (system, language, source, fuel) in enumerate(_qos_case_pool()):
+        for priority in QOS_CLASSES:
+            requests.append(
+                Request(
+                    language=language,
+                    source=source,
+                    system=system,
+                    fuel=fuel,
+                    priority=priority,
+                    request_id=f"qos-{priority}-{index}",
+                )
+            )
+    return requests
+
+
+def collect_qos_report() -> dict:
+    """Weighted multi-tenant serving: per-class p50/p99 under contention.
+
+    Gates: (1) weighted interleaving is observably identical to the
+    sequential baseline — priority shapes latency, never outcomes; (2) the
+    bounded-latency slice budget survives weighted scheduling; (3) under
+    contention, high-priority p99 is strictly below best-effort p99.
+    """
+    scheduler = make_default_scheduler(slice_steps=QOS_SLICE_STEPS)
+    requests = make_qos_requests()
+    scheduler.warm_cache(requests)
+
+    sequential = scheduler.serve_sequential(requests)
+    interleaved = scheduler.serve(requests)
+    mismatches = [
+        request.request_id
+        for request, seq, inter in zip(requests, sequential, interleaved)
+        if _observable(seq) != _observable(inter)
+    ]
+    slice_violations = _slice_budget_violations(interleaved, QOS_SLICE_STEPS)
+
+    passes = [interleaved]
+    for _ in range(QOS_REPEATS - 1):
+        passes.append(scheduler.serve(requests))
+
+    class_stats = {}
+    for priority in QOS_CLASSES:
+        p50s, p99s, means = [], [], []
+        for responses in passes:
+            latencies = [
+                response.run_seconds
+                for response in responses
+                if response.request.priority == priority
+            ]
+            p50s.append(_percentile(latencies, 50))
+            p99s.append(_percentile(latencies, 99))
+            means.append(sum(latencies) / len(latencies))
+        class_stats[priority] = {
+            "weight": PRIORITY_WEIGHTS[priority],
+            "count": sum(1 for request in requests if request.priority == priority),
+            "p50_ms": _percentile(p50s, 50) * 1e3,
+            "p99_ms": _percentile(p99s, 50) * 1e3,  # median across passes
+            "mean_ms": _percentile(means, 50) * 1e3,
+        }
+    qos_ok = (
+        not mismatches
+        and not slice_violations
+        and class_stats["high"]["p99_ms"] < class_stats["best-effort"]["p99_ms"]
+    )
+    return {
+        "seed": QOS_SEED,
+        "slice_steps": QOS_SLICE_STEPS,
+        "repeats": QOS_REPEATS,
+        "requests": len(requests),
+        "tenants_per_class": len(requests) // len(QOS_CLASSES),
+        "classes": class_stats,
+        "results_match": not mismatches,
+        "mismatches": mismatches,
+        "slice_budget_ok": not slice_violations,
+        "slice_budget_violations": slice_violations,
+        "ok": qos_ok,
+    }
+
+
 def collect_json_report() -> dict:
     scheduler = make_default_scheduler(slice_steps=SLICE_STEPS)
     requests = make_requests()
@@ -1236,6 +1390,7 @@ def main(argv) -> int:
     with_pool = "--pool" in argv
     with_chaos = "--chaos" in argv
     with_net = "--net" in argv
+    with_qos = "--qos" in argv
     output = JSON_REPORT
     if "--output" in argv:
         output = argv[argv.index("--output") + 1]
@@ -1250,6 +1405,8 @@ def main(argv) -> int:
         report["net"] = collect_net_report()
         if with_chaos:
             report["net"]["chaos"] = collect_net_chaos_report()
+    if with_qos:
+        report["qos"] = collect_qos_report()
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -1326,6 +1483,16 @@ def main(argv) -> int:
             f"deadline_exceeded={chaos['deadline_exceeded']}, "
             f"overload shed {chaos['overload']['shed']}, "
             f"store faults fired {chaos['store_faults']['fired']}"
+        )
+    if with_qos:
+        qos = report["qos"]
+        per_class = ", ".join(
+            f"{name}: p50 {stats['p50_ms']:.1f}ms / p99 {stats['p99_ms']:.1f}ms (w{stats['weight']})"
+            for name, stats in qos["classes"].items()
+        )
+        print(
+            f"qos ({qos['requests']} requests, {qos['tenants_per_class']} tenants/class, "
+            f"slice {qos['slice_steps']}, seed {qos['seed']}): {per_class}"
         )
     print(f"wrote {output}")
 
@@ -1480,6 +1647,30 @@ def main(argv) -> int:
             print(
                 "REGRESSION: checkpoint-store faults were not handled structurally: "
                 + json.dumps(chaos["store_faults"]),
+                file=sys.stderr,
+            )
+            failed = True
+    if with_qos:
+        qos = report["qos"]
+        if qos["mismatches"]:
+            print(
+                "MISMATCH: weighted QoS results diverge from sequential on: "
+                + ", ".join(qos["mismatches"]),
+                file=sys.stderr,
+            )
+            failed = True
+        if not qos["slice_budget_ok"]:
+            print(
+                "REGRESSION: weighted scheduling broke the slice budget: "
+                + json.dumps(qos["slice_budget_violations"]),
+                file=sys.stderr,
+            )
+            failed = True
+        if not qos["classes"]["high"]["p99_ms"] < qos["classes"]["best-effort"]["p99_ms"]:
+            print(
+                "REGRESSION: high-priority p99 did not beat best-effort under contention "
+                f"(high {qos['classes']['high']['p99_ms']:.2f}ms >= "
+                f"best-effort {qos['classes']['best-effort']['p99_ms']:.2f}ms)",
                 file=sys.stderr,
             )
             failed = True

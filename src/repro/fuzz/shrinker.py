@@ -1,0 +1,106 @@
+"""Greedy structural shrinking of a disagreeing fuzz case.
+
+The shrinker never re-parses source: it rewrites the generator's
+construction tree, which is well-typed by construction, so every shrink
+candidate is itself a valid (int-typed) program.  Two rewrites are tried at
+every node position, biggest reduction first:
+
+1. **hoist a child** — replace the node with one of its subtrees;
+2. **collapse to a literal** — replace the node with the leaf ``1``.
+
+A candidate is kept when the caller's predicate still holds (for real
+fuzzing: "the oracle still reports a disagreement on the same axis").  The
+pass restarts from the root after every accepted rewrite and stops at a
+fixpoint, so the result is 1-minimal with respect to these rewrites: no
+single hoist or collapse preserves the disagreement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.fuzz.generator import FuzzCase, Node, leaf
+
+Path = Tuple[int, ...]
+Predicate = Callable[[FuzzCase], bool]
+
+#: Safety valve: structural shrinking strictly decreases node count, so this
+#: bound is never hit on trees the generator emits; it guards predicates
+#: with pathological nondeterminism from looping forever.
+MAX_ROUNDS = 10_000
+
+
+def positions(tree: Node) -> List[Path]:
+    """Every node position, root first, in deterministic preorder."""
+    found: List[Path] = []
+
+    def walk(node: Node, path: Path) -> None:
+        found.append(path)
+        for index, child in enumerate(node.children):
+            walk(child, path + (index,))
+
+    walk(tree, ())
+    return found
+
+
+def subtree(tree: Node, path: Path) -> Node:
+    node = tree
+    for index in path:
+        node = node.children[index]
+    return node
+
+
+def replace_at(tree: Node, path: Path, replacement: Node) -> Node:
+    if not path:
+        return replacement
+    head, rest = path[0], path[1:]
+    children = list(tree.children)
+    children[head] = replace_at(children[head], rest, replacement)
+    return Node(template=tree.template, children=tuple(children), literal=tree.literal)
+
+
+def _candidates(node: Node) -> List[Node]:
+    """Replacement candidates for one node, biggest reduction first."""
+    options = [child for child in sorted(node.children, key=lambda c: c.size())]
+    if node.literal is None or node.literal != "1":
+        options.append(leaf(1))
+    return options
+
+
+def shrink(case: FuzzCase, predicate: Predicate, max_rounds: int = MAX_ROUNDS) -> FuzzCase:
+    """The smallest case (under greedy rewrites) still satisfying ``predicate``.
+
+    ``case`` itself must satisfy the predicate; cases without a construction
+    tree (corpus reloads, hand-written divergent/static templates) are
+    returned unchanged — there is no structure to rewrite.
+    """
+    if case.tree is None:
+        return case
+    current = case
+    for _ in range(max_rounds):
+        improved = False
+        for path in positions(current.tree):
+            node = subtree(current.tree, path)
+            for replacement in _candidates(node):
+                if replacement.size() >= node.size():
+                    continue
+                candidate = current.with_tree(replace_at(current.tree, path, replacement))
+                if predicate(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            return current
+    return current
+
+
+def same_axis_predicate(oracle, axis: str) -> Predicate:
+    """The standard shrinking predicate: still disagreeing, same axis."""
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        found = oracle.check(candidate)
+        return found is not None and found.axis == axis
+
+    return still_fails

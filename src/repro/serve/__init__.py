@@ -9,9 +9,11 @@ multi-tenant service front:
 * :class:`~repro.serve.driver.StepSlicedDriver` — the async interleaving
   driver: every admitted program becomes a resumable execution (every
   registered backend is ``step_n``-capable — the substitution oracles and
-  the big-step evaluator included) and many of them advance round-robin on
-  one asyncio event loop, none exceeding ``slice_steps`` transitions per
-  turn;
+  the big-step evaluator included) and many of them advance on one asyncio
+  event loop — round-robin by default, or weighted by the request's QoS
+  ``priority`` class (``PRIORITY_WEIGHTS``) so high-priority tenants get
+  more consecutive slices per turn under contention — none exceeding
+  ``slice_steps`` transitions per slice;
 * :class:`~repro.serve.scheduler.Scheduler` — admission, language routing
   across the three case-study systems, batch serving (interleaved,
   sequential, or batched — identical requests coalesced onto one VM
@@ -70,14 +72,23 @@ from repro.serve.reliability import (
     DispatchPolicy,
     RetryPolicy,
 )
-from repro.serve.request import DEFAULT_FUEL, Request, Response
+from repro.serve.request import (
+    DEFAULT_FUEL,
+    DEFAULT_PRIORITY,
+    PRIORITY_WEIGHTS,
+    Request,
+    Response,
+    priority_weight,
+)
 from repro.serve.ring import DEFAULT_VIRTUAL_NODES, HashRing
 from repro.serve.scheduler import PreparedRequest, Scheduler, make_default_scheduler
 from repro.serve.wire import WIRE_VERSION, ConnectionDropped, ProtocolError, WireError
 
 __all__ = [
     "DEFAULT_FUEL",
+    "DEFAULT_PRIORITY",
     "DEFAULT_VIRTUAL_NODES",
+    "PRIORITY_WEIGHTS",
     "FAULT_SITES",
     "WIRE_VERSION",
     "AdmissionController",
@@ -107,6 +118,7 @@ __all__ = [
     "WorkerPool",
     "default_scheduler_factory",
     "make_default_scheduler",
+    "priority_weight",
     "shard_of",
     "static_shard_of",
 ]

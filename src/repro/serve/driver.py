@@ -17,6 +17,15 @@ neighbours do.  The serving tests assert the inequality per response and
 completion inside one slice (the old ``BlockingExecution`` behaviour)
 violates it on any deep program.
 
+Round-robin is the *uniform* special case of weighted scheduling: the async
+entry points accept per-execution integer ``weights``, and each event-loop
+turn grants an execution up to ``weight`` consecutive slices before
+yielding.  The serving layer maps :attr:`repro.serve.request.Request.priority`
+classes onto these weights (high = 8, standard = 2, best-effort = 1), which
+is what ``bench_serving.py --qos`` gates: under contention, high-priority
+p99 latency strictly beats best-effort — with identical results to
+sequential execution, because weights shape latency, never outcomes.
+
 Deadlines ride on the same invariant: every entry point accepts an optional
 per-execution ``deadline`` (seconds of run time, measured from that
 execution's first slice), checked after every slice — which the bounded
@@ -81,6 +90,18 @@ def _deadline_list(
     return list(deadlines)
 
 
+def _weight_list(weights: Optional[Sequence[int]], count: int) -> List[int]:
+    """Normalize a per-execution weight vector (``None`` = round-robin)."""
+    if weights is None:
+        return [1] * count
+    if len(weights) != count:
+        raise ValueError(f"weights must match executions: got {len(weights)} for {count}")
+    for weight in weights:
+        if not isinstance(weight, int) or isinstance(weight, bool) or weight < 1:
+            raise ValueError(f"weights must be positive ints, got {weight!r}")
+    return list(weights)
+
+
 class StepSlicedDriver:
     """Interleaves resumable executions by bounded transition slices."""
 
@@ -97,34 +118,51 @@ class StepSlicedDriver:
 
     # -- async interleaving ---------------------------------------------------
 
-    async def drive(self, execution: Any, deadline: Optional[float] = None) -> DrivenResult:
-        """Advance one execution to completion, yielding between slices."""
+    async def drive(
+        self, execution: Any, deadline: Optional[float] = None, weight: int = 1
+    ) -> DrivenResult:
+        """Advance one execution to completion, yielding between turns.
+
+        ``weight`` is the QoS knob: each event-loop turn grants up to
+        ``weight`` consecutive ``slice_steps``-bounded slices before
+        yielding, so under contention a weight-8 execution advances eight
+        slices for every one a weight-1 neighbour gets.  The default of 1 is
+        exactly the original round-robin.  The bounded-latency invariant is
+        unchanged — ``slices`` counts every ``step_n`` call, so
+        ``steps ≤ slices × slice_steps`` holds for any weight — and weights
+        never change outcomes, only latency distribution.
+        """
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
         slice_steps = self.slice_steps
         slices = 0
         start = self.clock()
         while True:
-            result = execution.step_n(slice_steps)
-            slices += 1
-            elapsed = self.clock() - start
-            if result is not None:
-                return DrivenResult(result, slices, elapsed)
-            expired = self._expired(deadline, elapsed)
-            if expired is not None:
-                return DrivenResult(expired, slices, elapsed)
+            for _ in range(weight):
+                result = execution.step_n(slice_steps)
+                slices += 1
+                elapsed = self.clock() - start
+                if result is not None:
+                    return DrivenResult(result, slices, elapsed)
+                expired = self._expired(deadline, elapsed)
+                if expired is not None:
+                    return DrivenResult(expired, slices, elapsed)
             await asyncio.sleep(0)
 
     async def run_batch_async(
         self,
         executions: Sequence[Any],
         deadlines: Optional[Sequence[Optional[float]]] = None,
+        weights: Optional[Sequence[int]] = None,
     ) -> List[DrivenResult]:
         """Interleave all executions on the *caller's* event loop; results in order."""
         per_execution = _deadline_list(deadlines, len(executions))
+        per_weight = _weight_list(weights, len(executions))
         return list(
             await asyncio.gather(
                 *(
-                    self.drive(execution, deadline)
-                    for execution, deadline in zip(executions, per_execution)
+                    self.drive(execution, deadline, weight)
+                    for execution, deadline, weight in zip(executions, per_execution, per_weight)
                 )
             )
         )
@@ -133,6 +171,7 @@ class StepSlicedDriver:
         self,
         executions: Sequence[Any],
         deadlines: Optional[Sequence[Optional[float]]] = None,
+        weights: Optional[Sequence[int]] = None,
     ) -> List[DrivenResult]:
         """Interleave all executions on one fresh event loop; results in order.
 
@@ -147,9 +186,11 @@ class StepSlicedDriver:
         try:
             asyncio.get_running_loop()
         except RuntimeError:
-            return asyncio.run(self.run_batch_async(executions, deadlines))
+            return asyncio.run(self.run_batch_async(executions, deadlines, weights))
         with ThreadPoolExecutor(max_workers=1) as pool:
-            return pool.submit(asyncio.run, self.run_batch_async(executions, deadlines)).result()
+            return pool.submit(
+                asyncio.run, self.run_batch_async(executions, deadlines, weights)
+            ).result()
 
     # -- sequential / deterministic stepping ----------------------------------
 

@@ -45,12 +45,45 @@ request was placed away from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.core.interop import RunResult
 
 #: The default per-request fuel budget (matches the backend runners).
 DEFAULT_FUEL = 100_000
+
+#: The named priority classes and their scheduling weights: how many
+#: consecutive machine-transition slices the driver grants a request per
+#: event-loop turn.  ``high`` tenants advance 8 slices for every 1 a
+#: ``best-effort`` tenant gets under contention; uniform weights degenerate
+#: to the original round-robin, so a batch that never sets ``priority``
+#: schedules exactly as before.
+PRIORITY_WEIGHTS: Dict[str, int] = {"high": 8, "standard": 2, "best-effort": 1}
+
+#: The default priority class for requests that do not choose one.
+DEFAULT_PRIORITY = "standard"
+
+
+def priority_weight(priority: Union[int, str]) -> int:
+    """The scheduling weight of a priority class (or a raw positive weight).
+
+    Accepts a class name from :data:`PRIORITY_WEIGHTS` or a positive integer
+    used directly as the weight.  Raises ``ValueError`` for anything else,
+    at admission time, so a typo'd class fails the one request loudly rather
+    than silently scheduling it round-robin.
+    """
+    if isinstance(priority, bool):  # bool is an int subclass; reject explicitly
+        raise ValueError(f"priority must be a class name or positive int, got {priority!r}")
+    if isinstance(priority, int):
+        if priority < 1:
+            raise ValueError(f"integer priority must be >= 1, got {priority}")
+        return priority
+    try:
+        return PRIORITY_WEIGHTS[priority]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority class {priority!r}; known: {sorted(PRIORITY_WEIGHTS)} or a positive int"
+        ) from None
 
 
 @dataclass
@@ -104,9 +137,24 @@ class Request:
     #: program.  ``None`` weighs the request as 1; the hint never changes
     #: *where* a request may run, only how loaded its candidates look.
     cost_hint: Optional[int] = None
+    #: The request's QoS class — ``"high"`` | ``"standard"`` |
+    #: ``"best-effort"`` (see :data:`PRIORITY_WEIGHTS`) or a raw positive
+    #: integer weight.  Under contention the driver grants each execution
+    #: ``priority_weight`` consecutive slices per event-loop turn, so a high
+    #: tenant's p99 stays low while best-effort work soaks up the remainder.
+    #: Priority shapes *latency*, never results: the bounded-latency
+    #: invariant still holds per slice and interleaved results must equal
+    #: sequential ones whatever the weights (gated by
+    #: ``bench_serving.py --check --qos``).
+    priority: Union[int, str] = DEFAULT_PRIORITY
 
     def label(self) -> str:
         return self.request_id or f"{self.system or '?'}/{self.language}"
+
+    @property
+    def priority_weight(self) -> int:
+        """The driver weight this request's ``priority`` resolves to."""
+        return priority_weight(self.priority)
 
 
 @dataclass

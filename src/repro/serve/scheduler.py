@@ -211,6 +211,11 @@ class Scheduler:
         """
         response = Response(request=request)
         try:
+            request.priority_weight  # validate the QoS class at admission
+        except ValueError as error:
+            response.error = str(error)
+            return PreparedRequest(response)
+        try:
             system_name, system = self.route(request)
         except ReproError as error:
             response.error = str(error)
@@ -268,11 +273,11 @@ class Scheduler:
         differential baseline).  Either way each request runs under its own
         backend and fuel budget.
         """
-        prepared, runnable, executions, deadlines = self._admit(requests)
+        prepared, runnable, executions, deadlines, weights = self._admit(requests)
         if sequential:
             driven = self.driver.run_sequential(executions, deadlines)
         else:
-            driven = self.driver.run_batch(executions, deadlines)
+            driven = self.driver.run_batch(executions, deadlines, weights)
         responses = self._collect(prepared, runnable, driven)
         self._attach_deadline_checkpoints(runnable, driven)
         return responses
@@ -285,14 +290,15 @@ class Scheduler:
         batch (``serve`` from inside a coroutine falls back to a helper
         thread, which isolates rather than shares the loop).
         """
-        prepared, runnable, executions, deadlines = self._admit(requests)
-        driven = await self.driver.run_batch_async(executions, deadlines)
+        prepared, runnable, executions, deadlines, weights = self._admit(requests)
+        driven = await self.driver.run_batch_async(executions, deadlines, weights)
         responses = self._collect(prepared, runnable, driven)
         self._attach_deadline_checkpoints(runnable, driven)
         return responses
 
     def _admit(self, requests: Sequence[Request]):
-        """Prepare a batch; ``runnable``/``executions``/``deadlines`` align.
+        """Prepare a batch; ``runnable``/``executions``/``deadlines``/
+        ``weights`` align.
 
         Requests past the ``max_inflight`` admission limit are shed with
         ``rejected_overload`` (never prepared, never run).  The fault plan,
@@ -322,7 +328,8 @@ class Scheduler:
                 )
             executions.append(_GuardedExecution(execution))
         deadlines = [entry.response.request.deadline_seconds for entry in runnable]
-        return prepared, runnable, executions, deadlines
+        weights = [entry.response.request.priority_weight for entry in runnable]
+        return prepared, runnable, executions, deadlines, weights
 
     @staticmethod
     def _collect(prepared, runnable, driven) -> List[Response]:
@@ -400,7 +407,7 @@ class Scheduler:
         touching it).  Backends without snapshots run and preempt normally
         but yield no checkpoint.
         """
-        prepared, runnable, executions, deadlines = self._admit(requests)
+        prepared, runnable, executions, deadlines, _weights = self._admit(requests)
         indices = {id(entry): index for index, entry in enumerate(prepared)}
 
         def hook(runnable_index: int, slices: int) -> None:
@@ -488,10 +495,16 @@ class Scheduler:
                 )
             executions.append(_GuardedExecution(execution))
         deadlines = [entry.response.request.deadline_seconds for entry in runnable]
+        weights = []
+        for entry in runnable:
+            try:  # a foreign checkpoint may carry a priority this build rejects
+                weights.append(entry.response.request.priority_weight)
+            except ValueError:
+                weights.append(1)
         if sequential:
             driven = self.driver.run_sequential(executions, deadlines)
         else:
-            driven = self.driver.run_batch(executions, deadlines)
+            driven = self.driver.run_batch(executions, deadlines, weights)
         responses = self._collect(prepared, runnable, driven)
         self._attach_deadline_checkpoints(runnable, driven)
         return responses

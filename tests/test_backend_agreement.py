@@ -62,6 +62,11 @@ from repro.lcvm.syntax import (
     mentioned_locations,
 )
 from repro.lcvm.values import reify
+from repro.interop_refs.strategies import canonical_fused_program, fused_pair_programs
+from repro.stacklang import Num as StackNum
+from repro.stacklang import Status as StackStatus
+from repro.stacklang import cek as stack_cek
+from repro.stacklang import machine as stack_machine
 
 MACHINE_FUEL = 50_000
 FAST_FUEL = 500_000  # env-based engines take more, finer-grained steps
@@ -505,3 +510,46 @@ def test_bigstep_drops_dead_binding_the_interpreted_cek_keeps():
     assert big_result.reclaimed == 1  # `dead` collected at callgc, like the oracle
     assert set(big_result.heap.cells) == {0}  # only `keep`'s cell survives
     assert cek_result.heap.reclaimed == 0  # lexical scoping kept it alive
+
+
+# ---------------------------------------------------------------------------
+# StackLang: the fused superinstruction pairs (cek-opt) agree everywhere
+# ---------------------------------------------------------------------------
+
+
+def _stack_outcome(result):
+    """All four StackLang engines are raw-comparable: status, top value,
+    failure code, and the exact final heap (steps excluded — fuel granularity
+    is backend-specific, and fused pairs burn one step where the unfused
+    machines burn two)."""
+    return (result.status, result.value, result.failure_code, dict(result.heap))
+
+
+@given(fused=fused_pair_programs())
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_stacklang_backends_agree_on_fused_pair_chains(fused):
+    reference = stack_machine.run(fused, fuel=MACHINE_FUEL)
+    assert reference.status is not StackStatus.OUT_OF_FUEL
+    expected = _stack_outcome(reference)
+    assert _stack_outcome(stack_cek.run(fused, fuel=FAST_FUEL)) == expected
+    assert _stack_outcome(stack_cek.run_compiled(fused, fuel=FAST_FUEL)) == expected
+    assert _stack_outcome(stack_cek.run_optimized(fused, fuel=FAST_FUEL)) == expected
+
+
+def test_canonical_fused_program_forms_all_five_pair_kinds():
+    before = stack_cek.fused_cache_stats()["fused_pairs"]
+    stack_cek.compile_program_fused(canonical_fused_program())
+    after = stack_cek.fused_cache_stats()["fused_pairs"]
+    assert after - before >= 5  # one superinstruction per pair kind
+
+
+def test_canonical_fused_program_agrees_on_all_four_backends():
+    fused = canonical_fused_program()
+    reference = stack_machine.run(fused, fuel=MACHINE_FUEL)
+    assert reference.status is StackStatus.VALUE
+    assert reference.value == StackNum(7)
+    assert dict(reference.heap) == {0: StackNum(7)}
+    expected = _stack_outcome(reference)
+    assert _stack_outcome(stack_cek.run(fused, fuel=FAST_FUEL)) == expected
+    assert _stack_outcome(stack_cek.run_compiled(fused, fuel=FAST_FUEL)) == expected
+    assert _stack_outcome(stack_cek.run_optimized(fused, fuel=FAST_FUEL)) == expected
